@@ -1,0 +1,68 @@
+//! Whole-engine bench: the same mixed trace end-to-end through all three
+//! engines — the processing-ratio measurement behind E6, under Criterion's
+//! statistics instead of a single wall-clock sample.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sd_bench::{standard_benign, SIG};
+use sd_ips::api::run_trace;
+use sd_ips::{ConventionalIps, NaivePacketIps, Signature, SignatureSet};
+use sd_traffic::benign::BenignGenerator;
+use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+use sd_traffic::mixer::mix;
+use sd_traffic::trace::Trace;
+use sd_traffic::victim::VictimConfig;
+use splitdetect::SplitDetect;
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("evil", SIG)])
+}
+
+fn mixed_trace() -> Trace {
+    let benign = BenignGenerator::new(standard_benign(300, 23)).generate();
+    let victim = VictimConfig::default();
+    let attacks = EvasionStrategy::catalog()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut spec = AttackSpec::simple(SIG);
+            spec.client.1 = 42_000 + i as u16;
+            (generate(&spec, s, victim, i as u64), 0usize, s.name())
+        })
+        .collect();
+    mix(benign, attacks, 31).trace
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let trace = mixed_trace();
+    let bytes = trace.total_bytes();
+
+    let mut group = c.benchmark_group("engines_end_to_end");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(20);
+
+    group.bench_function("naive_packet", |b| {
+        b.iter_batched(
+            || NaivePacketIps::new(sigs()),
+            |mut e| black_box(run_trace(&mut e, trace.iter_bytes())).len(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("conventional", |b| {
+        b.iter_batched(
+            || ConventionalIps::new(sigs()),
+            |mut e| black_box(run_trace(&mut e, trace.iter_bytes())).len(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("split_detect", |b| {
+        b.iter_batched(
+            || SplitDetect::new(sigs()).expect("admissible"),
+            |mut e| black_box(run_trace(&mut e, trace.iter_bytes())).len(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

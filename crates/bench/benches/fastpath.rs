@@ -1,0 +1,62 @@
+//! Fast-path bench: per-packet classification throughput — the number the
+//! paper's line-rate argument rides on. Measures packets/sec and bytes/sec
+//! through `FastPath::classify` alone (no slow path, benign traffic).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sd_bench::{benign_trace, generated_signatures};
+use sd_ips::{Signature, SignatureSet};
+use splitdetect::split::SplitPlan;
+use splitdetect::fastpath::{FastPath, FastPathParams};
+use splitdetect::SplitDetectConfig;
+
+fn build_fastpath(sigs: &SignatureSet) -> FastPath {
+    let config = SplitDetectConfig::default();
+    let cutoff = config.validate(sigs).expect("admissible");
+    let plan = SplitPlan::compile(sigs, &config).expect("admissible");
+    FastPath::new(
+        plan,
+        FastPathParams {
+            cutoff,
+            budget: config.small_segment_budget,
+            table_capacity: 1 << 14,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let trace = benign_trace(200, 17);
+    let bytes: u64 = trace.total_bytes();
+
+    let mut group = c.benchmark_group("fastpath_classify");
+    group.throughput(Throughput::Bytes(bytes));
+
+    for &n in &[1usize, 100, 1000] {
+        let sigs = if n == 1 {
+            SignatureSet::from_signatures([Signature::new("one", sd_bench::SIG)])
+        } else {
+            generated_signatures(n, n as u64)
+        };
+        group.bench_with_input(BenchmarkId::new("benign_trace", n), &n, |b, _| {
+            b.iter_batched(
+                || build_fastpath(&sigs),
+                |mut fp| {
+                    let mut diverts = 0u64;
+                    for pkt in trace.iter_bytes() {
+                        let (_, v) = fp.classify(black_box(pkt), |_| false);
+                        diverts += u64::from(matches!(
+                            v,
+                            splitdetect::fastpath::Verdict::Divert(_)
+                        ));
+                    }
+                    diverts
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Matcher-engine ablation bench: the per-byte scan engines the fast path
+//! could be built from (DESIGN.md §5 — DFA vs NFA Aho–Corasick, and the
+//! single-pattern engines as context).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_bench::generated_signatures;
+use sd_match::aho::AhoCorasick;
+use sd_match::bmh::Horspool;
+use sd_match::shiftor::ShiftOr;
+use sd_match::stride2::Stride2Dfa;
+use sd_match::wumanber::WuManber;
+use sd_match::AcDfa;
+use sd_traffic::payload::PayloadModel;
+
+const VOLUME: usize = 1 << 20; // 1 MiB per iteration
+
+fn corpus() -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(3);
+    PayloadModel::HttpLike.generate(&mut rng, VOLUME)
+}
+
+fn bench_multi_pattern(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("multi_pattern");
+    group.throughput(Throughput::Bytes(VOLUME as u64));
+    for &n in &[10usize, 100, 1000] {
+        let sigs = generated_signatures(n, n as u64);
+        let set = sigs.to_patterns();
+        let nfa = AhoCorasick::new(set.clone());
+        let dfa = AcDfa::new(set);
+        group.bench_with_input(BenchmarkId::new("ac_nfa", n), &n, |b, _| {
+            b.iter(|| black_box(nfa.find_all(black_box(&corpus))).len())
+        });
+        group.bench_with_input(BenchmarkId::new("ac_dfa", n), &n, |b, _| {
+            b.iter(|| black_box(dfa.find_all(black_box(&corpus))).len())
+        });
+        let wm = WuManber::new(sigs.to_patterns());
+        group.bench_with_input(BenchmarkId::new("wu_manber", n), &n, |b, _| {
+            b.iter(|| black_box(wm.find_all(black_box(&corpus))).len())
+        });
+        // Stride-2 table fits the budget only for small automatons — the
+        // memory wall is the point of the ablation.
+        if let Ok(s2) = Stride2Dfa::new(dfa.clone()) {
+            group.bench_with_input(BenchmarkId::new("ac_dfa_stride2", n), &n, |b, _| {
+                b.iter(|| black_box(s2.find_all(black_box(&corpus))).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_pattern(c: &mut Criterion) {
+    let corpus = corpus();
+    let needle = b"EVIL_SIGNATURE_BYTES";
+    let mut group = c.benchmark_group("single_pattern");
+    group.throughput(Throughput::Bytes(VOLUME as u64));
+
+    let bmh = Horspool::new(needle);
+    group.bench_function("bmh", |b| {
+        b.iter(|| black_box(bmh.find_all(black_box(&corpus))).len())
+    });
+    let so = ShiftOr::new(needle);
+    group.bench_function("shift_or", |b| {
+        b.iter(|| black_box(so.find_ends(black_box(&corpus))).len())
+    });
+    let dfa = AcDfa::new(sd_match::pattern::PatternSet::from_patterns([&needle[..]]));
+    group.bench_function("ac_dfa_single", |b| {
+        b.iter(|| black_box(dfa.find_all(black_box(&corpus))).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_pattern, bench_single_pattern);
+criterion_main!(benches);

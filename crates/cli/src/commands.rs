@@ -1,0 +1,342 @@
+//! Command implementations.
+
+use std::io::Write;
+
+use sd_ips::api::run_trace;
+use sd_ips::conventional::ConventionalConfig;
+use sd_ips::rules::{parse_rules, RuleSet, DEMO_RULES};
+use sd_ips::{ConventionalIps, Ips, NaivePacketIps, SignatureSet};
+use sd_traffic::benign::{BenignConfig, BenignGenerator};
+use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+use sd_traffic::mixer::mix;
+use sd_traffic::victim::{receive_stream, VictimConfig};
+use sd_traffic::{pcap, Trace};
+use splitdetect::{SplitDetect, SplitDetectConfig};
+
+use crate::opts::{Command, EngineKind, ParsedArgs};
+
+type Out<'a> = &'a mut dyn Write;
+
+/// Run the parsed command.
+pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
+    match &args.command {
+        Command::Scan(path) => scan(&args, path, out),
+        Command::Compare(path) => compare(&args, path, out),
+        Command::Stats(path) => stats_cmd(path, out),
+        Command::Rules(path) => lint_rules(path, out),
+        Command::Gauntlet => gauntlet(&args, out),
+        Command::Generate(path) => generate_cmd(&args, path, out),
+        Command::Replay(path) => replay_cmd(&args, path, out),
+    }
+}
+
+fn load_rules(args: &ParsedArgs, out: Out) -> Result<RuleSet, String> {
+    let text = match &args.rules {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read rules {path}: {e}"))?,
+        None => {
+            let _ = writeln!(out, "(no --rules given; using the embedded demo rules)");
+            DEMO_RULES.to_string()
+        }
+    };
+    let set = parse_rules(&text).map_err(|e| e.to_string())?;
+    if set.rules.is_empty() {
+        return Err("rule file contains no usable alert rules".into());
+    }
+    if set.nocase_ignored > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} nocase modifier(s) ignored (matching is exact)",
+            set.nocase_ignored
+        );
+    }
+    Ok(set)
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    pcap::load(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn build_split(
+    sigs: SignatureSet,
+    args: &ParsedArgs,
+) -> Result<SplitDetect, String> {
+    SplitDetect::with_config(
+        sigs,
+        SplitDetectConfig {
+            slow_path_policy: args.policy,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("rules not usable with Split-Detect: {e}"))
+}
+
+fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    let sigs = rules.to_signatures();
+    let trace = load_trace(path)?;
+    let _ = writeln!(
+        out,
+        "scanning {path}: {} packets, {} flows, {} rules, engine {}",
+        trace.len(),
+        trace.flow_count(),
+        rules.rules.len(),
+        args.engine
+    );
+
+    let alerts = match args.engine {
+        EngineKind::Split => {
+            let mut e = build_split(sigs, args)?;
+            let alerts = run_trace(&mut e, trace.iter_bytes());
+            let _ = write!(out, "{}", splitdetect::RunReport::new(e.stats()));
+            alerts
+        }
+        EngineKind::Conventional => {
+            let mut e = ConventionalIps::with_config(
+                sigs,
+                ConventionalConfig {
+                    policy: args.policy,
+                    ..Default::default()
+                },
+            );
+            run_trace(&mut e, trace.iter_bytes())
+        }
+        EngineKind::Naive => {
+            let mut e = NaivePacketIps::new(sigs);
+            run_trace(&mut e, trace.iter_bytes())
+        }
+    };
+
+    let _ = writeln!(out, "{} alert(s)", alerts.len());
+    for a in &alerts {
+        let rule = &rules.rules[a.signature];
+        let _ = writeln!(out, "  [{}] {} flow={} off={}", rule.sid, rule.name(), a.flow, a.offset);
+    }
+    Ok(())
+}
+
+fn compare(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    let trace = load_trace(path)?;
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>14} {:>14} {:>12}",
+        "engine", "alerts", "scanned-bytes", "peak-state-B", "time-ms"
+    );
+    let mut row = |name: &str, engine: &mut dyn Ips| {
+        let start = std::time::Instant::now();
+        let alerts = run_trace(engine, trace.iter_bytes());
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let r = engine.resources();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>14} {:>14} {:>12.1}",
+            name,
+            alerts.len(),
+            r.bytes_scanned,
+            r.state_bytes_peak,
+            ms
+        );
+    };
+    let mut naive = NaivePacketIps::new(rules.to_signatures());
+    row("naive-packet", &mut naive);
+    let mut conv = ConventionalIps::with_config(
+        rules.to_signatures(),
+        ConventionalConfig {
+            policy: args.policy,
+            ..Default::default()
+        },
+    );
+    row("conventional", &mut conv);
+    let mut sd = build_split(rules.to_signatures(), args)?;
+    row("split-detect", &mut sd);
+    Ok(())
+}
+
+fn stats_cmd(path: &str, out: Out) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let s = sd_traffic::stats::analyze(&trace);
+    let _ = writeln!(
+        out,
+        "{path}: {} packets, {} flows, {:.2} MB",
+        trace.len(),
+        trace.flow_count(),
+        trace.total_bytes() as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "size mix: {:.0}% ack-sized | small {} | mid {} | large {} | mss {}",
+        s.sizes.ack_fraction() * 100.0,
+        s.sizes.small,
+        s.sizes.mid,
+        s.sizes.large,
+        s.sizes.mss
+    );
+    let _ = writeln!(
+        out,
+        "payload entropy {:.2} bits/byte, {:.0}% printable",
+        s.payload.entropy_bits(),
+        s.payload.printable_fraction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "flows: p50 {} B, p95 {} B, top-10% byte share {:.0}%, peak concurrency {}",
+        s.flows.percentile(0.5),
+        s.flows.percentile(0.95),
+        s.flows.top_flow_byte_share(0.1) * 100.0,
+        s.flows.peak_concurrency
+    );
+    Ok(())
+}
+
+fn lint_rules(path: &str, out: Out) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let set = parse_rules(&text).map_err(|e| e.to_string())?;
+    let sigs = set.to_signatures();
+    let _ = writeln!(
+        out,
+        "{path}: {} alert rule(s), {} skipped action(s), {} nocase ignored",
+        set.rules.len(),
+        set.skipped_actions,
+        set.nocase_ignored
+    );
+    // Split-Detect admissibility: report per-rule problems, not just the
+    // first, so a corpus can be cleaned in one pass.
+    let config = SplitDetectConfig::default();
+    let mut unusable = 0;
+    for (i, rule) in set.rules.iter().enumerate() {
+        let len = rule.signature_bytes().len();
+        let need = config.pieces_per_signature * splitdetect::config::MIN_PIECE_LEN;
+        if len < need {
+            unusable += 1;
+            let _ = writeln!(
+                out,
+                "  rule {} (sid {}): content is {len} bytes, Split-Detect needs >= {need}",
+                i, rule.sid
+            );
+        }
+    }
+    if unusable == 0 {
+        let _ = writeln!(out, "all rules usable with the default Split-Detect config");
+        let _ = config.validate(&sigs).map_err(|e| e.to_string())?;
+    } else {
+        let _ = writeln!(out, "{unusable} rule(s) too short for signature splitting");
+    }
+    Ok(())
+}
+
+fn gauntlet(args: &ParsedArgs, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    // The gauntlet carries the first rule's signature through every evasion.
+    let rule = &rules.rules[0];
+    let victim = VictimConfig {
+        policy: args.policy,
+        ..Default::default()
+    };
+    let _ = writeln!(
+        out,
+        "gauntlet signature: [{}] {} ({} bytes); victim policy {}",
+        rule.sid,
+        rule.name(),
+        rule.signature_bytes().len(),
+        args.policy
+    );
+    let _ = writeln!(out, "{:<28} {:>9} {:>12}", "strategy", "delivers", "split-detect");
+
+    let mut all_ok = true;
+    for strategy in EvasionStrategy::catalog() {
+        let spec = AttackSpec::simple(rule.signature_bytes().to_vec());
+        let packets = generate(&spec, strategy, victim, 4242);
+        let delivered = receive_stream(packets.iter(), victim, spec.server) == spec.payload();
+        let mut sd = build_split(rules.to_signatures(), args)?;
+        let detected = run_trace(&mut sd, packets.iter().map(|p| p.as_slice()))
+            .iter()
+            .any(|a| a.signature == 0);
+        all_ok &= detected;
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9} {:>12}",
+            strategy.name(),
+            if delivered { "yes" } else { "NO" },
+            if detected { "DETECT" } else { "MISS" }
+        );
+    }
+    if all_ok {
+        let _ = writeln!(out, "all strategies detected");
+        Ok(())
+    } else {
+        Err("some strategies were missed".into())
+    }
+}
+
+fn replay_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    let trace = load_trace(path)?;
+    let speed = if args.speed == 0.0 {
+        f64::INFINITY
+    } else {
+        args.speed
+    };
+    let mut engine = build_split(rules.to_signatures(), args)?;
+    let mut alerts = Vec::new();
+    let report = sd_traffic::replay::replay(&trace, speed, |pkt, tick| {
+        engine.process_packet(pkt, tick, &mut alerts)
+    });
+    engine.finish(&mut alerts);
+    let _ = writeln!(
+        out,
+        "replayed {} packets in {:.3}s (target {:.3}s), max lateness {:.3} ms",
+        report.packets,
+        report.elapsed_secs,
+        report.target_secs,
+        report.max_lateness_secs * 1e3
+    );
+    let _ = writeln!(out, "{} alert(s)", alerts.len());
+    for a in &alerts {
+        let rule = &rules.rules[a.signature];
+        let _ = writeln!(out, "  [{}] {} flow={}", rule.sid, rule.name(), a.flow);
+    }
+    let _ = write!(out, "{}", splitdetect::RunReport::new(engine.stats()));
+    Ok(())
+}
+
+fn generate_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    let benign = BenignGenerator::new(BenignConfig {
+        flows: args.flows,
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+
+    let victim = VictimConfig::default();
+    let catalog = EvasionStrategy::catalog();
+    let attacks: Vec<(Vec<Vec<u8>>, usize, &'static str)> = (0..args.attacks)
+        .map(|i| {
+            let strategy = catalog[i % catalog.len()];
+            let rule = &rules.rules[i % rules.rules.len()];
+            let mut spec = AttackSpec::simple(rule.signature_bytes().to_vec());
+            spec.client.1 = 40_000 + i as u16;
+            (
+                generate(&spec, strategy, victim, args.seed + i as u64),
+                i % rules.rules.len(),
+                strategy.name(),
+            )
+        })
+        .collect();
+    let labeled = mix(benign, attacks, args.seed ^ 0x5eed);
+    pcap::save(path, &labeled.trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "wrote {path}: {} packets, {} flows, {} labelled attack(s)",
+        labeled.trace.len(),
+        labeled.trace.flow_count(),
+        labeled.attacks.len()
+    );
+    for a in &labeled.attacks {
+        let rule = &rules.rules[a.signature];
+        let _ = writeln!(out, "  {} via {} carries sid {}", a.flow, a.strategy, rule.sid);
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # sd-cli — the `sd` command
+//!
+//! A thin operational front end over the workspace: scan captures with any
+//! of the three engines, compare them side by side, lint rule files, run
+//! the evasion gauntlet against your own rules, and generate labelled
+//! workloads. All logic lives here (the binary is a two-liner) so the
+//! integration tests drive exactly what users run.
+//!
+//! ```text
+//! sd scan capture.pcap --rules local.rules --engine split
+//! sd compare capture.pcap
+//! sd rules local.rules
+//! sd gauntlet --rules local.rules
+//! sd generate out.pcap --flows 200 --attacks 5 --seed 7
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod opts;
+
+pub use opts::{Command, EngineKind, ParsedArgs};
+
+/// Run the CLI against `args` (without the program name), writing human
+/// output to `out`. Returns the process exit code.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> i32 {
+    let parsed = match opts::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            let _ = writeln!(out, "{}", opts::USAGE);
+            return 2;
+        }
+    };
+    match commands::dispatch(parsed, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}

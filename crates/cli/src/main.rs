@@ -1,0 +1,7 @@
+//! The `sd` binary: all logic lives in the library so tests drive it.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(sd_cli::run(&args, &mut stdout));
+}

@@ -1,0 +1,228 @@
+//! Argument parsing — by hand, flag-order independent, no dependencies.
+
+use std::fmt;
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage:
+  sd scan <capture.pcap> [--rules FILE] [--engine split|conventional|naive]
+                         [--policy first|last|bsd|linux]
+  sd compare <capture.pcap> [--rules FILE] [--policy P]
+  sd stats <capture.pcap>
+  sd rules <FILE>
+  sd gauntlet [--rules FILE] [--policy P]
+  sd replay <capture.pcap> [--rules FILE] [--speed X (default 1.0, 0 = unpaced)]
+  sd generate <out.pcap> [--flows N] [--attacks N] [--seed S]
+
+Without --rules, the embedded demo rule set is used.";
+
+/// Which engine `scan` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Split-Detect (the default).
+    Split,
+    /// The conventional reassembling IPS.
+    Conventional,
+    /// The naive per-packet strawman.
+    Naive,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineKind::Split => "split-detect",
+            EngineKind::Conventional => "conventional",
+            EngineKind::Naive => "naive-packet",
+        })
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand with its positional arguments.
+    pub command: Command,
+    /// `--rules FILE`.
+    pub rules: Option<String>,
+    /// `--policy P`.
+    pub policy: sd_reassembly::OverlapPolicy,
+    /// `--engine E` (scan only).
+    pub engine: EngineKind,
+    /// `--flows N` (generate).
+    pub flows: usize,
+    /// `--attacks N` (generate).
+    pub attacks: usize,
+    /// `--seed S` (generate).
+    pub seed: u64,
+    /// `--speed X` (replay); 0 means unpaced.
+    pub speed: f64,
+}
+
+/// The subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Scan a capture.
+    Scan(String),
+    /// Compare all three engines on a capture.
+    Compare(String),
+    /// Print workload statistics of a capture.
+    Stats(String),
+    /// Lint a rule file.
+    Rules(String),
+    /// Run the evasion gauntlet.
+    Gauntlet,
+    /// Generate a labelled workload.
+    Generate(String),
+    /// Replay a capture at its recorded pacing (scaled by --speed).
+    Replay(String),
+}
+
+/// Parse `args` (without the program name).
+pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+
+    let mut positional: Vec<String> = Vec::new();
+    let mut rules = None;
+    let mut policy = sd_reassembly::OverlapPolicy::First;
+    let mut engine = EngineKind::Split;
+    let mut flows = 100usize;
+    let mut attacks = 3usize;
+    let mut seed = 1u64;
+    let mut speed = 1.0f64;
+
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--rules" => rules = Some(value_of("--rules")?.clone()),
+            "--policy" => {
+                policy = match value_of("--policy")?.as_str() {
+                    "first" => sd_reassembly::OverlapPolicy::First,
+                    "last" => sd_reassembly::OverlapPolicy::Last,
+                    "bsd" => sd_reassembly::OverlapPolicy::Bsd,
+                    "linux" => sd_reassembly::OverlapPolicy::Linux,
+                    other => return Err(format!("unknown policy {other:?}")),
+                }
+            }
+            "--engine" => {
+                engine = match value_of("--engine")?.as_str() {
+                    "split" | "split-detect" | "sd" => EngineKind::Split,
+                    "conventional" | "conv" => EngineKind::Conventional,
+                    "naive" => EngineKind::Naive,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--flows" => {
+                flows = value_of("--flows")?
+                    .parse()
+                    .map_err(|_| "bad --flows value".to_string())?
+            }
+            "--attacks" => {
+                attacks = value_of("--attacks")?
+                    .parse()
+                    .map_err(|_| "bad --attacks value".to_string())?
+            }
+            "--seed" => {
+                seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?
+            }
+            "--speed" => {
+                speed = value_of("--speed")?
+                    .parse()
+                    .map_err(|_| "bad --speed value".to_string())?;
+                if speed < 0.0 {
+                    return Err("--speed must be >= 0".into());
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            pos => positional.push(pos.to_string()),
+        }
+    }
+
+    let need_one = |what: &str, positional: &[String]| -> Result<String, String> {
+        match positional {
+            [one] => Ok(one.clone()),
+            [] => Err(format!("{sub} needs a {what}")),
+            _ => Err(format!("{sub} takes exactly one {what}")),
+        }
+    };
+
+    let command = match sub.as_str() {
+        "scan" => Command::Scan(need_one("pcap path", &positional)?),
+        "compare" => Command::Compare(need_one("pcap path", &positional)?),
+        "stats" => Command::Stats(need_one("pcap path", &positional)?),
+        "rules" => Command::Rules(need_one("rules path", &positional)?),
+        "gauntlet" => {
+            if !positional.is_empty() {
+                return Err("gauntlet takes no positional arguments".into());
+            }
+            Command::Gauntlet
+        }
+        "generate" => Command::Generate(need_one("output path", &positional)?),
+        "replay" => Command::Replay(need_one("pcap path", &positional)?),
+        other => return Err(format!("unknown subcommand {other:?}")),
+    };
+
+    Ok(ParsedArgs {
+        command,
+        rules,
+        policy,
+        engine,
+        flows,
+        attacks,
+        seed,
+        speed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn scan_with_flags() {
+        let p = parse(&args("scan cap.pcap --engine conv --policy linux")).unwrap();
+        assert_eq!(p.command, Command::Scan("cap.pcap".into()));
+        assert_eq!(p.engine, EngineKind::Conventional);
+        assert_eq!(p.policy, sd_reassembly::OverlapPolicy::Linux);
+    }
+
+    #[test]
+    fn generate_defaults_and_overrides() {
+        let p = parse(&args("generate out.pcap")).unwrap();
+        assert_eq!((p.flows, p.attacks, p.seed), (100, 3, 1));
+        let p = parse(&args("generate out.pcap --flows 5 --attacks 2 --seed 9")).unwrap();
+        assert_eq!((p.flows, p.attacks, p.seed), (5, 2, 9));
+    }
+
+    #[test]
+    fn flag_order_is_free() {
+        let a = parse(&args("scan --rules r.rules cap.pcap")).unwrap();
+        let b = parse(&args("scan cap.pcap --rules r.rules")).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        for bad in [
+            "",
+            "scan",
+            "scan a b",
+            "scan cap.pcap --engine warp",
+            "scan cap.pcap --policy strict",
+            "frobnicate x",
+            "scan cap.pcap --rules",
+            "generate out.pcap --flows many",
+            "gauntlet stray",
+        ] {
+            assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end CLI tests: drive `sd_cli::run` exactly as the binary does,
+//! against real files in a temp directory.
+
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sd-cli-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let code = sd_cli::run(&args, &mut out);
+    (code, String::from_utf8(out).unwrap())
+}
+
+#[test]
+fn usage_on_bad_args() {
+    let (code, out) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(out.contains("usage:"));
+    let (code, out) = run(&["scan"]);
+    assert_eq!(code, 2);
+    assert!(out.contains("scan needs a pcap path"));
+}
+
+#[test]
+fn generate_then_scan_detects_labelled_attacks() {
+    let dir = tmpdir("roundtrip");
+    let pcap = dir.join("t.pcap");
+    let pcap_s = pcap.to_str().unwrap();
+
+    let (code, out) = run(&["generate", pcap_s, "--flows", "20", "--attacks", "3", "--seed", "5"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("3 labelled attack(s)"), "{out}");
+
+    let (code, out) = run(&["scan", pcap_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("3 alert(s)"), "{out}");
+    assert!(out.contains("sid-"), "{out}");
+
+    // The naive engine misses the evaded attacks on the same capture.
+    let (code, out) = run(&["scan", pcap_s, "--engine", "naive"]);
+    assert_eq!(code, 0);
+    assert!(
+        !out.contains("3 alert(s)"),
+        "the strawman should not match split-detect: {out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_prints_all_three_engines() {
+    let dir = tmpdir("compare");
+    let pcap = dir.join("c.pcap");
+    let pcap_s = pcap.to_str().unwrap();
+    run(&["generate", pcap_s, "--flows", "10", "--attacks", "1"]);
+
+    let (code, out) = run(&["compare", pcap_s]);
+    assert_eq!(code, 0, "{out}");
+    for engine in ["naive-packet", "conventional", "split-detect"] {
+        assert!(out.contains(engine), "missing {engine} in {out}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rules_lint_reports_counts_and_short_rules() {
+    let dir = tmpdir("rules");
+    let path = dir.join("mixed.rules");
+    std::fs::write(
+        &path,
+        "# comment\n\
+         alert tcp any any -> any any (msg:\"ok\"; content:\"long_enough_signature\"; sid:1;)\n\
+         alert tcp any any -> any any (msg:\"short\"; content:\"tiny\"; sid:2;)\n\
+         pass tcp any any -> any any (content:\"whatever11\"; sid:3;)\n",
+    )
+    .unwrap();
+    let (code, out) = run(&["rules", path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("2 alert rule(s)"), "{out}");
+    assert!(out.contains("1 skipped action(s)"), "{out}");
+    assert!(out.contains("sid 2"), "short rule must be flagged: {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rules_lint_rejects_broken_files() {
+    let dir = tmpdir("badrules");
+    let path = dir.join("bad.rules");
+    std::fs::write(&path, "alert tcp any any -> any any (content:\"x\"; sid:borked;)\n").unwrap();
+    let (code, out) = run(&["rules", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(out.contains("line 1"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gauntlet_with_demo_rules_detects_everything() {
+    let (code, out) = run(&["gauntlet"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("all strategies detected"), "{out}");
+    assert!(!out.contains("MISS"), "{out}");
+}
+
+#[test]
+fn scan_with_custom_rules_file() {
+    let dir = tmpdir("custom");
+    let rules = dir.join("my.rules");
+    std::fs::write(
+        &rules,
+        "alert tcp any any -> any any (msg:\"custom\"; content:\"EVIL_SIGNATURE_BYTES\"; sid:777;)\n",
+    )
+    .unwrap();
+    let pcap = dir.join("x.pcap");
+    // Generate with the same rules so the injected attack carries sid 777.
+    let (code, out) = run(&[
+        "generate",
+        pcap.to_str().unwrap(),
+        "--flows",
+        "5",
+        "--attacks",
+        "1",
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run(&[
+        "scan",
+        pcap.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("[777]"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_describes_a_capture() {
+    let dir = tmpdir("stats");
+    let pcap = dir.join("s.pcap");
+    run(&["generate", pcap.to_str().unwrap(), "--flows", "15", "--attacks", "0"]);
+    let (code, out) = run(&["stats", pcap.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("size mix"), "{out}");
+    assert!(out.contains("entropy"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_unpaced_detects_attacks() {
+    let dir = tmpdir("replay");
+    let pcap = dir.join("r.pcap");
+    run(&["generate", pcap.to_str().unwrap(), "--flows", "10", "--attacks", "2"]);
+    let (code, out) = run(&["replay", pcap.to_str().unwrap(), "--speed", "0"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("replayed"), "{out}");
+    assert!(out.contains("2 alert(s)"), "{out}");
+    assert!(out.contains("divert reasons:"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_files_fail_cleanly() {
+    let (code, out) = run(&["scan", "/definitely/not/here.pcap"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("cannot read"), "{out}");
+    let (code, _) = run(&["rules", "/definitely/not/here.rules"]);
+    assert_eq!(code, 1);
+}

@@ -1,0 +1,236 @@
+//! Sticky diversion and the delay line.
+//!
+//! Two concerns live here, both load-bearing for soundness:
+//!
+//! 1. **Stickiness.** Once a flow is diverted it must *stay* diverted — the
+//!    fast-path flow table uses CLOCK eviction and may forget a flow's
+//!    counters, which is harmless for benign flows but would un-divert an
+//!    attacker. So the diverted set is owned here, bounded separately, and
+//!    consulted before any fast-path rule runs.
+//!
+//! 2. **History.** Diversion fires on the packet that *completes* the
+//!    evidence (the piece hit, the T+1-th small segment), but the signature
+//!    may have started in earlier packets the slow path never saw. A
+//!    line-rate implementation solves this with a delay line: packets are
+//!    forwarded only after a short bounded queue, so when a flow diverts,
+//!    its recent packets are still on hand to replay. We model exactly
+//!    that: a bounded FIFO over all fast-path traffic, searched (rarely) on
+//!    diversion. Setting its length to 0 gives the divert-from-now
+//!    ablation, which E10 shows breaks detection for split signatures.
+
+use std::collections::{HashSet, VecDeque};
+
+use sd_flow::FlowKey;
+
+/// Default bound on remembered diverted flows.
+pub const DEFAULT_MAX_DIVERTED: usize = 1 << 20;
+
+/// Counters for the diversion layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DivertStats {
+    /// Flows ever diverted.
+    pub flows_diverted: u64,
+    /// Diverted-set entries discarded at the bound (soundness erosion —
+    /// must be zero in a correctly provisioned deployment).
+    pub set_evictions: u64,
+    /// Packets replayed from the delay line on diversion.
+    pub replayed_packets: u64,
+    /// Packets that fell off the delay line before their flow diverted.
+    pub delay_line_misses: u64,
+}
+
+/// The diversion manager.
+#[derive(Debug)]
+pub struct DiversionManager {
+    diverted: HashSet<FlowKey>,
+    max_diverted: usize,
+    delay: VecDeque<(FlowKey, Vec<u8>)>,
+    delay_cap: usize,
+    delay_bytes: usize,
+    /// Retired buffers reused by `record` — the delay line is the hottest
+    /// allocation site on the fast path (one buffer per packet), so at
+    /// steady state it must not touch the allocator, mirroring the fixed
+    /// FIFO a hardware delay line is.
+    pool: Vec<Vec<u8>>,
+    stats: DivertStats,
+}
+
+impl DiversionManager {
+    /// Build with a delay line of `delay_cap` packets and the default
+    /// diverted-set bound.
+    pub fn new(delay_cap: usize) -> Self {
+        Self::with_limits(delay_cap, DEFAULT_MAX_DIVERTED)
+    }
+
+    /// Build with explicit bounds.
+    pub fn with_limits(delay_cap: usize, max_diverted: usize) -> Self {
+        DiversionManager {
+            diverted: HashSet::new(),
+            max_diverted: max_diverted.max(1),
+            delay: VecDeque::new(),
+            delay_cap,
+            delay_bytes: 0,
+            pool: Vec::new(),
+            stats: DivertStats::default(),
+        }
+    }
+
+    /// Is this flow diverted?
+    pub fn is_diverted(&self, key: &FlowKey) -> bool {
+        self.diverted.contains(key)
+    }
+
+    /// Number of currently diverted flows.
+    pub fn diverted_count(&self) -> usize {
+        self.diverted.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DivertStats {
+        self.stats
+    }
+
+    /// Record a benign-so-far packet into the delay line.
+    pub fn record(&mut self, key: FlowKey, packet: &[u8]) {
+        if self.delay_cap == 0 {
+            return;
+        }
+        self.delay_bytes += packet.len();
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(packet);
+        self.delay.push_back((key, buf));
+        while self.delay.len() > self.delay_cap {
+            if let Some((_, dropped)) = self.delay.pop_front() {
+                self.delay_bytes -= dropped.len();
+                // A dropped packet whose flow later diverts is a miss; we
+                // cannot know the future, so misses are counted lazily at
+                // diversion time. The buffer itself goes back to the pool.
+                self.pool.push(dropped);
+            }
+        }
+    }
+
+    /// Mark a flow diverted and return its delay-line history, oldest
+    /// first. The history is removed from the line (those packets now
+    /// belong to the slow path).
+    pub fn divert(&mut self, key: FlowKey) -> Vec<Vec<u8>> {
+        if self.diverted.contains(&key) {
+            return Vec::new();
+        }
+        if self.diverted.len() >= self.max_diverted {
+            // Discard an arbitrary entry; counted loudly because this is
+            // where soundness erodes if under-provisioned.
+            if let Some(victim) = self.diverted.iter().next().copied() {
+                self.diverted.remove(&victim);
+                self.stats.set_evictions += 1;
+            }
+        }
+        self.diverted.insert(key);
+        self.stats.flows_diverted += 1;
+
+        let mut history = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.delay.len());
+        for (k, pkt) in self.delay.drain(..) {
+            if k == key {
+                self.delay_bytes -= pkt.len();
+                history.push(pkt);
+            } else {
+                kept.push_back((k, pkt));
+            }
+        }
+        self.delay = kept;
+        self.stats.replayed_packets += history.len() as u64;
+        history
+    }
+
+    /// Memory footprint: the delay line's buffered bytes plus per-entry and
+    /// diverted-set overhead.
+    pub fn memory_bytes(&self) -> usize {
+        self.delay_bytes
+            + self.delay.len() * 24
+            + self.diverted.len() * (FlowKey::WIRE_BYTES + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u32) -> FlowKey {
+        FlowKey::from_endpoints(
+            6,
+            (Ipv4Addr::from(n), 1000),
+            (Ipv4Addr::from(0x0a00_0001u32), 80),
+        )
+        .0
+    }
+
+    #[test]
+    fn divert_is_sticky() {
+        let mut d = DiversionManager::new(16);
+        assert!(!d.is_diverted(&key(1)));
+        d.divert(key(1));
+        assert!(d.is_diverted(&key(1)));
+        assert_eq!(d.diverted_count(), 1);
+        // Re-diverting is a no-op.
+        let again = d.divert(key(1));
+        assert!(again.is_empty());
+        assert_eq!(d.stats().flows_diverted, 1);
+    }
+
+    #[test]
+    fn history_replays_in_order_for_the_right_flow() {
+        let mut d = DiversionManager::new(16);
+        d.record(key(1), b"one-a");
+        d.record(key(2), b"two-a");
+        d.record(key(1), b"one-b");
+        let h = d.divert(key(1));
+        assert_eq!(h, vec![b"one-a".to_vec(), b"one-b".to_vec()]);
+        // The other flow's packet is still queued.
+        let h2 = d.divert(key(2));
+        assert_eq!(h2, vec![b"two-a".to_vec()]);
+        assert_eq!(d.stats().replayed_packets, 3);
+    }
+
+    #[test]
+    fn delay_line_is_bounded() {
+        let mut d = DiversionManager::new(4);
+        for i in 0..10u32 {
+            d.record(key(1), format!("p{i}").as_bytes());
+        }
+        let h = d.divert(key(1));
+        assert_eq!(h.len(), 4, "only the last 4 packets retained");
+        assert_eq!(h[0], b"p6");
+    }
+
+    #[test]
+    fn zero_delay_is_divert_from_now() {
+        let mut d = DiversionManager::new(0);
+        d.record(key(1), b"lost");
+        let h = d.divert(key(1));
+        assert!(h.is_empty());
+        assert_eq!(d.memory_bytes(), key(1).to_bytes().len() + 8);
+    }
+
+    #[test]
+    fn diverted_set_bound_is_loud() {
+        let mut d = DiversionManager::with_limits(4, 2);
+        d.divert(key(1));
+        d.divert(key(2));
+        d.divert(key(3));
+        assert_eq!(d.diverted_count(), 2);
+        assert_eq!(d.stats().set_evictions, 1);
+    }
+
+    #[test]
+    fn memory_tracks_buffered_bytes() {
+        let mut d = DiversionManager::new(16);
+        assert_eq!(d.memory_bytes(), 0);
+        d.record(key(1), &[0u8; 100]);
+        assert!(d.memory_bytes() >= 100);
+        d.divert(key(1));
+        assert!(d.memory_bytes() < 100, "history handed off");
+    }
+}

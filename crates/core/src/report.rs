@@ -1,0 +1,134 @@
+//! Human-readable run reports.
+//!
+//! Every front end (CLI `scan`, examples, ad-hoc scripts) wants the same
+//! summary of what a Split-Detect run did: what diverted and why, where
+//! the state lives, how much traffic the slow path re-examined. Rendering
+//! it in one place keeps the numbers consistently labelled — and unit
+//! tested, which format strings scattered across binaries never are.
+
+use std::fmt;
+
+use crate::fastpath::DivertReason;
+use crate::stats::SplitDetectStats;
+
+/// A formatted snapshot of one engine run. Display renders the block.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    stats: SplitDetectStats,
+}
+
+impl RunReport {
+    /// Wrap a stats snapshot for rendering.
+    pub fn new(stats: SplitDetectStats) -> Self {
+        RunReport { stats }
+    }
+}
+
+/// Format a byte count with a binary-prefix unit.
+fn human_bytes(b: u64) -> String {
+    match b {
+        0..=1023 => format!("{b} B"),
+        1024..=1048575 => format!("{:.1} KiB", b as f64 / 1024.0),
+        1048576..=1073741823 => format!("{:.1} MiB", b as f64 / 1048576.0),
+        _ => format!("{:.2} GiB", b as f64 / 1073741824.0),
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        writeln!(
+            f,
+            "packets {}  payload {}  flows seen {}",
+            s.fast.packets,
+            human_bytes(s.payload_bytes),
+            s.flows_seen
+        )?;
+        writeln!(
+            f,
+            "diverted: {} flows ({:.2}%), {} packets ({:.2}%), {} of payload ({:.2}%)",
+            s.divert.flows_diverted,
+            s.diverted_flow_fraction() * 100.0,
+            s.packets_to_slow,
+            s.slow_packet_fraction() * 100.0,
+            human_bytes(s.bytes_to_slow),
+            s.slow_byte_fraction() * 100.0
+        )?;
+        write!(f, "divert reasons:")?;
+        for reason in DivertReason::ALL {
+            let n = s.diverts_by(reason);
+            if n > 0 {
+                write!(f, " {}={}", reason.name(), n)?;
+            }
+        }
+        if s.fast.total_diverts() == 0 {
+            write!(f, " none")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "state: fast {}  delay-line {}  slow now {} (peak {})  automaton {}",
+            human_bytes(s.fast_state_bytes),
+            human_bytes(s.divert_state_bytes),
+            human_bytes(s.slow_state_bytes),
+            human_bytes(s.slow_state_peak_bytes),
+            human_bytes(s.automaton_bytes)
+        )?;
+        if s.divert.set_evictions > 0 {
+            writeln!(
+                f,
+                "WARNING: {} diverted-set evictions — detection guarantee eroded, \
+                 raise the diverted-flow bound",
+                s.divert.set_evictions
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitDetect;
+    use sd_ips::{Ips, Signature, SignatureSet};
+    use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+        assert_eq!(human_bytes(2 * 1024 * 1024 * 1024), "2.00 GiB");
+    }
+
+    #[test]
+    fn report_renders_a_real_run() {
+        let sigs =
+            SignatureSet::from_signatures([Signature::new("e", &b"EVIL_SIGNATURE_BYTES"[..])]);
+        let mut engine = SplitDetect::new(sigs).unwrap();
+        let mut out = Vec::new();
+        let pkt = {
+            let f = TcpPacketSpec::new("10.0.0.1:1000", "10.0.0.2:80")
+                .seq(1)
+                .payload(b"..EVIL_SIGNATURE_BYTES..")
+                .build();
+            ip_of_frame(&f).to_vec()
+        };
+        engine.process_packet(&pkt, 0, &mut out);
+        let text = RunReport::new(engine.stats()).to_string();
+        assert!(text.contains("diverted: 1 flows (100.00%)"), "{text}");
+        assert!(text.contains("piece-match=1"), "{text}");
+        assert!(text.contains("state: fast"), "{text}");
+        assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn quiet_run_says_none() {
+        let sigs =
+            SignatureSet::from_signatures([Signature::new("e", &b"EVIL_SIGNATURE_BYTES"[..])]);
+        let engine = SplitDetect::new(sigs).unwrap();
+        let text = RunReport::new(engine.stats()).to_string();
+        assert!(text.contains("divert reasons: none"), "{text}");
+    }
+}

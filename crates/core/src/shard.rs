@@ -1,0 +1,308 @@
+//! Flow-sharded parallel Split-Detect.
+//!
+//! The paper's 20 Gbps figure assumes hardware parallelism; the software
+//! equivalent is flow sharding — hash each connection to one of N
+//! independent engine instances, each on its own core. Flow affinity makes
+//! this *correct by construction*: every rule Split-Detect applies (small
+//! counts, sequence tracking, diversion stickiness, slow-path reassembly)
+//! is per-flow state, so as long as all packets of one flow reach the same
+//! shard, N engines behave exactly like one. Fragments key on the IP pair
+//! (ports are unreadable), which the canonical [`FlowKey`] already
+//! guarantees, so fragments of one datagram also stay together.
+//!
+//! The trade-off measured by experiment E15: per-shard state is provisioned
+//! N times (each shard gets its own flow table and delay line), so memory
+//! scales with cores while throughput does — the same provisioning trade a
+//! multi-lane line card makes.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use sd_flow::{hash, FlowKey};
+use sd_ips::{Alert, Ips, ResourceUsage, SignatureSet};
+use sd_packet::parse::parse_ipv4;
+
+use crate::config::{ConfigError, SplitDetectConfig};
+use crate::engine::SplitDetect;
+use crate::stats::SplitDetectStats;
+
+enum Job {
+    Packet { data: Vec<u8>, tick: u64 },
+    Flush,
+}
+
+struct Shard {
+    tx: Sender<Job>,
+    handle: JoinHandle<(SplitDetect, Vec<Alert>)>,
+}
+
+/// N independent [`SplitDetect`] engines behind a flow-hash dispatcher.
+///
+/// Unlike the single-threaded engine, alerts are produced asynchronously:
+/// [`process_packet`](Ips::process_packet) enqueues, and alerts surface at
+/// [`finish`](Ips::finish) — the deployment model of a multi-queue NIC,
+/// where per-packet verdicts are per-lane and reporting is aggregated.
+pub struct ShardedSplitDetect {
+    shards: Vec<Shard>,
+    packets: u64,
+    finished: Option<(Vec<SplitDetect>, ResourceUsage)>,
+}
+
+impl ShardedSplitDetect {
+    /// Spawn `shards` engine instances, each configured with `config`.
+    ///
+    /// Per-shard capacities are `config`'s values divided by the shard
+    /// count (rounded up), so total provisioned state matches what a
+    /// single-instance engine with `config` would hold.
+    pub fn new(
+        sigs: SignatureSet,
+        config: SplitDetectConfig,
+        shards: usize,
+    ) -> Result<Self, ConfigError> {
+        let shards = shards.max(1);
+        let per_shard = SplitDetectConfig {
+            flow_table_capacity: config.flow_table_capacity.div_ceil(shards),
+            slow_path_max_connections: config.slow_path_max_connections.div_ceil(shards),
+            delay_line_packets: config.delay_line_packets.div_ceil(shards),
+            ..config
+        };
+        // Validate once up front so errors surface on the caller's thread.
+        per_shard.validate(&sigs)?;
+
+        let mut built = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let engine = SplitDetect::with_config(sigs.clone(), per_shard)?;
+            let (tx, rx) = bounded::<Job>(1024);
+            let handle = std::thread::spawn(move || {
+                let mut engine = engine;
+                let mut alerts = Vec::new();
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Packet { data, tick } => {
+                            engine.process_packet(&data, tick, &mut alerts)
+                        }
+                        Job::Flush => break,
+                    }
+                }
+                engine.finish(&mut alerts);
+                (engine, alerts)
+            });
+            built.push(Shard { tx, handle });
+        }
+        Ok(ShardedSplitDetect {
+            shards: built,
+            packets: 0,
+            finished: None,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        if let Some((engines, _)) = &self.finished {
+            engines.len()
+        } else {
+            self.shards.len()
+        }
+    }
+
+    fn shard_of(&self, packet: &[u8]) -> usize {
+        let n = self.shards.len();
+        match parse_ipv4(packet).ok().and_then(|p| FlowKey::from_parsed(&p)) {
+            Some((key, _)) => (hash::hash_key_seeded(0x51AD, &key) as usize) % n,
+            None => 0,
+        }
+    }
+
+    /// Aggregate statistics across shards (after [`Ips::finish`]).
+    ///
+    /// # Panics
+    /// Panics if called before `finish` — per-shard state lives on the
+    /// worker threads until then.
+    pub fn stats(&self) -> Vec<SplitDetectStats> {
+        let (engines, _) = self
+            .finished
+            .as_ref()
+            .expect("stats() is available after finish()");
+        engines.iter().map(|e| e.stats()).collect()
+    }
+}
+
+impl Ips for ShardedSplitDetect {
+    fn name(&self) -> &'static str {
+        "split-detect-sharded"
+    }
+
+    fn process_packet(&mut self, packet: &[u8], tick: u64, _out: &mut Vec<Alert>) {
+        assert!(self.finished.is_none(), "engine already finished");
+        self.packets += 1;
+        let idx = self.shard_of(packet);
+        self.shards[idx]
+            .tx
+            .send(Job::Packet {
+                data: packet.to_vec(),
+                tick,
+            })
+            .expect("shard thread alive");
+    }
+
+    fn finish(&mut self, out: &mut Vec<Alert>) {
+        if self.finished.is_some() {
+            return;
+        }
+        let mut engines = Vec::with_capacity(self.shards.len());
+        let mut usage = ResourceUsage::default();
+        for shard in self.shards.drain(..) {
+            shard.tx.send(Job::Flush).expect("shard thread alive");
+            let (engine, alerts) = shard.handle.join().expect("shard thread panicked");
+            out.extend(alerts);
+            let r = engine.resources();
+            usage.packets += r.packets;
+            usage.payload_bytes += r.payload_bytes;
+            usage.bytes_scanned += r.bytes_scanned;
+            usage.bytes_buffered_total += r.bytes_buffered_total;
+            usage.state_bytes += r.state_bytes;
+            usage.state_bytes_peak += r.state_bytes_peak; // sum: provisioned per lane
+            usage.alerts += r.alerts;
+            engines.push(engine);
+        }
+        self.finished = Some((engines, usage));
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        match &self.finished {
+            Some((_, usage)) => *usage,
+            None => ResourceUsage {
+                packets: self.packets,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl Drop for ShardedSplitDetect {
+    fn drop(&mut self) {
+        // Make sure worker threads exit even if finish() was never called.
+        let mut sink = Vec::new();
+        self.finish(&mut sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_ips::api::run_trace;
+    use sd_ips::Signature;
+    use sd_traffic::benign::{BenignConfig, BenignGenerator};
+    use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+    use sd_traffic::mixer::mix;
+    use sd_traffic::victim::VictimConfig;
+
+    const SIG: &[u8] = b"EVIL_SIGNATURE_BYTES";
+
+    fn sigs() -> SignatureSet {
+        SignatureSet::from_signatures([Signature::new("evil", SIG)])
+    }
+
+    fn mixed_trace(n_attacks: usize) -> sd_traffic::mixer::LabeledTrace {
+        let benign = BenignGenerator::new(BenignConfig {
+            flows: 40,
+            seed: 61,
+            ..Default::default()
+        })
+        .generate();
+        let victim = VictimConfig::default();
+        let catalog = EvasionStrategy::catalog();
+        let attacks = (0..n_attacks)
+            .map(|i| {
+                let mut spec = AttackSpec::simple(SIG);
+                spec.client.1 = 47_000 + i as u16;
+                (
+                    generate(&spec, catalog[i % catalog.len()], victim, i as u64),
+                    0usize,
+                    catalog[i % catalog.len()].name(),
+                )
+            })
+            .collect();
+        mix(benign, attacks, 5)
+    }
+
+    #[test]
+    fn sharded_equals_single_engine_detection() {
+        let labeled = mixed_trace(6);
+        for shards in [1usize, 2, 4] {
+            let mut engine =
+                ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), shards).unwrap();
+            let alerts = run_trace(&mut engine, labeled.trace.iter_bytes());
+            for label in &labeled.attacks {
+                assert!(
+                    alerts.iter().any(|a| a.flow == label.flow),
+                    "{shards} shards missed {}",
+                    label.strategy
+                );
+            }
+            for a in &alerts {
+                assert!(labeled.is_attack(&a.flow), "false alert with {shards} shards");
+            }
+            assert_eq!(engine.shard_count(), shards);
+        }
+    }
+
+    #[test]
+    fn alerts_surface_at_finish_not_before() {
+        let labeled = mixed_trace(2);
+        let mut engine =
+            ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 2).unwrap();
+        let mut out = Vec::new();
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        // Asynchronous contract: nothing promised until finish().
+        engine.finish(&mut out);
+        assert!(out.iter().any(|a| a.signature == 0));
+        // finish() is idempotent.
+        let before = out.len();
+        engine.finish(&mut out);
+        assert_eq!(out.len(), before);
+    }
+
+    #[test]
+    fn resources_aggregate_across_shards() {
+        let labeled = mixed_trace(1);
+        let mut engine =
+            ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 4).unwrap();
+        let mut out = Vec::new();
+        let n = labeled.trace.len() as u64;
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        let r = engine.resources();
+        assert_eq!(r.packets, n);
+        assert!(r.bytes_scanned > 0);
+        let stats = engine.stats();
+        assert_eq!(stats.len(), 4);
+        let diverted: u64 = stats.iter().map(|s| s.divert.flows_diverted).sum();
+        assert!(diverted >= 1);
+    }
+
+    #[test]
+    fn per_shard_capacity_divides_total() {
+        let config = SplitDetectConfig {
+            flow_table_capacity: 1 << 12,
+            ..Default::default()
+        };
+        let mut engine = ShardedSplitDetect::new(sigs(), config, 4).unwrap();
+        let mut out = Vec::new();
+        engine.finish(&mut out);
+        let total_table: u64 = engine.stats().iter().map(|s| s.fast_state_bytes).sum();
+        // 4 shards × 1024 slots ≈ one engine with 4096 slots.
+        let single = SplitDetect::with_config(sigs(), config).unwrap();
+        assert_eq!(total_table, single.stats().fast_state_bytes);
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 3).unwrap();
+        drop(engine); // must join cleanly
+    }
+}

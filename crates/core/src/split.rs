@@ -1,0 +1,240 @@
+//! Signature splitting.
+//!
+//! Each signature of length `L` is cut into `k` contiguous pieces of
+//! near-equal length (every piece is `⌊L/k⌋` or `⌈L/k⌉` bytes) and all
+//! pieces of all signatures are compiled into one multi-pattern automaton.
+//! The plan keeps *provenance* — which signature and which position each
+//! piece came from — so a fast-path hit can say what it suspects, and
+//! duplicate piece strings across signatures are stored once with merged
+//! provenance (keeping the automaton minimal).
+
+use std::collections::HashMap;
+
+use sd_ips::{SignatureId, SignatureSet};
+use sd_match::pattern::PatternSet;
+use sd_match::{AcDfa, PatternId};
+
+use crate::config::{ConfigError, SplitDetectConfig};
+
+/// Where a piece occurs inside its signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PieceOrigin {
+    /// The signature this piece was cut from.
+    pub signature: SignatureId,
+    /// Piece index within that signature (0-based).
+    pub index: usize,
+    /// Byte offset of the piece within the signature.
+    pub offset: usize,
+}
+
+/// The compiled split: piece automaton plus provenance.
+#[derive(Debug, Clone)]
+pub struct SplitPlan {
+    dfa: AcDfa,
+    /// origin lists parallel to pattern ids.
+    origins: Vec<Vec<PieceOrigin>>,
+    /// Longest piece length (the admissible small-segment cutoff floor).
+    max_piece_len: usize,
+    /// Shortest piece length.
+    min_piece_len: usize,
+    pieces_per_signature: usize,
+}
+
+/// Cut `len` into `k` near-equal spans.
+pub fn balanced_cuts(len: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k >= 1 && len >= k, "cannot cut {len} bytes into {k} pieces");
+    let base = len / k;
+    let extra = len % k; // first `extra` pieces get one more byte
+    let mut cuts = Vec::with_capacity(k);
+    let mut at = 0;
+    for i in 0..k {
+        let sz = base + usize::from(i < extra);
+        cuts.push((at, at + sz));
+        at += sz;
+    }
+    cuts
+}
+
+impl SplitPlan {
+    /// Compile a signature set under a configuration. Validates A3.
+    pub fn compile(sigs: &SignatureSet, config: &SplitDetectConfig) -> Result<Self, ConfigError> {
+        config.validate(sigs)?;
+        Ok(Self::compile_unchecked(sigs, config.pieces_per_signature))
+    }
+
+    /// Compile without admissibility checks (ablation experiments). A
+    /// signature shorter than `k` bytes is split into fewer pieces.
+    pub fn compile_unchecked(sigs: &SignatureSet, k: usize) -> Self {
+        let mut strings: Vec<Vec<u8>> = Vec::new();
+        let mut origins: Vec<Vec<PieceOrigin>> = Vec::new();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut max_piece = 0usize;
+        let mut min_piece = usize::MAX;
+
+        for (sig_id, sig) in sigs.iter() {
+            let k_here = k.min(sig.bytes.len()).max(1);
+            for (i, (s, e)) in balanced_cuts(sig.bytes.len(), k_here).into_iter().enumerate() {
+                let piece = sig.bytes[s..e].to_vec();
+                max_piece = max_piece.max(piece.len());
+                min_piece = min_piece.min(piece.len());
+                let origin = PieceOrigin {
+                    signature: sig_id,
+                    index: i,
+                    offset: s,
+                };
+                match index.get(&piece) {
+                    Some(&slot) => origins[slot].push(origin),
+                    None => {
+                        index.insert(piece.clone(), strings.len());
+                        strings.push(piece);
+                        origins.push(vec![origin]);
+                    }
+                }
+            }
+        }
+
+        let set = PatternSet::from_patterns(strings.iter().map(|p| p.as_slice()));
+        SplitPlan {
+            dfa: AcDfa::new(set),
+            origins,
+            max_piece_len: max_piece,
+            min_piece_len: min_piece.min(max_piece),
+            pieces_per_signature: k,
+        }
+    }
+
+    /// The piece automaton the fast path runs.
+    pub fn dfa(&self) -> &AcDfa {
+        &self.dfa
+    }
+
+    /// Provenance of a matched piece pattern.
+    pub fn origins(&self, id: PatternId) -> &[PieceOrigin] {
+        &self.origins[id as usize]
+    }
+
+    /// Number of distinct piece strings.
+    pub fn piece_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Longest piece length.
+    pub fn max_piece_len(&self) -> usize {
+        self.max_piece_len
+    }
+
+    /// Shortest piece length.
+    pub fn min_piece_len(&self) -> usize {
+        self.min_piece_len
+    }
+
+    /// Pieces per signature (k).
+    pub fn pieces_per_signature(&self) -> usize {
+        self.pieces_per_signature
+    }
+
+    /// Automaton memory (shared across all flows — this is control-plane
+    /// memory, reported separately from per-flow state).
+    pub fn memory_bytes(&self) -> usize {
+        self.dfa.memory_bytes()
+    }
+
+    /// Does any piece occur in `payload`? The fast path's per-packet scan.
+    pub fn scan(&self, payload: &[u8]) -> Option<PatternId> {
+        self.dfa.find_first(payload).map(|m| m.pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_ips::Signature;
+
+    fn set(strings: &[&[u8]]) -> SignatureSet {
+        SignatureSet::from_signatures(
+            strings
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Signature::new(format!("s{i}"), *s)),
+        )
+    }
+
+    #[test]
+    fn balanced_cuts_cover_exactly() {
+        for len in 12..200 {
+            for k in 1..=5 {
+                if len < k {
+                    continue;
+                }
+                let cuts = balanced_cuts(len, k);
+                assert_eq!(cuts.len(), k);
+                assert_eq!(cuts[0].0, 0);
+                assert_eq!(cuts.last().unwrap().1, len);
+                for w in cuts.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                }
+                let sizes: Vec<usize> = cuts.iter().map(|(s, e)| e - s).collect();
+                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_reassemble_to_signature() {
+        let sigs = set(&[b"ABCDEFGHIJKLMNOPQRSTUVWX"]);
+        let plan = SplitPlan::compile(&sigs, &SplitDetectConfig::default()).unwrap();
+        assert_eq!(plan.piece_count(), 3);
+        assert_eq!(plan.max_piece_len(), 8);
+        // Each piece scans positive against the full signature.
+        let sig = b"ABCDEFGHIJKLMNOPQRSTUVWX";
+        assert!(plan.scan(sig).is_some());
+        assert!(plan.scan(&sig[0..8]).is_some(), "piece 0 alone");
+        assert!(plan.scan(&sig[8..16]).is_some(), "piece 1 alone");
+        assert!(plan.scan(&sig[16..24]).is_some(), "piece 2 alone");
+        assert!(plan.scan(&sig[1..8]).is_none(), "7/8 of a piece is nothing");
+    }
+
+    #[test]
+    fn provenance_points_back() {
+        let sigs = set(&[b"ABCDEFGHIJKLMNOPQRSTUVWX", b"abcdefghijklmnopqrstuvwx"]);
+        let plan = SplitPlan::compile(&sigs, &SplitDetectConfig::default()).unwrap();
+        let hit = plan.scan(b"...mnop...qrstuvwx").expect("piece 2 of sig 1");
+        let origins = plan.origins(hit);
+        assert_eq!(origins.len(), 1);
+        assert_eq!(origins[0].signature, 1);
+    }
+
+    #[test]
+    fn duplicate_pieces_merge_provenance() {
+        // Two signatures sharing their middle third.
+        let sigs = set(&[b"AAAABBBBCCCCSHAREDXXYYZZ", b"DDDDEEEEFFFFSHAREDXXYYZZ"]);
+        // k=3 → pieces of 8: [0..8, 8..16, 16..24]. Piece 2 = "EDXXYYZZ"
+        // for sig 0 and "EDXXYYZZ" for sig 1 — identical string.
+        let plan = SplitPlan::compile(&sigs, &SplitDetectConfig::default()).unwrap();
+        assert!(plan.piece_count() < 6, "shared piece must dedup");
+        let hit = plan.scan(b"EDXXYYZZ").unwrap();
+        assert_eq!(plan.origins(hit).len(), 2, "both signatures claim it");
+    }
+
+    #[test]
+    fn rejects_inadmissible_config() {
+        let sigs = set(&[b"ABCDEFGHIJKLMNOPQRSTUVWX"]);
+        let bad = SplitDetectConfig {
+            pieces_per_signature: 2,
+            small_segment_budget: 0,
+            ..Default::default()
+        };
+        assert!(SplitPlan::compile(&sigs, &bad).is_err());
+    }
+
+    #[test]
+    fn piece_lengths_tracked() {
+        let sigs = set(&[&[b'x'; 25][..]]); // 25 / 3 → pieces 9, 8, 8
+        let plan = SplitPlan::compile(&sigs, &SplitDetectConfig::default()).unwrap();
+        assert_eq!(plan.max_piece_len(), 9);
+        assert_eq!(plan.min_piece_len(), 8);
+        assert_eq!(plan.pieces_per_signature(), 3);
+        assert!(plan.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The measurement surface experiments read from a running engine.
+//!
+//! Everything the paper's evaluation plots is derivable from this snapshot:
+//! diverted fractions (flows / packets / bytes), state splits between the
+//! fast and slow paths, and the per-byte processing split.
+
+use crate::divert::DivertStats;
+use crate::fastpath::{DivertReason, FastPathStats};
+
+/// A point-in-time snapshot of a [`crate::SplitDetect`] engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitDetectStats {
+    /// Fast-path counters.
+    pub fast: FastPathStats,
+    /// Diversion counters.
+    pub divert: DivertStats,
+    /// Distinct flows that hit the fast path (table insertions).
+    pub flows_seen: u64,
+    /// Packets handed to the slow path (replayed + live).
+    pub packets_to_slow: u64,
+    /// Payload bytes handed to the slow path.
+    pub bytes_to_slow: u64,
+    /// Total payload bytes offered to the engine.
+    pub payload_bytes: u64,
+    /// Fast-path per-flow state (provisioned flow table), bytes.
+    pub fast_state_bytes: u64,
+    /// Delay line + diverted-set bytes.
+    pub divert_state_bytes: u64,
+    /// Slow-path state right now, bytes.
+    pub slow_state_bytes: u64,
+    /// Slow-path peak state, bytes.
+    pub slow_state_peak_bytes: u64,
+    /// Shared piece-automaton bytes (control plane, not per-flow).
+    pub automaton_bytes: u64,
+}
+
+impl SplitDetectStats {
+    /// Fraction of flows diverted (0 when no flows seen).
+    pub fn diverted_flow_fraction(&self) -> f64 {
+        if self.flows_seen == 0 {
+            0.0
+        } else {
+            self.divert.flows_diverted as f64 / self.flows_seen as f64
+        }
+    }
+
+    /// Fraction of packets that took the slow path.
+    pub fn slow_packet_fraction(&self) -> f64 {
+        if self.fast.packets == 0 {
+            0.0
+        } else {
+            self.packets_to_slow as f64 / self.fast.packets as f64
+        }
+    }
+
+    /// Fraction of payload bytes that took the slow path.
+    pub fn slow_byte_fraction(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.bytes_to_slow as f64 / self.payload_bytes as f64
+        }
+    }
+
+    /// Diversions attributed to `reason`.
+    pub fn diverts_by(&self, reason: DivertReason) -> u64 {
+        let idx = DivertReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("reason in ALL");
+        self.fast.diverts[idx]
+    }
+
+    /// Total live state (fast + divert + slow), bytes.
+    pub fn total_state_bytes(&self) -> u64 {
+        self.fast_state_bytes + self.divert_state_bytes + self.slow_state_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zeroed() -> SplitDetectStats {
+        SplitDetectStats {
+            fast: FastPathStats::default(),
+            divert: DivertStats::default(),
+            flows_seen: 0,
+            packets_to_slow: 0,
+            bytes_to_slow: 0,
+            payload_bytes: 0,
+            fast_state_bytes: 0,
+            divert_state_bytes: 0,
+            slow_state_bytes: 0,
+            slow_state_peak_bytes: 0,
+            automaton_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn fractions_are_zero_safe() {
+        let s = zeroed();
+        assert_eq!(s.diverted_flow_fraction(), 0.0);
+        assert_eq!(s.slow_packet_fraction(), 0.0);
+        assert_eq!(s.slow_byte_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_compute() {
+        let mut s = zeroed();
+        s.flows_seen = 10;
+        s.divert.flows_diverted = 1;
+        s.fast.packets = 100;
+        s.packets_to_slow = 25;
+        s.payload_bytes = 1000;
+        s.bytes_to_slow = 100;
+        assert_eq!(s.diverted_flow_fraction(), 0.1);
+        assert_eq!(s.slow_packet_fraction(), 0.25);
+        assert_eq!(s.slow_byte_fraction(), 0.1);
+    }
+
+    #[test]
+    fn state_totals() {
+        let mut s = zeroed();
+        s.fast_state_bytes = 100;
+        s.divert_state_bytes = 20;
+        s.slow_state_bytes = 300;
+        assert_eq!(s.total_state_bytes(), 420);
+    }
+}

@@ -1,0 +1,208 @@
+//! Counting Bloom filter over flow keys.
+//!
+//! The ablation study evaluates replacing the exact flow table's
+//! small-segment counter with a counting Bloom filter: ~4 bits per cell, no
+//! keys stored at all, at the cost of false positives (benign flows sharing
+//! cells with a chatty flow get diverted early). Diversion false positives
+//! are safe — the slow path is sound — so the trade is purely a slow-path
+//! load question, which experiment E3's Bloom variant quantifies.
+
+use crate::hash::hash_key_seeded;
+use crate::key::FlowKey;
+
+/// A counting Bloom filter with 8-bit saturating cells.
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    cells: Vec<u8>,
+    hashes: u32,
+}
+
+impl CountingBloom {
+    /// Create a filter with `cells` counters (rounded up to a power of two)
+    /// and `hashes` hash functions.
+    ///
+    /// # Panics
+    /// Panics if `hashes` is 0.
+    pub fn new(cells: usize, hashes: u32) -> Self {
+        assert!(hashes > 0, "need at least one hash function");
+        let n = cells.max(64).next_power_of_two();
+        CountingBloom {
+            cells: vec![0; n],
+            hashes,
+        }
+    }
+
+    /// Number of counter cells.
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of hash functions.
+    pub fn hashes(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Memory footprint in bytes (one byte per cell).
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn index(&self, seed: u64, key: &FlowKey) -> usize {
+        hash_key_seeded(seed, key) as usize & (self.cells.len() - 1)
+    }
+
+    /// Increment the key's cells (saturating at 255). Returns the new
+    /// estimated count.
+    pub fn increment(&mut self, key: &FlowKey) -> u8 {
+        let mut min = u8::MAX;
+        for seed in 0..self.hashes as u64 {
+            let idx = self.index(seed, key);
+            self.cells[idx] = self.cells[idx].saturating_add(1);
+            min = min.min(self.cells[idx]);
+        }
+        min
+    }
+
+    /// Decrement the key's cells (saturating at 0); used when a flow
+    /// terminates cleanly and its budget should be returned.
+    pub fn decrement(&mut self, key: &FlowKey) {
+        for seed in 0..self.hashes as u64 {
+            let idx = self.index(seed, key);
+            self.cells[idx] = self.cells[idx].saturating_sub(1);
+        }
+    }
+
+    /// Estimated count for the key: the minimum over its cells. Never
+    /// underestimates (before saturation); may overestimate on collisions.
+    pub fn estimate(&self, key: &FlowKey) -> u8 {
+        (0..self.hashes as u64)
+            .map(|seed| self.cells[self.index(seed, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Reset every cell to zero.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+    }
+
+    /// Age the filter by halving every cell — the standard fix for
+    /// saturating counters that never see decrements (flows end without
+    /// telling a keyless filter). Called periodically, it bounds stale
+    /// counts at twice their steady-state value while preserving the
+    /// one-sided-error property between calls.
+    pub fn decay(&mut self) {
+        for c in &mut self.cells {
+            *c >>= 1;
+        }
+    }
+
+    /// Fraction of cells that are non-zero; a cheap load signal used to
+    /// decide when to age the filter.
+    pub fn fill_ratio(&self) -> f64 {
+        let nonzero = self.cells.iter().filter(|&&c| c > 0).count();
+        nonzero as f64 / self.cells.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u32) -> FlowKey {
+        let (k, _) = FlowKey::from_endpoints(
+            6,
+            (Ipv4Addr::from(n), 1234),
+            (Ipv4Addr::from(0x0a00_0001u32), 80),
+        );
+        k
+    }
+
+    #[test]
+    fn estimate_tracks_increments() {
+        let mut b = CountingBloom::new(1024, 4);
+        let k = key(1);
+        assert_eq!(b.estimate(&k), 0);
+        for i in 1..=5 {
+            assert_eq!(b.increment(&k), i);
+        }
+        assert_eq!(b.estimate(&k), 5);
+    }
+
+    #[test]
+    fn never_underestimates_without_saturation() {
+        let mut b = CountingBloom::new(4096, 3);
+        for n in 0..200 {
+            for _ in 0..(n % 7) {
+                b.increment(&key(n));
+            }
+        }
+        for n in 0..200 {
+            assert!(b.estimate(&key(n)) >= (n % 7) as u8, "underestimated key {n}");
+        }
+    }
+
+    #[test]
+    fn decrement_returns_budget() {
+        let mut b = CountingBloom::new(1024, 4);
+        let k = key(2);
+        b.increment(&k);
+        b.increment(&k);
+        b.decrement(&k);
+        assert_eq!(b.estimate(&k), 1);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut b = CountingBloom::new(64, 1);
+        let k = key(3);
+        for _ in 0..300 {
+            b.increment(&k);
+        }
+        assert_eq!(b.estimate(&k), 255);
+        b.decrement(&k);
+        assert_eq!(b.estimate(&k), 254);
+        // Under-decrement at zero also saturates.
+        b.clear();
+        b.decrement(&k);
+        assert_eq!(b.estimate(&k), 0);
+    }
+
+    #[test]
+    fn clear_and_fill_ratio() {
+        let mut b = CountingBloom::new(256, 4);
+        assert_eq!(b.fill_ratio(), 0.0);
+        for n in 0..20 {
+            b.increment(&key(n));
+        }
+        assert!(b.fill_ratio() > 0.0);
+        b.clear();
+        assert_eq!(b.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn decay_halves_counts() {
+        let mut b = CountingBloom::new(256, 2);
+        let k = key(5);
+        for _ in 0..9 {
+            b.increment(&k);
+        }
+        b.decay();
+        assert_eq!(b.estimate(&k), 4);
+        b.decay();
+        assert_eq!(b.estimate(&k), 2);
+        // Decay drains idle filters to empty.
+        b.decay();
+        b.decay();
+        assert_eq!(b.estimate(&k), 0);
+    }
+
+    #[test]
+    fn memory_is_cells() {
+        let b = CountingBloom::new(1000, 4);
+        assert_eq!(b.cells(), 1024);
+        assert_eq!(b.memory_bytes(), 1024);
+        assert_eq!(b.hashes(), 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic hashing for flow keys.
+//!
+//! The experiments must be bit-reproducible across processes and runs, so
+//! the table and Bloom filter cannot use `std::collections::HashMap`'s
+//! randomized `RandomState`. FNV-1a is tiny, has good avalanche behaviour on
+//! short keys like a 13-byte flow tuple, and — because it is public and
+//! fixed — mirrors what a hardware fast path would ship.
+
+use crate::key::FlowKey;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over an arbitrary byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a with a seed, for deriving independent hash functions (the Bloom
+/// filter needs `k` of them; seeding by index is the standard trick).
+pub fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 tail) so seeds that differ in high bits
+    // still decorrelate the low bits used for indexing.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Hash a flow key (direction-independent because the key is canonical).
+pub fn hash_key(key: &FlowKey) -> u64 {
+    fnv1a(&key.to_bytes())
+}
+
+/// Seeded flow-key hash for multi-hash structures.
+pub fn hash_key_seeded(seed: u64, key: &FlowKey) -> u64 {
+    fnv1a_seeded(seed, &key.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u32) -> FlowKey {
+        let (k, _) = FlowKey::from_endpoints(
+            6,
+            (Ipv4Addr::from(n), (n % 60000) as u16),
+            (Ipv4Addr::from(n ^ 0xdead_beef), 80),
+        );
+        k
+    }
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Reference values from the FNV-1a specification.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let k = key(42);
+        assert_eq!(hash_key(&k), hash_key(&k));
+        assert_eq!(hash_key_seeded(7, &k), hash_key_seeded(7, &k));
+    }
+
+    #[test]
+    fn seeds_give_distinct_functions() {
+        let k = key(42);
+        let h: Vec<u64> = (0..8).map(|s| hash_key_seeded(s, &k)).collect();
+        for i in 0..h.len() {
+            for j in i + 1..h.len() {
+                assert_ne!(h[i], h[j], "seeds {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn low_bits_spread() {
+        // Indexing uses `hash % buckets`; make sure sequential keys do not
+        // land in a handful of buckets.
+        let buckets = 64u64;
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..256 {
+            seen.insert(hash_key(&key(n)) % buckets);
+        }
+        assert!(seen.len() > 40, "only {} of 64 buckets hit", seen.len());
+    }
+}

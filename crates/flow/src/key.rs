@@ -1,0 +1,213 @@
+//! Canonical 5-tuple flow keys.
+//!
+//! Both directions of a TCP connection must map to the same fast-path state
+//! entry (the paper's per-flow counters are per *connection*), so the key is
+//! canonicalized: the numerically smaller (address, port) endpoint is always
+//! stored first and the original orientation is reported separately as a
+//! [`Direction`].
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use sd_packet::ipv4::Protocol;
+use sd_packet::parse::{Parsed, Transport};
+
+/// Which way a packet travels relative to the canonical key orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The packet's source is the canonical first endpoint.
+    Forward,
+    /// The packet's source is the canonical second endpoint.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// A canonical transport-layer flow key: `{proto, (ipA, portA), (ipB, portB)}`
+/// with `(ipA, portA) <= (ipB, portB)` in lexicographic order.
+///
+/// 13 bytes of real information (2×4 address + 2×2 port + 1 proto); stored
+/// padded for alignment. This is the unit the paper's "state for 1 million
+/// connections" is counted in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// First canonical endpoint address.
+    pub addr_a: Ipv4Addr,
+    /// Second canonical endpoint address.
+    pub addr_b: Ipv4Addr,
+    /// First canonical endpoint port.
+    pub port_a: u16,
+    /// Second canonical endpoint port.
+    pub port_b: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// Wire-information size of a key in bytes: two IPv4 addresses, two
+    /// ports, one protocol octet. Used by the state-accounting experiments.
+    pub const WIRE_BYTES: usize = 13;
+
+    /// Build a canonical key from the packet's source and destination
+    /// endpoints, returning the orientation of this packet.
+    pub fn from_endpoints(
+        proto: u8,
+        src: (Ipv4Addr, u16),
+        dst: (Ipv4Addr, u16),
+    ) -> (FlowKey, Direction) {
+        if src <= dst {
+            (
+                FlowKey {
+                    addr_a: src.0,
+                    addr_b: dst.0,
+                    port_a: src.1,
+                    port_b: dst.1,
+                    proto,
+                },
+                Direction::Forward,
+            )
+        } else {
+            (
+                FlowKey {
+                    addr_a: dst.0,
+                    addr_b: src.0,
+                    port_a: dst.1,
+                    port_b: src.1,
+                    proto,
+                },
+                Direction::Backward,
+            )
+        }
+    }
+
+    /// Extract a key from a parsed frame.
+    ///
+    /// Fragments key on the IP pair alone (ports unavailable past the first
+    /// fragment — exactly the ambiguity evasions exploit, so the fast path
+    /// never trusts fragment ports). Non-IP frames have no flow key.
+    pub fn from_parsed(parsed: &Parsed<'_>) -> Option<(FlowKey, Direction)> {
+        let ip = parsed.ipv4.as_ref()?;
+        let (src_port, dst_port) = match &parsed.transport {
+            Transport::Tcp(t) => (t.repr.src_port, t.repr.dst_port),
+            Transport::Udp(u) => (u.src_port, u.dst_port),
+            Transport::Fragment(_) | Transport::Other(_) => (0, 0),
+            Transport::NonIp => return None,
+        };
+        let proto = match ip.protocol {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Icmp => 1,
+            Protocol::Other(p) => p,
+        };
+        Some(FlowKey::from_endpoints(
+            proto,
+            (ip.src, src_port),
+            (ip.dst, dst_port),
+        ))
+    }
+
+    /// The endpoints in the orientation given by `dir`: `(source, destination)`.
+    pub fn oriented(&self, dir: Direction) -> ((Ipv4Addr, u16), (Ipv4Addr, u16)) {
+        let a = (self.addr_a, self.port_a);
+        let b = (self.addr_b, self.port_b);
+        match dir {
+            Direction::Forward => (a, b),
+            Direction::Backward => (b, a),
+        }
+    }
+
+    /// Serialize to the 13-byte canonical encoding (used by hashing and by
+    /// the Bloom filter so that both directions hash identically).
+    pub fn to_bytes(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0..4].copy_from_slice(&self.addr_a.octets());
+        out[4..8].copy_from_slice(&self.addr_b.octets());
+        out[8..10].copy_from_slice(&self.port_a.to_be_bytes());
+        out[10..12].copy_from_slice(&self.port_b.to_be_bytes());
+        out[12] = self.proto;
+        out
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}<->{}:{}/{}",
+            self.addr_a, self.port_a, self.addr_b, self.port_b, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_packet::builder::TcpPacketSpec;
+    use sd_packet::parse::parse_ethernet;
+
+    fn key(src: &str, sp: u16, dst: &str, dp: u16) -> (FlowKey, Direction) {
+        FlowKey::from_endpoints(6, (src.parse().unwrap(), sp), (dst.parse().unwrap(), dp))
+    }
+
+    #[test]
+    fn both_directions_same_key() {
+        let (k1, d1) = key("10.0.0.1", 4000, "10.0.0.2", 80);
+        let (k2, d2) = key("10.0.0.2", 80, "10.0.0.1", 4000);
+        assert_eq!(k1, k2);
+        assert_ne!(d1, d2);
+        assert_eq!(d1.flip(), d2);
+    }
+
+    #[test]
+    fn oriented_recovers_endpoints() {
+        let src = ("10.9.8.7".parse().unwrap(), 5555u16);
+        let dst = ("10.0.0.2".parse().unwrap(), 80u16);
+        let (k, d) = FlowKey::from_endpoints(6, src, dst);
+        assert_eq!(k.oriented(d), (src, dst));
+        assert_eq!(k.oriented(d.flip()), (dst, src));
+    }
+
+    #[test]
+    fn port_breaks_tie_on_same_address() {
+        let a: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let (k1, d1) = FlowKey::from_endpoints(6, (a, 9), (a, 10));
+        let (k2, d2) = FlowKey::from_endpoints(6, (a, 10), (a, 9));
+        assert_eq!(k1, k2);
+        assert_eq!(d1, Direction::Forward);
+        assert_eq!(d2, Direction::Backward);
+    }
+
+    #[test]
+    fn from_parsed_tcp_frame() {
+        let frame = TcpPacketSpec::new("10.0.0.1:4000", "10.0.0.2:80").build();
+        let parsed = parse_ethernet(&frame).unwrap();
+        let (k, _) = FlowKey::from_parsed(&parsed).unwrap();
+        assert_eq!(k.proto, 6);
+        assert_eq!(k.port_a, 4000);
+        assert_eq!(k.port_b, 80);
+    }
+
+    #[test]
+    fn non_ip_has_no_key() {
+        let mut frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2").build();
+        frame[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
+        let parsed = parse_ethernet(&frame).unwrap();
+        assert!(FlowKey::from_parsed(&parsed).is_none());
+    }
+
+    #[test]
+    fn to_bytes_is_direction_independent() {
+        let (k1, _) = key("1.2.3.4", 1, "5.6.7.8", 2);
+        let (k2, _) = key("5.6.7.8", 2, "1.2.3.4", 1);
+        assert_eq!(k1.to_bytes(), k2.to_bytes());
+        assert_eq!(k1.to_bytes().len(), FlowKey::WIRE_BYTES);
+    }
+}

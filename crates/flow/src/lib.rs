@@ -1,0 +1,26 @@
+//! # sd-flow — flow identification and compact per-flow state
+//!
+//! Split-Detect's entire scalability argument is that fast-path per-flow
+//! state is *tiny* (a handful of bytes) and lives in a fixed-size table,
+//! while only diverted flows get expensive reassembly state. This crate
+//! provides the substrate for both sides of that comparison:
+//!
+//! * [`key`] — canonical 5-tuple flow keys with direction handling,
+//! * [`hash`] — a deterministic FNV-1a based hasher (no RandomState: runs
+//!   must be reproducible across processes for the experiments),
+//! * [`table`] — a fixed-capacity open-addressing flow table with CLOCK
+//!   (second-chance) eviction and byte-accurate memory accounting,
+//! * [`bloom`] — a counting Bloom filter, the alternative fast-path
+//!   suspicion-counter backend evaluated in the ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod hash;
+pub mod key;
+pub mod table;
+
+pub use bloom::CountingBloom;
+pub use key::{Direction, FlowKey};
+pub use table::FlowTable;

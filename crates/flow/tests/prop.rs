@@ -1,0 +1,122 @@
+//! Property tests: the flow table against a reference map, the Bloom filter
+//! against its one-sided error guarantee, and key canonicalization.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use sd_flow::key::{Direction, FlowKey};
+use sd_flow::table::FlowTable;
+use sd_flow::CountingBloom;
+
+fn arb_endpoint() -> impl Strategy<Value = (Ipv4Addr, u16)> {
+    (any::<u32>(), any::<u16>()).prop_map(|(a, p)| (Ipv4Addr::from(a), p))
+}
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (arb_endpoint(), arb_endpoint(), 0u8..=255)
+        .prop_map(|(src, dst, proto)| FlowKey::from_endpoints(proto, src, dst).0)
+}
+
+proptest! {
+    /// Canonicalization: swapping src and dst never changes the key, and
+    /// `oriented` inverts it.
+    #[test]
+    fn key_canonical_and_invertible(src in arb_endpoint(), dst in arb_endpoint(), proto in 0u8..=255) {
+        let (k1, d1) = FlowKey::from_endpoints(proto, src, dst);
+        let (k2, d2) = FlowKey::from_endpoints(proto, dst, src);
+        prop_assert_eq!(k1, k2);
+        prop_assert_eq!(k1.to_bytes(), k2.to_bytes());
+        if src != dst {
+            prop_assert_eq!(d1.flip(), d2);
+        }
+        prop_assert_eq!(k1.oriented(d1), (src, dst));
+        prop_assert_eq!(k2.oriented(d2), (dst, src));
+        // Forward means the canonical first endpoint sent the packet.
+        if d1 == Direction::Forward {
+            prop_assert_eq!((k1.addr_a, k1.port_a), src);
+        }
+    }
+
+    /// With ample capacity (no evictions possible), the table behaves
+    /// exactly like a HashMap under an arbitrary op sequence.
+    #[test]
+    fn table_matches_reference_map(ops in prop::collection::vec((0u8..3, 0u32..24), 1..300)) {
+        let mut table: FlowTable<u64> = FlowTable::with_capacity(4096);
+        let mut model: HashMap<FlowKey, u64> = HashMap::new();
+        let keys: Vec<FlowKey> = (0..24)
+            .map(|n| {
+                FlowKey::from_endpoints(
+                    6,
+                    (Ipv4Addr::from(0x0a00_0000 + n), 1000 + n as u16),
+                    (Ipv4Addr::from(0x0a01_0001u32), 80),
+                )
+                .0
+            })
+            .collect();
+
+        for (op, kn) in ops {
+            let k = keys[kn as usize % keys.len()];
+            match op {
+                0 => {
+                    let (v, _) = table.get_or_insert_with(&k, || 0);
+                    *v += 1;
+                    *model.entry(k).or_insert(0) += 1;
+                }
+                1 => {
+                    prop_assert_eq!(table.remove(&k), model.remove(&k));
+                }
+                _ => {
+                    prop_assert_eq!(table.peek(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        if !model.is_empty() {
+            prop_assert_eq!(table.stats().evictions, 0, "capacity 4096 must not evict 24 keys");
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(table.peek(k), Some(v));
+        }
+    }
+
+    /// Bloom estimates never fall below the true count while all cells stay
+    /// below saturation.
+    #[test]
+    fn bloom_one_sided_error(keys in prop::collection::vec(arb_key(), 1..60),
+                             counts in prop::collection::vec(1u8..8, 1..60)) {
+        let mut bloom = CountingBloom::new(2048, 4);
+        let pairs: Vec<(FlowKey, u8)> = keys.into_iter().zip(counts).collect();
+        // Deduplicate: identical keys add up, so track true totals.
+        let mut truth: HashMap<FlowKey, u32> = HashMap::new();
+        for (k, c) in &pairs {
+            for _ in 0..*c {
+                bloom.increment(k);
+            }
+            *truth.entry(*k).or_insert(0) += *c as u32;
+        }
+        for (k, t) in &truth {
+            prop_assert!(
+                (bloom.estimate(k) as u32) >= (*t).min(255),
+                "estimate below true count"
+            );
+        }
+    }
+
+    /// Even under heavy eviction pressure, a table never loses the entry it
+    /// just inserted (the insert-then-read guarantee diversion relies on).
+    #[test]
+    fn table_insert_is_immediately_readable(seeds in prop::collection::vec(any::<u32>(), 1..200)) {
+        let mut table: FlowTable<u32> = FlowTable::with_capacity(16);
+        for s in seeds {
+            let k = FlowKey::from_endpoints(
+                6,
+                (Ipv4Addr::from(s), (s % 50000) as u16),
+                (Ipv4Addr::from(0x0a00_0001u32), 80),
+            ).0;
+            let (v, _) = table.get_or_insert_with(&k, || s);
+            prop_assert_eq!(*v, s);
+            prop_assert_eq!(table.peek(&k), Some(&s));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The alert model shared by every engine.
+
+use std::fmt;
+
+use sd_flow::FlowKey;
+
+use crate::signature::SignatureId;
+
+/// Which processing stage raised the alert. Split-Detect distinguishes
+/// fast-path piece hits (which *divert*, not alert) from slow-path confirmed
+/// matches; the baselines always report `Stream` or `Packet`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertSource {
+    /// Found in a single packet payload without reassembly.
+    Packet,
+    /// Found in a reassembled TCP stream.
+    Stream,
+    /// Found by Split-Detect's slow path after diversion.
+    SlowPath,
+}
+
+impl fmt::Display for AlertSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlertSource::Packet => "packet",
+            AlertSource::Stream => "stream",
+            AlertSource::SlowPath => "slow-path",
+        })
+    }
+}
+
+/// One detection event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// The connection the signature was found in.
+    pub flow: FlowKey,
+    /// Which signature matched.
+    pub signature: SignatureId,
+    /// End offset of the match in the reassembled stream, when known
+    /// (packet-scope matches report the offset within the packet payload).
+    pub offset: u64,
+    /// The stage that found it.
+    pub source: AlertSource,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ALERT sig={} flow={} off={} via={}",
+            self.signature, self.flow, self.offset, self.source
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn display_is_informative() {
+        let (flow, _) = FlowKey::from_endpoints(
+            6,
+            (Ipv4Addr::new(10, 0, 0, 1), 4000),
+            (Ipv4Addr::new(10, 0, 0, 2), 80),
+        );
+        let a = Alert {
+            flow,
+            signature: 3,
+            offset: 1234,
+            source: AlertSource::Stream,
+        };
+        let s = a.to_string();
+        assert!(s.contains("sig=3"));
+        assert!(s.contains("off=1234"));
+        assert!(s.contains("stream"));
+    }
+}

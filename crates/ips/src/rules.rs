@@ -1,0 +1,539 @@
+//! A Snort-subset rule parser.
+//!
+//! Split-Detect handles the simplest signature form — one exact byte
+//! string — so this parser accepts the corresponding subset of Snort's
+//! rule language: `alert` rules whose detection logic is `content`
+//! matches. That is enough to load real-world content rules and is the
+//! adoption path the paper assumes (an IPS already has a rule corpus).
+//!
+//! ```text
+//! alert tcp any any -> any 80 (msg:"SHELLCODE x86 NOOP"; content:"|90 90 90 90|"; sid:648;)
+//! ```
+//!
+//! Supported: `alert` action; `tcp`/`udp`/`ip` protocols; address/port
+//! fields (parsed, stored, not used for matching — Split-Detect scans all
+//! flows); options `msg`, `content` (with `|hex|` escapes and `\"`, `\\`,
+//! `\;`, `\|` character escapes), `sid`, `rev`, and `nocase` (recorded;
+//! matching stays case-sensitive and a loud count is kept, since exact
+//! matching is the paper's model). Unknown options are preserved verbatim
+//! and ignored, so real rule files load without editing.
+//!
+//! When a rule has several `content`s, the longest becomes the signature
+//! (each `content` of a real rule must independently appear in the stream,
+//! so matching any one of them is a sound over-approximation for
+//! *diversion*; the slow path confirms on the chosen string).
+
+use std::fmt;
+
+use crate::signature::{Signature, SignatureSet};
+
+/// Protocol field of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleProto {
+    /// `tcp`
+    Tcp,
+    /// `udp`
+    Udp,
+    /// `ip` (any transport)
+    Ip,
+}
+
+/// One parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Protocol the rule applies to.
+    pub proto: RuleProto,
+    /// Source address expression (verbatim; not used for matching).
+    pub src: String,
+    /// Source port expression (verbatim).
+    pub src_port: String,
+    /// Destination address expression (verbatim).
+    pub dst: String,
+    /// Destination port expression (verbatim).
+    pub dst_port: String,
+    /// `msg` option.
+    pub msg: String,
+    /// All `content` strings, decoded.
+    pub contents: Vec<Vec<u8>>,
+    /// `sid` option (0 when absent).
+    pub sid: u32,
+    /// `rev` option (0 when absent).
+    pub rev: u32,
+    /// Whether any `content` carried `nocase` (recorded, not honored).
+    pub nocase: bool,
+}
+
+impl Rule {
+    /// The content string used as the exact-match signature: the longest.
+    pub fn signature_bytes(&self) -> &[u8] {
+        self.contents
+            .iter()
+            .max_by_key(|c| c.len())
+            .map(|c| c.as_slice())
+            .expect("parser rejects content-less rules")
+    }
+
+    /// Rule name for alerts: `sid:msg`.
+    pub fn name(&self) -> String {
+        if self.msg.is_empty() {
+            format!("sid-{}", self.sid)
+        } else {
+            format!("sid-{}:{}", self.sid, self.msg)
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+/// Outcome of parsing a rule file.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    /// Rules in file order.
+    pub rules: Vec<Rule>,
+    /// Count of `nocase` modifiers seen (and not honored).
+    pub nocase_ignored: usize,
+    /// Non-`alert` rules skipped (logged, not errors — rule files mix
+    /// actions).
+    pub skipped_actions: usize,
+}
+
+impl RuleSet {
+    /// Compile to the engine's [`SignatureSet`]; `SignatureId` i maps to
+    /// `rules[i]`.
+    pub fn to_signatures(&self) -> SignatureSet {
+        SignatureSet::from_signatures(
+            self.rules
+                .iter()
+                .map(|r| Signature::new(r.name(), r.signature_bytes().to_vec())),
+        )
+    }
+}
+
+/// Parse a whole rule file. `#` comments and blank lines are skipped;
+/// every other line must be a rule.
+///
+/// ```
+/// let set = sd_ips::rules::parse_rules(
+///     r#"alert tcp any any -> any 80 (msg:"nop sled"; content:"|90 90 90 90|AAAAAAAAAA"; sid:9;)"#,
+/// ).unwrap();
+/// assert_eq!(set.rules[0].sid, 9);
+/// assert_eq!(&set.rules[0].contents[0][..4], &[0x90u8; 4]);
+/// let sigs = set.to_signatures(); // feed to any engine
+/// assert_eq!(sigs.len(), 1);
+/// ```
+pub fn parse_rules(text: &str) -> Result<RuleSet, RuleParseError> {
+    let mut set = RuleSet::default();
+    // Join trailing-backslash continuations first (Snort rule files wrap
+    // long rules this way), tracking the line each logical rule starts on.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        match pending.take() {
+            Some((start, mut acc)) => {
+                let cont = raw.trim_start();
+                if let Some(stripped) = cont.strip_suffix('\\') {
+                    acc.push_str(stripped);
+                    pending = Some((start, acc));
+                } else {
+                    acc.push_str(cont);
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if let Some(stripped) = raw.trim_end().strip_suffix('\\') {
+                    pending = Some((line_no, stripped.to_string()));
+                } else {
+                    logical.push((line_no, raw.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc)); // dangling continuation: parse as-is
+    }
+
+    for (line_no, raw) in logical {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_rule_line(line, line_no)? {
+            Some(rule) => {
+                set.nocase_ignored += usize::from(rule.nocase);
+                set.rules.push(rule);
+            }
+            None => set.skipped_actions += 1,
+        }
+    }
+    Ok(set)
+}
+
+fn err(line: usize, reason: impl Into<String>) -> RuleParseError {
+    RuleParseError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parse one rule line; `Ok(None)` for recognized-but-skipped actions.
+fn parse_rule_line(line: &str, line_no: usize) -> Result<Option<Rule>, RuleParseError> {
+    let open = line
+        .find('(')
+        .ok_or_else(|| err(line_no, "missing option block '('"))?;
+    if !line.trim_end().ends_with(')') {
+        return Err(err(line_no, "missing closing ')'"));
+    }
+    let head = &line[..open];
+    let body = &line.trim_end()[open + 1..line.trim_end().len() - 1];
+
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    if fields.len() != 7 {
+        return Err(err(
+            line_no,
+            format!(
+                "header needs 7 fields (action proto src sport -> dst dport), got {}",
+                fields.len()
+            ),
+        ));
+    }
+    match fields[0] {
+        "alert" => {}
+        "log" | "pass" | "drop" | "reject" | "sdrop" => return Ok(None),
+        other => return Err(err(line_no, format!("unknown action {other:?}"))),
+    }
+    let proto = match fields[1] {
+        "tcp" => RuleProto::Tcp,
+        "udp" => RuleProto::Udp,
+        "ip" => RuleProto::Ip,
+        other => return Err(err(line_no, format!("unsupported protocol {other:?}"))),
+    };
+    if fields[4] != "->" && fields[4] != "<>" {
+        return Err(err(line_no, format!("expected '->' or '<>', got {:?}", fields[4])));
+    }
+
+    let mut rule = Rule {
+        proto,
+        src: fields[2].to_string(),
+        src_port: fields[3].to_string(),
+        dst: fields[5].to_string(),
+        dst_port: fields[6].to_string(),
+        msg: String::new(),
+        contents: Vec::new(),
+        sid: 0,
+        rev: 0,
+        nocase: false,
+    };
+
+    for opt in split_options(body, line_no)? {
+        let (name, value) = match opt.split_once(':') {
+            Some((n, v)) => (n.trim(), Some(v.trim())),
+            None => (opt.trim(), None),
+        };
+        match name {
+            "msg" => {
+                rule.msg = unquote(value.unwrap_or(""), line_no)?;
+            }
+            "content" => {
+                let raw = unquote(value.unwrap_or(""), line_no)?;
+                let decoded = decode_content(&raw, line_no)?;
+                if decoded.is_empty() {
+                    return Err(err(line_no, "empty content"));
+                }
+                rule.contents.push(decoded);
+            }
+            "sid" => {
+                rule.sid = value
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad sid"))?;
+            }
+            "rev" => {
+                rule.rev = value
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad rev"))?;
+            }
+            "nocase" => rule.nocase = true,
+            // Everything else (classtype, flow, depth, offset, pcre, …) is
+            // accepted and ignored so real rule files load unedited.
+            _ => {}
+        }
+    }
+
+    if rule.contents.is_empty() {
+        return Err(err(
+            line_no,
+            "rule has no content option (only exact-string rules are supported)",
+        ));
+    }
+    Ok(Some(rule))
+}
+
+/// Split the option body on `;` while respecting quoted strings.
+fn split_options(body: &str, line_no: usize) -> Result<Vec<String>, RuleParseError> {
+    let mut opts = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for ch in body.chars() {
+        if escaped {
+            cur.push(ch);
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_quotes => {
+                cur.push(ch);
+                escaped = true;
+            }
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(ch);
+            }
+            ';' if !in_quotes => {
+                if !cur.trim().is_empty() {
+                    opts.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(err(line_no, "unterminated quoted string"));
+    }
+    if !cur.trim().is_empty() {
+        opts.push(cur.trim().to_string());
+    }
+    Ok(opts)
+}
+
+/// Strip surrounding quotes and process character escapes.
+fn unquote(v: &str, line_no: usize) -> Result<String, RuleParseError> {
+    let v = v.trim();
+    if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+        return Err(err(line_no, format!("expected quoted string, got {v:?}")));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = String::new();
+    let mut escaped = false;
+    for ch in inner.chars() {
+        if escaped {
+            match ch {
+                '"' | '\\' | ';' | '|' | ':' => out.push(ch),
+                other => return Err(err(line_no, format!("bad escape \\{other}"))),
+            }
+            escaped = false;
+        } else if ch == '\\' {
+            escaped = true;
+        } else {
+            out.push(ch);
+        }
+    }
+    if escaped {
+        return Err(err(line_no, "dangling backslash"));
+    }
+    Ok(out)
+}
+
+/// Decode Snort content syntax: literal bytes with `|DE AD BE EF|` hex runs.
+fn decode_content(s: &str, line_no: usize) -> Result<Vec<u8>, RuleParseError> {
+    let mut out = Vec::new();
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '|' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        // Hex run until the closing pipe.
+        let mut hex = String::new();
+        let mut closed = false;
+        for c in chars.by_ref() {
+            if c == '|' {
+                closed = true;
+                break;
+            }
+            hex.push(c);
+        }
+        if !closed {
+            return Err(err(line_no, "unterminated |hex| run"));
+        }
+        for tok in hex.split_whitespace() {
+            if tok.len() != 2 {
+                return Err(err(line_no, format!("bad hex byte {tok:?}")));
+            }
+            let byte = u8::from_str_radix(tok, 16)
+                .map_err(|_| err(line_no, format!("bad hex byte {tok:?}")))?;
+            out.push(byte);
+        }
+    }
+    Ok(out)
+}
+
+/// The embedded demo rule file used by examples and the CLI when no rules
+/// are supplied.
+pub const DEMO_RULES: &str = r#"# split-detect demo rules (Snort-subset)
+alert tcp any any -> any any (msg:"SHELL /bin/sh exec"; content:"/bin/sh -c 'cat /etc/passwd'"; sid:1000001; rev:1;)
+alert tcp any any -> any 80 (msg:"HTTP cmd.exe traversal"; content:"GET /scripts/..%255c../winnt/system32/cmd.exe"; sid:1000002; rev:2;)
+alert tcp any any -> any any (msg:"SQLi union select"; content:"' UNION SELECT password FROM users--"; sid:1000003; rev:1;)
+alert tcp any any -> any any (msg:"x86 NOOP sled"; content:"|90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90 90|"; sid:1000004; rev:3;)
+alert udp any any -> any 53 (msg:"DNS infoleak"; content:"version.bind CHAOS TXT exfil"; sid:1000005; rev:1;)
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_rules_parse() {
+        let set = parse_rules(DEMO_RULES).unwrap();
+        assert_eq!(set.rules.len(), 5);
+        assert_eq!(set.skipped_actions, 0);
+        let sigs = set.to_signatures();
+        assert_eq!(sigs.len(), 5);
+        assert!(sigs.min_len().unwrap() >= 12, "demo rules must be splittable");
+    }
+
+    #[test]
+    fn hex_runs_decode() {
+        let set = parse_rules(
+            r#"alert tcp any any -> any any (msg:"mix"; content:"AB|43 44|EF"; sid:5;)"#,
+        )
+        .unwrap();
+        assert_eq!(set.rules[0].contents[0], b"ABCDEF");
+        assert_eq!(set.rules[0].sid, 5);
+    }
+
+    #[test]
+    fn character_escapes_decode() {
+        let set = parse_rules(
+            r#"alert tcp any any -> any any (msg:"q"; content:"a\"b\\c\;d"; sid:6;)"#,
+        )
+        .unwrap();
+        assert_eq!(set.rules[0].contents[0], b"a\"b\\c;d");
+    }
+
+    #[test]
+    fn longest_content_wins() {
+        let set = parse_rules(
+            r#"alert tcp any any -> any any (msg:"two"; content:"short"; content:"muchlongercontent"; sid:7;)"#,
+        )
+        .unwrap();
+        assert_eq!(set.rules[0].signature_bytes(), b"muchlongercontent");
+        assert_eq!(set.rules[0].contents.len(), 2);
+    }
+
+    #[test]
+    fn non_alert_actions_skipped() {
+        let set = parse_rules(
+            "pass tcp any any -> any any (content:\"x\"; sid:1;)\n\
+             alert tcp any any -> any any (content:\"real-signature\"; sid:2;)",
+        )
+        .unwrap();
+        assert_eq!(set.rules.len(), 1);
+        assert_eq!(set.skipped_actions, 1);
+    }
+
+    #[test]
+    fn nocase_is_counted_not_honored() {
+        let set = parse_rules(
+            r#"alert tcp any any -> any any (content:"CaseMatters"; nocase; sid:9;)"#,
+        )
+        .unwrap();
+        assert_eq!(set.nocase_ignored, 1);
+        assert!(set.rules[0].nocase);
+    }
+
+    #[test]
+    fn unknown_options_ignored() {
+        let set = parse_rules(
+            r#"alert tcp $EXTERNAL_NET any -> $HOME_NET 80 (msg:"real"; flow:to_server,established; content:"attackstring"; depth:200; classtype:web-application-attack; sid:10; rev:4;)"#,
+        )
+        .unwrap();
+        assert_eq!(set.rules[0].contents[0], b"attackstring");
+        assert_eq!(set.rules[0].rev, 4);
+        assert_eq!(set.rules[0].src, "$EXTERNAL_NET");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let set = parse_rules("# a comment\n\n  \n").unwrap();
+        assert!(set.rules.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_rules("# ok\nalert tcp any any -> any any content:\"x\"; sid:1;")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+
+        for bad in [
+            r#"alert tcp any any -> any any (content:"x")"#.to_string() + "extra",
+            r#"alert tcp any any any any (content:"x"; sid:1;)"#.into(),
+            r#"alert icmp any any -> any any (content:"x"; sid:1;)"#.into(),
+            r#"frob tcp any any -> any any (content:"x"; sid:1;)"#.into(),
+            r#"alert tcp any any -> any any (content:"a|9|b"; sid:1;)"#.into(),
+            r#"alert tcp any any -> any any (content:"a|90"; sid:1;)"#.into(),
+            r#"alert tcp any any -> any any (content:"unterminated; sid:1;)"#.into(),
+            r#"alert tcp any any -> any any (msg:"no content"; sid:1;)"#.into(),
+            r#"alert tcp any any -> any any (content:""; sid:1;)"#.into(),
+            r#"alert tcp any any -> any any (content:"x"; sid:zzz;)"#.into(),
+        ] {
+            assert!(parse_rules(&bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn backslash_continuations_join_lines() {
+        let set = parse_rules(
+            "alert tcp any any -> any any \\\n    (msg:\"wrapped\"; \\\n    content:\"wrapped-rule-content\"; sid:88;)\nalert tcp any any -> any any (content:\"second-rule-x\"; sid:89;)",
+        )
+        .unwrap();
+        assert_eq!(set.rules.len(), 2);
+        assert_eq!(set.rules[0].sid, 88);
+        assert_eq!(set.rules[0].contents[0], b"wrapped-rule-content");
+        assert_eq!(set.rules[1].sid, 89);
+    }
+
+    #[test]
+    fn continuation_errors_report_first_line() {
+        let e = parse_rules("# ok\nalert tcp any any \\\n-> any any (content:\"x\"; sid:zzz;)").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn engine_detects_rule_loaded_signature() {
+        use crate::api::run_trace;
+        use crate::conventional::ConventionalIps;
+        use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+
+        let set = parse_rules(
+            r#"alert tcp any any -> any any (msg:"hexsig"; content:"|45 56 49 4c|_PAYLOAD_BYTES"; sid:42;)"#,
+        )
+        .unwrap();
+        let mut ips = ConventionalIps::new(set.to_signatures());
+        let frame = TcpPacketSpec::new("10.0.0.1:1000", "10.0.0.2:80")
+            .seq(1)
+            .payload(b"...EVIL_PAYLOAD_BYTES...")
+            .build();
+        let alerts = run_trace(&mut ips, [ip_of_frame(&frame)]);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(set.rules[alerts[0].signature].sid, 42);
+    }
+}

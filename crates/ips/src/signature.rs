@@ -1,0 +1,204 @@
+//! Exact-string signatures.
+//!
+//! The paper deliberately restricts itself to the simplest signature form —
+//! an exact byte-string match — because that is the form whose evasion
+//! resistance it can prove. A [`SignatureSet`] owns the strings and their
+//! names and compiles to an `sd-match` [`PatternSet`] for whichever engine
+//! scans them. A seeded generator produces realistic sets for the
+//! signature-count sweeps (E7).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_match::pattern::PatternSet;
+
+/// Index of a signature within its set (stable across compilation).
+pub type SignatureId = usize;
+
+/// One exact-string signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Human-readable rule name.
+    pub name: String,
+    /// The exact byte string whose occurrence in a TCP stream (or UDP
+    /// payload) constitutes detection.
+    pub bytes: Vec<u8>,
+}
+
+impl Signature {
+    /// Build a signature.
+    pub fn new(name: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
+        Signature {
+            name: name.into(),
+            bytes: bytes.into(),
+        }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} bytes)", self.name, self.bytes.len())
+    }
+}
+
+/// An ordered set of signatures; [`SignatureId`]s are indexes into it.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureSet {
+    sigs: Vec<Signature>,
+}
+
+impl SignatureSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set from an iterator of signatures.
+    pub fn from_signatures(sigs: impl IntoIterator<Item = Signature>) -> Self {
+        SignatureSet {
+            sigs: sigs.into_iter().collect(),
+        }
+    }
+
+    /// The embedded demo set: realistic exploit-payload strings of the
+    /// lengths (8–40 bytes) typical of Snort content rules.
+    pub fn demo() -> Self {
+        Self::from_signatures([
+            Signature::new("shell-bin-sh", &b"/bin/sh -c 'cat /etc/passwd'"[..]),
+            Signature::new("http-cmd-exe", &b"GET /scripts/..%255c../winnt/system32/cmd.exe"[..]),
+            Signature::new("sql-union-select", &b"' UNION SELECT password FROM users--"[..]),
+            Signature::new("nop-sled-x86", vec![0x90u8; 24]),
+            Signature::new("ftp-site-exec", &b"SITE EXEC %p%p%p%p|%08x|"[..]),
+            Signature::new("dns-infoleak", &b"version.bind CHAOS TXT exfil"[..]),
+        ])
+    }
+
+    /// Add a signature, returning its id.
+    pub fn add(&mut self, sig: Signature) -> SignatureId {
+        self.sigs.push(sig);
+        self.sigs.len() - 1
+    }
+
+    /// Number of signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The signature with this id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: SignatureId) -> &Signature {
+        &self.sigs[id]
+    }
+
+    /// Iterate `(id, signature)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SignatureId, &Signature)> {
+        self.sigs.iter().enumerate()
+    }
+
+    /// Length of the shortest signature, if any. The paper's parameter
+    /// constraint `L_min ≥ k·p_min` is checked against this.
+    pub fn min_len(&self) -> Option<usize> {
+        self.sigs.iter().map(|s| s.bytes.len()).min()
+    }
+
+    /// Compile to a pattern set whose `PatternId(i)` is `SignatureId i`.
+    pub fn to_patterns(&self) -> PatternSet {
+        PatternSet::from_patterns(self.sigs.iter().map(|s| s.bytes.as_slice()))
+    }
+
+    /// Generate `count` signatures of lengths in `len_range`, seeded and
+    /// deterministic. Bytes are drawn from printable-ASCII-biased noise so
+    /// the generated strings resemble content rules rather than random
+    /// binary (this matters for false-match probability experiments).
+    pub fn generate(seed: u64, count: usize, len_range: std::ops::Range<usize>) -> Self {
+        assert!(len_range.start >= 4, "signatures shorter than 4 are noise");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = SignatureSet::new();
+        for i in 0..count {
+            let len = rng.gen_range(len_range.clone());
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.8) {
+                        rng.gen_range(0x21..0x7f) // printable, non-space
+                    } else {
+                        rng.gen()
+                    }
+                })
+                .collect();
+            set.add(Signature::new(format!("gen-{seed:x}-{i}"), bytes));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_set_is_plausible() {
+        let s = SignatureSet::demo();
+        assert!(s.len() >= 5);
+        assert!(s.min_len().unwrap() >= 12, "demo sigs must be splittable");
+        for (_, sig) in s.iter() {
+            assert!(!sig.bytes.is_empty());
+            assert!(!sig.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_indexes() {
+        let mut s = SignatureSet::new();
+        let a = s.add(Signature::new("a", &b"aaaa"[..]));
+        let b = s.add(Signature::new("b", &b"bbbb"[..]));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.get(a).name, "a");
+        assert_eq!(s.get(b).name, "b");
+    }
+
+    #[test]
+    fn to_patterns_preserves_order() {
+        let s = SignatureSet::demo();
+        let p = s.to_patterns();
+        assert_eq!(p.len(), s.len());
+        for (id, sig) in s.iter() {
+            assert_eq!(p.pattern(id as sd_match::PatternId), &sig.bytes[..]);
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = SignatureSet::generate(7, 50, 8..32);
+        let b = SignatureSet::generate(7, 50, 8..32);
+        assert_eq!(a.len(), 50);
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+        let c = SignatureSet::generate(8, 50, 8..32);
+        let differs = a.iter().zip(c.iter()).any(|((_, x), (_, y))| x != y);
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn generate_respects_length_range() {
+        let s = SignatureSet::generate(1, 100, 8..16);
+        for (_, sig) in s.iter() {
+            assert!((8..16).contains(&sig.bytes.len()));
+        }
+        assert!(s.min_len().unwrap() >= 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        let sig = Signature::new("x", &b"abcdef"[..]);
+        assert_eq!(sig.to_string(), "x (6 bytes)");
+    }
+}

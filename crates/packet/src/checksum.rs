@@ -1,0 +1,181 @@
+//! RFC 1071 Internet checksum.
+//!
+//! Used by IPv4 (header checksum) and by TCP/UDP (over a pseudo-header plus
+//! the transport segment). The checksum is the 16-bit one's complement of
+//! the one's-complement sum of all 16-bit words; an odd trailing byte is
+//! padded with a zero on the right.
+
+use std::net::Ipv4Addr;
+
+/// Running one's-complement sum, folded lazily.
+///
+/// Accumulate with [`Checksum::add_bytes`] / [`Checksum::add_u16`], then call
+/// [`Checksum::value`] for the final inverted 16-bit checksum or
+/// [`Checksum::sum`] for the folded but non-inverted sum (useful for
+/// verification, where a correct packet sums to `0xffff`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    acc: u32,
+}
+
+impl Checksum {
+    /// A fresh, zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a 16-bit word in host order.
+    pub fn add_u16(&mut self, v: u16) {
+        self.acc += u32::from(v);
+    }
+
+    /// Add a byte slice; the slice starts at an even word offset.
+    pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(2);
+        for c in &mut chunks {
+            self.acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.acc += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Fold carries and return the one's-complement sum (not inverted).
+    pub fn sum(mut self) -> u16 {
+        while self.acc > 0xffff {
+            self.acc = (self.acc & 0xffff) + (self.acc >> 16);
+        }
+        self.acc as u16
+    }
+
+    /// The checksum value to place in a header: the inverted folded sum.
+    pub fn value(self) -> u16 {
+        !self.sum()
+    }
+}
+
+/// Compute the Internet checksum of `bytes` in one call.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.value()
+}
+
+/// True if `bytes` (which include a checksum field somewhere) verify:
+/// their folded sum is `0xffff`.
+pub fn verify(bytes: &[u8]) -> bool {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.sum() == 0xffff
+}
+
+/// One's-complement sum of the TCP/UDP pseudo-header (RFC 793 §3.1).
+///
+/// `proto` is the IP protocol number (6 for TCP, 17 for UDP) and `len` the
+/// transport segment length including its header.
+pub fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src.octets());
+    c.add_bytes(&dst.octets());
+    c.add_u16(u16::from(proto));
+    c.add_u16(len);
+    c
+}
+
+/// Checksum a transport segment (`header+payload` contiguous in `segment`,
+/// with its checksum field zeroed or skipped by the caller) under the IPv4
+/// pseudo-header.
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> u16 {
+    let mut c = pseudo_header(src, dst, proto, segment.len() as u16);
+    c.add_bytes(segment);
+    c.value()
+}
+
+/// Verify a transport segment whose checksum field is still in place.
+pub fn verify_transport(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> bool {
+    let mut c = pseudo_header(src, dst, proto, segment.len() as u16);
+    c.add_bytes(segment);
+    c.sum() == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Worked example from RFC 1071 §3: the bytes 00 01 f2 03 f4 f5 f6 f7
+    // sum to ddf2 (with carries folded), checksum 220d.
+    #[test]
+    fn rfc1071_worked_example() {
+        let bytes = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let mut c = Checksum::new();
+        c.add_bytes(&bytes);
+        assert_eq!(c.sum(), 0xddf2);
+        assert_eq!(checksum(&bytes), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // Odd slice [ab] is treated as the word ab00.
+        assert_eq!(checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn empty_sums_to_zero() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn inserting_checksum_verifies() {
+        let mut packet = vec![0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0, 10,
+            0, 0, 1, 10, 0, 0, 2];
+        let c = checksum(&packet);
+        packet[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&packet));
+        // Flip a bit and it must fail.
+        packet[0] ^= 0x01;
+        assert!(!verify(&packet));
+    }
+
+    #[test]
+    fn known_ipv4_header_checksum() {
+        // Classic example from Wikipedia's IPv4 header checksum article.
+        let hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&hdr), 0xb861);
+    }
+
+    #[test]
+    fn pseudo_header_tcp_roundtrip() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        // Minimal TCP header (20 bytes) + 4-byte payload, checksum zeroed.
+        let mut seg = vec![0u8; 24];
+        seg[0..2].copy_from_slice(&1234u16.to_be_bytes());
+        seg[2..4].copy_from_slice(&80u16.to_be_bytes());
+        seg[12] = 5 << 4;
+        seg[20..24].copy_from_slice(b"abcd");
+        let c = transport_checksum(src, dst, 6, &seg);
+        seg[16..18].copy_from_slice(&c.to_be_bytes());
+        assert!(verify_transport(src, dst, 6, &seg));
+        // A different address must break verification. (Swapping src and dst
+        // would NOT: the one's-complement sum is commutative.)
+        assert!(
+            !verify_transport(Ipv4Addr::new(10, 0, 0, 9), dst, 6, &seg),
+            "changed addr must fail"
+        );
+        assert!(!verify_transport(src, dst, 17, &seg), "changed proto must fail");
+    }
+
+    #[test]
+    fn accumulation_order_is_irrelevant_for_even_chunks() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let mut a = Checksum::new();
+        a.add_bytes(&data);
+        let mut b = Checksum::new();
+        b.add_bytes(&data[..128]);
+        b.add_bytes(&data[128..]);
+        assert_eq!(a.value(), b.value());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by all parsers in this crate.
+
+use core::fmt;
+
+/// Errors raised while parsing or emitting wire-format packets.
+///
+/// The variants distinguish the failure classes an IPS cares about: a
+/// truncated buffer is a capture artifact, while a malformed header or a bad
+/// checksum is a property of the sender and may itself be an evasion signal
+/// (normalizers drop such packets; see `sd-reassembly::normalize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to contain the fixed header.
+    Truncated,
+    /// A header field has an impossible value (e.g. IHL < 5, data offset < 5).
+    Malformed,
+    /// The header declares a length larger than the buffer or smaller than
+    /// the header itself.
+    BadLength,
+    /// The version field is not the one this parser handles.
+    BadVersion,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A TCP option list could not be parsed.
+    BadOption,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::Malformed => "malformed header",
+            Error::BadLength => "inconsistent length field",
+            Error::BadVersion => "unexpected protocol version",
+            Error::BadChecksum => "checksum mismatch",
+            Error::BadOption => "unparsable option list",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout `sd-packet`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Error::Truncated.to_string(), "buffer truncated");
+        assert_eq!(Error::BadChecksum.to_string(), "checksum mismatch");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::Malformed);
+        assert_eq!(e.to_string(), "malformed header");
+    }
+}

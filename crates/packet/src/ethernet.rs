@@ -1,0 +1,245 @@
+//! Ethernet II frames.
+//!
+//! Only untagged Ethernet II is supported (no 802.1Q, no 802.3 LLC): the
+//! paper's data path sits behind a line card that has already stripped
+//! encapsulations, and the traces we synthesize carry plain IPv4 frames.
+
+use crate::error::{Error, Result};
+use core::fmt;
+
+/// Length of the Ethernet II header: two addresses plus the EtherType.
+pub const HEADER_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EtherAddr(pub [u8; 6]);
+
+impl EtherAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EtherAddr = EtherAddr([0xff; 6]);
+
+    /// True if the least significant bit of the first octet is set
+    /// (multicast, which includes broadcast).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for `ff:ff:ff:ff:ff:ff`.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if all six octets are zero (unset address).
+    pub fn is_unspecified(&self) -> bool {
+        self.0 == [0; 6]
+    }
+}
+
+impl fmt::Display for EtherAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// The EtherType field values this crate distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806` (parsed but not interpreted further).
+    Arp,
+    /// IPv6, `0x86dd` (parsed but not interpreted further).
+    Ipv6,
+    /// Any other value.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// A view over a buffer holding an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap a buffer, checking it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> EtherAddr {
+        let b = self.buffer.as_ref();
+        EtherAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> EtherAddr {
+        let b = self.buffer.as_ref();
+        EtherAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// EtherType of the payload.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// The frame payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: EtherAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src_addr(&mut self, addr: EtherAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Owned representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Source address.
+    pub src: EtherAddr,
+    /// Destination address.
+    pub dst: EtherAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parse the header from a checked frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> Self {
+        EthernetRepr {
+            src: frame.src_addr(),
+            dst: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        }
+    }
+
+    /// Write the header into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut EthernetFrame<T>) {
+        frame.set_src_addr(self.src);
+        frame.set_dst_addr(self.dst);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        EthernetRepr {
+            src: EtherAddr([2, 0, 0, 0, 0, 1]),
+            dst: EtherAddr([2, 0, 0, 0, 0, 2]),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut f);
+        f.payload_mut().copy_from_slice(b"abcd");
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.src_addr(), EtherAddr([2, 0, 0, 0, 0, 1]));
+        assert_eq!(f.dst_addr(), EtherAddr([2, 0, 0, 0, 0, 2]));
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert_eq!(f.payload(), b"abcd");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
+        assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Ipv6);
+        assert_eq!(EtherType::from(0x1234), EtherType::Other(0x1234));
+        assert_eq!(u16::from(EtherType::Arp), 0x0806);
+        assert_eq!(u16::from(EtherType::Other(0xbeef)), 0xbeef);
+    }
+
+    #[test]
+    fn addr_classification() {
+        assert!(EtherAddr::BROADCAST.is_broadcast());
+        assert!(EtherAddr::BROADCAST.is_multicast());
+        assert!(EtherAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!EtherAddr([2, 0, 0, 0, 0, 1]).is_multicast());
+        assert!(EtherAddr::default().is_unspecified());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            EtherAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+}

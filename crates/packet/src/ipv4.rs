@@ -1,0 +1,462 @@
+//! IPv4 headers, including the fragmentation fields the evasion attacks
+//! manipulate.
+//!
+//! The fragmentation-relevant fields — identification, the DF/MF flags and
+//! the fragment offset — are first-class here because FragRoute-style IP
+//! evasions work entirely through them, and the Split-Detect fast path's
+//! fragment rule keys off [`Ipv4Packet::is_fragment`].
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// Minimum (and, without options, the usual) IPv4 header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers this crate distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// ICMP, protocol 1.
+    Icmp,
+    /// TCP, protocol 6.
+    Tcp,
+    /// UDP, protocol 17.
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(p: Protocol) -> u8 {
+        match p {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(v) => v,
+        }
+    }
+}
+
+/// A view over a buffer holding an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap a buffer and perform the structural checks a line card would:
+    /// version 4, IHL ≥ 5, total length consistent with both IHL and the
+    /// buffer. The header checksum is *not* verified here; call
+    /// [`Ipv4Packet::verify_checksum`] where policy requires it.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let pkt = Self { buffer };
+        if pkt.version() != 4 {
+            return Err(Error::BadVersion);
+        }
+        let header_len = pkt.header_len();
+        if header_len < MIN_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        let total_len = pkt.total_len() as usize;
+        if total_len < header_len || total_len > pkt.buffer.as_ref().len() {
+            return Err(Error::BadLength);
+        }
+        Ok(pkt)
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version (high nibble of the first byte).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// DSCP/ECN byte (historically ToS).
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Total packet length (header + payload) as declared by the header.
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Identification field, shared by all fragments of a datagram.
+    pub fn ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Don't Fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x40 != 0
+    }
+
+    /// More Fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in *bytes* (the wire field is in 8-byte units).
+    pub fn frag_offset(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        (u16::from_be_bytes([b[6], b[7]]) & 0x1fff) << 3
+    }
+
+    /// True if this packet is any fragment of a larger datagram: it has a
+    /// nonzero offset or more fragments follow.
+    pub fn is_fragment(&self) -> bool {
+        self.more_frags() || self.frag_offset() != 0
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Payload protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field as stored.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// Raw options bytes between the fixed header and the payload.
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// The payload: bytes between the header and `total_len`.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..self.total_len() as usize]
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.buffer.as_ref()[..self.header_len()])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set version and IHL (header length in bytes, must be a multiple of 4).
+    pub fn set_version_and_header_len(&mut self, version: u8, header_len: usize) {
+        debug_assert_eq!(header_len % 4, 0);
+        self.buffer.as_mut()[0] = (version << 4) | ((header_len / 4) as u8 & 0x0f);
+    }
+
+    /// Set the ToS byte.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[1] = tos;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Set DF/MF flags and fragment offset (offset in bytes, multiple of 8).
+    pub fn set_frag_fields(&mut self, dont_frag: bool, more_frags: bool, offset_bytes: u16) {
+        debug_assert_eq!(offset_bytes % 8, 0);
+        let mut v = offset_bytes >> 3;
+        if dont_frag {
+            v |= 0x4000;
+        }
+        if more_frags {
+            v |= 0x2000;
+        }
+        self.buffer.as_mut()[6..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Set the payload protocol.
+    pub fn set_protocol(&mut self, p: Protocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Zero the checksum field, recompute it over the header, and store it.
+    pub fn fill_checksum(&mut self) {
+        let header_len = self.header_len();
+        let buf = self.buffer.as_mut();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        let c = checksum::checksum(&buf[..header_len]);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let start = self.header_len();
+        let end = self.total_len() as usize;
+        &mut self.buffer.as_mut()[start..end]
+    }
+}
+
+/// Owned representation of an IPv4 header (without options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: Protocol,
+    /// Identification field.
+    pub ident: u16,
+    /// Don't Fragment flag.
+    pub dont_frag: bool,
+    /// More Fragments flag.
+    pub more_frags: bool,
+    /// Fragment offset in bytes.
+    pub frag_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Ipv4Repr {
+    /// A plain unfragmented header template.
+    pub fn simple(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payload_len: usize) -> Self {
+        Ipv4Repr {
+            src,
+            dst,
+            protocol,
+            ident: 0,
+            dont_frag: true,
+            more_frags: false,
+            frag_offset: 0,
+            ttl: 64,
+            payload_len,
+        }
+    }
+
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &Ipv4Packet<T>) -> Self {
+        Ipv4Repr {
+            src: p.src_addr(),
+            dst: p.dst_addr(),
+            protocol: p.protocol(),
+            ident: p.ident(),
+            dont_frag: p.dont_frag(),
+            more_frags: p.more_frags(),
+            frag_offset: p.frag_offset(),
+            ttl: p.ttl(),
+            payload_len: p.total_len() as usize - p.header_len(),
+        }
+    }
+
+    /// Total emitted length: 20-byte header plus payload.
+    pub fn total_len(&self) -> usize {
+        MIN_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit a 20-byte header (no options) into the view and fill the
+    /// checksum. The buffer must hold at least [`Ipv4Repr::total_len`] bytes.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, p: &mut Ipv4Packet<T>) {
+        p.set_version_and_header_len(4, MIN_HEADER_LEN);
+        p.set_tos(0);
+        p.set_total_len(self.total_len() as u16);
+        p.set_ident(self.ident);
+        p.set_frag_fields(self.dont_frag, self.more_frags, self.frag_offset);
+        p.set_ttl(self.ttl);
+        p.set_protocol(self.protocol);
+        p.set_src_addr(self.src);
+        p.set_dst_addr(self.dst);
+        p.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(repr: Ipv4Repr, payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(payload);
+        // Payload writes don't affect the header checksum.
+        buf
+    }
+
+    fn sample_repr() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(192, 168, 1, 7),
+            protocol: Protocol::Tcp,
+            ident: 0xbeef,
+            dont_frag: false,
+            more_frags: true,
+            frag_offset: 64,
+            ttl: 61,
+            payload_len: 8,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample_repr();
+        let buf = build(repr, b"01234567");
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(p.verify_checksum());
+        assert_eq!(Ipv4Repr::parse(&p), repr);
+        assert_eq!(p.payload(), b"01234567");
+        assert!(p.is_fragment());
+    }
+
+    #[test]
+    fn non_fragment_detected() {
+        let repr = Ipv4Repr::simple(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            Protocol::Udp,
+            0,
+        );
+        let buf = build(repr, b"");
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.is_fragment());
+        assert!(p.dont_frag());
+    }
+
+    #[test]
+    fn last_fragment_is_still_fragment() {
+        let mut repr = sample_repr();
+        repr.more_frags = false;
+        repr.frag_offset = 1480;
+        let buf = build(repr, b"01234567");
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(p.is_fragment());
+        assert_eq!(p.frag_offset(), 1480);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = build(sample_repr(), b"01234567");
+        buf[0] = (6 << 4) | 5;
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::BadVersion);
+    }
+
+    #[test]
+    fn rejects_bad_ihl() {
+        let mut buf = build(sample_repr(), b"01234567");
+        buf[0] = (4 << 4) | 4; // IHL 4 => 16-byte header, illegal
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut buf = build(sample_repr(), b"01234567");
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_total_len_smaller_than_header() {
+        let mut buf = build(sample_repr(), b"01234567");
+        buf[2..4].copy_from_slice(&10u16.to_be_bytes());
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0u8; 19][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn payload_trails_ignored() {
+        // Ethernet padding after total_len must not leak into payload().
+        let repr = Ipv4Repr::simple(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            Protocol::Tcp,
+            4,
+        );
+        let mut buf = build(repr, b"abcd");
+        buf.extend_from_slice(&[0u8; 10]); // padding
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"abcd");
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let mut buf = build(sample_repr(), b"01234567");
+        buf[8] = buf[8].wrapping_add(1); // TTL change invalidates checksum
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn protocol_mapping() {
+        assert_eq!(Protocol::from(6), Protocol::Tcp);
+        assert_eq!(Protocol::from(17), Protocol::Udp);
+        assert_eq!(Protocol::from(1), Protocol::Icmp);
+        assert_eq!(Protocol::from(47), Protocol::Other(47));
+        assert_eq!(u8::from(Protocol::Tcp), 6);
+    }
+}

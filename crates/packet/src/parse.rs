@@ -1,0 +1,236 @@
+//! One-shot layered parsing of a captured frame.
+//!
+//! The IPS fast path wants a single cheap call that classifies a frame and
+//! exposes the fields the detection logic needs — without copying and
+//! without constructing intermediate objects per layer. [`parse_ethernet`]
+//! and [`parse_ipv4`] provide that.
+
+use crate::error::Result;
+use crate::ethernet::{EtherType, EthernetFrame, EthernetRepr};
+use crate::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+use crate::tcp::{TcpRepr, TcpSegment};
+use crate::udp::UdpDatagram;
+
+/// Parsed TCP layer: header repr plus a borrow of the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpInfo<'a> {
+    /// Parsed TCP header.
+    pub repr: TcpRepr,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Parsed UDP layer: ports plus a borrow of the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpInfo<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// The transport layer of a parsed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport<'a> {
+    /// A complete (unfragmented) TCP segment.
+    Tcp(TcpInfo<'a>),
+    /// A complete (unfragmented) UDP datagram.
+    Udp(UdpInfo<'a>),
+    /// Any IP fragment. The transport header, if present at offset 0, is
+    /// deliberately *not* parsed here: the paper's fast path treats every
+    /// fragment as divert-worthy, and parsing a partial L4 header invites
+    /// exactly the inconsistency bugs evasions exploit. The raw IP payload
+    /// is exposed for the slow path.
+    Fragment(&'a [u8]),
+    /// Some other IP protocol; raw IP payload exposed.
+    Other(&'a [u8]),
+    /// Not IPv4 at all (ARP, IPv6, …).
+    NonIp,
+}
+
+/// A fully parsed frame.
+#[derive(Debug, Clone)]
+pub struct Parsed<'a> {
+    /// Ethernet header.
+    pub ethernet: EthernetRepr,
+    /// IPv4 header, when the frame carries IPv4.
+    pub ipv4: Option<Ipv4Repr>,
+    /// Transport layer classification.
+    pub transport: Transport<'a>,
+}
+
+impl<'a> Parsed<'a> {
+    /// The TCP layer, if this is an unfragmented TCP packet.
+    pub fn tcp(&self) -> Option<TcpInfo<'a>> {
+        match self.transport {
+            Transport::Tcp(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The UDP layer, if this is an unfragmented UDP packet.
+    pub fn udp(&self) -> Option<UdpInfo<'a>> {
+        match self.transport {
+            Transport::Udp(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// True if this frame is an IP fragment.
+    pub fn is_fragment(&self) -> bool {
+        matches!(self.transport, Transport::Fragment(_))
+    }
+}
+
+/// Parse a complete Ethernet frame down to the transport layer.
+///
+/// Frames that are not IPv4 parse successfully with
+/// [`Transport::NonIp`]; malformed IPv4 or transport headers are errors
+/// (a normalizing IPS drops them, and the fast path counts them).
+pub fn parse_ethernet(frame: &[u8]) -> Result<Parsed<'_>> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    let ethernet = EthernetRepr::parse(&eth);
+    if ethernet.ethertype != EtherType::Ipv4 {
+        return Ok(Parsed { ethernet, ipv4: None, transport: Transport::NonIp });
+    }
+    let payload = &frame[crate::ethernet::HEADER_LEN..];
+    let inner = parse_ipv4(payload)?;
+    Ok(Parsed { ethernet, ipv4: inner.ipv4, transport: inner.transport })
+}
+
+/// Parse a standalone IPv4 packet down to the transport layer.
+pub fn parse_ipv4(packet: &[u8]) -> Result<Parsed<'_>> {
+    let ip = Ipv4Packet::new_checked(packet)?;
+    let repr = Ipv4Repr::parse(&ip);
+    let header_len = ip.header_len();
+    let total_len = ip.total_len() as usize;
+    let ip_payload = &packet[header_len..total_len];
+
+    let transport = if ip.is_fragment() {
+        Transport::Fragment(ip_payload)
+    } else {
+        match ip.protocol() {
+            Protocol::Tcp => {
+                let seg = TcpSegment::new_checked(ip_payload)?;
+                let tcp_header = seg.header_len();
+                Transport::Tcp(TcpInfo {
+                    repr: TcpRepr::parse(&seg),
+                    payload: &ip_payload[tcp_header..],
+                })
+            }
+            Protocol::Udp => {
+                let dg = UdpDatagram::new_checked(ip_payload)?;
+                let len = dg.len_field() as usize;
+                Transport::Udp(UdpInfo {
+                    src_port: dg.src_port(),
+                    dst_port: dg.dst_port(),
+                    payload: &ip_payload[crate::udp::HEADER_LEN..len],
+                })
+            }
+            _ => Transport::Other(ip_payload),
+        }
+    };
+
+    Ok(Parsed {
+        ethernet: EthernetRepr {
+            src: Default::default(),
+            dst: Default::default(),
+            ethertype: EtherType::Ipv4,
+        },
+        ipv4: Some(repr),
+        transport,
+    })
+}
+
+/// Shorthand: does this frame parse at all? Used by fuzz-style tests and by
+/// the normalizer's drop decision.
+pub fn is_well_formed(frame: &[u8]) -> bool {
+    parse_ethernet(frame).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::builder::{TcpPacketSpec, UdpPacketSpec};
+    use crate::frag::fragment_ipv4;
+
+    #[test]
+    fn parses_tcp_frame() {
+        let frame = TcpPacketSpec::new("10.0.0.1:4000", "10.0.0.2:80")
+            .seq(77)
+            .payload(b"payload!")
+            .build();
+        let p = parse_ethernet(&frame).unwrap();
+        let tcp = p.tcp().unwrap();
+        assert_eq!(tcp.repr.src_port, 4000);
+        assert_eq!(tcp.repr.dst_port, 80);
+        assert_eq!(tcp.repr.seq.raw(), 77);
+        assert_eq!(tcp.payload, b"payload!");
+        assert!(!p.is_fragment());
+        assert_eq!(p.ipv4.unwrap().src.octets(), [10, 0, 0, 1]);
+    }
+
+    #[test]
+    fn parses_udp_frame() {
+        let frame = UdpPacketSpec::new("10.0.0.1:5000", "10.0.0.9:53")
+            .payload(b"dns?")
+            .build();
+        let p = parse_ethernet(&frame).unwrap();
+        let udp = p.udp().unwrap();
+        assert_eq!((udp.src_port, udp.dst_port), (5000, 53));
+        assert_eq!(udp.payload, b"dns?");
+        assert!(p.tcp().is_none());
+    }
+
+    #[test]
+    fn classifies_fragments() {
+        let frame = TcpPacketSpec::new("10.0.0.1:4000", "10.0.0.2:80")
+            .payload(&[0xaa; 64])
+            .dont_frag(false)
+            .build();
+        // Fragment the IP packet inside the Ethernet frame.
+        let ip = &frame[crate::ethernet::HEADER_LEN..];
+        let frags = fragment_ipv4(ip, 32).unwrap();
+        assert!(frags.len() >= 2);
+        for f in &frags {
+            let p = parse_ipv4(f).unwrap();
+            assert!(p.is_fragment());
+            assert!(matches!(p.transport, Transport::Fragment(_)));
+        }
+    }
+
+    #[test]
+    fn non_ip_is_classified_not_error() {
+        let mut frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2").build();
+        frame[12..14].copy_from_slice(&0x0806u16.to_be_bytes()); // ARP
+        let p = parse_ethernet(&frame).unwrap();
+        assert!(matches!(p.transport, Transport::NonIp));
+        assert!(p.ipv4.is_none());
+    }
+
+    #[test]
+    fn malformed_inner_is_error() {
+        let mut frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2").build();
+        let off = crate::ethernet::HEADER_LEN;
+        frame[off] = (4 << 4) | 3; // bad IHL
+        assert_eq!(parse_ethernet(&frame).unwrap_err(), Error::Malformed);
+        assert!(!is_well_formed(&frame));
+    }
+
+    #[test]
+    fn other_protocol_payload_exposed() {
+        let frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+            .payload(b"zz")
+            .build();
+        let mut ip: Vec<u8> = frame[crate::ethernet::HEADER_LEN..].to_vec();
+        ip[9] = 47; // GRE
+        // fix header checksum
+        let mut v = crate::ipv4::Ipv4Packet::new_unchecked(&mut ip[..]);
+        v.fill_checksum();
+        let p = parse_ipv4(&ip).unwrap();
+        assert!(matches!(p.transport, Transport::Other(_)));
+    }
+}

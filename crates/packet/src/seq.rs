@@ -1,0 +1,152 @@
+//! TCP sequence-number arithmetic.
+//!
+//! TCP sequence numbers live in a 32-bit space that wraps; comparisons are
+//! only meaningful within a window of 2³¹. Getting this wrong is a classic
+//! IPS bug — and a classic evasion vector (send segments that straddle the
+//! wrap point) — so the reassembler, the fast path's in-order tracker, and
+//! the evasion generator all share this one type.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with RFC 793 serial-number semantics.
+///
+/// `a < b` means "a is earlier than b in the stream", valid when the two
+/// numbers are within 2³¹ of each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNumber(pub u32);
+
+impl SeqNumber {
+    /// Construct from the raw wire value.
+    pub fn new(v: u32) -> Self {
+        SeqNumber(v)
+    }
+
+    /// The raw 32-bit value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Signed distance from `other` to `self` (positive if `self` is later).
+    pub fn distance(self, other: SeqNumber) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// True if `self` lies in the half-open interval `[start, end)` of the
+    /// sequence space.
+    pub fn within(self, start: SeqNumber, end: SeqNumber) -> bool {
+        self >= start && self < end
+    }
+
+    /// The smaller (earlier) of two sequence numbers.
+    pub fn min(self, other: SeqNumber) -> SeqNumber {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger (later) of two sequence numbers.
+    pub fn max(self, other: SeqNumber) -> SeqNumber {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for SeqNumber {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SeqNumber {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance(*other).cmp(&0)
+    }
+}
+
+impl Add<u32> for SeqNumber {
+    type Output = SeqNumber;
+    fn add(self, rhs: u32) -> SeqNumber {
+        SeqNumber(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Add<usize> for SeqNumber {
+    type Output = SeqNumber;
+    fn add(self, rhs: usize) -> SeqNumber {
+        SeqNumber(self.0.wrapping_add(rhs as u32))
+    }
+}
+
+impl AddAssign<u32> for SeqNumber {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub for SeqNumber {
+    type Output = i32;
+    fn sub(self, rhs: SeqNumber) -> i32 {
+        self.distance(rhs)
+    }
+}
+
+impl fmt::Display for SeqNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(SeqNumber(5) < SeqNumber(10));
+        assert!(SeqNumber(10) > SeqNumber(5));
+        assert_eq!(SeqNumber(7), SeqNumber(7));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let before = SeqNumber(u32::MAX - 10);
+        let after = SeqNumber(5);
+        assert!(before < after, "wrap-adjacent compare");
+        assert_eq!(after - before, 16);
+        assert_eq!(before - after, -16);
+    }
+
+    #[test]
+    fn addition_wraps() {
+        assert_eq!(SeqNumber(u32::MAX) + 1u32, SeqNumber(0));
+        assert_eq!(SeqNumber(u32::MAX - 1) + 10usize, SeqNumber(8));
+        let mut s = SeqNumber(u32::MAX);
+        s += 2;
+        assert_eq!(s, SeqNumber(1));
+    }
+
+    #[test]
+    fn within_interval() {
+        let s = SeqNumber(100);
+        assert!(s.within(SeqNumber(100), SeqNumber(101)));
+        assert!(!s.within(SeqNumber(101), SeqNumber(200)));
+        // Interval straddling the wrap point.
+        assert!(SeqNumber(2).within(SeqNumber(u32::MAX - 2), SeqNumber(10)));
+        assert!(!SeqNumber(11).within(SeqNumber(u32::MAX - 2), SeqNumber(10)));
+    }
+
+    #[test]
+    fn min_max_respect_serial_order() {
+        let a = SeqNumber(u32::MAX - 1);
+        let b = SeqNumber(3);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

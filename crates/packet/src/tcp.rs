@@ -1,0 +1,576 @@
+//! TCP segments: header fields, flags, option parsing, checksums.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::seq::SeqNumber;
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// Minimum TCP header length (data offset 5).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// Maximum TCP header length (data offset 15).
+pub const MAX_HEADER_LEN: usize = 60;
+
+/// TCP flag bits, as a thin wrapper over the low 6 flag bits plus ECN bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG flag.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// True if every bit in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// Convenience accessors.
+    pub fn syn(self) -> bool {
+        self.contains(Self::SYN)
+    }
+    /// FIN bit set?
+    pub fn fin(self) -> bool {
+        self.contains(Self::FIN)
+    }
+    /// RST bit set?
+    pub fn rst(self) -> bool {
+        self.contains(Self::RST)
+    }
+    /// ACK bit set?
+    pub fn ack(self) -> bool {
+        self.contains(Self::ACK)
+    }
+    /// PSH bit set?
+    pub fn psh(self) -> bool {
+        self.contains(Self::PSH)
+    }
+    /// URG bit set?
+    pub fn urg(self) -> bool {
+        self.contains(Self::URG)
+    }
+}
+
+impl core::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::SYN, 'S'),
+            (Self::ACK, 'A'),
+            (Self::FIN, 'F'),
+            (Self::RST, 'R'),
+            (Self::PSH, 'P'),
+            (Self::URG, 'U'),
+        ];
+        let mut any = false;
+        for (flag, ch) in names {
+            if self.contains(flag) {
+                write!(f, "{ch}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpOption {
+    /// End of option list.
+    EndOfList,
+    /// No-operation padding.
+    Nop,
+    /// Maximum segment size (SYN only).
+    Mss(u16),
+    /// Window scale shift (SYN only).
+    WindowScale(u8),
+    /// SACK permitted (SYN only).
+    SackPermitted,
+    /// Timestamps (value, echo reply).
+    Timestamps(u32, u32),
+    /// Unknown option: kind and length of its data.
+    Unknown {
+        /// Option kind byte.
+        kind: u8,
+        /// Length of the option data (excluding kind and length bytes).
+        data_len: u8,
+    },
+}
+
+impl TcpOption {
+    /// Append this option's wire encoding to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        match *self {
+            TcpOption::EndOfList => out.push(0),
+            TcpOption::Nop => out.push(1),
+            TcpOption::Mss(mss) => {
+                out.extend_from_slice(&[2, 4]);
+                out.extend_from_slice(&mss.to_be_bytes());
+            }
+            TcpOption::WindowScale(shift) => out.extend_from_slice(&[3, 3, shift]),
+            TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
+            TcpOption::Timestamps(val, echo) => {
+                out.extend_from_slice(&[8, 10]);
+                out.extend_from_slice(&val.to_be_bytes());
+                out.extend_from_slice(&echo.to_be_bytes());
+            }
+            TcpOption::Unknown { kind, data_len } => {
+                out.push(kind);
+                out.push(data_len + 2);
+                out.extend(std::iter::repeat_n(0u8, data_len as usize));
+            }
+        }
+    }
+
+    /// Encode a whole option list, NOP-padded to a 4-byte boundary.
+    /// Returns the padded bytes (empty list → empty vec).
+    pub fn emit_list(options: &[TcpOption]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for opt in options {
+            opt.emit(&mut out);
+        }
+        while !out.is_empty() && out.len() % 4 != 0 {
+            out.push(1); // NOP padding
+        }
+        out
+    }
+}
+
+/// Iterate over the options region of a TCP header.
+///
+/// Yields `Err(Error::BadOption)` once and then stops if the list is
+/// malformed (truncated option, zero length).
+pub struct TcpOptionIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> TcpOptionIter<'a> {
+    /// Iterate over raw option bytes (the region after the fixed header).
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, done: false }
+    }
+}
+
+impl<'a> Iterator for TcpOptionIter<'a> {
+    type Item = Result<TcpOption>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.pos >= self.data.len() {
+            return None;
+        }
+        let kind = self.data[self.pos];
+        match kind {
+            0 => {
+                self.done = true;
+                Some(Ok(TcpOption::EndOfList))
+            }
+            1 => {
+                self.pos += 1;
+                Some(Ok(TcpOption::Nop))
+            }
+            _ => {
+                if self.pos + 1 >= self.data.len() {
+                    self.done = true;
+                    return Some(Err(Error::BadOption));
+                }
+                let len = usize::from(self.data[self.pos + 1]);
+                if len < 2 || self.pos + len > self.data.len() {
+                    self.done = true;
+                    return Some(Err(Error::BadOption));
+                }
+                let body = &self.data[self.pos + 2..self.pos + len];
+                self.pos += len;
+                let opt = match (kind, body.len()) {
+                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (3, 1) => TcpOption::WindowScale(body[0]),
+                    (4, 0) => TcpOption::SackPermitted,
+                    (8, 8) => TcpOption::Timestamps(
+                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    ),
+                    _ => TcpOption::Unknown { kind, data_len: body.len() as u8 },
+                };
+                Some(Ok(opt))
+            }
+        }
+    }
+}
+
+/// A view over a buffer holding a TCP segment (header + payload).
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap a buffer, checking length and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let seg = Self { buffer };
+        let hl = seg.header_len();
+        if hl < MIN_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if hl > seg.buffer.as_ref().len() {
+            return Err(Error::BadLength);
+        }
+        Ok(seg)
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> SeqNumber {
+        let b = self.buffer.as_ref();
+        SeqNumber(u32::from_be_bytes([b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> SeqNumber {
+        let b = self.buffer.as_ref();
+        SeqNumber(u32::from_be_bytes([b[8], b[9], b[10], b[11]]))
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag byte.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13] & 0x3f)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field as stored.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// Urgent pointer.
+    pub fn urgent_ptr(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[18], b[19]])
+    }
+
+    /// Raw option bytes.
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// Iterate parsed options.
+    pub fn option_iter(&self) -> TcpOptionIter<'_> {
+        TcpOptionIter::new(self.options())
+    }
+
+    /// The payload carried after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify the checksum under the IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        checksum::verify_transport(src, dst, 6, self.buffer.as_ref())
+    }
+
+    /// Sequence-space length this segment occupies: payload bytes plus one
+    /// for SYN and one for FIN.
+    pub fn seq_len(&self) -> u32 {
+        let mut n = self.payload().len() as u32;
+        if self.flags().syn() {
+            n += 1;
+        }
+        if self.flags().fin() {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, s: SeqNumber) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&s.0.to_be_bytes());
+    }
+
+    /// Set the acknowledgment number.
+    pub fn set_ack(&mut self, s: SeqNumber) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&s.0.to_be_bytes());
+    }
+
+    /// Set the header length in bytes (multiple of 4).
+    pub fn set_header_len(&mut self, len: usize) {
+        debug_assert_eq!(len % 4, 0);
+        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Set the flags byte.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.buffer.as_mut()[13] = f.0;
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, w: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+
+    /// Set the urgent pointer.
+    pub fn set_urgent_ptr(&mut self, p: u16) {
+        self.buffer.as_mut()[18..20].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Zero the checksum, compute it under the pseudo-header, store it.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
+        let c = checksum::transport_checksum(src, dst, 6, self.buffer.as_ref());
+        self.buffer.as_mut()[16..18].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let start = self.header_len();
+        &mut self.buffer.as_mut()[start..]
+    }
+}
+
+/// Owned representation of a TCP header (no options; option emission is the
+/// builder's job, option *parsing* lives on the view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: SeqNumber,
+    /// Acknowledgment number.
+    pub ack: SeqNumber,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpRepr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(s: &TcpSegment<T>) -> Self {
+        TcpRepr {
+            src_port: s.src_port(),
+            dst_port: s.dst_port(),
+            seq: s.seq(),
+            ack: s.ack(),
+            flags: s.flags(),
+            window: s.window(),
+            urgent: s.urgent_ptr(),
+        }
+    }
+
+    /// Emit a 20-byte header into the view (payload and checksum are the
+    /// caller's responsibility; call `fill_checksum` last).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, s: &mut TcpSegment<T>) {
+        s.set_src_port(self.src_port);
+        s.set_dst_port(self.dst_port);
+        s.set_seq(self.seq);
+        s.set_ack(self.ack);
+        s.set_header_len(MIN_HEADER_LEN);
+        s.set_flags(self.flags);
+        s.set_window(self.window);
+        s.set_urgent_ptr(self.urgent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(repr: TcpRepr, payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + payload.len()];
+        let mut s = TcpSegment::new_unchecked(&mut buf[..]);
+        repr.emit(&mut s);
+        s.payload_mut().copy_from_slice(payload);
+        s.fill_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        buf
+    }
+
+    fn sample() -> TcpRepr {
+        TcpRepr {
+            src_port: 49152,
+            dst_port: 80,
+            seq: SeqNumber(0x01020304),
+            ack: SeqNumber(0xa0b0c0d0),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 65535,
+            urgent: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = build(sample(), b"hello");
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(TcpRepr::parse(&s), sample());
+        assert_eq!(s.payload(), b"hello");
+        assert!(s.verify_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)));
+        assert!(!s.verify_checksum(Ipv4Addr::new(10, 0, 0, 3), Ipv4Addr::new(10, 0, 0, 2)));
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin() {
+        let mut r = sample();
+        r.flags = TcpFlags::SYN;
+        let buf = build(r, b"");
+        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap().seq_len(), 1);
+        r.flags = TcpFlags::FIN | TcpFlags::ACK;
+        let buf = build(r, b"xy");
+        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap().seq_len(), 3);
+    }
+
+    #[test]
+    fn rejects_short_and_bad_offset() {
+        assert_eq!(
+            TcpSegment::new_checked(&[0u8; 19][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = build(sample(), b"");
+        buf[12] = 4 << 4; // offset 4 -> 16-byte header, illegal
+        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[12] = 15 << 4; // 60-byte header but buffer is 20
+        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn parses_syn_options() {
+        // Hand-build a SYN with MSS 1460, NOP, WScale 7, SACK-permitted,
+        // Timestamps, EOL.
+        let opts: Vec<u8> = vec![
+            2, 4, 0x05, 0xb4, // MSS 1460
+            1, // NOP
+            3, 3, 7, // WScale 7
+            4, 2, // SACK permitted
+            8, 10, 0, 0, 0, 1, 0, 0, 0, 2, // TS val=1 ecr=2
+            0, // EOL
+        ];
+        let header_len = MIN_HEADER_LEN + opts.len() + 1; // pad to multiple of 4
+        let padded = header_len.div_ceil(4) * 4;
+        let mut buf = vec![0u8; padded];
+        {
+            let mut s = TcpSegment::new_unchecked(&mut buf[..]);
+            sample().emit(&mut s);
+            s.set_header_len(padded);
+        }
+        buf[MIN_HEADER_LEN..MIN_HEADER_LEN + opts.len()].copy_from_slice(&opts);
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        let parsed: Vec<_> = s.option_iter().collect::<Result<_>>().unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                TcpOption::Mss(1460),
+                TcpOption::Nop,
+                TcpOption::WindowScale(7),
+                TcpOption::SackPermitted,
+                TcpOption::Timestamps(1, 2),
+                TcpOption::EndOfList,
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_options_error_once() {
+        // Kind 2 (MSS) claims length 10 but only 4 bytes remain.
+        let data = [2u8, 10, 0, 0];
+        let mut it = TcpOptionIter::new(&data);
+        assert_eq!(it.next(), Some(Err(Error::BadOption)));
+        assert_eq!(it.next(), None);
+        // Zero-length option.
+        let data = [5u8, 0, 0, 0];
+        let mut it = TcpOptionIter::new(&data);
+        assert_eq!(it.next(), Some(Err(Error::BadOption)));
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn unknown_option_skipped() {
+        let data = [254u8, 4, 0xaa, 0xbb, 1, 0];
+        let parsed: Vec<_> = TcpOptionIter::new(&data).collect::<Result<_>>().unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                TcpOption::Unknown { kind: 254, data_len: 2 },
+                TcpOption::Nop,
+                TcpOption::EndOfList
+            ]
+        );
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SA");
+        assert_eq!(TcpFlags::default().to_string(), ".");
+    }
+}

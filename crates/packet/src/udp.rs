@@ -1,0 +1,164 @@
+//! UDP datagrams.
+//!
+//! UDP traffic takes no part in the Split-Detect TCP machinery, but the
+//! traces contain it (DNS-like chatter), the conventional IPS still scans
+//! its payloads per-packet, and IP-fragmented UDP is one of the classic
+//! Ptacek–Newsham carriers.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A view over a buffer holding a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap a buffer, checking the fixed header and the length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let dg = Self { buffer };
+        let l = dg.len_field() as usize;
+        if l < HEADER_LEN || l > dg.buffer.as_ref().len() {
+            return Err(Error::BadLength);
+        }
+        Ok(dg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Stored checksum (0 means "no checksum" in IPv4).
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len_field() as usize]
+    }
+
+    /// Verify the checksum; a zero stored checksum is accepted (IPv4 rule).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let seg = &self.buffer.as_ref()[..self.len_field() as usize];
+        checksum::verify_transport(src, dst, 17, seg)
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len_field(&mut self, l: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&l.to_be_bytes());
+    }
+
+    /// Compute and store the checksum (using 0xffff if it computes to 0, per
+    /// RFC 768).
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&[0, 0]);
+        let len = self.len_field() as usize;
+        let c = checksum::transport_checksum(src, dst, 17, &self.buffer.as_ref()[..len]);
+        let c = if c == 0 { 0xffff } else { c };
+        self.buffer.as_mut()[6..8].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len_field() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(5353);
+        d.set_dst_port(53);
+        d.set_len_field((HEADER_LEN + payload.len()) as u16);
+        d.payload_mut().copy_from_slice(payload);
+        d.fill_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = build(b"query");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5353);
+        assert_eq!(d.dst_port(), 53);
+        assert_eq!(d.payload(), b"query");
+        assert!(d.verify_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)));
+        assert!(!d.verify_checksum(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(10, 0, 0, 2)));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = build(b"x");
+        buf[6..8].copy_from_slice(&[0, 0]);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+        let mut buf = build(b"abc");
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // shorter than header
+        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // longer than buffer
+        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        // Trailing padding beyond len_field is not payload.
+        let mut buf = build(b"abcd");
+        buf.extend_from_slice(&[0xee; 4]);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.payload(), b"abcd");
+    }
+}

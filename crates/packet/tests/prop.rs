@@ -1,0 +1,118 @@
+//! Property tests for sd-packet: every frame the builder can produce must
+//! parse back to exactly the fields it was built from, checksums must
+//! verify, and fragmentation must tile the payload.
+
+use proptest::prelude::*;
+use sd_packet::builder::{ip_of_frame, TcpPacketSpec, UdpPacketSpec};
+use sd_packet::frag::{coverage, fragment_ipv4};
+use sd_packet::ipv4::Ipv4Packet;
+use sd_packet::parse::parse_ethernet;
+use sd_packet::tcp::{TcpFlags, TcpSegment};
+
+fn endpoint() -> impl Strategy<Value = String> {
+    (1u8..=254, 1u8..=254, 1u16..=65535).prop_map(|(a, b, p)| format!("10.{a}.{b}.1:{p}"))
+}
+
+proptest! {
+    #[test]
+    fn tcp_build_parse_roundtrip(
+        src in endpoint(),
+        dst in endpoint(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        flag_bits in 0u8..=0x3f,
+        payload in proptest::collection::vec(any::<u8>(), 0..1460),
+    ) {
+        let frame = TcpPacketSpec::new(&src, &dst)
+            .seq(seq)
+            .ack(ack)
+            .window(window)
+            .flags(TcpFlags(flag_bits))
+            .payload(&payload)
+            .build();
+        let p = parse_ethernet(&frame).unwrap();
+        let tcp = p.tcp().expect("built TCP must parse as TCP");
+        prop_assert_eq!(tcp.repr.seq.raw(), seq);
+        prop_assert_eq!(tcp.repr.ack.raw(), ack);
+        prop_assert_eq!(tcp.repr.window, window);
+        prop_assert_eq!(tcp.repr.flags.0, flag_bits);
+        prop_assert_eq!(tcp.payload, &payload[..]);
+
+        let ip = Ipv4Packet::new_checked(ip_of_frame(&frame)).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let seg = TcpSegment::new_checked(ip.payload()).unwrap();
+        prop_assert!(seg.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn udp_build_parse_roundtrip(
+        src in endpoint(),
+        dst in endpoint(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let frame = UdpPacketSpec::new(&src, &dst).payload(&payload).build();
+        let p = parse_ethernet(&frame).unwrap();
+        let udp = p.udp().expect("built UDP must parse as UDP");
+        prop_assert_eq!(udp.payload, &payload[..]);
+        let ip = Ipv4Packet::new_checked(ip_of_frame(&frame)).unwrap();
+        prop_assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn fragmentation_tiles_payload(
+        payload_len in 1usize..3000,
+        unit in 8usize..1480,
+    ) {
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i * 31 % 256) as u8).collect();
+        let frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+            .dont_frag(false)
+            .payload(&payload)
+            .build();
+        let pkt = ip_of_frame(&frame);
+        let orig_payload = Ipv4Packet::new_checked(pkt).unwrap().payload().to_vec();
+        let frags = fragment_ipv4(pkt, unit).unwrap();
+        let cov = coverage(&frags).unwrap();
+
+        // Offsets tile the payload exactly, MF set on all but the last.
+        let mut next = 0u32;
+        for (i, &(off, len, more)) in cov.iter().enumerate() {
+            prop_assert_eq!(u32::from(off), next);
+            prop_assert_eq!(more, i + 1 < cov.len());
+            next += len as u32;
+        }
+        prop_assert_eq!(next as usize, orig_payload.len());
+
+        // Byte-for-byte reconstruction.
+        let mut rebuilt = vec![0u8; orig_payload.len()];
+        for f in &frags {
+            let ip = Ipv4Packet::new_checked(&f[..]).unwrap();
+            let off = ip.frag_offset() as usize;
+            rebuilt[off..off + ip.payload().len()].copy_from_slice(ip.payload());
+            prop_assert!(ip.verify_checksum());
+        }
+        prop_assert_eq!(rebuilt, orig_payload);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Arbitrary bytes must yield Ok or Err, never a panic or an
+        // out-of-bounds slice.
+        let _ = parse_ethernet(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_frames(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        idx in 0usize..100,
+        val in any::<u8>(),
+    ) {
+        // A well-formed frame with one mutated byte must still never panic.
+        let mut frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+            .payload(&payload)
+            .build();
+        let i = idx % frame.len();
+        frame[i] = val;
+        let _ = parse_ethernet(&frame);
+    }
+}

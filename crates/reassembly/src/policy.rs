@@ -1,0 +1,108 @@
+//! Conflicting-overlap resolution policies.
+//!
+//! When two segments (or IP fragments) claim the same stream position with
+//! *different* bytes, host stacks disagree about which copy the application
+//! sees. Ptacek–Newsham inconsistent-retransmission evasions exploit exactly
+//! this: send garbage first and the signature in an "overlapping retransmit"
+//! (or vice versa) so an IPS that resolves the overlap differently from the
+//! victim scans a stream the victim never saw.
+//!
+//! We model the four classical flavors at byte granularity, following the
+//! target-based reassembly literature (Shankar & Paxson's active mapping,
+//! Novak's Snort `policy` work). Each buffered byte remembers the start
+//! offset of the segment that wrote it; when a new segment covers that byte,
+//! [`OverlapPolicy::new_wins`] decides whether the new copy replaces it.
+
+use std::fmt;
+
+/// How conflicting overlapping data is resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverlapPolicy {
+    /// The first copy of a byte ever received wins (Windows-like; also what
+    /// a strict "original data" normalizer emits).
+    First,
+    /// The most recently received copy wins (the "always trust the
+    /// retransmission" extreme).
+    Last,
+    /// BSD-derived stacks: old data is kept, *except* that a new segment
+    /// starting strictly before the segment that wrote the old byte
+    /// overrides it (its leading edge wins).
+    Bsd,
+    /// Linux: like BSD, but the new segment also wins ties — a segment
+    /// starting at or before the old writer's start replaces it.
+    Linux,
+}
+
+impl OverlapPolicy {
+    /// All four policies, for exhaustive evaluation (E9 iterates this).
+    pub const ALL: [OverlapPolicy; 4] = [
+        OverlapPolicy::First,
+        OverlapPolicy::Last,
+        OverlapPolicy::Bsd,
+        OverlapPolicy::Linux,
+    ];
+
+    /// Does a newly arrived copy of a byte replace the existing one?
+    ///
+    /// `old_seg_start`/`new_seg_start` are the stream offsets at which the
+    /// writing segments began (what distinguishes BSD from Linux behaviour).
+    pub fn new_wins(self, old_seg_start: u64, new_seg_start: u64) -> bool {
+        match self {
+            OverlapPolicy::First => false,
+            OverlapPolicy::Last => true,
+            OverlapPolicy::Bsd => new_seg_start < old_seg_start,
+            OverlapPolicy::Linux => new_seg_start <= old_seg_start,
+        }
+    }
+}
+
+impl fmt::Display for OverlapPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OverlapPolicy::First => "first",
+            OverlapPolicy::Last => "last",
+            OverlapPolicy::Bsd => "bsd",
+            OverlapPolicy::Linux => "linux",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_never_overwrites() {
+        for (old, new) in [(0, 0), (0, 5), (5, 0)] {
+            assert!(!OverlapPolicy::First.new_wins(old, new));
+        }
+    }
+
+    #[test]
+    fn last_always_overwrites() {
+        for (old, new) in [(0, 0), (0, 5), (5, 0)] {
+            assert!(OverlapPolicy::Last.new_wins(old, new));
+        }
+    }
+
+    #[test]
+    fn bsd_new_wins_only_with_earlier_start() {
+        assert!(OverlapPolicy::Bsd.new_wins(10, 5));
+        assert!(!OverlapPolicy::Bsd.new_wins(10, 10));
+        assert!(!OverlapPolicy::Bsd.new_wins(5, 10));
+    }
+
+    #[test]
+    fn linux_new_wins_on_tie() {
+        assert!(OverlapPolicy::Linux.new_wins(10, 5));
+        assert!(OverlapPolicy::Linux.new_wins(10, 10));
+        assert!(!OverlapPolicy::Linux.new_wins(5, 10));
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = OverlapPolicy::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["first", "last", "bsd", "linux"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Urgent-pointer semantics.
+//!
+//! RFC 793's urgent mechanism is the most ambiguous corner of TCP: the
+//! standard's text and its errata disagree on whether `urg_ptr` points *at*
+//! the last urgent octet or one past it, and stacks disagree on whether the
+//! urgent octet is delivered inline or consumed out-of-band (discarded from
+//! the normal read stream). Ptacek & Newsham weaponized exactly this: mark
+//! one chaff byte inside the signature urgent, and an IPS that includes it
+//! inline scans a string the victim's application never sees.
+//!
+//! We model the two behaviours that matter for that evasion. The pointer
+//! convention is fixed (`urg_ptr` = offset of the urgent octet within the
+//! segment, 1-based — the BSD reading), since the inline/discard split is
+//! what the detection logic must get right.
+
+use sd_packet::tcp::TcpRepr;
+use sd_packet::SeqNumber;
+
+/// How a stack delivers the urgent octet to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UrgentSemantics {
+    /// The urgent octet is discarded from the normal stream (classic BSD
+    /// out-of-band delivery; the application reads around it). The default,
+    /// because it is the behaviour the evasion targets.
+    #[default]
+    DiscardOne,
+    /// The urgent octet stays in the stream (Linux `SO_OOBINLINE`-style).
+    Inline,
+}
+
+impl UrgentSemantics {
+    /// The sequence number of the octet these semantics would discard, for
+    /// a segment with header `repr` whose payload starts at `data_seq` and
+    /// is `payload_len` bytes. `None` when nothing is discarded.
+    pub fn discarded_seq(
+        self,
+        repr: &TcpRepr,
+        data_seq: SeqNumber,
+        payload_len: usize,
+    ) -> Option<SeqNumber> {
+        if self != UrgentSemantics::DiscardOne || !repr.flags.urg() {
+            return None;
+        }
+        let ptr = repr.urgent as usize;
+        if ptr == 0 || ptr > payload_len {
+            return None; // pointer outside the segment: ignored
+        }
+        Some(data_seq + (ptr - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_packet::tcp::TcpFlags;
+
+    fn repr(urg: bool, ptr: u16) -> TcpRepr {
+        TcpRepr {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNumber(100),
+            ack: SeqNumber(0),
+            flags: if urg {
+                TcpFlags::ACK.union(TcpFlags::URG)
+            } else {
+                TcpFlags::ACK
+            },
+            window: 1000,
+            urgent: ptr,
+        }
+    }
+
+    #[test]
+    fn discard_points_into_segment() {
+        let s = UrgentSemantics::DiscardOne;
+        assert_eq!(
+            s.discarded_seq(&repr(true, 1), SeqNumber(100), 10),
+            Some(SeqNumber(100))
+        );
+        assert_eq!(
+            s.discarded_seq(&repr(true, 10), SeqNumber(100), 10),
+            Some(SeqNumber(109))
+        );
+    }
+
+    #[test]
+    fn out_of_range_pointer_ignored() {
+        let s = UrgentSemantics::DiscardOne;
+        assert_eq!(s.discarded_seq(&repr(true, 0), SeqNumber(100), 10), None);
+        assert_eq!(s.discarded_seq(&repr(true, 11), SeqNumber(100), 10), None);
+    }
+
+    #[test]
+    fn inline_never_discards() {
+        let s = UrgentSemantics::Inline;
+        assert_eq!(s.discarded_seq(&repr(true, 1), SeqNumber(100), 10), None);
+    }
+
+    #[test]
+    fn no_urg_flag_no_discard() {
+        let s = UrgentSemantics::DiscardOne;
+        assert_eq!(s.discarded_seq(&repr(false, 1), SeqNumber(100), 10), None);
+    }
+}

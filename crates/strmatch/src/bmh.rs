@@ -1,0 +1,119 @@
+//! Boyer–Moore–Horspool single-pattern search.
+//!
+//! Sublinear on average thanks to the bad-character skip table. Used by the
+//! naive per-packet IPS baseline when configured with a single signature,
+//! and as a second implementation to cross-check the automata.
+
+/// A compiled single-pattern Horspool searcher.
+#[derive(Debug, Clone)]
+pub struct Horspool {
+    pattern: Vec<u8>,
+    /// For each byte value, how far the window may shift when the window's
+    /// last byte is that value and no match was found.
+    skip: [usize; 256],
+}
+
+impl Horspool {
+    /// Compile a non-empty pattern.
+    pub fn new(pattern: &[u8]) -> Self {
+        assert!(!pattern.is_empty(), "empty patterns are not allowed");
+        let m = pattern.len();
+        let mut skip = [m; 256];
+        for (i, &b) in pattern[..m - 1].iter().enumerate() {
+            skip[b as usize] = m - 1 - i;
+        }
+        Horspool { pattern: pattern.to_vec(), skip }
+    }
+
+    /// The pattern bytes.
+    pub fn pattern(&self) -> &[u8] {
+        &self.pattern
+    }
+
+    /// Offset of the first occurrence in `hay`, if any.
+    pub fn find(&self, hay: &[u8]) -> Option<usize> {
+        let m = self.pattern.len();
+        if hay.len() < m {
+            return None;
+        }
+        let mut i = 0usize;
+        while i + m <= hay.len() {
+            if &hay[i..i + m] == self.pattern.as_slice() {
+                return Some(i);
+            }
+            i += self.skip[hay[i + m - 1] as usize];
+        }
+        None
+    }
+
+    /// All (possibly overlapping) occurrence start offsets.
+    pub fn find_all(&self, hay: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut base = 0usize;
+        while let Some(pos) = self.find(&hay[base..]) {
+            out.push(base + pos);
+            base += pos + 1; // step one byte to allow overlaps
+            if base > hay.len() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// True if the pattern occurs in `hay`.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        self.find(hay).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_first() {
+        let h = Horspool::new(b"needle");
+        assert_eq!(h.find(b"haystack with a needle inside"), Some(16));
+        assert_eq!(h.find(b"no such thing"), None);
+        assert_eq!(h.find(b""), None);
+        assert_eq!(h.find(b"needl"), None);
+        assert_eq!(h.find(b"needle"), Some(0));
+    }
+
+    #[test]
+    fn finds_all_overlapping() {
+        let h = Horspool::new(b"aa");
+        assert_eq!(h.find_all(b"aaaa"), vec![0, 1, 2]);
+        let h = Horspool::new(b"abab");
+        assert_eq!(h.find_all(b"abababab"), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn repeated_trailing_byte() {
+        // The classic Horspool pitfall: last pattern byte also earlier in
+        // the pattern.
+        let h = Horspool::new(b"abcab");
+        assert_eq!(h.find(b"ababcabcab"), Some(2));
+        assert_eq!(h.find_all(b"abcababcab"), vec![0, 5]);
+    }
+
+    #[test]
+    fn single_byte_pattern() {
+        let h = Horspool::new(b"x");
+        assert_eq!(h.find_all(b"axbxc"), vec![1, 3]);
+    }
+
+    #[test]
+    fn binary_pattern() {
+        let pat = [0u8, 255, 0];
+        let h = Horspool::new(&pat);
+        let hay = [255u8, 0, 255, 0, 0, 255, 0];
+        assert_eq!(h.find(&hay), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty patterns")]
+    fn rejects_empty() {
+        Horspool::new(b"");
+    }
+}

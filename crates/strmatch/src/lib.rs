@@ -1,0 +1,51 @@
+//! # sd-match — exact string matching engines
+//!
+//! The Split-Detect fast path scans every packet payload against the set of
+//! *pieces* of all signatures; the slow path and the conventional IPS scan
+//! reassembled streams against the full signatures. Both reduce to
+//! multi-pattern exact matching, implemented here from scratch:
+//!
+//! * [`aho`] — Aho–Corasick automaton (goto/fail/output construction),
+//! * [`dfa`] — a dense byte-indexed DFA compiled from the NFA; this is the
+//!   fast-path engine the paper's hardware argument is about (one table
+//!   lookup per byte, no failure chains),
+//! * [`bmh`] — Boyer–Moore–Horspool for single patterns (used by tests and
+//!   by the naive per-packet baseline when it has one signature),
+//! * [`shiftor`] — bit-parallel shift-or for short patterns (≤ 64 bytes;
+//!   signature pieces are short, so this is a credible alternative
+//!   fast-path engine and appears in the matcher ablation bench),
+//! * [`stream`] — a resumable matcher that carries DFA state across chunk
+//!   boundaries, reporting absolute stream offsets: what the slow path runs
+//!   over reassembled bytes,
+//! * [`stride2`] — a two-bytes-per-lookup DFA: the hardware
+//!   multi-byte-per-cycle trade-off (throughput vs table width) as a
+//!   measurable software ablation,
+//! * [`wumanber`] — Wu–Manber bad-block shifting, the era's software IPS
+//!   engine: sublinear on small rule sets, degrading as the shift table
+//!   fills — the degradation the paper's DFA assumption avoids,
+//! * [`naive`] — the obviously-correct quadratic reference all engines are
+//!   cross-checked against in unit and property tests.
+//!
+//! All engines report [`Match`] values identifying the pattern and the
+//! *end* offset (one past the last byte), and find **all** occurrences,
+//! including overlapping ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aho;
+pub mod bmh;
+pub mod dfa;
+pub mod naive;
+pub mod pattern;
+pub mod shiftor;
+pub mod stream;
+pub mod stride2;
+pub mod wumanber;
+
+pub use aho::AhoCorasick;
+pub use dfa::AcDfa;
+pub use pattern::{Match, PatternId, PatternSet};
+pub use stream::StreamMatcher;
+pub use stride2::Stride2Dfa;
+pub use wumanber::WuManber;

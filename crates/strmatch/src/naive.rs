@@ -1,0 +1,69 @@
+//! The obviously-correct reference matcher.
+//!
+//! Quadratic, allocation-free, and trivially auditable. Every other engine
+//! in this crate is cross-checked against it in tests; it is never used on
+//! a data path.
+
+use crate::pattern::{Match, PatternSet};
+
+/// Find all occurrences (including overlapping) of every pattern in `set`
+/// within `hay`, in order of end offset, ties by pattern id.
+pub fn find_all(set: &PatternSet, hay: &[u8]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for end in 1..=hay.len() {
+        for (id, pat) in set.iter() {
+            if pat.len() <= end && &hay[end - pat.len()..end] == pat {
+                out.push(Match::new(id, end));
+            }
+        }
+    }
+    out
+}
+
+/// True if any pattern occurs in `hay`.
+pub fn is_match(set: &PatternSet, hay: &[u8]) -> bool {
+    set.iter().any(|(_, pat)| {
+        pat.len() <= hay.len() && hay.windows(pat.len()).any(|w| w == pat)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_overlapping() {
+        let set = PatternSet::from_patterns(["aa"]);
+        let ms = find_all(&set, b"aaaa");
+        assert_eq!(
+            ms,
+            vec![Match::new(0, 2), Match::new(0, 3), Match::new(0, 4)]
+        );
+    }
+
+    #[test]
+    fn finds_multiple_patterns_at_same_end() {
+        let set = PatternSet::from_patterns(["he", "she", "e"]);
+        let ms = find_all(&set, b"she");
+        // End 2: "sh" no... end offsets: "e" at 3, "he" at 3, "she" at 3.
+        assert_eq!(
+            ms,
+            vec![Match::new(0, 3), Match::new(1, 3), Match::new(2, 3)]
+        );
+    }
+
+    #[test]
+    fn empty_haystack_no_match() {
+        let set = PatternSet::from_patterns(["a"]);
+        assert!(find_all(&set, b"").is_empty());
+        assert!(!is_match(&set, b""));
+    }
+
+    #[test]
+    fn is_match_agrees_with_find_all() {
+        let set = PatternSet::from_patterns(["abc", "zzz"]);
+        assert!(is_match(&set, b"xxabcxx"));
+        assert!(!is_match(&set, b"xxabxcx"));
+        assert_eq!(is_match(&set, b"xxabcxx"), !find_all(&set, b"xxabcxx").is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Pattern sets and match records shared by every engine.
+
+use core::fmt;
+
+/// Identifies a pattern by its insertion order within a [`PatternSet`].
+pub type PatternId = u32;
+
+/// A reported occurrence: pattern `pattern` ends at byte offset `end`
+/// (exclusive) of the haystack; it starts at `end - len(pattern)`.
+///
+/// Engines report the *end* because streaming matchers know the end the
+/// moment the last byte arrives, while the start may lie in an earlier,
+/// already-discarded chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Match {
+    /// End offset, one past the last matched byte.
+    pub end: usize,
+    /// Which pattern matched.
+    pub pattern: PatternId,
+}
+
+impl Match {
+    /// Convenience constructor.
+    pub fn new(pattern: PatternId, end: usize) -> Self {
+        Match { end, pattern }
+    }
+
+    /// Start offset within the same haystack, given the pattern set.
+    pub fn start(&self, set: &PatternSet) -> usize {
+        self.end - set.pattern(self.pattern).len()
+    }
+}
+
+/// An ordered collection of non-empty byte patterns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternSet {
+    patterns: Vec<Vec<u8>>,
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of byte strings. Panics on empty patterns —
+    /// an empty signature piece is a configuration error upstream, not a
+    /// runtime condition.
+    pub fn from_patterns<I, P>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        let mut set = Self::new();
+        for p in patterns {
+            set.add(p.as_ref());
+        }
+        set
+    }
+
+    /// Append a pattern, returning its id.
+    pub fn add(&mut self, pattern: &[u8]) -> PatternId {
+        assert!(!pattern.is_empty(), "empty patterns are not allowed");
+        let id = self.patterns.len() as PatternId;
+        self.patterns.push(pattern.to_vec());
+        id
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The bytes of pattern `id`.
+    pub fn pattern(&self, id: PatternId) -> &[u8] {
+        &self.patterns[id as usize]
+    }
+
+    /// Iterate `(id, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternId, &[u8])> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as PatternId, p.as_slice()))
+    }
+
+    /// Total bytes across all patterns.
+    pub fn total_bytes(&self) -> usize {
+        self.patterns.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the shortest pattern (None if empty).
+    pub fn min_len(&self) -> Option<usize> {
+        self.patterns.iter().map(Vec::len).min()
+    }
+
+    /// Length of the longest pattern (None if empty).
+    pub fn max_len(&self) -> Option<usize> {
+        self.patterns.iter().map(Vec::len).max()
+    }
+}
+
+impl fmt::Display for PatternSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PatternSet({} patterns, {} bytes)", self.len(), self.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_insertion_order() {
+        let mut set = PatternSet::new();
+        assert_eq!(set.add(b"abc"), 0);
+        assert_eq!(set.add(b"de"), 1);
+        assert_eq!(set.pattern(0), b"abc");
+        assert_eq!(set.pattern(1), b"de");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_bytes(), 5);
+        assert_eq!(set.min_len(), Some(2));
+        assert_eq!(set.max_len(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty patterns")]
+    fn empty_pattern_rejected() {
+        PatternSet::new().add(b"");
+    }
+
+    #[test]
+    fn match_start_derives_from_end() {
+        let set = PatternSet::from_patterns(["hello"]);
+        let m = Match::new(0, 9);
+        assert_eq!(m.start(&set), 4);
+    }
+
+    #[test]
+    fn duplicates_get_distinct_ids() {
+        let set = PatternSet::from_patterns(["xy", "xy"]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.pattern(0), set.pattern(1));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let set = PatternSet::from_patterns(["abc", "d"]);
+        assert_eq!(set.to_string(), "PatternSet(2 patterns, 4 bytes)");
+    }
+}

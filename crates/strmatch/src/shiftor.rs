@@ -1,0 +1,235 @@
+//! Bit-parallel shift-or (Baeza-Yates–Gonnet) matching.
+//!
+//! A pattern of length m ≤ 64 is matched with two operations per haystack
+//! byte: a shift and an OR against a 256-entry mask table. Signature
+//! *pieces* in Split-Detect are short by construction (the paper's fast
+//! path wants small p), so a bank of shift-or units is a plausible
+//! alternative hardware fast path; the `matcher` bench compares it against
+//! the dense DFA.
+//!
+//! [`ShiftOrBank`] additionally packs *several* short patterns into one
+//! machine word (bit-split style), matching them all simultaneously as long
+//! as their total length is ≤ 64.
+
+/// Single-pattern shift-or matcher (pattern length ≤ 64).
+#[derive(Debug, Clone)]
+pub struct ShiftOr {
+    mask: [u64; 256],
+    /// Bit set when the full pattern has matched.
+    accept: u64,
+    len: usize,
+}
+
+impl ShiftOr {
+    /// Compile a pattern of length 1..=64.
+    pub fn new(pattern: &[u8]) -> Self {
+        assert!(
+            !pattern.is_empty() && pattern.len() <= 64,
+            "shift-or patterns must be 1..=64 bytes"
+        );
+        // mask[b] has bit i CLEARED iff pattern[i] == b.
+        let mut mask = [!0u64; 256];
+        for (i, &b) in pattern.iter().enumerate() {
+            mask[b as usize] &= !(1u64 << i);
+        }
+        ShiftOr { mask, accept: 1u64 << (pattern.len() - 1), len: pattern.len() }
+    }
+
+    /// Pattern length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if this matcher's pattern is a single byte.
+    pub fn is_empty(&self) -> bool {
+        false // patterns are never empty by construction
+    }
+
+    /// All end offsets (exclusive) of occurrences in `hay`.
+    pub fn find_ends(&self, hay: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut state = !0u64;
+        for (i, &b) in hay.iter().enumerate() {
+            state = (state << 1) | self.mask[b as usize];
+            if state & self.accept == 0 {
+                out.push(i + 1);
+            }
+        }
+        out
+    }
+
+    /// True if the pattern occurs in `hay`.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        let mut state = !0u64;
+        for &b in hay {
+            state = (state << 1) | self.mask[b as usize];
+            if state & self.accept == 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Several short patterns packed into one 64-bit shift-or word.
+///
+/// Each pattern occupies a contiguous bit range; a guard bit per pattern
+/// stops the shift from leaking one pattern's state into the next. Total
+/// packed width (sum of lengths) must be ≤ 64.
+#[derive(Debug, Clone)]
+pub struct ShiftOrBank {
+    mask: [u64; 256],
+    /// One accept bit per pattern (its highest bit position).
+    accept: u64,
+    /// Bits at each pattern's *first* position. After the shift, these bit
+    /// positions hold the previous pattern's top bit — garbage. They are
+    /// ANDed away (`state << 1 & !start_guard`) so every position can start
+    /// a fresh match, exactly like bit 0 in single-pattern shift-or where
+    /// the shift inserts a literal 0.
+    start_guard: u64,
+    /// Map from accept-bit position to pattern index.
+    bit_to_pattern: Vec<(u32, usize)>,
+}
+
+impl ShiftOrBank {
+    /// Pack patterns; panics if any is empty or the total length exceeds 64.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let total: usize = patterns.iter().map(|p| p.as_ref().len()).sum();
+        assert!(total > 0 && total <= 64, "bank must pack 1..=64 total bytes");
+        let mut mask = [!0u64; 256];
+        let mut accept = 0u64;
+        let mut start_guard = 0u64;
+        let mut bit_to_pattern = Vec::new();
+        let mut base = 0u32;
+        for (pi, p) in patterns.iter().enumerate() {
+            let p = p.as_ref();
+            assert!(!p.is_empty(), "empty patterns are not allowed");
+            for (i, &b) in p.iter().enumerate() {
+                mask[b as usize] &= !(1u64 << (base + i as u32));
+            }
+            // Without the guard, pattern pi-1's top bit would shift into
+            // pattern pi's first bit and block (or spuriously allow)
+            // matches there.
+            if base > 0 {
+                start_guard |= 1u64 << base;
+            }
+            let acc_bit = base + p.len() as u32 - 1;
+            accept |= 1u64 << acc_bit;
+            bit_to_pattern.push((acc_bit, pi));
+            base += p.len() as u32;
+        }
+        ShiftOrBank { mask, accept, start_guard, bit_to_pattern }
+    }
+
+    /// For each haystack position where at least one pattern ends, report
+    /// `(end, pattern_index)`.
+    pub fn find_all(&self, hay: &[u8]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut state = !0u64;
+        for (i, &b) in hay.iter().enumerate() {
+            state = ((state << 1) & !self.start_guard) | self.mask[b as usize];
+            let hits = !state & self.accept;
+            if hits != 0 {
+                for &(bit, pi) in &self.bit_to_pattern {
+                    if hits & (1u64 << bit) != 0 {
+                        out.push((i + 1, pi));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if any packed pattern occurs in `hay`.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        let mut state = !0u64;
+        for &b in hay {
+            state = ((state << 1) & !self.start_guard) | self.mask[b as usize];
+            if !state & self.accept != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::pattern::PatternSet;
+
+    #[test]
+    fn single_matches_naive() {
+        let pat = b"abcab";
+        let so = ShiftOr::new(pat);
+        let hay = b"xabcabcababcab";
+        let set = PatternSet::from_patterns([pat]);
+        let want: Vec<usize> = naive::find_all(&set, hay).iter().map(|m| m.end).collect();
+        assert_eq!(so.find_ends(hay), want);
+        assert!(so.is_match(hay));
+        assert!(!so.is_match(b"nothing here"));
+    }
+
+    #[test]
+    fn max_length_64() {
+        let pat: Vec<u8> = (0..64).map(|i| (i * 7 % 256) as u8).collect();
+        let so = ShiftOr::new(&pat);
+        let mut hay = vec![1u8, 2, 3];
+        hay.extend_from_slice(&pat);
+        assert_eq!(so.find_ends(&hay), vec![hay.len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_too_long() {
+        ShiftOr::new(&[0u8; 65]);
+    }
+
+    #[test]
+    fn bank_matches_each_pattern_independently() {
+        let pats: Vec<&[u8]> = vec![b"abc", b"bcd", b"xyz"];
+        let bank = ShiftOrBank::new(&pats);
+        let hay = b"zabcdxyz";
+        let mut got = bank.find_all(hay);
+        got.sort();
+        // abc ends at 4, bcd ends at 5, xyz ends at 8.
+        assert_eq!(got, vec![(4, 0), (5, 1), (8, 2)]);
+    }
+
+    #[test]
+    fn bank_no_cross_pattern_leakage() {
+        // "ab" then "ba": the string "aba" must match "ab" (end 2) and "ba"
+        // (end 3) but a leak across the guard would also fire spuriously.
+        let pats: Vec<&[u8]> = vec![b"ab", b"ba"];
+        let bank = ShiftOrBank::new(&pats);
+        let mut got = bank.find_all(b"aba");
+        got.sort();
+        assert_eq!(got, vec![(2, 0), (3, 1)]);
+        // A haystack matching neither.
+        assert!(!bank.is_match(b"aa-bb"));
+    }
+
+    #[test]
+    fn bank_agrees_with_naive() {
+        let pats: Vec<&[u8]> = vec![b"he", b"she", b"his", b"hers"];
+        let bank = ShiftOrBank::new(&pats);
+        let hay = b"ushers and his shed";
+        let set = PatternSet::from_patterns(pats);
+        let mut want: Vec<(usize, usize)> = naive::find_all(&set, hay)
+            .iter()
+            .map(|m| (m.end, m.pattern as usize))
+            .collect();
+        want.sort();
+        let mut got = bank.find_all(hay);
+        got.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 total")]
+    fn bank_rejects_overflow() {
+        let pats: Vec<Vec<u8>> = (0..5).map(|_| vec![0u8; 13]).collect();
+        ShiftOrBank::new(&pats); // 65 bytes total
+    }
+}

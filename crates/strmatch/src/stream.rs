@@ -1,0 +1,169 @@
+//! Streaming matching across chunk boundaries.
+//!
+//! The slow path and the conventional IPS receive a reassembled TCP stream
+//! as a sequence of in-order byte chunks and must find signatures that
+//! straddle chunk boundaries. [`StreamMatcher`] carries the DFA state (4
+//! bytes) and the absolute stream offset (8 bytes) between chunks — this
+//! 12-byte figure is exactly the "matcher state" component of the
+//! conventional IPS per-connection cost in experiment E2.
+//!
+//! The DFA itself is shared across all flows and passed by reference to
+//! every call, so per-flow state stays minimal.
+
+use crate::dfa::AcDfa;
+use crate::pattern::PatternId;
+
+/// A match found in a stream: `pattern` ends at absolute stream offset
+/// `end` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamMatch {
+    /// Absolute end offset in the stream, one past the last byte.
+    pub end: u64,
+    /// Which pattern matched.
+    pub pattern: PatternId,
+}
+
+/// Resumable per-flow matcher state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamMatcher {
+    state: u32,
+    offset: u64,
+}
+
+impl StreamMatcher {
+    /// Fresh matcher at stream offset 0 in the DFA start state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absolute offset of the next byte to be fed.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reset to offset 0, start state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Feed one in-order chunk, appending any matches to `out`.
+    pub fn feed(&mut self, dfa: &AcDfa, chunk: &[u8], out: &mut Vec<StreamMatch>) {
+        let mut state = self.state;
+        let base = self.offset;
+        for (i, &b) in chunk.iter().enumerate() {
+            state = dfa.next_state(state, b);
+            if dfa.is_match_state(state) {
+                for &p in dfa.outputs(state) {
+                    out.push(StreamMatch { end: base + i as u64 + 1, pattern: p });
+                }
+            }
+        }
+        self.state = state;
+        self.offset = base + chunk.len() as u64;
+    }
+
+    /// Feed a chunk, returning true as soon as *any* pattern matches (the
+    /// chunk is still consumed in full so the offset stays consistent).
+    pub fn feed_any(&mut self, dfa: &AcDfa, chunk: &[u8]) -> bool {
+        let mut hit = false;
+        let mut state = self.state;
+        for &b in chunk {
+            state = dfa.next_state(state, b);
+            hit |= dfa.is_match_state(state);
+        }
+        self.state = state;
+        self.offset += chunk.len() as u64;
+        hit
+    }
+
+    /// Size of the per-flow state in bytes (used by state accounting).
+    pub const STATE_BYTES: usize = 12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+
+    fn dfa(patterns: &[&str]) -> AcDfa {
+        AcDfa::new(PatternSet::from_patterns(patterns))
+    }
+
+    #[test]
+    fn match_across_chunk_boundary() {
+        let d = dfa(&["attack"]);
+        let mut m = StreamMatcher::new();
+        let mut out = Vec::new();
+        m.feed(&d, b"xxatt", &mut out);
+        assert!(out.is_empty());
+        m.feed(&d, b"ackyy", &mut out);
+        assert_eq!(out, vec![StreamMatch { end: 8, pattern: 0 }]);
+        assert_eq!(m.offset(), 10);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_batch() {
+        let d = dfa(&["abab", "ba"]);
+        let hay = b"abababab";
+        let mut batch = Vec::new();
+        StreamMatcher::new().feed(&d, hay, &mut batch);
+
+        let mut m = StreamMatcher::new();
+        let mut single = Vec::new();
+        for &b in hay {
+            m.feed(&d, &[b], &mut single);
+        }
+        assert_eq!(batch, single);
+        // And against the non-streaming DFA result.
+        let direct: Vec<StreamMatch> = d
+            .find_all(hay)
+            .into_iter()
+            .map(|mm| StreamMatch { end: mm.end as u64, pattern: mm.pattern })
+            .collect();
+        assert_eq!(batch, direct);
+    }
+
+    #[test]
+    fn random_chunking_equals_batch() {
+        let d = dfa(&["he", "she", "hers", "his"]);
+        let hay = b"ushers and his shed with hershey";
+        let mut batch = Vec::new();
+        StreamMatcher::new().feed(&d, hay, &mut batch);
+        // Several fixed chunkings.
+        for sizes in [[1usize, 30, 1].as_slice(), &[3, 3, 3, 3, 3, 17], &[32], &[5, 27]] {
+            let mut m = StreamMatcher::new();
+            let mut out = Vec::new();
+            let mut pos = 0;
+            for &s in sizes {
+                let end = (pos + s).min(hay.len());
+                m.feed(&d, &hay[pos..end], &mut out);
+                pos = end;
+            }
+            assert!(pos >= hay.len());
+            assert_eq!(out, batch, "chunk sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn feed_any_detects_and_advances() {
+        let d = dfa(&["evil"]);
+        let mut m = StreamMatcher::new();
+        assert!(!m.feed_any(&d, b"ev"));
+        assert!(m.feed_any(&d, b"il and more"));
+        assert_eq!(m.offset(), 13);
+        // Still matches again later.
+        assert!(m.feed_any(&d, b"evil"));
+    }
+
+    #[test]
+    fn reset_clears_offset_and_state() {
+        let d = dfa(&["ab"]);
+        let mut m = StreamMatcher::new();
+        let mut out = Vec::new();
+        m.feed(&d, b"a", &mut out);
+        m.reset();
+        m.feed(&d, b"b", &mut out);
+        assert!(out.is_empty(), "reset must forget the pending 'a'");
+        assert_eq!(m.offset(), 1);
+    }
+}

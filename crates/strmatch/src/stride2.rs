@@ -1,0 +1,226 @@
+//! Two-bytes-per-step DFA.
+//!
+//! The paper's line-rate argument is ultimately about how many input bytes
+//! one memory reference can consume: hardware string matchers widen the
+//! transition table so each lookup advances several bytes. This module
+//! implements the stride-2 point of that trade-off — one 16-bit-indexed
+//! lookup per byte *pair* — over the same Aho–Corasick state machine, as
+//! the ablation the `matcher` bench measures.
+//!
+//! Matches ending at the *middle* of a pair must not be lost, so each pair
+//! entry carries a flag: flagged pairs are (rarely) re-stepped through the
+//! byte DFA to emit exact matches. The price is the table: `states × 2¹⁶`
+//! entries, which is why the constructor enforces an explicit memory
+//! budget instead of silently allocating gigabytes — exactly the dimension
+//! hardware designers trade against stride.
+
+use crate::dfa::AcDfa;
+use crate::pattern::Match;
+
+/// Default construction budget for the pair table (64 MiB).
+pub const DEFAULT_MAX_TABLE_BYTES: usize = 64 << 20;
+
+/// Why a stride-2 table could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableTooLarge {
+    /// Bytes the pair table would need.
+    pub required: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for TableTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stride-2 table needs {} bytes, budget is {}",
+            self.required, self.budget
+        )
+    }
+}
+
+impl std::error::Error for TableTooLarge {}
+
+/// A stride-2 wrapper over [`AcDfa`].
+///
+/// ```
+/// use sd_match::pattern::PatternSet;
+/// use sd_match::{AcDfa, Stride2Dfa};
+/// let dfa = AcDfa::new(PatternSet::from_patterns([&b"needle"[..]]));
+/// let s2 = Stride2Dfa::new(dfa).unwrap();
+/// assert_eq!(s2.find_all(b"haystack with a needle in it").len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stride2Dfa {
+    base: AcDfa,
+    /// `pair_delta[state * 65536 + (b0 << 8 | b1)]` = state after both bytes.
+    pair_delta: Vec<u32>,
+    /// True when stepping this pair can produce output (at mid or end).
+    pair_flag: Vec<bool>,
+}
+
+impl Stride2Dfa {
+    /// Build with the default table budget.
+    pub fn new(base: AcDfa) -> Result<Self, TableTooLarge> {
+        Self::with_budget(base, DEFAULT_MAX_TABLE_BYTES)
+    }
+
+    /// Build, refusing if the pair table would exceed `budget` bytes.
+    pub fn with_budget(base: AcDfa, budget: usize) -> Result<Self, TableTooLarge> {
+        let n = base.state_count();
+        let required = n * 65536 * (std::mem::size_of::<u32>() + 1);
+        if required > budget {
+            return Err(TableTooLarge { required, budget });
+        }
+        let mut pair_delta = vec![0u32; n * 65536];
+        let mut pair_flag = vec![false; n * 65536];
+        // mid[s][b0] computed once per state to avoid 256× redundant steps.
+        for s in 0..n as u32 {
+            for b0 in 0..=255u8 {
+                let mid = base.next_state(s, b0);
+                let mid_match = base.is_match_state(mid);
+                for b1 in 0..=255u8 {
+                    let end = base.next_state(mid, b1);
+                    let idx = s as usize * 65536 + ((b0 as usize) << 8 | b1 as usize);
+                    pair_delta[idx] = end;
+                    pair_flag[idx] = mid_match || base.is_match_state(end);
+                }
+            }
+        }
+        Ok(Stride2Dfa {
+            base,
+            pair_delta,
+            pair_flag,
+        })
+    }
+
+    /// The underlying byte DFA.
+    pub fn base(&self) -> &AcDfa {
+        &self.base
+    }
+
+    /// Pair-table memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.pair_delta.len() * std::mem::size_of::<u32>() + self.pair_flag.len()
+    }
+
+    /// Find all matches (same results as [`AcDfa::find_all`], including
+    /// overlapping ones).
+    pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = AcDfa::START;
+        let mut i = 0;
+        while i + 1 < hay.len() {
+            let idx = state as usize * 65536 + ((hay[i] as usize) << 8 | hay[i + 1] as usize);
+            if self.pair_flag[idx] {
+                // Slow exact path for the flagged (rare) pair.
+                let mid = self.base.next_state(state, hay[i]);
+                for &p in self.base.outputs(mid) {
+                    out.push(Match::new(p, i + 1));
+                }
+                let end = self.base.next_state(mid, hay[i + 1]);
+                for &p in self.base.outputs(end) {
+                    out.push(Match::new(p, i + 2));
+                }
+                state = end;
+            } else {
+                state = self.pair_delta[idx];
+            }
+            i += 2;
+        }
+        if i < hay.len() {
+            state = self.base.next_state(state, hay[i]);
+            for &p in self.base.outputs(state) {
+                out.push(Match::new(p, i + 1));
+            }
+        }
+        out
+    }
+
+    /// True if any pattern occurs in `hay`.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        let mut state = AcDfa::START;
+        let mut i = 0;
+        while i + 1 < hay.len() {
+            let idx = state as usize * 65536 + ((hay[i] as usize) << 8 | hay[i + 1] as usize);
+            if self.pair_flag[idx] {
+                return true;
+            }
+            state = self.pair_delta[idx];
+            i += 2;
+        }
+        if i < hay.len() {
+            state = self.base.next_state(state, hay[i]);
+            if self.base.is_match_state(state) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+
+    fn dfa(patterns: &[&[u8]]) -> Stride2Dfa {
+        Stride2Dfa::new(AcDfa::new(PatternSet::from_patterns(patterns.iter().copied()))).unwrap()
+    }
+
+    #[test]
+    fn matches_at_even_and_odd_offsets() {
+        let d = dfa(&[b"abc"]);
+        // End offset 3 (odd) starting at 0, and offset 4 (even) starting 1.
+        assert_eq!(d.find_all(b"abcabc").len(), 2);
+        assert_eq!(d.find_all(b"xabc")[0].end, 4);
+        assert_eq!(d.find_all(b"abc")[0].end, 3);
+        assert!(d.is_match(b"zzabczz"));
+        assert!(!d.is_match(b"zzabzzcz"));
+    }
+
+    #[test]
+    fn odd_length_haystacks() {
+        let d = dfa(&[b"xy"]);
+        assert_eq!(d.find_all(b"xxy").len(), 1);
+        assert_eq!(d.find_all(b"xxy")[0].end, 3);
+        assert_eq!(d.find_all(b"x"), vec![]);
+        assert_eq!(d.find_all(b""), vec![]);
+    }
+
+    #[test]
+    fn agrees_with_byte_dfa_exhaustively() {
+        // Small alphabet so collisions/overlaps are dense.
+        let patterns: Vec<&[u8]> = vec![b"aba", b"bab", b"aa", b"abba"];
+        let d = dfa(&patterns);
+        // All strings over {a,b} up to length 10 (2^11 cases): stride-2 and
+        // stride-1 must report identical match sets.
+        for len in 0..=10usize {
+            for bits in 0u32..1 << len {
+                let hay: Vec<u8> = (0..len)
+                    .map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' })
+                    .collect();
+                let mut a = d.base().find_all(&hay);
+                let mut b = d.find_all(&hay);
+                a.sort_by_key(|m| (m.end, m.pattern));
+                b.sort_by_key(|m| (m.end, m.pattern));
+                assert_eq!(a, b, "divergence on {:?}", String::from_utf8_lossy(&hay));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let base = AcDfa::new(PatternSet::from_patterns([&b"hello-world-pattern"[..]]));
+        let err = Stride2Dfa::with_budget(base, 1024).unwrap_err();
+        assert!(err.required > 1024);
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let d = dfa(&[b"ab"]);
+        let states = d.base().state_count();
+        assert_eq!(d.memory_bytes(), states * 65536 * 4 + states * 65536);
+    }
+}

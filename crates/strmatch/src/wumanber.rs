@@ -1,0 +1,229 @@
+//! Wu–Manber multi-pattern matching.
+//!
+//! The engine the paper-era software IPSes (Snort's `mwm`) actually used:
+//! a Boyer–Moore-style bad-block shift table over 2-byte blocks, giving
+//! sublinear scans when patterns are long and the alphabet effectively
+//! large — and degrading toward per-byte work as the pattern set grows
+//! (the shift table fills with zeros). That degradation is precisely why
+//! the paper's line-rate argument assumes a DFA; the `matcher` bench puts
+//! the two side by side.
+
+use crate::pattern::{Match, PatternId, PatternSet};
+
+/// Block size: 2-byte blocks index a 64 K shift table.
+const B: usize = 2;
+
+/// A compiled Wu–Manber matcher.
+#[derive(Debug, Clone)]
+pub struct WuManber {
+    set: PatternSet,
+    /// Window length: the shortest pattern length.
+    m: usize,
+    /// Bad-block shift per 2-byte block value.
+    shift: Vec<u16>,
+    /// Patterns whose block ending at offset `m` equals the index block.
+    buckets: Vec<Vec<PatternId>>,
+}
+
+impl WuManber {
+    /// Compile a pattern set.
+    ///
+    /// # Panics
+    /// Panics if the set is empty or any pattern is shorter than 2 bytes
+    /// (block size) — the same preconditions the classical implementation
+    /// documents.
+    pub fn new(set: PatternSet) -> Self {
+        let m = set.min_len().expect("Wu-Manber needs at least one pattern");
+        assert!(m >= B, "Wu-Manber needs patterns of at least {B} bytes");
+
+        let default_shift = (m - B + 1) as u16;
+        let mut shift = vec![default_shift; 1 << 16];
+        let mut buckets: Vec<Vec<PatternId>> = vec![Vec::new(); 1 << 16];
+
+        for (id, pat) in set.iter() {
+            // Only the first m bytes participate in the tables; the
+            // verifier checks the rest.
+            for q in B..=m {
+                let block = ((pat[q - 2] as usize) << 8) | pat[q - 1] as usize;
+                let s = (m - q) as u16;
+                if s < shift[block] {
+                    shift[block] = s;
+                }
+                if q == m {
+                    buckets[block].push(id);
+                }
+            }
+        }
+        WuManber {
+            set,
+            m,
+            shift,
+            buckets,
+        }
+    }
+
+    /// The compiled pattern set.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.set
+    }
+
+    /// Window (minimum pattern) length.
+    pub fn window(&self) -> usize {
+        self.m
+    }
+
+    /// Table memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.shift.len() * 2
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.len() * std::mem::size_of::<PatternId>())
+                .sum::<usize>()
+    }
+
+    /// Find all matches (end offsets, overlapping included) — identical
+    /// results to [`crate::AcDfa::find_all`] modulo ordering.
+    pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        if hay.len() < self.m {
+            return out;
+        }
+        let mut i = 0usize; // window start
+        while i + self.m <= hay.len() {
+            let block =
+                ((hay[i + self.m - 2] as usize) << 8) | hay[i + self.m - 1] as usize;
+            let s = self.shift[block];
+            if s > 0 {
+                i += s as usize;
+                continue;
+            }
+            // Candidate alignment: verify every bucketed pattern.
+            for &id in &self.buckets[block] {
+                let pat = self.set.pattern(id);
+                if hay[i..].starts_with(pat) {
+                    out.push(Match::new(id, i + pat.len()));
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// True if any pattern occurs in `hay`.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        if hay.len() < self.m {
+            return false;
+        }
+        let mut i = 0usize;
+        while i + self.m <= hay.len() {
+            let block =
+                ((hay[i + self.m - 2] as usize) << 8) | hay[i + self.m - 1] as usize;
+            let s = self.shift[block];
+            if s > 0 {
+                i += s as usize;
+                continue;
+            }
+            for &id in &self.buckets[block] {
+                if hay[i..].starts_with(self.set.pattern(id)) {
+                    return true;
+                }
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// Fraction of shift-table entries that are zero — the "degradation
+    /// gauge": at 0 the scan is fully sublinear, near 1 every window needs
+    /// verification and the engine works per byte.
+    pub fn zero_shift_fraction(&self) -> f64 {
+        let zeros = self.shift.iter().filter(|&&s| s == 0).count();
+        zeros as f64 / self.shift.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::AcDfa;
+
+    fn wm(patterns: &[&[u8]]) -> WuManber {
+        WuManber::new(PatternSet::from_patterns(patterns.iter().copied()))
+    }
+
+    #[test]
+    fn single_pattern_all_occurrences() {
+        let w = wm(&[b"abab"]);
+        let hits = w.find_all(b"xababab");
+        assert_eq!(hits.len(), 2, "overlapping matches must both appear");
+        assert_eq!(hits[0].end, 5);
+        assert_eq!(hits[1].end, 7);
+    }
+
+    #[test]
+    fn multiple_patterns_of_different_lengths() {
+        let w = wm(&[b"needle", b"pin", b"needless"]);
+        let hay = b"a needle in a needless haystack with a pin";
+        let mut got = w.find_all(hay);
+        got.sort_by_key(|m| (m.end, m.pattern));
+        // Cross-check against the quadratic reference.
+        let mut want = naive::find_all(w.patterns(), hay);
+        want.sort_by_key(|m| (m.end, m.pattern));
+        assert_eq!(got, want);
+        assert!(w.is_match(hay));
+        assert!(!w.is_match(b"nothing here"));
+    }
+
+    #[test]
+    fn agrees_with_dfa_on_dense_input() {
+        let patterns: Vec<&[u8]> = vec![b"aa", b"aba", b"bab", b"abba"];
+        let w = wm(&patterns);
+        let dfa = AcDfa::new(PatternSet::from_patterns(patterns.iter().copied()));
+        for len in 0..=12usize {
+            for bits in 0u32..1 << len {
+                let hay: Vec<u8> = (0..len)
+                    .map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' })
+                    .collect();
+                let mut a = dfa.find_all(&hay);
+                let mut b = w.find_all(&hay);
+                a.sort_by_key(|m| (m.end, m.pattern));
+                b.sort_by_key(|m| (m.end, m.pattern));
+                assert_eq!(a, b, "divergence on {:?}", String::from_utf8_lossy(&hay));
+            }
+        }
+    }
+
+    #[test]
+    fn short_haystacks() {
+        let w = wm(&[b"abc"]);
+        assert!(w.find_all(b"").is_empty());
+        assert!(w.find_all(b"ab").is_empty());
+        assert_eq!(w.find_all(b"abc").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_set_panics() {
+        WuManber::new(PatternSet::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn one_byte_pattern_panics() {
+        wm(&[b"x"]);
+    }
+
+    #[test]
+    fn degradation_gauge_rises_with_pattern_count() {
+        let few = WuManber::new(crate::pattern::PatternSet::from_patterns(
+            (0..10).map(|i| format!("pattern-{i:04}").into_bytes()).collect::<Vec<_>>().iter().map(|v| v.as_slice()),
+        ));
+        let many = WuManber::new(crate::pattern::PatternSet::from_patterns(
+            (0..2000).map(|i| format!("pattern-{i:04}").into_bytes()).collect::<Vec<_>>().iter().map(|v| v.as_slice()),
+        ));
+        assert!(many.zero_shift_fraction() >= few.zero_shift_fraction());
+        assert!(few.memory_bytes() >= 1 << 17);
+    }
+}

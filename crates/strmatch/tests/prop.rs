@@ -1,0 +1,147 @@
+//! Cross-engine property tests: every engine must agree with the naive
+//! reference on arbitrary patterns and haystacks, and the streaming matcher
+//! must be chunking-invariant.
+
+use proptest::prelude::*;
+use sd_match::bmh::Horspool;
+use sd_match::shiftor::{ShiftOr, ShiftOrBank};
+use sd_match::stream::{StreamMatch, StreamMatcher};
+use sd_match::{naive, AcDfa, AhoCorasick, PatternSet};
+
+/// Small alphabet so matches actually happen.
+fn small_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..=max_len)
+}
+
+fn pattern_set() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(small_bytes(6), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_agrees_with_naive(pats in pattern_set(), hay in proptest::collection::vec(any::<u8>().prop_map(|b| b % 4 + b'a'), 0..200)) {
+        let set = PatternSet::from_patterns(&pats);
+        let nfa = AhoCorasick::new(set.clone());
+        let mut got = nfa.find_all(&hay);
+        let mut want = naive::find_all(&set, &hay);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dfa_agrees_with_naive(pats in pattern_set(), hay in proptest::collection::vec(any::<u8>().prop_map(|b| b % 4 + b'a'), 0..200)) {
+        let set = PatternSet::from_patterns(&pats);
+        let dfa = AcDfa::new(set.clone());
+        let mut got = dfa.find_all(&hay);
+        let mut want = naive::find_all(&set, &hay);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(dfa.is_match(&hay), !dfa.find_all(&hay).is_empty());
+    }
+
+    #[test]
+    fn horspool_agrees_with_naive(pat in small_bytes(8), hay in proptest::collection::vec(any::<u8>().prop_map(|b| b % 3 + b'a'), 0..200)) {
+        let h = Horspool::new(&pat);
+        let set = PatternSet::from_patterns([&pat]);
+        let want: Vec<usize> = naive::find_all(&set, &hay)
+            .iter()
+            .map(|m| m.start(&set))
+            .collect();
+        prop_assert_eq!(h.find_all(&hay), want);
+    }
+
+    #[test]
+    fn shiftor_agrees_with_naive(pat in small_bytes(8), hay in proptest::collection::vec(any::<u8>().prop_map(|b| b % 3 + b'a'), 0..200)) {
+        let so = ShiftOr::new(&pat);
+        let set = PatternSet::from_patterns([&pat]);
+        let want: Vec<usize> = naive::find_all(&set, &hay).iter().map(|m| m.end).collect();
+        prop_assert_eq!(so.find_ends(&hay), want);
+    }
+
+    #[test]
+    fn shiftor_bank_agrees_with_naive(
+        pats in proptest::collection::vec(small_bytes(5), 1..6),
+        hay in proptest::collection::vec(any::<u8>().prop_map(|b| b % 3 + b'a'), 0..200),
+    ) {
+        prop_assume!(pats.iter().map(Vec::len).sum::<usize>() <= 64);
+        let bank = ShiftOrBank::new(&pats);
+        let set = PatternSet::from_patterns(&pats);
+        let mut want: Vec<(usize, usize)> = naive::find_all(&set, &hay)
+            .iter()
+            .map(|m| (m.end, m.pattern as usize))
+            .collect();
+        want.sort();
+        let mut got = bank.find_all(&hay);
+        got.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn streaming_is_chunking_invariant(
+        pats in pattern_set(),
+        hay in proptest::collection::vec(any::<u8>().prop_map(|b| b % 4 + b'a'), 0..200),
+        cuts in proptest::collection::vec(0usize..200, 0..8),
+    ) {
+        let dfa = AcDfa::new(PatternSet::from_patterns(&pats));
+        let mut batch = Vec::new();
+        StreamMatcher::new().feed(&dfa, &hay, &mut batch);
+
+        let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (hay.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(hay.len());
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let mut m = StreamMatcher::new();
+        let mut out: Vec<StreamMatch> = Vec::new();
+        for w in boundaries.windows(2) {
+            m.feed(&dfa, &hay[w[0]..w[1]], &mut out);
+        }
+        prop_assert_eq!(out, batch);
+        prop_assert_eq!(m.offset(), hay.len() as u64);
+    }
+}
+
+proptest! {
+    /// The stride-2 DFA reports exactly the byte DFA's matches on random
+    /// patterns and haystacks (the exhaustive small-alphabet check lives in
+    /// the unit tests; this covers the full byte alphabet).
+    #[test]
+    fn stride2_agrees_with_byte_dfa(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..6),
+        hay in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        use sd_match::stride2::Stride2Dfa;
+        let set = PatternSet::from_patterns(patterns.iter().map(|p| p.as_slice()));
+        let dfa = AcDfa::new(set);
+        let s2 = Stride2Dfa::new(dfa.clone()).expect("small automaton");
+        let mut a = dfa.find_all(&hay);
+        let mut b = s2.find_all(&hay);
+        a.sort_by_key(|m| (m.end, m.pattern));
+        b.sort_by_key(|m| (m.end, m.pattern));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(dfa.is_match(&hay), s2.is_match(&hay));
+    }
+
+    /// Wu–Manber reports exactly the reference matcher's matches for any
+    /// pattern set with ≥2-byte patterns.
+    #[test]
+    fn wu_manber_agrees_with_naive(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 2..8), 1..8),
+        hay in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        use sd_match::wumanber::WuManber;
+        let set = PatternSet::from_patterns(patterns.iter().map(|p| p.as_slice()));
+        let wm = WuManber::new(set.clone());
+        let mut a = naive::find_all(&set, &hay);
+        let mut b = wm.find_all(&hay);
+        a.sort_by_key(|m| (m.end, m.pattern));
+        b.sort_by_key(|m| (m.end, m.pattern));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(wm.is_match(&hay), !a.is_empty());
+    }
+}

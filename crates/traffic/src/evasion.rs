@@ -1,0 +1,768 @@
+//! FragRoute-style evasion attack generation.
+//!
+//! Each [`EvasionStrategy`] transforms one attack conversation — a TCP flow
+//! whose client→server stream contains an exact signature — into the packet
+//! sequence a Ptacek–Newsham attacker would emit. The generator is
+//! *victim-aware*: strategies that rely on ambiguity (inconsistent
+//! retransmissions, overlapping fragments, chaff) are crafted so the
+//! configured victim stack reconstructs the real payload while a
+//! differently-configured observer reconstructs garbage. Every strategy is
+//! verified (tests + experiment harness) to deliver the payload through
+//! [`crate::victim::receive_stream`] — an "evasion" that breaks the attack
+//! is a bug.
+
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+use sd_packet::frag::fragment_ipv4;
+use sd_packet::ipv4::Ipv4Packet;
+use sd_packet::tcp::TcpFlags;
+use sd_reassembly::OverlapPolicy;
+
+use crate::victim::VictimConfig;
+
+/// The attack conversation to deliver.
+#[derive(Debug, Clone)]
+pub struct AttackSpec {
+    /// Attacker endpoint.
+    pub client: (Ipv4Addr, u16),
+    /// Victim endpoint.
+    pub server: (Ipv4Addr, u16),
+    /// The signature bytes the IPS must find.
+    pub signature: Vec<u8>,
+    /// Benign bytes sent before the signature.
+    pub prefix: Vec<u8>,
+    /// Benign bytes sent after the signature.
+    pub suffix: Vec<u8>,
+    /// Initial sequence number of the attacker's SYN.
+    pub isn: u32,
+    /// TTL for honest packets.
+    pub ttl: u8,
+}
+
+impl AttackSpec {
+    /// A ready-to-use spec with realistic cover text around `signature`
+    /// (a few hundred bytes each side, so segmentation strategies produce
+    /// genuinely multi-packet conversations).
+    pub fn simple(signature: impl Into<Vec<u8>>) -> Self {
+        let mut prefix = b"GET /index.html HTTP/1.1\r\nHost: target.example.com\r\n".to_vec();
+        prefix.extend_from_slice(
+            b"User-Agent: Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36\r\n\
+              Accept: text/html,application/xhtml+xml,application/xml;q=0.9\r\n\
+              Accept-Language: en-US,en;q=0.5\r\nAccept-Encoding: gzip, deflate\r\n\
+              Connection: keep-alive\r\nCookie: session=deadbeefcafe0123; theme=dark\r\n\r\n",
+        );
+        let mut suffix = b"\r\n-- trailing exploit padding --\r\n".to_vec();
+        suffix.extend_from_slice(&[b'#'; 180]);
+        AttackSpec {
+            client: ("10.66.0.1".parse().expect("static addr"), 31337),
+            server: ("10.0.0.2".parse().expect("static addr"), 80),
+            signature: signature.into(),
+            prefix,
+            suffix,
+            isn: 0x1000_0000,
+            ttl: 64,
+        }
+    }
+
+    /// The complete client→server application payload.
+    pub fn payload(&self) -> Vec<u8> {
+        let mut p = self.prefix.clone();
+        p.extend_from_slice(&self.signature);
+        p.extend_from_slice(&self.suffix);
+        p
+    }
+
+    /// Byte range of the signature within [`payload`](Self::payload).
+    pub fn sig_range(&self) -> std::ops::Range<usize> {
+        self.prefix.len()..self.prefix.len() + self.signature.len()
+    }
+}
+
+/// One evasion technique from the Ptacek–Newsham / FragRoute family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvasionStrategy {
+    /// No evasion: MSS-sized in-order segments (the detection floor every
+    /// engine must pass).
+    None,
+    /// One segment boundary placed mid-signature: defeats any per-packet
+    /// matcher while looking otherwise normal.
+    SplitAtSignature,
+    /// Every segment at most `size` bytes ("frag -s" in FragRoute): no
+    /// signature piece of length > `size` can appear whole in a packet.
+    TinySegments {
+        /// Maximum TCP payload bytes per segment.
+        size: usize,
+    },
+    /// IP-fragment every data packet into `frag`-byte fragments (multiple
+    /// of 8): the signature never appears whole in any *IP packet*.
+    TinyFragments {
+        /// Fragment payload size in bytes (rounded up to a multiple of 8).
+        frag: usize,
+    },
+    /// Overlapping IP fragments with conflicting content over the signature
+    /// region; the victim's reassembly policy resolves to the real bytes.
+    OverlappingFragments,
+    /// Moderate segments sent in a pseudorandom order within a window.
+    ReorderSegments {
+        /// Reorder window in segments.
+        window: usize,
+    },
+    /// All data segments in exactly reverse order.
+    ReverseSegments,
+    /// Every segment sent twice (retransmission noise).
+    DuplicateSegments,
+    /// Conflicting TCP retransmissions over the signature region; the
+    /// victim's overlap policy resolves to the real bytes, the opposite
+    /// policy reconstructs garbage.
+    InconsistentRetransmission,
+    /// Garbage chaff segments with *broken TCP checksums* interleaved at
+    /// the signature's sequence range; the victim's stack discards them.
+    BadChecksumChaff,
+    /// Garbage chaff segments with TTLs that expire before the victim;
+    /// only an IPS with an accurate TTL floor ignores them.
+    LowTtlChaff {
+        /// TTL given to chaff (must be below the victim's hop distance).
+        chaff_ttl: u8,
+    },
+    /// Urgent-pointer chaff: garbage bytes inserted inside the signature,
+    /// each flagged URG so a discard-semantics victim never delivers them
+    /// — while any observer that treats urgent data as inline scans a
+    /// corrupted signature. One chaff byte per `pitch` signature bytes, so
+    /// no packet carries an intact piece of length ≥ `pitch` either.
+    UrgentChaff {
+        /// Distance between inserted urgent bytes (the defender's piece
+        /// length is the natural choice).
+        pitch: usize,
+    },
+    /// The theorem-tight adversary: in-order segments phase-shifted so a
+    /// boundary falls in the middle of every defender piece — each interior
+    /// segment is exactly `pitch` bytes (the defender's piece length), so
+    /// no packet carries a whole piece and, against a defender whose
+    /// small-segment cutoff is ≤ `pitch`, nothing ever looks small. The
+    /// admissible cutoff `2p − 1` exists precisely to catch this.
+    PitchSegments {
+        /// The defender's piece length the attacker tunes to.
+        pitch: usize,
+    },
+}
+
+impl EvasionStrategy {
+    /// The canonical attack suite, as exercised by experiment E1.
+    pub fn catalog() -> Vec<EvasionStrategy> {
+        vec![
+            EvasionStrategy::None,
+            EvasionStrategy::SplitAtSignature,
+            EvasionStrategy::TinySegments { size: 4 },
+            EvasionStrategy::TinyFragments { frag: 8 },
+            EvasionStrategy::OverlappingFragments,
+            EvasionStrategy::ReorderSegments { window: 6 },
+            EvasionStrategy::ReverseSegments,
+            EvasionStrategy::DuplicateSegments,
+            EvasionStrategy::InconsistentRetransmission,
+            EvasionStrategy::BadChecksumChaff,
+            EvasionStrategy::LowTtlChaff { chaff_ttl: 2 },
+            EvasionStrategy::UrgentChaff { pitch: 7 },
+            EvasionStrategy::PitchSegments { pitch: 7 },
+        ]
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvasionStrategy::None => "none",
+            EvasionStrategy::SplitAtSignature => "split-at-signature",
+            EvasionStrategy::TinySegments { .. } => "tiny-segments",
+            EvasionStrategy::TinyFragments { .. } => "tiny-fragments",
+            EvasionStrategy::OverlappingFragments => "overlapping-fragments",
+            EvasionStrategy::ReorderSegments { .. } => "reorder",
+            EvasionStrategy::ReverseSegments => "reverse",
+            EvasionStrategy::DuplicateSegments => "duplicate",
+            EvasionStrategy::InconsistentRetransmission => "inconsistent-retransmission",
+            EvasionStrategy::BadChecksumChaff => "bad-checksum-chaff",
+            EvasionStrategy::LowTtlChaff { .. } => "low-ttl-chaff",
+            EvasionStrategy::UrgentChaff { .. } => "urgent-chaff",
+            EvasionStrategy::PitchSegments { .. } => "pitch-segments",
+        }
+    }
+}
+
+/// Maximum segment size for honest segments.
+const MSS: usize = 1460;
+
+struct Builder<'a> {
+    spec: &'a AttackSpec,
+    packets: Vec<Vec<u8>>,
+    /// IP identification counter: every packet gets a distinct ident so
+    /// fragments of different datagrams (and different attacks sharing a
+    /// host pair in a mixed trace) never collide in a reassembly context.
+    next_ident: u16,
+}
+
+impl<'a> Builder<'a> {
+    fn new(spec: &'a AttackSpec) -> Self {
+        Builder {
+            spec,
+            packets: Vec::new(),
+            next_ident: spec.client.1 ^ (spec.isn as u16),
+        }
+    }
+
+    fn tcp(&mut self, seq: u32, flags: TcpFlags, payload: &[u8], ttl: u8, frag: bool) -> Vec<u8> {
+        let s = self.spec;
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1);
+        let frame = TcpPacketSpec::between(
+            std::net::SocketAddrV4::new(s.client.0, s.client.1),
+            std::net::SocketAddrV4::new(s.server.0, s.server.1),
+        )
+        .seq(seq)
+        .flags(flags)
+        .ttl(ttl)
+        .ident(ident)
+        .dont_frag(!frag)
+        .payload(payload)
+        .build();
+        ip_of_frame(&frame).to_vec()
+    }
+
+    fn syn(&mut self) {
+        let p = self.tcp(self.spec.isn, TcpFlags::SYN, b"", self.spec.ttl, false);
+        self.packets.push(p);
+    }
+
+    fn data(&mut self, offset: usize, bytes: &[u8]) {
+        let seq = self.spec.isn.wrapping_add(1).wrapping_add(offset as u32);
+        let p = self.tcp(seq, TcpFlags::ACK.union(TcpFlags::PSH), bytes, self.spec.ttl, true);
+        self.packets.push(p);
+    }
+
+    fn fin(&mut self, payload_len: usize) {
+        let seq = self.spec.isn.wrapping_add(1).wrapping_add(payload_len as u32);
+        let p = self.tcp(seq, TcpFlags::FIN.union(TcpFlags::ACK), b"", self.spec.ttl, false);
+        self.packets.push(p);
+    }
+}
+
+/// Cut `len` bytes into `(start, end)` chunks of at most `size`.
+fn chunks(len: usize, size: usize) -> Vec<(usize, usize)> {
+    let size = size.max(1);
+    let mut v = Vec::new();
+    let mut at = 0;
+    while at < len {
+        let end = (at + size).min(len);
+        v.push((at, end));
+        at = end;
+    }
+    v
+}
+
+/// Like [`chunks`], but with one boundary pinned at `pin` — used by the
+/// reorder/duplicate strategies so the signature always straddles a segment
+/// boundary (a FragRoute attacker controls segmentation and would never
+/// leave the whole signature inside one packet).
+fn chunks_pinned(len: usize, size: usize, pin: usize) -> Vec<(usize, usize)> {
+    let size = size.max(1);
+    let pin = pin.min(len);
+    // Boundary set: {0, pin mod size, pin mod size + size, …} — the grid is
+    // phase-shifted so `pin` lands exactly on a chunk boundary.
+    let mut v = Vec::new();
+    let first = pin % size;
+    if first > 0 {
+        v.push((0, first));
+    }
+    let mut at = first;
+    while at < len {
+        let end = (at + size).min(len);
+        v.push((at, end));
+        at = end;
+    }
+    debug_assert!(pin == 0 || pin == len || v.iter().any(|&(s, _)| s == pin));
+    v
+}
+
+/// Generate the packet sequence for `spec` under `strategy`, crafted
+/// against `victim`. Deterministic given `seed`.
+///
+/// ```
+/// use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+/// use sd_traffic::victim::{receive_stream, VictimConfig};
+///
+/// let spec = AttackSpec::simple(&b"EVIL_SIGNATURE_BYTES"[..]);
+/// let victim = VictimConfig::default();
+/// let packets = generate(&spec, EvasionStrategy::TinySegments { size: 4 }, victim, 1);
+/// // The evasion must still deliver the payload to the victim's stack:
+/// assert_eq!(receive_stream(packets.iter(), victim, spec.server), spec.payload());
+/// // ...while no single packet contains the whole signature:
+/// assert!(packets.iter().all(|p| p.windows(20).all(|w| w != &spec.signature[..])));
+/// ```
+pub fn generate(
+    spec: &AttackSpec,
+    strategy: EvasionStrategy,
+    victim: VictimConfig,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let payload = spec.payload();
+    let sig = spec.sig_range();
+    let mut b = Builder::new(spec);
+    b.syn();
+
+    match strategy {
+        EvasionStrategy::None => {
+            for (s, e) in chunks(payload.len(), MSS) {
+                b.data(s, &payload[s..e]);
+            }
+        }
+
+        EvasionStrategy::SplitAtSignature => {
+            let mid = sig.start + spec.signature.len() / 2;
+            for (s, e) in [(0, mid), (mid, payload.len())] {
+                // Each half may still exceed MSS; keep it in one packet only
+                // if it fits, else MSS-chunk within the half (the boundary
+                // at `mid` is what defeats per-packet matching).
+                for (cs, ce) in chunks(e - s, MSS) {
+                    b.data(s + cs, &payload[s + cs..s + ce]);
+                }
+            }
+        }
+
+        EvasionStrategy::TinySegments { size } => {
+            for (s, e) in chunks(payload.len(), size) {
+                b.data(s, &payload[s..e]);
+            }
+        }
+
+        EvasionStrategy::TinyFragments { frag } => {
+            let frag = frag.div_ceil(8) * 8;
+            // One big TCP packet, then fragment it at the IP layer.
+            let seq = spec.isn.wrapping_add(1);
+            let whole = b.tcp(
+                seq,
+                TcpFlags::ACK.union(TcpFlags::PSH),
+                &payload,
+                spec.ttl,
+                true,
+            );
+            let frags = fragment_ipv4(&whole, frag).expect("fragmentable");
+            b.packets.extend(frags);
+        }
+
+        EvasionStrategy::OverlappingFragments => {
+            // Fragment the signature-carrying packet, then inject a forged
+            // copy of the signature-region fragment with garbage content.
+            // Ordering is policy-aware: the copy the victim should *keep*
+            // is positioned so its policy picks it.
+            let seq = spec.isn.wrapping_add(1);
+            let whole = b.tcp(
+                seq,
+                TcpFlags::ACK.union(TcpFlags::PSH),
+                &payload,
+                spec.ttl,
+                true,
+            );
+            // Fragment payload must be smaller than the signature so no
+            // single fragment carries it whole (8-byte granularity).
+            let frag_sz = ((spec.signature.len().saturating_sub(1)) / 8).max(1) * 8;
+            let frags = fragment_ipv4(&whole, frag_sz).expect("fragmentable");
+            // Find a fragment overlapping the signature (TCP header is 20
+            // bytes into the IP payload).
+            let sig_ip_start = 20 + sig.start;
+            let target = frags
+                .iter()
+                .position(|f| {
+                    let ip = Ipv4Packet::new_unchecked(&f[..]);
+                    let off = ip.frag_offset() as usize;
+                    let len = ip.payload().len();
+                    off <= sig_ip_start && sig_ip_start < off + len
+                })
+                .expect("some fragment covers the signature start");
+            let mut forged = frags[target].clone();
+            {
+                let mut v = Ipv4Packet::new_unchecked(&mut forged[..]);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
+                for byte in v.payload_mut() {
+                    *byte = rng.gen();
+                }
+                v.fill_checksum();
+            }
+            // First-policy victims keep the copy that arrives first; Last
+            // and tie-winning Linux prefer the later copy. BSD keeps the
+            // earlier-starting segment, and both copies start at the same
+            // offset, so old (first-arrived) wins — like First.
+            let real_first = matches!(
+                victim.policy,
+                OverlapPolicy::First | OverlapPolicy::Bsd
+            );
+            for (i, f) in frags.iter().enumerate() {
+                if i == target {
+                    if real_first {
+                        b.packets.push(f.clone());
+                        b.packets.push(forged.clone());
+                    } else {
+                        b.packets.push(forged.clone());
+                        b.packets.push(f.clone());
+                    }
+                } else {
+                    b.packets.push(f.clone());
+                }
+            }
+        }
+
+        EvasionStrategy::ReorderSegments { window } => {
+            let mid = sig.start + spec.signature.len() / 2;
+            let cuts = chunks_pinned(payload.len(), 128, mid);
+            let mut idx: Vec<usize> = (0..cuts.len()).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for w in idx.chunks_mut(window.max(2)) {
+                for i in (1..w.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    w.swap(i, j);
+                }
+            }
+            for i in idx {
+                let (s, e) = cuts[i];
+                b.data(s, &payload[s..e]);
+            }
+        }
+
+        EvasionStrategy::ReverseSegments => {
+            let mid = sig.start + spec.signature.len() / 2;
+            for (s, e) in chunks_pinned(payload.len(), 128, mid).into_iter().rev() {
+                b.data(s, &payload[s..e]);
+            }
+        }
+
+        EvasionStrategy::DuplicateSegments => {
+            let mid = sig.start + spec.signature.len() / 2;
+            for (s, e) in chunks_pinned(payload.len(), 128, mid) {
+                b.data(s, &payload[s..e]);
+                b.data(s, &payload[s..e]);
+            }
+        }
+
+        EvasionStrategy::InconsistentRetransmission => {
+            // Garbage and real copies of the signature region, ordered so
+            // the victim's policy resolves to the real bytes. The region is
+            // held behind a deliberate hole so the conflicting copies meet
+            // in the reassembly buffer (not the delivered stream).
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let garbage: Vec<u8> = (0..sig.len()).map(|_| rng.gen()).collect();
+
+            // Leading prefix up to a hole of 1 byte before the signature.
+            if sig.start > 1 {
+                b.data(0, &payload[..sig.start - 1]);
+            }
+            // Both copies are split at the signature midpoint — no single
+            // packet carries the whole signature — and start at identical
+            // offsets, so every overlap is a *tie*: First/BSD victims keep
+            // the first-arrived copy, Last/Linux victims the second.
+            let mid = sig.start + sig.len() / 2;
+            let real = [
+                (sig.start, &payload[sig.start..mid]),
+                (mid, &payload[mid..sig.end]),
+            ];
+            let garb = [
+                (sig.start, &garbage[..mid - sig.start]),
+                (mid, &garbage[mid - sig.start..]),
+            ];
+            let real_wins_when_later = matches!(
+                victim.policy,
+                OverlapPolicy::Last | OverlapPolicy::Linux
+            );
+            let (first, second) = if real_wins_when_later {
+                (garb, real)
+            } else {
+                (real, garb)
+            };
+            for (off, bytes) in first.into_iter().chain(second) {
+                b.data(off, bytes);
+            }
+            // Plug the hole so everything delivers.
+            b.data(sig.start - 1, &payload[sig.start - 1..sig.start]);
+            if sig.end < payload.len() {
+                b.data(sig.end, &payload[sig.end..]);
+            }
+        }
+
+        EvasionStrategy::BadChecksumChaff => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+            // Split the signature across two honest segments so no packet
+            // holds it whole, and precede each honest segment with a chaff
+            // twin (same seq, garbage data, broken checksum).
+            let mid = sig.start + spec.signature.len() / 2;
+            let cuts = [(0usize, mid), (mid, payload.len())];
+            for (s, e) in cuts {
+                let chaff: Vec<u8> = (0..e - s).map(|_| rng.gen()).collect();
+                let seq = spec.isn.wrapping_add(1).wrapping_add(s as u32);
+                let mut pkt = b.tcp(
+                    seq,
+                    TcpFlags::ACK.union(TcpFlags::PSH),
+                    &chaff,
+                    spec.ttl,
+                    true,
+                );
+                // Break the TCP checksum (last payload byte flip would also
+                // break it; flip the checksum field directly for clarity).
+                let ihl = Ipv4Packet::new_unchecked(&pkt[..]).header_len();
+                pkt[ihl + 16] ^= 0xff;
+                b.packets.push(pkt);
+                b.data(s, &payload[s..e]);
+            }
+        }
+
+        EvasionStrategy::UrgentChaff { pitch } => {
+            use sd_reassembly::UrgentSemantics;
+            if victim.urgent != UrgentSemantics::DiscardOne {
+                // An inline-delivery victim would receive the chaff: the
+                // attack only exists against discard semantics, so degrade
+                // to the plain mid-signature split (still an evasion).
+                let mid = sig.start + spec.signature.len() / 2;
+                for (s, e) in [(0, mid), (mid, payload.len())] {
+                    for (cs, ce) in chunks(e - s, MSS) {
+                        b.data(s + cs, &payload[s + cs..s + ce]);
+                    }
+                }
+            } else {
+                let pitch = pitch.max(2);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x0B0E);
+                // Build the wire stream: payload with a chaff byte inserted
+                // after every `pitch` signature bytes.
+                let mut wire = payload[..sig.start].to_vec();
+                let mut chaff_at = Vec::new(); // offsets in `wire`
+                for (i, &byte) in payload[sig.clone()].iter().enumerate() {
+                    if i > 0 && i % pitch == 0 {
+                        chaff_at.push(wire.len());
+                        wire.push(rng.gen());
+                    }
+                    wire.push(byte);
+                }
+                wire.extend_from_slice(&payload[sig.end..]);
+
+                // Segments end exactly at each chaff byte; URG pointer
+                // names it (1-based offset of the last payload byte).
+                let mut prev = 0usize;
+                for &c in &chaff_at {
+                    let seg = &wire[prev..=c];
+                    let seq = spec.isn.wrapping_add(1).wrapping_add(prev as u32);
+                    let mut pkt = b.tcp(
+                        seq,
+                        TcpFlags::ACK.union(TcpFlags::PSH).union(TcpFlags::URG),
+                        seg,
+                        spec.ttl,
+                        true,
+                    );
+                    // Set the urgent pointer to the chaff (last) byte.
+                    {
+                        let ihl = Ipv4Packet::new_unchecked(&pkt[..]).header_len();
+                        let urg = (seg.len() as u16).to_be_bytes();
+                        pkt[ihl + 18] = urg[0];
+                        pkt[ihl + 19] = urg[1];
+                        // Fix the TCP checksum after the edit.
+                        let (src, dst) = (spec.client.0, spec.server.0);
+                        let total = Ipv4Packet::new_unchecked(&pkt[..]).total_len() as usize;
+                        let mut seg_bytes = pkt[ihl..total].to_vec();
+                        let mut view = sd_packet::tcp::TcpSegment::new_unchecked(&mut seg_bytes[..]);
+                        view.fill_checksum(src, dst);
+                        pkt[ihl..total].copy_from_slice(&seg_bytes);
+                    }
+                    b.packets.push(pkt);
+                    prev = c + 1;
+                }
+                if prev < wire.len() {
+                    b.data(prev, &wire[prev..]);
+                }
+            }
+        }
+
+        EvasionStrategy::PitchSegments { pitch } => {
+            let pitch = pitch.max(2);
+            // Leading data up to the first mid-piece boundary.
+            let first = sig.start + pitch / 2;
+            for (cs, ce) in chunks(first, MSS) {
+                b.data(cs, &payload[cs..ce]);
+            }
+            // Interior segments of exactly `pitch` bytes, each straddling
+            // two adjacent pieces.
+            let mut at = first;
+            while at + pitch < sig.end + pitch / 2 && at + pitch <= payload.len() {
+                b.data(at, &payload[at..at + pitch]);
+                at += pitch;
+            }
+            // Remainder.
+            for (cs, ce) in chunks(payload.len() - at, MSS) {
+                b.data(at + cs, &payload[at + cs..at + ce]);
+            }
+        }
+
+        EvasionStrategy::LowTtlChaff { chaff_ttl } => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7711);
+            let mid = sig.start + spec.signature.len() / 2;
+            let cuts = [(0usize, mid), (mid, payload.len())];
+            for (s, e) in cuts {
+                let chaff: Vec<u8> = (0..e - s).map(|_| rng.gen()).collect();
+                let seq = spec.isn.wrapping_add(1).wrapping_add(s as u32);
+                let pkt = b.tcp(
+                    seq,
+                    TcpFlags::ACK.union(TcpFlags::PSH),
+                    &chaff,
+                    chaff_ttl,
+                    true,
+                );
+                b.packets.push(pkt);
+                b.data(s, &payload[s..e]);
+            }
+        }
+    }
+
+    b.fin(payload.len());
+    b.packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::receive_stream;
+
+    fn spec() -> AttackSpec {
+        AttackSpec::simple(&b"EVIL_SIGNATURE_BYTES"[..])
+    }
+
+    /// The master property: every strategy, against every victim policy,
+    /// still delivers the full payload to the victim.
+    #[test]
+    fn every_strategy_delivers_to_every_victim() {
+        for policy in OverlapPolicy::ALL {
+            let victim = VictimConfig {
+                policy,
+                ..Default::default()
+            };
+            for strategy in EvasionStrategy::catalog() {
+                let spec = spec();
+                let packets = generate(&spec, strategy, victim, 42);
+                let got = receive_stream(packets.iter(), victim, spec.server);
+                assert_eq!(
+                    got,
+                    spec.payload(),
+                    "strategy {} vs victim {policy} failed to deliver",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn none_puts_signature_in_one_packet() {
+        let spec = spec();
+        let packets = generate(&spec, EvasionStrategy::None, VictimConfig::default(), 1);
+        let found = packets.iter().any(|p| {
+            p.windows(spec.signature.len())
+                .any(|w| w == &spec.signature[..])
+        });
+        assert!(found, "baseline must be per-packet detectable");
+    }
+
+    #[test]
+    fn split_at_signature_hides_from_per_packet() {
+        let spec = spec();
+        let packets = generate(
+            &spec,
+            EvasionStrategy::SplitAtSignature,
+            VictimConfig::default(),
+            1,
+        );
+        let found = packets.iter().any(|p| {
+            p.windows(spec.signature.len())
+                .any(|w| w == &spec.signature[..])
+        });
+        assert!(!found, "no packet may contain the whole signature");
+    }
+
+    #[test]
+    fn tiny_segments_have_bounded_payload() {
+        let spec = spec();
+        let packets = generate(
+            &spec,
+            EvasionStrategy::TinySegments { size: 4 },
+            VictimConfig::default(),
+            1,
+        );
+        for p in &packets {
+            let ip = Ipv4Packet::new_unchecked(&p[..]);
+            let l4 = ip.payload();
+            if l4.len() > 20 {
+                assert!(l4.len() - 20 <= 4, "segment payload exceeds 4 bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_fragments_are_fragments() {
+        let spec = spec();
+        let packets = generate(
+            &spec,
+            EvasionStrategy::TinyFragments { frag: 8 },
+            VictimConfig::default(),
+            1,
+        );
+        let frag_count = packets
+            .iter()
+            .filter(|p| Ipv4Packet::new_unchecked(&p[..][..]).is_fragment())
+            .count();
+        assert!(frag_count > 5, "expected many tiny fragments");
+    }
+
+    #[test]
+    fn inconsistent_retransmission_confuses_wrong_policy() {
+        // Craft against a First-policy victim; a Last-policy observer
+        // reconstructs garbage in the signature region.
+        let spec = spec();
+        let victim = VictimConfig {
+            policy: OverlapPolicy::First,
+            ..Default::default()
+        };
+        let packets = generate(&spec, EvasionStrategy::InconsistentRetransmission, victim, 7);
+        let wrong = VictimConfig {
+            policy: OverlapPolicy::Last,
+            ..Default::default()
+        };
+        let seen_by_wrong = receive_stream(packets.iter(), wrong, spec.server);
+        let has_sig = seen_by_wrong
+            .windows(spec.signature.len())
+            .any(|w| w == &spec.signature[..]);
+        assert!(
+            !has_sig,
+            "an observer with the wrong policy must reconstruct garbage"
+        );
+    }
+
+    #[test]
+    fn chaff_is_dropped_by_victim_but_present_on_wire() {
+        let spec = spec();
+        let victim = VictimConfig::default();
+        let packets = generate(&spec, EvasionStrategy::BadChecksumChaff, victim, 7);
+        // More packets than the honest 2-segment split needs.
+        assert!(packets.len() >= 6, "chaff packets must be on the wire");
+        let got = receive_stream(packets.iter(), victim, spec.server);
+        assert_eq!(got, spec.payload());
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let names: Vec<&str> = EvasionStrategy::catalog().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = spec();
+        let v = VictimConfig::default();
+        let a = generate(&spec, EvasionStrategy::ReorderSegments { window: 4 }, v, 5);
+        let b = generate(&spec, EvasionStrategy::ReorderSegments { window: 4 }, v, 5);
+        assert_eq!(a, b);
+    }
+}

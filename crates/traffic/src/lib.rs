@@ -1,0 +1,47 @@
+//! # sd-traffic — workloads for the Split-Detect experiments
+//!
+//! The paper evaluates on captured campus/backbone traces we do not have;
+//! this crate substitutes a calibrated, seeded synthetic workload plus a
+//! faithful implementation of the Ptacek–Newsham / FragRoute attack suite:
+//!
+//! * [`trace`] — the trace representation: timestamped IPv4 packets with
+//!   ground-truth attack-flow labels,
+//! * [`payload`] — payload byte models (HTTP-like text, uniform binary),
+//!   which drive the piece false-match probability experiments,
+//! * [`benign`] — benign traffic generation with the three statistics the
+//!   experiments depend on: empirical packet-size mix, heavy-tailed flow
+//!   sizes, and configurable concurrency/interleaving,
+//! * [`evasion`] — the attack generator: one attack conversation carrying a
+//!   signature, transformed by each evasion strategy (tiny segments, tiny
+//!   and overlapping fragments, reordering, duplication, inconsistent
+//!   retransmission, bad-checksum and low-TTL chaff),
+//! * [`victim`] — the victim model used to *verify* every generated evasion
+//!   still delivers its payload to the target stack (an evasion that fails
+//!   to attack is not an evasion),
+//! * [`mixer`] — interleaves benign and attack flows into labelled traces,
+//! * [`stats`] — size-mix / flow-structure / payload-entropy statistics of
+//!   any trace, making the generator's calibration claims checkable,
+//! * [`replay`] — paced (timestamp-respecting) trace replay, for turning a
+//!   capture back into an offered load,
+//! * [`pcap`] — classic libpcap file I/O so real captures can be swapped in
+//!   for the synthetic workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benign;
+pub mod evasion;
+pub mod mixer;
+pub mod payload;
+pub mod pcap;
+pub mod replay;
+pub mod stats;
+pub mod trace;
+pub mod victim;
+
+pub use benign::{BenignConfig, BenignGenerator};
+pub use evasion::{AttackSpec, EvasionStrategy};
+pub use mixer::LabeledTrace;
+pub use payload::PayloadModel;
+pub use trace::{Trace, TracePacket};
+pub use victim::VictimConfig;

@@ -1,0 +1,168 @@
+//! Mixing attack flows into benign traffic.
+//!
+//! Experiments need traces where ground truth is known per flow: which
+//! connections carry an attack, with which signature, transformed by which
+//! evasion. The mixer interleaves attack packet sequences into a benign
+//! trace (attack packets keep their relative order — TCP semantics depend
+//! on it — but are spread across the benign timeline) and records labels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_flow::FlowKey;
+use sd_packet::parse::parse_ipv4;
+
+use crate::trace::{Trace, TracePacket};
+
+/// Ground truth for one injected attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackLabel {
+    /// The attack connection.
+    pub flow: FlowKey,
+    /// Index of the signature carried (caller-defined id space).
+    pub signature: usize,
+    /// Evasion strategy name.
+    pub strategy: &'static str,
+}
+
+/// A trace plus ground-truth labels.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledTrace {
+    /// The packets.
+    pub trace: Trace,
+    /// One label per injected attack flow.
+    pub attacks: Vec<AttackLabel>,
+}
+
+impl LabeledTrace {
+    /// A labelled trace with no attacks.
+    pub fn benign(trace: Trace) -> Self {
+        LabeledTrace {
+            trace,
+            attacks: Vec::new(),
+        }
+    }
+
+    /// True if `flow` is a labelled attack.
+    pub fn is_attack(&self, flow: &FlowKey) -> bool {
+        self.attacks.iter().any(|a| a.flow == *flow)
+    }
+}
+
+/// Interleave `attacks` (each an ordered IPv4 packet sequence plus its
+/// label data) into `benign`. Attack packets are assigned evenly spaced
+/// timestamps across the benign span, jittered by `seed`, preserving their
+/// relative order.
+pub fn mix(
+    benign: Trace,
+    attacks: Vec<(Vec<Vec<u8>>, usize, &'static str)>,
+    seed: u64,
+) -> LabeledTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = benign.packets.last().map_or(1_000_000, |p| p.ts_micros.max(1));
+    let mut packets = benign.packets;
+    let mut labels = Vec::new();
+
+    for (pkts, signature, strategy) in attacks {
+        if pkts.is_empty() {
+            continue;
+        }
+        let flow = parse_ipv4(&pkts[0])
+            .ok()
+            .and_then(|p| FlowKey::from_parsed(&p).map(|(k, _)| k))
+            .expect("attack packets must parse");
+        labels.push(AttackLabel {
+            flow,
+            signature,
+            strategy,
+        });
+        // Spread across a random sub-window of the trace.
+        let start = rng.gen_range(0..=span / 2);
+        let width = span - start;
+        let n = pkts.len() as u64;
+        for (i, data) in pkts.into_iter().enumerate() {
+            let ts = start + width * i as u64 / n;
+            packets.push(TracePacket::new(ts, data));
+        }
+    }
+    LabeledTrace {
+        trace: Trace::from_packets(packets),
+        attacks: labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benign::{BenignConfig, BenignGenerator};
+    use crate::evasion::{generate, AttackSpec, EvasionStrategy};
+    use crate::victim::VictimConfig;
+
+    fn attack_pkts(strategy: EvasionStrategy) -> (Vec<Vec<u8>>, AttackSpec) {
+        let spec = AttackSpec::simple(&b"EVIL_SIGNATURE_BYTES"[..]);
+        (
+            generate(&spec, strategy, VictimConfig::default(), 3),
+            spec,
+        )
+    }
+
+    #[test]
+    fn labels_record_attack_flow() {
+        let benign = BenignGenerator::new(BenignConfig {
+            flows: 5,
+            ..Default::default()
+        })
+        .generate();
+        let (pkts, spec) = attack_pkts(EvasionStrategy::None);
+        let labeled = mix(benign, vec![(pkts, 0, "none")], 9);
+        assert_eq!(labeled.attacks.len(), 1);
+        let label = &labeled.attacks[0];
+        assert_eq!(label.strategy, "none");
+        // The label's flow matches the spec endpoints.
+        let (expect, _) = FlowKey::from_endpoints(6, spec.client, spec.server);
+        assert_eq!(label.flow, expect);
+        assert!(labeled.is_attack(&expect));
+    }
+
+    #[test]
+    fn attack_relative_order_preserved() {
+        let benign = BenignGenerator::new(BenignConfig {
+            flows: 10,
+            ..Default::default()
+        })
+        .generate();
+        let (pkts, spec) = attack_pkts(EvasionStrategy::TinySegments { size: 4 });
+        let original = pkts.clone();
+        let labeled = mix(benign, vec![(pkts, 0, "tiny-segments")], 4);
+        let (attack_key, _) = FlowKey::from_endpoints(6, spec.client, spec.server);
+        let recovered: Vec<&TracePacket> = labeled
+            .trace
+            .packets
+            .iter()
+            .filter(|p| p.flow_key() == Some(attack_key))
+            .collect();
+        assert_eq!(recovered.len(), original.len());
+        for (got, want) in recovered.iter().zip(&original) {
+            assert_eq!(&got.data, want, "attack order must survive mixing");
+        }
+    }
+
+    #[test]
+    fn mixing_is_deterministic() {
+        let benign = BenignGenerator::new(BenignConfig {
+            flows: 4,
+            ..Default::default()
+        })
+        .generate();
+        let (p1, _) = attack_pkts(EvasionStrategy::None);
+        let (p2, _) = attack_pkts(EvasionStrategy::None);
+        let a = mix(benign.clone(), vec![(p1, 0, "none")], 7);
+        let b = mix(benign, vec![(p2, 0, "none")], 7);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn benign_constructor_has_no_attacks() {
+        let t = LabeledTrace::benign(Trace::new());
+        assert!(t.attacks.is_empty());
+    }
+}

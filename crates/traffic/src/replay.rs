@@ -1,0 +1,160 @@
+//! Paced trace replay.
+//!
+//! Experiments push packets as fast as the engine drains them; a *replay*
+//! respects the trace's timestamps (optionally scaled), which is how a
+//! capture is turned back into an offered load — and how one finds the
+//! speed-up factor at which an engine stops keeping up, the software
+//! analogue of the paper's "reasonable cost at 20 Gbps" question.
+
+use std::time::{Duration, Instant};
+
+use crate::trace::Trace;
+
+/// Outcome of one paced replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayReport {
+    /// Packets delivered.
+    pub packets: u64,
+    /// Wall-clock seconds the replay took.
+    pub elapsed_secs: f64,
+    /// Seconds the replay *should* have taken (trace span ÷ speed).
+    pub target_secs: f64,
+    /// Total time the engine made the replay late (packets delivered after
+    /// their scheduled instant), in seconds — the backlog signal.
+    pub lateness_secs: f64,
+    /// The largest single-packet lateness observed.
+    pub max_lateness_secs: f64,
+}
+
+impl ReplayReport {
+    /// True when the consumer kept up: aggregate lateness under
+    /// `slack_secs`.
+    pub fn kept_up(&self, slack_secs: f64) -> bool {
+        self.max_lateness_secs <= slack_secs
+    }
+
+    /// Achieved speed relative to the trace's own timeline.
+    pub fn achieved_speed(&self, span_secs: f64) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            span_secs / self.elapsed_secs
+        }
+    }
+}
+
+/// Replay `trace` at `speed`× its recorded timing, invoking `deliver` for
+/// each packet at (or as soon as possible after) its scheduled instant.
+///
+/// `speed = f64::INFINITY` delivers back-to-back (no sleeping), which is
+/// what the batch experiments do; finite speeds sleep between packets.
+/// Lateness accrues whenever `deliver` (plus scheduling noise) makes a
+/// packet miss its slot — the signal the load-finding loop in the
+/// `live_replay` example bisects on.
+pub fn replay<F>(trace: &Trace, speed: f64, mut deliver: F) -> ReplayReport
+where
+    F: FnMut(&[u8], u64),
+{
+    assert!(speed > 0.0, "speed must be positive");
+    let t0 = trace.packets.first().map_or(0, |p| p.ts_micros);
+    let span_micros = trace.packets.last().map_or(0, |p| p.ts_micros - t0);
+    let start = Instant::now();
+    let mut lateness = 0.0f64;
+    let mut max_lateness = 0.0f64;
+
+    for (tick, pkt) in trace.packets.iter().enumerate() {
+        if speed.is_finite() {
+            let due_micros = (pkt.ts_micros - t0) as f64 / speed;
+            let due = Duration::from_micros(due_micros as u64);
+            let now = start.elapsed();
+            if now < due {
+                std::thread::sleep(due - now);
+            } else {
+                let late = (now - due).as_secs_f64();
+                lateness += late;
+                max_lateness = max_lateness.max(late);
+            }
+        }
+        deliver(&pkt.data, tick as u64);
+    }
+
+    ReplayReport {
+        packets: trace.packets.len() as u64,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        target_secs: if speed.is_finite() {
+            span_micros as f64 / 1e6 / speed
+        } else {
+            0.0
+        },
+        lateness_secs: lateness,
+        max_lateness_secs: max_lateness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TracePacket;
+    use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+
+    fn spaced_trace(n: u64, gap_micros: u64) -> Trace {
+        let packets = (0..n)
+            .map(|i| {
+                let f = TcpPacketSpec::new("10.0.0.1:1000", "10.0.0.2:80")
+                    .seq(i as u32)
+                    .payload(b"x")
+                    .build();
+                TracePacket::new(i * gap_micros, ip_of_frame(&f).to_vec())
+            })
+            .collect();
+        Trace::from_packets(packets)
+    }
+
+    #[test]
+    fn infinite_speed_never_sleeps() {
+        let trace = spaced_trace(100, 1_000_000); // nominally 99 seconds
+        let mut seen = 0u64;
+        let report = replay(&trace, f64::INFINITY, |_, _| seen += 1);
+        assert_eq!(seen, 100);
+        assert_eq!(report.packets, 100);
+        assert!(report.elapsed_secs < 1.0, "must not honor timestamps");
+        assert_eq!(report.lateness_secs, 0.0);
+    }
+
+    #[test]
+    fn paced_replay_takes_about_target_time() {
+        // 20 packets, 5 ms apart → 95 ms span; at 10× → ~9.5 ms.
+        let trace = spaced_trace(20, 5_000);
+        let report = replay(&trace, 10.0, |_, _| {});
+        assert!(
+            report.elapsed_secs >= report.target_secs * 0.9,
+            "finished impossibly early: {report:?}"
+        );
+        assert!(report.kept_up(0.005), "trivial consumer must keep up");
+    }
+
+    #[test]
+    fn slow_consumer_accrues_lateness() {
+        let trace = spaced_trace(10, 1_000); // 1 ms apart
+        let report = replay(&trace, 1.0, |_, _| {
+            std::thread::sleep(Duration::from_millis(3)) // 3× the budget
+        });
+        assert!(report.lateness_secs > 0.0);
+        assert!(!report.kept_up(0.001));
+        assert!(report.max_lateness_secs >= report.lateness_secs / 10.0);
+    }
+
+    #[test]
+    fn ticks_are_sequential() {
+        let trace = spaced_trace(5, 1);
+        let mut ticks = Vec::new();
+        replay(&trace, f64::INFINITY, |_, t| ticks.push(t));
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let report = replay(&Trace::new(), 1.0, |_, _| unreachable!());
+        assert_eq!(report.packets, 0);
+    }
+}

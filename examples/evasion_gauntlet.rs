@@ -1,0 +1,73 @@
+//! The evasion gauntlet, interactively: every Ptacek–Newsham / FragRoute
+//! strategy against the three engines, printed as the detection matrix the
+//! paper's evaluation opens with.
+//!
+//! Run with: `cargo run --example evasion_gauntlet`
+
+use split_detect::core::{SplitDetect, SplitDetectConfig};
+use split_detect::ips::api::run_trace;
+use split_detect::ips::{ConventionalIps, NaivePacketIps, Signature, SignatureSet};
+use split_detect::reassembly::OverlapPolicy;
+use split_detect::traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+use split_detect::traffic::victim::{receive_stream, VictimConfig};
+
+const SIG: &[u8] = b"EVIL_SIGNATURE_BYTES";
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("evil", SIG)])
+}
+
+fn main() {
+    let victim = VictimConfig {
+        policy: OverlapPolicy::First,
+        ..Default::default()
+    };
+
+    println!("victim stack: policy={}, {} hops away\n", victim.policy, victim.hops_to_victim);
+    println!(
+        "{:<28} {:>9} {:>13} {:>13} {:>8}",
+        "evasion strategy", "delivers?", "naive-packet", "conventional", "split-detect"
+    );
+    println!("{}", "-".repeat(76));
+
+    for strategy in EvasionStrategy::catalog() {
+        let spec = AttackSpec::simple(SIG);
+        let packets = generate(&spec, strategy, victim, 2026);
+
+        // Does the attack still work? (If not, nothing below matters.)
+        let delivered = receive_stream(packets.iter(), victim, spec.server);
+        let works = delivered == spec.payload();
+
+        let verdict = |hit: bool| if hit { "DETECT" } else { "miss" };
+
+        let mut naive = NaivePacketIps::new(sigs());
+        let naive_hit = run_trace(&mut naive, packets.iter().map(|p| p.as_slice()))
+            .iter()
+            .any(|a| a.signature == 0);
+
+        let mut conv = ConventionalIps::new(sigs());
+        let conv_hit = run_trace(&mut conv, packets.iter().map(|p| p.as_slice()))
+            .iter()
+            .any(|a| a.signature == 0);
+
+        let mut sd = SplitDetect::with_config(sigs(), SplitDetectConfig::default())
+            .expect("admissible");
+        let sd_hit = run_trace(&mut sd, packets.iter().map(|p| p.as_slice()))
+            .iter()
+            .any(|a| a.signature == 0);
+
+        println!(
+            "{:<28} {:>9} {:>13} {:>13} {:>8}",
+            strategy.name(),
+            if works { "yes" } else { "NO!" },
+            verdict(naive_hit),
+            verdict(conv_hit),
+            verdict(sd_hit),
+        );
+    }
+
+    println!(
+        "\nThe strawman falls to every real evasion; both stateful engines detect\n\
+         everything — Split-Detect while reassembling only the diverted flows."
+    );
+}

@@ -1,0 +1,24 @@
+//! # split-detect — facade crate
+//!
+//! Re-exports the whole Split-Detect reproduction workspace under one name,
+//! so examples and integration tests can write `split_detect::…`. See the
+//! individual crates for the real documentation:
+//!
+//! * [`packet`] (`sd-packet`) — wire formats,
+//! * [`strmatch`] (`sd-match`) — string-matching engines,
+//! * [`flow`] (`sd-flow`) — flow keys and compact state tables,
+//! * [`reassembly`] (`sd-reassembly`) — defragmentation, stream reassembly,
+//!   normalization,
+//! * [`ips`] (`sd-ips`) — the `Ips` trait and the baseline engines,
+//! * [`traffic`] (`sd-traffic`) — trace model, generators, evasions, pcap,
+//! * [`core`] (`splitdetect`) — the paper's contribution.
+
+#![forbid(unsafe_code)]
+
+pub use sd_flow as flow;
+pub use sd_ips as ips;
+pub use sd_match as strmatch;
+pub use sd_packet as packet;
+pub use sd_reassembly as reassembly;
+pub use sd_traffic as traffic;
+pub use splitdetect as core;
