@@ -5,8 +5,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sd_bench::{benign_trace, generated_signatures};
 use sd_ips::{Signature, SignatureSet};
-use splitdetect::split::SplitPlan;
 use splitdetect::fastpath::{FastPath, FastPathParams};
+use splitdetect::split::SplitPlan;
 use splitdetect::SplitDetectConfig;
 
 fn build_fastpath(sigs: &SignatureSet) -> FastPath {
@@ -44,10 +44,8 @@ fn bench_classify(c: &mut Criterion) {
                     let mut diverts = 0u64;
                     for pkt in trace.iter_bytes() {
                         let (_, v) = fp.classify(black_box(pkt), |_| false);
-                        diverts += u64::from(matches!(
-                            v,
-                            splitdetect::fastpath::Verdict::Divert(_)
-                        ));
+                        diverts +=
+                            u64::from(matches!(v, splitdetect::fastpath::Verdict::Divert(_)));
                     }
                     diverts
                 },

@@ -75,7 +75,9 @@ fn bench_defrag(c: &mut Criterion) {
             let mut d = Defragmenter::new(OverlapPolicy::First);
             let mut done = None;
             for (i, f) in frags.iter().enumerate() {
-                done = d.push_owned(black_box(f), i as u64).expect("valid fragments");
+                done = d
+                    .push_owned(black_box(f), i as u64)
+                    .expect("valid fragments");
             }
             done.expect("complete").len()
         })

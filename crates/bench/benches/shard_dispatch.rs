@@ -1,0 +1,71 @@
+//! Sharded-dispatch bench: the same mixed trace through the flow-sharded
+//! engine at dispatch batch sizes {1, 16, 64, 256} — the microbenchmark
+//! behind E15's batch sweep. Batch 1 is the per-packet-send baseline; the
+//! spread between rows is pure dispatcher overhead (channel sends + pool
+//! traffic), since detection work is identical.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sd_bench::{standard_benign, SIG};
+use sd_ips::api::run_trace;
+use sd_ips::{Signature, SignatureSet};
+use sd_traffic::benign::BenignGenerator;
+use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+use sd_traffic::mixer::mix;
+use sd_traffic::trace::Trace;
+use sd_traffic::victim::VictimConfig;
+use splitdetect::{ShardedSplitDetect, SplitDetectConfig};
+
+const SHARDS: usize = 4;
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("evil", SIG)])
+}
+
+fn mixed_trace() -> Trace {
+    let benign = BenignGenerator::new(standard_benign(300, 23)).generate();
+    let victim = VictimConfig::default();
+    let attacks = (0..6)
+        .map(|i| {
+            let mut spec = AttackSpec::simple(SIG);
+            spec.client.1 = 42_000 + i as u16;
+            (
+                generate(
+                    &spec,
+                    EvasionStrategy::TinySegments { size: 4 },
+                    victim,
+                    i as u64,
+                ),
+                0usize,
+                "tiny",
+            )
+        })
+        .collect();
+    mix(benign, attacks, 31).trace
+}
+
+fn bench_shard_dispatch(c: &mut Criterion) {
+    let trace = mixed_trace();
+    let bytes = trace.total_bytes();
+
+    let mut group = c.benchmark_group("shard_dispatch");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(20);
+
+    for batch in [1usize, 16, 64, 256] {
+        let config = SplitDetectConfig {
+            shard_batch_packets: batch,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("batch", batch), &config, |b, config| {
+            b.iter_batched(
+                || ShardedSplitDetect::new(sigs(), *config, SHARDS).expect("admissible"),
+                |mut e| black_box(run_trace(&mut e, trace.iter_bytes())).len(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_dispatch);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
 use sd_traffic::mixer::mix;
 use sd_traffic::victim::{receive_stream, VictimConfig};
 use sd_traffic::{pcap, Trace};
-use splitdetect::{SplitDetect, SplitDetectConfig};
+use splitdetect::{ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats};
 
 use crate::opts::{Command, EngineKind, ParsedArgs};
 
@@ -22,7 +22,7 @@ pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
     match &args.command {
         Command::Scan(path) => scan(&args, path, out),
         Command::Compare(path) => compare(&args, path, out),
-        Command::Stats(path) => stats_cmd(path, out),
+        Command::Stats(path) => stats_cmd(&args, path, out),
         Command::Rules(path) => lint_rules(path, out),
         Command::Gauntlet => gauntlet(&args, out),
         Command::Generate(path) => generate_cmd(&args, path, out),
@@ -32,8 +32,9 @@ pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
 
 fn load_rules(args: &ParsedArgs, out: Out) -> Result<RuleSet, String> {
     let text = match &args.rules {
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read rules {path}: {e}"))?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read rules {path}: {e}"))?
+        }
         None => {
             let _ = writeln!(out, "(no --rules given; using the embedded demo rules)");
             DEMO_RULES.to_string()
@@ -57,18 +58,34 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     pcap::load(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn build_split(
-    sigs: SignatureSet,
-    args: &ParsedArgs,
-) -> Result<SplitDetect, String> {
-    SplitDetect::with_config(
-        sigs,
-        SplitDetectConfig {
-            slow_path_policy: args.policy,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| format!("rules not usable with Split-Detect: {e}"))
+fn split_config(args: &ParsedArgs) -> SplitDetectConfig {
+    SplitDetectConfig {
+        slow_path_policy: args.policy,
+        shard_batch_packets: args.shard_batch,
+        ..Default::default()
+    }
+}
+
+fn build_split(sigs: SignatureSet, args: &ParsedArgs) -> Result<SplitDetect, String> {
+    SplitDetect::with_config(sigs, split_config(args))
+        .map_err(|e| format!("rules not usable with Split-Detect: {e}"))
+}
+
+fn build_sharded(sigs: SignatureSet, args: &ParsedArgs) -> Result<ShardedSplitDetect, String> {
+    ShardedSplitDetect::new(sigs, split_config(args), args.shards)
+        .map_err(|e| format!("rules not usable with Split-Detect: {e}"))
+}
+
+/// Render a finished sharded engine's report (aggregated engine stats plus
+/// dispatcher counters and worker failures).
+fn sharded_report(engine: &ShardedSplitDetect) -> Option<splitdetect::RunReport> {
+    SplitDetectStats::aggregate(&engine.stats()).map(|total| {
+        splitdetect::RunReport::with_dispatch(
+            total,
+            engine.dispatch_stats(),
+            engine.failures().to_vec(),
+        )
+    })
 }
 
 fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
@@ -77,14 +94,35 @@ fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     let trace = load_trace(path)?;
     let _ = writeln!(
         out,
-        "scanning {path}: {} packets, {} flows, {} rules, engine {}",
+        "scanning {path}: {} packets, {} flows, {} rules, engine {}{}",
         trace.len(),
         trace.flow_count(),
         rules.rules.len(),
-        args.engine
+        args.engine,
+        if args.shards > 1 {
+            format!(" ({} shards, batch {})", args.shards, args.shard_batch)
+        } else {
+            String::new()
+        }
     );
 
     let alerts = match args.engine {
+        EngineKind::Split if args.shards > 1 => {
+            let mut e = build_sharded(sigs, args)?;
+            let alerts = run_trace(&mut e, trace.iter_bytes());
+            match sharded_report(&e) {
+                Some(report) => {
+                    let _ = write!(out, "{report}");
+                }
+                None => {
+                    let _ = writeln!(out, "no surviving shards; no engine stats");
+                    for failure in e.failures() {
+                        let _ = writeln!(out, "WARNING: {failure}");
+                    }
+                }
+            }
+            alerts
+        }
         EngineKind::Split => {
             let mut e = build_split(sigs, args)?;
             let alerts = run_trace(&mut e, trace.iter_bytes());
@@ -110,7 +148,14 @@ fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     let _ = writeln!(out, "{} alert(s)", alerts.len());
     for a in &alerts {
         let rule = &rules.rules[a.signature];
-        let _ = writeln!(out, "  [{}] {} flow={} off={}", rule.sid, rule.name(), a.flow, a.offset);
+        let _ = writeln!(
+            out,
+            "  [{}] {} flow={} off={}",
+            rule.sid,
+            rule.name(),
+            a.flow,
+            a.offset
+        );
     }
     Ok(())
 }
@@ -153,7 +198,7 @@ fn compare(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     Ok(())
 }
 
-fn stats_cmd(path: &str, out: Out) -> Result<(), String> {
+fn stats_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     let trace = load_trace(path)?;
     let s = sd_traffic::stats::analyze(&trace);
     let _ = writeln!(
@@ -186,12 +231,43 @@ fn stats_cmd(path: &str, out: Out) -> Result<(), String> {
         s.flows.top_flow_byte_share(0.1) * 100.0,
         s.flows.peak_concurrency
     );
+    if args.shards > 1 {
+        // Drive the sharded engine over the capture purely to report the
+        // dispatcher's batching/backpressure behaviour on this workload.
+        let rules = load_rules(args, out)?;
+        let mut engine = build_sharded(rules.to_signatures(), args)?;
+        let alerts = run_trace(&mut engine, trace.iter_bytes());
+        let _ = writeln!(
+            out,
+            "sharded dispatch ({} shards, batch {}): {} alert(s)",
+            args.shards,
+            args.shard_batch,
+            alerts.len()
+        );
+        let lanes = engine.dispatch_stats();
+        for (i, lane) in lanes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {i}: {} batches, {} pkts ({:.1}/batch), pool {}/{} hit/miss, \
+                 high-water {}{}",
+                lane.batches_sent,
+                lane.packets_enqueued,
+                lane.mean_batch_fill(),
+                lane.recycle_hits,
+                lane.recycle_misses,
+                lane.queue_depth_high_water,
+                if lane.dead { ", DEAD" } else { "" }
+            );
+        }
+        for failure in engine.failures() {
+            let _ = writeln!(out, "  WARNING: {failure}");
+        }
+    }
     Ok(())
 }
 
 fn lint_rules(path: &str, out: Out) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let set = parse_rules(&text).map_err(|e| e.to_string())?;
     let sigs = set.to_signatures();
     let _ = writeln!(
@@ -242,7 +318,11 @@ fn gauntlet(args: &ParsedArgs, out: Out) -> Result<(), String> {
         rule.signature_bytes().len(),
         args.policy
     );
-    let _ = writeln!(out, "{:<28} {:>9} {:>12}", "strategy", "delivers", "split-detect");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9} {:>12}",
+        "strategy", "delivers", "split-detect"
+    );
 
     let mut all_ok = true;
     for strategy in EvasionStrategy::catalog() {
@@ -336,7 +416,11 @@ fn generate_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     );
     for a in &labeled.attacks {
         let rule = &rules.rules[a.signature];
-        let _ = writeln!(out, "  {} via {} carries sid {}", a.flow, a.strategy, rule.sid);
+        let _ = writeln!(
+            out,
+            "  {} via {} carries sid {}",
+            a.flow, a.strategy, rule.sid
+        );
     }
     Ok(())
 }

@@ -7,14 +7,18 @@ pub const USAGE: &str = "\
 usage:
   sd scan <capture.pcap> [--rules FILE] [--engine split|conventional|naive]
                          [--policy first|last|bsd|linux]
+                         [--shards N] [--shard-batch PKTS]
   sd compare <capture.pcap> [--rules FILE] [--policy P]
-  sd stats <capture.pcap>
+  sd stats <capture.pcap> [--shards N] [--shard-batch PKTS]
   sd rules <FILE>
   sd gauntlet [--rules FILE] [--policy P]
   sd replay <capture.pcap> [--rules FILE] [--speed X (default 1.0, 0 = unpaced)]
   sd generate <out.pcap> [--flows N] [--attacks N] [--seed S]
 
-Without --rules, the embedded demo rule set is used.";
+Without --rules, the embedded demo rule set is used.
+--shards N > 1 runs the flow-sharded engine; --shard-batch sets how many
+packets the dispatcher accumulates per shard before each channel send
+(default 64; 1 degrades to per-packet dispatch).";
 
 /// Which engine `scan` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +60,10 @@ pub struct ParsedArgs {
     pub seed: u64,
     /// `--speed X` (replay); 0 means unpaced.
     pub speed: f64,
+    /// `--shards N` (scan/stats); 1 = single engine.
+    pub shards: usize,
+    /// `--shard-batch PKTS` (scan/stats): dispatcher batch size.
+    pub shard_batch: usize,
 }
 
 /// The subcommand.
@@ -90,6 +98,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut attacks = 3usize;
     let mut seed = 1u64;
     let mut speed = 1.0f64;
+    let mut shards = 1usize;
+    let mut shard_batch = 64usize;
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -137,6 +147,22 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                     return Err("--speed must be >= 0".into());
                 }
             }
+            "--shards" => {
+                shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards value".to_string())?;
+                if shards == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+            }
+            "--shard-batch" => {
+                shard_batch = value_of("--shard-batch")?
+                    .parse()
+                    .map_err(|_| "bad --shard-batch value".to_string())?;
+                if shard_batch == 0 {
+                    return Err("--shard-batch must be >= 1".into());
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -175,6 +201,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         attacks,
         seed,
         speed,
+        shards,
+        shard_batch,
     })
 }
 
@@ -210,6 +238,16 @@ mod tests {
     }
 
     #[test]
+    fn shard_flags_default_and_parse() {
+        let p = parse(&args("scan cap.pcap")).unwrap();
+        assert_eq!((p.shards, p.shard_batch), (1, 64));
+        let p = parse(&args("scan cap.pcap --shards 4 --shard-batch 256")).unwrap();
+        assert_eq!((p.shards, p.shard_batch), (4, 256));
+        let p = parse(&args("stats cap.pcap --shards 2")).unwrap();
+        assert_eq!((p.shards, p.shard_batch), (2, 64));
+    }
+
+    #[test]
     fn errors_are_helpful() {
         for bad in [
             "",
@@ -221,6 +259,9 @@ mod tests {
             "scan cap.pcap --rules",
             "generate out.pcap --flows many",
             "gauntlet stray",
+            "scan cap.pcap --shards 0",
+            "scan cap.pcap --shard-batch 0",
+            "scan cap.pcap --shards x",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

@@ -32,7 +32,16 @@ fn generate_then_scan_detects_labelled_attacks() {
     let pcap = dir.join("t.pcap");
     let pcap_s = pcap.to_str().unwrap();
 
-    let (code, out) = run(&["generate", pcap_s, "--flows", "20", "--attacks", "3", "--seed", "5"]);
+    let (code, out) = run(&[
+        "generate",
+        pcap_s,
+        "--flows",
+        "20",
+        "--attacks",
+        "3",
+        "--seed",
+        "5",
+    ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("3 labelled attack(s)"), "{out}");
 
@@ -90,7 +99,11 @@ fn rules_lint_reports_counts_and_short_rules() {
 fn rules_lint_rejects_broken_files() {
     let dir = tmpdir("badrules");
     let path = dir.join("bad.rules");
-    std::fs::write(&path, "alert tcp any any -> any any (content:\"x\"; sid:borked;)\n").unwrap();
+    std::fs::write(
+        &path,
+        "alert tcp any any -> any any (content:\"x\"; sid:borked;)\n",
+    )
+    .unwrap();
     let (code, out) = run(&["rules", path.to_str().unwrap()]);
     assert_eq!(code, 1);
     assert!(out.contains("line 1"), "{out}");
@@ -142,7 +155,14 @@ fn scan_with_custom_rules_file() {
 fn stats_describes_a_capture() {
     let dir = tmpdir("stats");
     let pcap = dir.join("s.pcap");
-    run(&["generate", pcap.to_str().unwrap(), "--flows", "15", "--attacks", "0"]);
+    run(&[
+        "generate",
+        pcap.to_str().unwrap(),
+        "--flows",
+        "15",
+        "--attacks",
+        "0",
+    ]);
     let (code, out) = run(&["stats", pcap.to_str().unwrap()]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("size mix"), "{out}");
@@ -154,7 +174,14 @@ fn stats_describes_a_capture() {
 fn replay_unpaced_detects_attacks() {
     let dir = tmpdir("replay");
     let pcap = dir.join("r.pcap");
-    run(&["generate", pcap.to_str().unwrap(), "--flows", "10", "--attacks", "2"]);
+    run(&[
+        "generate",
+        pcap.to_str().unwrap(),
+        "--flows",
+        "10",
+        "--attacks",
+        "2",
+    ]);
     let (code, out) = run(&["replay", pcap.to_str().unwrap(), "--speed", "0"]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("replayed"), "{out}");

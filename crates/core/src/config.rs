@@ -50,6 +50,8 @@ pub enum ConfigError {
     },
     /// The signature set is empty.
     NoSignatures,
+    /// The sharded dispatcher's batch size must be at least one packet.
+    ZeroBatchSize,
 }
 
 impl fmt::Display for ConfigError {
@@ -76,6 +78,9 @@ impl fmt::Display for ConfigError {
                 "signature #{signature} has {len} bytes, need ≥ {required} for the configured split"
             ),
             ConfigError::NoSignatures => f.write_str("signature set is empty"),
+            ConfigError::ZeroBatchSize => {
+                f.write_str("shard_batch_packets = 0, need ≥ 1 packet per dispatch batch")
+            }
         }
     }
 }
@@ -125,6 +130,12 @@ pub struct SplitDetectConfig {
     /// Where small-segment counters live (exact table vs counting Bloom —
     /// the DESIGN §5 memory/diversion ablation, measured by E11).
     pub small_counter: SmallCounterBackend,
+    /// Packets the sharded dispatcher accumulates per shard before sending
+    /// one batch over the worker channel (the E15 sweep knob). 1 degrades
+    /// to per-packet dispatch; larger values amortise channel and pool
+    /// traffic at the cost of per-packet latency. Ignored by the
+    /// single-instance engine.
+    pub shard_batch_packets: usize,
 }
 
 impl Default for SplitDetectConfig {
@@ -142,6 +153,7 @@ impl Default for SplitDetectConfig {
             slow_path_urgent: UrgentSemantics::DiscardOne,
             divert_on_urgent: true,
             small_counter: SmallCounterBackend::Exact,
+            shard_batch_packets: 64,
         }
     }
 }
@@ -165,6 +177,9 @@ impl SplitDetectConfig {
     pub fn validate(&self, sigs: &SignatureSet) -> Result<usize, ConfigError> {
         if sigs.is_empty() {
             return Err(ConfigError::NoSignatures);
+        }
+        if self.shard_batch_packets == 0 {
+            return Err(ConfigError::ZeroBatchSize);
         }
         let k = self.pieces_per_signature;
         if k < 3 {
@@ -255,7 +270,19 @@ mod tests {
     fn rejects_short_signature() {
         let short = SignatureSet::from_signatures([Signature::new("tiny", &b"0123456789"[..])]);
         let err = SplitDetectConfig::default().validate(&short).unwrap_err();
-        assert!(matches!(err, ConfigError::SignatureTooShort { len: 10, .. }));
+        assert!(matches!(
+            err,
+            ConfigError::SignatureTooShort { len: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_batch_size() {
+        let cfg = SplitDetectConfig {
+            shard_batch_packets: 0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(&sigs()), Err(ConfigError::ZeroBatchSize));
     }
 
     #[test]
@@ -281,6 +308,7 @@ mod tests {
                 required: 12,
             },
             ConfigError::NoSignatures,
+            ConfigError::ZeroBatchSize,
         ] {
             assert!(!e.to_string().is_empty());
         }

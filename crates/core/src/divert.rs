@@ -147,9 +147,7 @@ impl DiversionManager {
     /// Memory footprint: the delay line's buffered bytes plus per-entry and
     /// diverted-set overhead.
     pub fn memory_bytes(&self) -> usize {
-        self.delay_bytes
-            + self.delay.len() * 24
-            + self.diverted.len() * (FlowKey::WIRE_BYTES + 8)
+        self.delay_bytes + self.delay.len() * 24 + self.diverted.len() * (FlowKey::WIRE_BYTES + 8)
     }
 }
 

@@ -195,7 +195,9 @@ impl Ips for SplitDetect {
     fn process_packet(&mut self, packet: &[u8], tick: u64, out: &mut Vec<Alert>) {
         self.usage.packets += 1;
         let divert_ref = &self.divert;
-        let c = self.fast.classify_full(packet, |k| divert_ref.is_diverted(k));
+        let c = self
+            .fast
+            .classify_full(packet, |k| divert_ref.is_diverted(k));
         self.usage.payload_bytes += c.payload_len as u64;
         let (key, verdict) = (c.key, c.verdict);
 
@@ -427,14 +429,11 @@ mod tests {
         let mut out = Vec::new();
         for f in 0..20u16 {
             for j in 0..5u32 {
-                let frame = TcpPacketSpec::new(
-                    &format!("10.0.1.{}:2000", f),
-                    "10.0.0.2:80",
-                )
-                .seq(1000 + j * 5000) // gaps → conventional buffers OoO data
-                .flags(TcpFlags::ACK)
-                .payload(&[b'd'; 1400])
-                .build();
+                let frame = TcpPacketSpec::new(&format!("10.0.1.{}:2000", f), "10.0.0.2:80")
+                    .seq(1000 + j * 5000) // gaps → conventional buffers OoO data
+                    .flags(TcpFlags::ACK)
+                    .payload(&[b'd'; 1400])
+                    .build();
                 let pkt = ip_of_frame(&frame);
                 let tick = (f as u64) * 5 + j as u64;
                 conv.process_packet(pkt, tick, &mut out);
@@ -462,7 +461,10 @@ mod tests {
         let _ = run_trace(&mut e, [pkt(1, &payload).as_slice()]);
         let r = e.resources();
         assert_eq!(r.packets, 1);
-        assert!(r.bytes_scanned >= payload.len() as u64 * 2, "fast + slow scans");
+        assert!(
+            r.bytes_scanned >= payload.len() as u64 * 2,
+            "fast + slow scans"
+        );
         assert_eq!(r.alerts, 1);
     }
 }

@@ -261,8 +261,7 @@ impl FastPath {
     /// Per-flow state footprint: the provisioned flow table plus the
     /// Bloom backend's cells when configured.
     pub fn table_memory_bytes(&self) -> usize {
-        self.table.memory_bytes()
-            + self.small_bloom.as_ref().map_or(0, |b| b.memory_bytes())
+        self.table.memory_bytes() + self.small_bloom.as_ref().map_or(0, |b| b.memory_bytes())
     }
 
     /// Flow-table statistics (insertions ≈ flows seen).
@@ -370,8 +369,9 @@ impl FastPath {
                 // pure ACKs carry no stream bytes and repeat seq numbers
                 // legitimately).
                 let seq = info.repr.seq;
-                let consumed =
-                    payload.len() as u32 + u32::from(info.repr.flags.fin()) + u32::from(info.repr.flags.syn());
+                let consumed = payload.len() as u32
+                    + u32::from(info.repr.flags.fin())
+                    + u32::from(info.repr.flags.syn());
                 let mut out_of_order = false;
                 if info.repr.flags.syn() {
                     state.set_next(d, seq + consumed);
@@ -537,7 +537,7 @@ mod tests {
     #[test]
     fn small_segments_exceeding_budget_divert() {
         let mut f = fast(); // budget T=1, cutoff 15
-        // First small data segment: within budget.
+                            // First small data segment: within budget.
         let (_, v1) = f.classify(&pkt(1000, b"abc"), not_diverted);
         assert_eq!(v1, Verdict::Benign);
         // Second small segment (in order: 1000+3) → over budget.
@@ -727,14 +727,12 @@ mod tests {
         let mut f = fast_with_bloom(64, 1);
         let mut early_diverts = 0;
         for n in 0..200u16 {
-            let frame = TcpPacketSpec::new(
-                &format!("10.7.{}.{}:999", n / 200, n % 200),
-                "10.0.0.2:80",
-            )
-            .seq(1)
-            .flags(TcpFlags::ACK.union(TcpFlags::PSH))
-            .payload(b"hi") // one small segment per flow: within budget
-            .build();
+            let frame =
+                TcpPacketSpec::new(&format!("10.7.{}.{}:999", n / 200, n % 200), "10.0.0.2:80")
+                    .seq(1)
+                    .flags(TcpFlags::ACK.union(TcpFlags::PSH))
+                    .payload(b"hi") // one small segment per flow: within budget
+                    .build();
             let (_, v) = f.classify(ip_of_frame(&frame), not_diverted);
             if matches!(v, Verdict::Divert(DivertReason::SmallSegments)) {
                 early_diverts += 1;
@@ -747,14 +745,12 @@ mod tests {
         // The exact backend never diverts these flows.
         let mut f = fast();
         for n in 0..200u16 {
-            let frame = TcpPacketSpec::new(
-                &format!("10.7.{}.{}:999", n / 200, n % 200),
-                "10.0.0.2:80",
-            )
-            .seq(1)
-            .flags(TcpFlags::ACK.union(TcpFlags::PSH))
-            .payload(b"hi")
-            .build();
+            let frame =
+                TcpPacketSpec::new(&format!("10.7.{}.{}:999", n / 200, n % 200), "10.0.0.2:80")
+                    .seq(1)
+                    .flags(TcpFlags::ACK.union(TcpFlags::PSH))
+                    .payload(b"hi")
+                    .build();
             let (_, v) = f.classify(ip_of_frame(&frame), not_diverted);
             assert_eq!(v, Verdict::Benign);
         }

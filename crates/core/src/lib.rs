@@ -54,7 +54,7 @@ pub mod theory;
 
 pub use config::SplitDetectConfig;
 pub use engine::SplitDetect;
-pub use shard::ShardedSplitDetect;
-pub use split::SplitPlan;
 pub use report::RunReport;
+pub use shard::{ShardDispatchStats, ShardFailure, ShardedSplitDetect};
+pub use split::SplitPlan;
 pub use stats::SplitDetectStats;

@@ -9,18 +9,41 @@
 use std::fmt;
 
 use crate::fastpath::DivertReason;
+use crate::shard::{ShardDispatchStats, ShardFailure};
 use crate::stats::SplitDetectStats;
 
 /// A formatted snapshot of one engine run. Display renders the block.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     stats: SplitDetectStats,
+    /// Per-shard dispatcher counters, present for sharded runs.
+    dispatch: Vec<ShardDispatchStats>,
+    /// Workers that died mid-run, present for sharded runs.
+    failures: Vec<ShardFailure>,
 }
 
 impl RunReport {
     /// Wrap a stats snapshot for rendering.
     pub fn new(stats: SplitDetectStats) -> Self {
-        RunReport { stats }
+        RunReport {
+            stats,
+            dispatch: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// A sharded run's report: aggregated engine stats plus the
+    /// dispatcher's per-lane counters and any worker failures.
+    pub fn with_dispatch(
+        stats: SplitDetectStats,
+        dispatch: Vec<ShardDispatchStats>,
+        failures: Vec<ShardFailure>,
+    ) -> Self {
+        RunReport {
+            stats,
+            dispatch,
+            failures,
+        }
     }
 }
 
@@ -82,6 +105,32 @@ impl fmt::Display for RunReport {
                 s.divert.set_evictions
             )?;
         }
+        if !self.dispatch.is_empty() {
+            let d = ShardDispatchStats::aggregate(&self.dispatch);
+            writeln!(
+                f,
+                "dispatch: {} shards, {} batches ({:.1} pkts/batch), {} enqueued ({}), \
+                 pool {}/{} hit/miss, queue high-water {}",
+                self.dispatch.len(),
+                d.batches_sent,
+                d.mean_batch_fill(),
+                d.packets_enqueued,
+                human_bytes(d.bytes_enqueued),
+                d.recycle_hits,
+                d.recycle_misses,
+                d.queue_depth_high_water
+            )?;
+            if d.packets_dropped > 0 {
+                writeln!(
+                    f,
+                    "WARNING: {} packets dropped on dead shard lanes",
+                    d.packets_dropped
+                )?;
+            }
+        }
+        for failure in &self.failures {
+            writeln!(f, "WARNING: {failure}")?;
+        }
         Ok(())
     }
 }
@@ -121,6 +170,38 @@ mod tests {
         assert!(text.contains("piece-match=1"), "{text}");
         assert!(text.contains("state: fast"), "{text}");
         assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn sharded_report_renders_dispatch_and_failures() {
+        let sigs =
+            SignatureSet::from_signatures([Signature::new("e", &b"EVIL_SIGNATURE_BYTES"[..])]);
+        let engine = SplitDetect::new(sigs).unwrap();
+        let dispatch = vec![
+            ShardDispatchStats {
+                batches_sent: 10,
+                packets_enqueued: 640,
+                bytes_enqueued: 64_000,
+                recycle_hits: 9,
+                recycle_misses: 1,
+                queue_depth_high_water: 3,
+                ..Default::default()
+            },
+            ShardDispatchStats {
+                packets_dropped: 5,
+                dead: true,
+                ..Default::default()
+            },
+        ];
+        let failures = vec![ShardFailure {
+            shard: 1,
+            message: "boom".into(),
+        }];
+        let text = RunReport::with_dispatch(engine.stats(), dispatch, failures).to_string();
+        assert!(text.contains("dispatch: 2 shards, 10 batches"), "{text}");
+        assert!(text.contains("pool 9/1 hit/miss"), "{text}");
+        assert!(text.contains("5 packets dropped"), "{text}");
+        assert!(text.contains("shard 1 worker failed: boom"), "{text}");
     }
 
     #[test]

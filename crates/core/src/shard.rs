@@ -10,14 +10,38 @@
 //! (ports are unreadable), which the canonical [`FlowKey`] already
 //! guarantees, so fragments of one datagram also stay together.
 //!
+//! ## Batched, pooled dispatch
+//!
+//! A per-packet channel send plus a per-packet `Vec` allocation would make
+//! the dispatcher, not the engines, the bottleneck (experiment E15
+//! measures exactly this). The dispatcher therefore accumulates packets
+//! into per-shard [`PacketBatch`] buffers — one contiguous byte arena plus
+//! a span index — and sends whole batches. Workers return drained batches
+//! through a recycle channel, so steady-state operation performs **zero
+//! heap allocations per packet**: every byte is copied once into a pooled
+//! arena and the pool cycles between dispatcher and workers.
+//!
+//! The batch size is [`SplitDetectConfig::shard_batch_packets`]; the E15
+//! sweep quantifies the dispatch-overhead amortisation at sizes
+//! {1, 16, 64, 256}.
+//!
+//! ## Failure containment
+//!
+//! A panicking worker must not take the engine (or the process) with it:
+//! the dispatcher marks the shard dead on the first failed send, counts
+//! the packets it can no longer deliver, and keeps the other lanes
+//! running. [`ShardedSplitDetect::finish`] joins every worker, collects
+//! panic messages as [`ShardFailure`] records (also logged to stderr), and
+//! never panics itself — so neither does `Drop`.
+//!
 //! The trade-off measured by experiment E15: per-shard state is provisioned
 //! N times (each shard gets its own flow table and delay line), so memory
 //! scales with cores while throughput does — the same provisioning trade a
 //! multi-lane line card makes.
 
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender};
 use sd_flow::{hash, FlowKey};
 use sd_ips::{Alert, Ips, ResourceUsage, SignatureSet};
 use sd_packet::parse::parse_ipv4;
@@ -26,26 +50,164 @@ use crate::config::{ConfigError, SplitDetectConfig};
 use crate::engine::SplitDetect;
 use crate::stats::SplitDetectStats;
 
+/// Bounded per-shard queue depth, in batches. Small enough that a stalled
+/// worker exerts backpressure on the dispatcher instead of buffering
+/// unboundedly; large enough to ride out scheduling jitter.
+const SHARD_QUEUE_BATCHES: usize = 8;
+
+/// A pooled buffer of packets travelling dispatcher → worker → (recycle)
+/// → dispatcher. One contiguous arena for payload bytes plus a span
+/// index; clearing retains both capacities, so a warmed-up batch is
+/// allocation-free to refill.
+#[derive(Debug)]
+struct PacketBatch {
+    /// Which shard this batch was last sent to (recycle accounting).
+    shard: usize,
+    /// Concatenated raw packets.
+    data: Vec<u8>,
+    /// `(start, end, tick)` for each packet in `data`.
+    spans: Vec<(usize, usize, u64)>,
+}
+
+impl PacketBatch {
+    fn new() -> Self {
+        PacketBatch {
+            shard: 0,
+            data: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, packet: &[u8], tick: u64) {
+        let start = self.data.len();
+        self.data.extend_from_slice(packet);
+        self.spans.push((start, self.data.len(), tick));
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+        self.spans.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+}
+
 enum Job {
-    Packet { data: Vec<u8>, tick: u64 },
+    Batch(PacketBatch),
+    /// Test/chaos hook: make the worker panic with this message.
+    Poison(String),
     Flush,
 }
 
-struct Shard {
-    tx: Sender<Job>,
-    handle: JoinHandle<(SplitDetect, Vec<Alert>)>,
+/// Dispatcher-side counters for one shard lane — the backpressure and
+/// pool-occupancy observability surfaced by `sd stats --shards` and
+/// `experiments e15`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardDispatchStats {
+    /// Batches sent over the channel.
+    pub batches_sent: u64,
+    /// Packets enqueued into batches for this shard.
+    pub packets_enqueued: u64,
+    /// Raw bytes enqueued for this shard.
+    pub bytes_enqueued: u64,
+    /// Packets dropped because the shard worker had died.
+    pub packets_dropped: u64,
+    /// Batch buffers obtained from the recycle pool.
+    pub recycle_hits: u64,
+    /// Batch buffers freshly allocated (pool empty — cold start or a
+    /// worker holding more batches than the pool anticipated).
+    pub recycle_misses: u64,
+    /// Highest number of batches simultaneously in flight to this shard
+    /// (bounded by the channel depth; hitting the bound means the worker
+    /// is the bottleneck and the dispatcher blocked on it).
+    pub queue_depth_high_water: u64,
+    /// Whether the worker died before `finish`.
+    pub dead: bool,
 }
 
-/// N independent [`SplitDetect`] engines behind a flow-hash dispatcher.
+impl ShardDispatchStats {
+    /// Element-wise sum over lanes (high-water is the max, `dead` the OR).
+    pub fn aggregate(lanes: &[ShardDispatchStats]) -> ShardDispatchStats {
+        let mut total = ShardDispatchStats::default();
+        for l in lanes {
+            total.batches_sent += l.batches_sent;
+            total.packets_enqueued += l.packets_enqueued;
+            total.bytes_enqueued += l.bytes_enqueued;
+            total.packets_dropped += l.packets_dropped;
+            total.recycle_hits += l.recycle_hits;
+            total.recycle_misses += l.recycle_misses;
+            total.queue_depth_high_water =
+                total.queue_depth_high_water.max(l.queue_depth_high_water);
+            total.dead |= l.dead;
+        }
+        total
+    }
+
+    /// Mean packets per sent batch (0 when nothing was sent).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches_sent == 0 {
+            0.0
+        } else {
+            (self.packets_enqueued - self.packets_dropped.min(self.packets_enqueued)) as f64
+                / self.batches_sent as f64
+        }
+    }
+}
+
+/// A worker that died before `finish`, with the panic message it left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the failed shard.
+    pub shard: usize,
+    /// The worker's panic payload (or a placeholder for non-string panics).
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} worker failed: {}", self.shard, self.message)
+    }
+}
+
+struct Lane {
+    /// `None` once the worker is known dead (send failed).
+    tx: Option<SyncSender<Job>>,
+    handle: Option<JoinHandle<(SplitDetect, Vec<Alert>)>>,
+    /// The batch currently being filled for this shard.
+    pending: PacketBatch,
+    stats: ShardDispatchStats,
+    /// Batches sent and not yet seen back on the recycle channel.
+    in_flight: u64,
+}
+
+struct Finished {
+    /// Surviving engines (`None` where the worker panicked), indexed by shard.
+    engines: Vec<Option<SplitDetect>>,
+    usage: ResourceUsage,
+    dispatch: Vec<ShardDispatchStats>,
+    failures: Vec<ShardFailure>,
+}
+
+/// N independent [`SplitDetect`] engines behind a flow-hash dispatcher
+/// with batched, pooled (zero-allocation steady state) dispatch.
 ///
 /// Unlike the single-threaded engine, alerts are produced asynchronously:
 /// [`process_packet`](Ips::process_packet) enqueues, and alerts surface at
 /// [`finish`](Ips::finish) — the deployment model of a multi-queue NIC,
 /// where per-packet verdicts are per-lane and reporting is aggregated.
 pub struct ShardedSplitDetect {
-    shards: Vec<Shard>,
+    lanes: Vec<Lane>,
+    /// Drained batches coming back from workers.
+    recycle_rx: Receiver<PacketBatch>,
+    /// Kept so worker clones can be made; never sent on directly.
+    _recycle_tx: Sender<PacketBatch>,
+    /// Ready-to-fill batch buffers.
+    pool: Vec<PacketBatch>,
+    batch_packets: usize,
     packets: u64,
-    finished: Option<(Vec<SplitDetect>, ResourceUsage)>,
+    finished: Option<Finished>,
 }
 
 impl ShardedSplitDetect {
@@ -53,7 +215,9 @@ impl ShardedSplitDetect {
     ///
     /// Per-shard capacities are `config`'s values divided by the shard
     /// count (rounded up), so total provisioned state matches what a
-    /// single-instance engine with `config` would hold.
+    /// single-instance engine with `config` would hold. The dispatcher
+    /// batches [`SplitDetectConfig::shard_batch_packets`] packets per
+    /// channel send.
     pub fn new(
         sigs: SignatureSet,
         config: SplitDetectConfig,
@@ -69,28 +233,51 @@ impl ShardedSplitDetect {
         // Validate once up front so errors surface on the caller's thread.
         per_shard.validate(&sigs)?;
 
-        let mut built = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        let (recycle_tx, recycle_rx) = channel::<PacketBatch>();
+        let mut lanes = Vec::with_capacity(shards);
+        for i in 0..shards {
             let engine = SplitDetect::with_config(sigs.clone(), per_shard)?;
-            let (tx, rx) = bounded::<Job>(1024);
-            let handle = std::thread::spawn(move || {
-                let mut engine = engine;
-                let mut alerts = Vec::new();
-                while let Ok(job) = rx.recv() {
-                    match job {
-                        Job::Packet { data, tick } => {
-                            engine.process_packet(&data, tick, &mut alerts)
+            let (tx, rx) = sync_channel::<Job>(SHARD_QUEUE_BATCHES);
+            let recycle = recycle_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sd-shard-{i}"))
+                .spawn(move || {
+                    let mut engine = engine;
+                    let mut alerts = Vec::new();
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Batch(mut batch) => {
+                                for i in 0..batch.spans.len() {
+                                    let (s, e, tick) = batch.spans[i];
+                                    engine.process_packet(&batch.data[s..e], tick, &mut alerts);
+                                }
+                                batch.clear();
+                                // The dispatcher may already be gone during
+                                // teardown; a full pool is not an error.
+                                let _ = recycle.send(batch);
+                            }
+                            Job::Poison(msg) => panic!("{msg}"),
+                            Job::Flush => break,
                         }
-                        Job::Flush => break,
                     }
-                }
-                engine.finish(&mut alerts);
-                (engine, alerts)
+                    engine.finish(&mut alerts);
+                    (engine, alerts)
+                })
+                .expect("spawn shard worker");
+            lanes.push(Lane {
+                tx: Some(tx),
+                handle: Some(handle),
+                pending: PacketBatch::new(),
+                stats: ShardDispatchStats::default(),
+                in_flight: 0,
             });
-            built.push(Shard { tx, handle });
         }
         Ok(ShardedSplitDetect {
-            shards: built,
+            lanes,
+            recycle_rx,
+            _recycle_tx: recycle_tx,
+            pool: Vec::new(),
+            batch_packets: config.shard_batch_packets.max(1),
             packets: 0,
             finished: None,
         })
@@ -98,32 +285,193 @@ impl ShardedSplitDetect {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        if let Some((engines, _)) = &self.finished {
-            engines.len()
+        if let Some(f) = &self.finished {
+            f.engines.len()
         } else {
-            self.shards.len()
+            self.lanes.len()
         }
     }
 
     fn shard_of(&self, packet: &[u8]) -> usize {
-        let n = self.shards.len();
-        match parse_ipv4(packet).ok().and_then(|p| FlowKey::from_parsed(&p)) {
+        let n = self.lanes.len();
+        match parse_ipv4(packet)
+            .ok()
+            .and_then(|p| FlowKey::from_parsed(&p))
+        {
             Some((key, _)) => (hash::hash_key_seeded(0x51AD, &key) as usize) % n,
             None => 0,
         }
     }
 
-    /// Aggregate statistics across shards (after [`Ips::finish`]).
+    /// Pull every batch the workers have returned so far into the pool,
+    /// crediting the lane it was in flight to.
+    fn drain_recycle(
+        lanes: &mut [Lane],
+        recycle_rx: &Receiver<PacketBatch>,
+        pool: &mut Vec<PacketBatch>,
+    ) {
+        while let Ok(batch) = recycle_rx.try_recv() {
+            lanes[batch.shard].in_flight = lanes[batch.shard].in_flight.saturating_sub(1);
+            pool.push(batch);
+        }
+    }
+
+    /// A cleared batch buffer for `shard`: recycled when possible,
+    /// freshly allocated otherwise.
+    fn acquire_batch(&mut self, shard: usize) -> PacketBatch {
+        Self::drain_recycle(&mut self.lanes, &self.recycle_rx, &mut self.pool);
+        match self.pool.pop() {
+            Some(mut batch) => {
+                self.lanes[shard].stats.recycle_hits += 1;
+                batch.clear();
+                batch
+            }
+            None => {
+                self.lanes[shard].stats.recycle_misses += 1;
+                PacketBatch::new()
+            }
+        }
+    }
+
+    /// Send `shard`'s pending batch (if non-empty). Marks the shard dead
+    /// instead of panicking when the worker is gone.
+    fn flush_shard(&mut self, shard: usize) {
+        if self.lanes[shard].pending.len() == 0 {
+            return;
+        }
+        let fresh = self.acquire_batch(shard);
+        let mut batch = std::mem::replace(&mut self.lanes[shard].pending, fresh);
+        batch.shard = shard;
+        let lane = &mut self.lanes[shard];
+        let Some(tx) = &lane.tx else {
+            lane.stats.packets_dropped += batch.len() as u64;
+            batch.clear();
+            self.pool.push(batch);
+            return;
+        };
+        lane.in_flight += 1;
+        lane.stats.queue_depth_high_water = lane.stats.queue_depth_high_water.max(lane.in_flight);
+        lane.stats.batches_sent += 1;
+        match tx.send(Job::Batch(batch)) {
+            Ok(()) => {}
+            Err(std::sync::mpsc::SendError(job)) => {
+                // Worker hung up (panicked): degrade, don't die.
+                lane.tx = None;
+                lane.in_flight -= 1;
+                lane.stats.batches_sent -= 1;
+                lane.stats.dead = true;
+                if let Job::Batch(mut batch) = job {
+                    lane.stats.packets_dropped += batch.len() as u64;
+                    batch.clear();
+                    self.pool.push(batch);
+                }
+            }
+        }
+    }
+
+    /// Per-shard dispatcher counters (available before and after
+    /// [`Ips::finish`]).
+    pub fn dispatch_stats(&self) -> Vec<ShardDispatchStats> {
+        match &self.finished {
+            Some(f) => f.dispatch.clone(),
+            None => self.lanes.iter().map(|l| l.stats).collect(),
+        }
+    }
+
+    /// Workers that panicked, with their messages (populated by
+    /// [`Ips::finish`]).
+    pub fn failures(&self) -> &[ShardFailure] {
+        match &self.finished {
+            Some(f) => &f.failures,
+            None => &[],
+        }
+    }
+
+    /// Aggregate statistics across surviving shards (after [`Ips::finish`]).
     ///
     /// # Panics
     /// Panics if called before `finish` — per-shard state lives on the
     /// worker threads until then.
     pub fn stats(&self) -> Vec<SplitDetectStats> {
-        let (engines, _) = self
+        let f = self
             .finished
             .as_ref()
             .expect("stats() is available after finish()");
-        engines.iter().map(|e| e.stats()).collect()
+        f.engines.iter().flatten().map(|e| e.stats()).collect()
+    }
+
+    /// Chaos/test hook: make `shard`'s worker panic on its next job, as a
+    /// hardware lane failure would. Hidden from docs; used by the
+    /// fault-containment tests.
+    #[doc(hidden)]
+    pub fn poison_shard(&mut self, shard: usize) {
+        if let Some(tx) = &self.lanes[shard].tx {
+            let _ = tx.send(Job::Poison(format!(
+                "injected fault: shard {shard} worker poisoned"
+            )));
+        }
+    }
+
+    fn finish_inner(&mut self, out: &mut Vec<Alert>) {
+        if self.finished.is_some() {
+            return;
+        }
+        // Flush partial batches first (dead lanes just count the drops).
+        for shard in 0..self.lanes.len() {
+            self.flush_shard(shard);
+        }
+        let mut engines = Vec::with_capacity(self.lanes.len());
+        let mut dispatch = Vec::with_capacity(self.lanes.len());
+        let mut failures = Vec::new();
+        let mut usage = ResourceUsage::default();
+        for (i, mut lane) in self.lanes.drain(..).enumerate() {
+            if let Some(tx) = lane.tx.take() {
+                // Send errors mean the worker already hung up; join below
+                // reports why.
+                let _ = tx.send(Job::Flush);
+            }
+            let Some(handle) = lane.handle.take() else {
+                continue;
+            };
+            match handle.join() {
+                Ok((engine, alerts)) => {
+                    out.extend(alerts);
+                    let r = engine.resources();
+                    usage.packets += r.packets;
+                    usage.payload_bytes += r.payload_bytes;
+                    usage.bytes_scanned += r.bytes_scanned;
+                    usage.bytes_buffered_total += r.bytes_buffered_total;
+                    usage.state_bytes += r.state_bytes;
+                    usage.state_bytes_peak += r.state_bytes_peak; // sum: provisioned per lane
+                    usage.alerts += r.alerts;
+                    engines.push(Some(engine));
+                }
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    lane.stats.dead = true;
+                    eprintln!("split-detect: shard {i} worker failed: {message}");
+                    failures.push(ShardFailure { shard: i, message });
+                    engines.push(None);
+                }
+            }
+            dispatch.push(lane.stats);
+        }
+        self.finished = Some(Finished {
+            engines,
+            usage,
+            dispatch,
+            failures,
+        });
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -136,41 +484,28 @@ impl Ips for ShardedSplitDetect {
         assert!(self.finished.is_none(), "engine already finished");
         self.packets += 1;
         let idx = self.shard_of(packet);
-        self.shards[idx]
-            .tx
-            .send(Job::Packet {
-                data: packet.to_vec(),
-                tick,
-            })
-            .expect("shard thread alive");
+        let lane = &mut self.lanes[idx];
+        if lane.tx.is_none() {
+            // Worker died earlier: count, don't crash. The failure itself
+            // surfaces at finish().
+            lane.stats.packets_dropped += 1;
+            return;
+        }
+        lane.stats.packets_enqueued += 1;
+        lane.stats.bytes_enqueued += packet.len() as u64;
+        lane.pending.push(packet, tick);
+        if lane.pending.len() >= self.batch_packets {
+            self.flush_shard(idx);
+        }
     }
 
     fn finish(&mut self, out: &mut Vec<Alert>) {
-        if self.finished.is_some() {
-            return;
-        }
-        let mut engines = Vec::with_capacity(self.shards.len());
-        let mut usage = ResourceUsage::default();
-        for shard in self.shards.drain(..) {
-            shard.tx.send(Job::Flush).expect("shard thread alive");
-            let (engine, alerts) = shard.handle.join().expect("shard thread panicked");
-            out.extend(alerts);
-            let r = engine.resources();
-            usage.packets += r.packets;
-            usage.payload_bytes += r.payload_bytes;
-            usage.bytes_scanned += r.bytes_scanned;
-            usage.bytes_buffered_total += r.bytes_buffered_total;
-            usage.state_bytes += r.state_bytes;
-            usage.state_bytes_peak += r.state_bytes_peak; // sum: provisioned per lane
-            usage.alerts += r.alerts;
-            engines.push(engine);
-        }
-        self.finished = Some((engines, usage));
+        self.finish_inner(out);
     }
 
     fn resources(&self) -> ResourceUsage {
         match &self.finished {
-            Some((_, usage)) => *usage,
+            Some(f) => f.usage,
             None => ResourceUsage {
                 packets: self.packets,
                 ..Default::default()
@@ -182,8 +517,10 @@ impl Ips for ShardedSplitDetect {
 impl Drop for ShardedSplitDetect {
     fn drop(&mut self) {
         // Make sure worker threads exit even if finish() was never called.
+        // finish_inner collects worker panics instead of propagating them,
+        // so drop can never double-panic.
         let mut sink = Vec::new();
-        self.finish(&mut sink);
+        self.finish_inner(&mut sink);
     }
 }
 
@@ -241,17 +578,40 @@ mod tests {
                 );
             }
             for a in &alerts {
-                assert!(labeled.is_attack(&a.flow), "false alert with {shards} shards");
+                assert!(
+                    labeled.is_attack(&a.flow),
+                    "false alert with {shards} shards"
+                );
             }
             assert_eq!(engine.shard_count(), shards);
         }
     }
 
     #[test]
+    fn batch_size_does_not_change_detection() {
+        let labeled = mixed_trace(4);
+        let mut reference: Option<Vec<(sd_flow::FlowKey, usize)>> = None;
+        for batch in [1usize, 16, 64, 256] {
+            let config = SplitDetectConfig {
+                shard_batch_packets: batch,
+                ..Default::default()
+            };
+            let mut engine = ShardedSplitDetect::new(sigs(), config, 4).unwrap();
+            let alerts = run_trace(&mut engine, labeled.trace.iter_bytes());
+            let mut summary: Vec<(sd_flow::FlowKey, usize)> =
+                alerts.iter().map(|a| (a.flow, a.signature)).collect();
+            summary.sort();
+            match &reference {
+                None => reference = Some(summary),
+                Some(r) => assert_eq!(&summary, r, "batch {batch} changed detection"),
+            }
+        }
+    }
+
+    #[test]
     fn alerts_surface_at_finish_not_before() {
         let labeled = mixed_trace(2);
-        let mut engine =
-            ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 2).unwrap();
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 2).unwrap();
         let mut out = Vec::new();
         for (tick, p) in labeled.trace.iter_bytes().enumerate() {
             engine.process_packet(p, tick as u64, &mut out);
@@ -268,8 +628,7 @@ mod tests {
     #[test]
     fn resources_aggregate_across_shards() {
         let labeled = mixed_trace(1);
-        let mut engine =
-            ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 4).unwrap();
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 4).unwrap();
         let mut out = Vec::new();
         let n = labeled.trace.len() as u64;
         for (tick, p) in labeled.trace.iter_bytes().enumerate() {
@@ -283,6 +642,49 @@ mod tests {
         assert_eq!(stats.len(), 4);
         let diverted: u64 = stats.iter().map(|s| s.divert.flows_diverted).sum();
         assert!(diverted >= 1);
+    }
+
+    #[test]
+    fn dispatch_stats_count_batches_and_recycling() {
+        let labeled = mixed_trace(2);
+        let config = SplitDetectConfig {
+            shard_batch_packets: 16,
+            ..Default::default()
+        };
+        let mut engine = ShardedSplitDetect::new(sigs(), config, 2).unwrap();
+        let mut out = Vec::new();
+        let n = labeled.trace.len() as u64;
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        let lanes = engine.dispatch_stats();
+        assert_eq!(lanes.len(), 2);
+        let total = ShardDispatchStats::aggregate(&lanes);
+        assert_eq!(total.packets_enqueued, n);
+        assert_eq!(total.packets_dropped, 0);
+        assert!(total.batches_sent >= n / 16, "batches cover the trace");
+        assert!(
+            total.batches_sent < n,
+            "batching must send fewer messages than packets"
+        );
+        // The pool bounds allocations: misses can never exceed what the
+        // queue can hold in flight (plus the pending buffer per lane).
+        let bound = (SHARD_QUEUE_BATCHES as u64 + 2) * 2 + 2;
+        assert!(
+            total.recycle_misses <= bound,
+            "misses {} exceed pool bound {bound}",
+            total.recycle_misses
+        );
+        assert!(total.queue_depth_high_water >= 1);
+        assert!(!total.dead);
+        // Batches recycle in steady state.
+        assert!(
+            total.recycle_hits > total.recycle_misses,
+            "steady state must be pool hits (hits {}, misses {})",
+            total.recycle_hits,
+            total.recycle_misses
+        );
     }
 
     #[test]
@@ -304,5 +706,79 @@ mod tests {
     fn drop_without_finish_does_not_hang() {
         let engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 3).unwrap();
         drop(engine); // must join cleanly
+    }
+
+    #[test]
+    fn poisoned_shard_degrades_instead_of_aborting() {
+        let labeled = mixed_trace(4);
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 4).unwrap();
+        let mut out = Vec::new();
+        let packets: Vec<&[u8]> = labeled.trace.iter_bytes().collect();
+        let half = packets.len() / 2;
+        for (tick, p) in packets[..half].iter().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.poison_shard(1);
+        // Keep feeding: the engine must absorb the dead lane gracefully.
+        for (tick, p) in packets[half..].iter().enumerate() {
+            engine.process_packet(p, (half + tick) as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        let failures = engine.failures().to_vec();
+        assert_eq!(failures.len(), 1, "exactly one worker failed");
+        assert_eq!(failures[0].shard, 1);
+        assert!(failures[0].message.contains("injected fault"));
+        assert!(failures[0].to_string().contains("shard 1"));
+        // Surviving shards still report and still detected their flows.
+        assert_eq!(engine.stats().len(), 3);
+        let lanes = engine.dispatch_stats();
+        assert!(lanes[1].dead);
+        // finish() stays idempotent after a failure.
+        let before = out.len();
+        engine.finish(&mut out);
+        assert_eq!(out.len(), before);
+    }
+
+    #[test]
+    fn poisoned_shard_drop_does_not_double_panic() {
+        let labeled = mixed_trace(2);
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 2).unwrap();
+        let mut out = Vec::new();
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.poison_shard(0);
+        engine.poison_shard(1);
+        // Drop without finish(): must join the panicked workers quietly.
+        drop(engine);
+    }
+
+    #[test]
+    fn dispatcher_survives_dead_shard_under_load() {
+        // Poison immediately, then push the whole trace: every send path
+        // (pending fill, batch flush, finish flush) must tolerate the
+        // closed channel.
+        let labeled = mixed_trace(2);
+        let config = SplitDetectConfig {
+            shard_batch_packets: 4,
+            ..Default::default()
+        };
+        let mut engine = ShardedSplitDetect::new(sigs(), config, 2).unwrap();
+        engine.poison_shard(0);
+        engine.poison_shard(1);
+        // Give the workers a moment to die so sends actually fail.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut out = Vec::new();
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        assert_eq!(engine.failures().len(), 2);
+        let total = ShardDispatchStats::aggregate(&engine.dispatch_stats());
+        assert!(
+            total.packets_dropped > 0,
+            "drops are counted, not lost silently"
+        );
+        assert_eq!(engine.stats().len(), 0, "no survivors");
     }
 }

@@ -73,7 +73,10 @@ impl SplitPlan {
 
         for (sig_id, sig) in sigs.iter() {
             let k_here = k.min(sig.bytes.len()).max(1);
-            for (i, (s, e)) in balanced_cuts(sig.bytes.len(), k_here).into_iter().enumerate() {
+            for (i, (s, e)) in balanced_cuts(sig.bytes.len(), k_here)
+                .into_iter()
+                .enumerate()
+            {
                 let piece = sig.bytes[s..e].to_vec();
                 max_piece = max_piece.max(piece.len());
                 min_piece = min_piece.min(piece.len());

@@ -75,6 +75,40 @@ impl SplitDetectStats {
     pub fn total_state_bytes(&self) -> u64 {
         self.fast_state_bytes + self.divert_state_bytes + self.slow_state_bytes
     }
+
+    /// Element-wise sum across shards: counters add, state bytes add
+    /// (each shard provisions its own tables), peaks add as well since the
+    /// shards run concurrently. `None` (and a zeroed snapshot) for an
+    /// empty slice.
+    pub fn aggregate(shards: &[SplitDetectStats]) -> Option<SplitDetectStats> {
+        let (first, rest) = shards.split_first()?;
+        let mut total = *first;
+        for s in rest {
+            total.fast.packets += s.fast.packets;
+            total.fast.bytes_scanned += s.fast.bytes_scanned;
+            total.fast.malformed += s.fast.malformed;
+            total.fast.small_segments += s.fast.small_segments;
+            total.fast.out_of_order += s.fast.out_of_order;
+            for (d, x) in total.fast.diverts.iter_mut().zip(s.fast.diverts) {
+                *d += x;
+            }
+            total.fast.reclaimed += s.fast.reclaimed;
+            total.divert.flows_diverted += s.divert.flows_diverted;
+            total.divert.set_evictions += s.divert.set_evictions;
+            total.divert.replayed_packets += s.divert.replayed_packets;
+            total.divert.delay_line_misses += s.divert.delay_line_misses;
+            total.flows_seen += s.flows_seen;
+            total.packets_to_slow += s.packets_to_slow;
+            total.bytes_to_slow += s.bytes_to_slow;
+            total.payload_bytes += s.payload_bytes;
+            total.fast_state_bytes += s.fast_state_bytes;
+            total.divert_state_bytes += s.divert_state_bytes;
+            total.slow_state_bytes += s.slow_state_bytes;
+            total.slow_state_peak_bytes += s.slow_state_peak_bytes;
+            total.automaton_bytes += s.automaton_bytes;
+        }
+        Some(total)
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +151,26 @@ mod tests {
         assert_eq!(s.diverted_flow_fraction(), 0.1);
         assert_eq!(s.slow_packet_fraction(), 0.25);
         assert_eq!(s.slow_byte_fraction(), 0.1);
+    }
+
+    #[test]
+    fn aggregate_sums_shards() {
+        let mut a = zeroed();
+        a.fast.packets = 10;
+        a.flows_seen = 2;
+        a.fast_state_bytes = 100;
+        a.fast.diverts[0] = 1;
+        let mut b = zeroed();
+        b.fast.packets = 5;
+        b.flows_seen = 1;
+        b.fast_state_bytes = 100;
+        b.fast.diverts[0] = 2;
+        let t = SplitDetectStats::aggregate(&[a, b]).unwrap();
+        assert_eq!(t.fast.packets, 15);
+        assert_eq!(t.flows_seen, 3);
+        assert_eq!(t.fast_state_bytes, 200);
+        assert_eq!(t.fast.diverts[0], 3);
+        assert!(SplitDetectStats::aggregate(&[]).is_none());
     }
 
     #[test]

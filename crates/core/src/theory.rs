@@ -141,9 +141,9 @@ pub fn classify_segmentation(
     // R1: a piece with no interior boundary lies whole inside one segment
     // (segments tile the stream, so "no boundary inside" = "one segment
     // covers it").
-    let piece_contained = cuts.iter().any(|&(s, e)| {
-        !boundaries.iter().any(|&b| b > s && b < e)
-    });
+    let piece_contained = cuts
+        .iter()
+        .any(|&(s, e)| !boundaries.iter().any(|&b| b > s && b < e));
     // R2: segments strictly between consecutive interior boundaries.
     let mut small = 0usize;
     for w in boundaries.windows(2) {
@@ -160,12 +160,8 @@ pub fn classify_segmentation(
 /// than `T` small segments (R2). Returns true when the instance guarantees
 /// detection for the given boundary set.
 pub fn detects(params: &TheoremParams, boundaries: &[usize]) -> bool {
-    let (piece_hit, small) = classify_segmentation(
-        params.sig_len,
-        params.pieces,
-        params.cutoff,
-        boundaries,
-    );
+    let (piece_hit, small) =
+        classify_segmentation(params.sig_len, params.pieces, params.cutoff, boundaries);
     piece_hit || small > params.budget
 }
 
@@ -183,8 +179,7 @@ mod tests {
             for start in 0..2 * p {
                 let end = start + need;
                 // Contains piece [jp, jp+p) iff jp >= start && jp+p <= end.
-                let contains = (0..=end / p)
-                    .any(|j| j * p >= start && (j + 1) * p <= end);
+                let contains = (0..=end / p).any(|j| j * p >= start && (j + 1) * p <= end);
                 assert!(contains, "p={p} start={start}: 2p-1 window must contain");
             }
             // Window of 2p-2 starting at 1 misses piece 0 (cut at left) and
@@ -220,11 +215,7 @@ mod tests {
             Err(Violation::CutoffTooSmall)
         );
         assert_eq!(
-            TheoremParams {
-                sig_len: 2,
-                ..ok
-            }
-            .check(),
+            TheoremParams { sig_len: 2, ..ok }.check(),
             Err(Violation::SignatureTooShort)
         );
     }

@@ -12,8 +12,8 @@
 //!    paper's claim is about *cost*, not coverage.
 
 use sd_ips::api::run_trace;
-use sd_ips::{ConventionalIps, NaivePacketIps, Signature, SignatureSet};
 use sd_ips::conventional::ConventionalConfig;
+use sd_ips::{ConventionalIps, NaivePacketIps, Signature, SignatureSet};
 use sd_reassembly::OverlapPolicy;
 use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
 use sd_traffic::victim::{receive_stream, VictimConfig};
@@ -164,8 +164,7 @@ fn sharded_engine_catches_every_strategy() {
     for strategy in EvasionStrategy::catalog() {
         let spec = spec();
         let packets = generate(&spec, strategy, victim, 77);
-        let mut engine =
-            ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 4).unwrap();
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 4).unwrap();
         let alerts = run_trace(&mut engine, packets.iter().map(|p| p.as_slice()));
         assert!(
             alerts.iter().any(|a| a.signature == 0),
@@ -259,9 +258,7 @@ fn rst_counter_reset_is_not_an_evasion() {
         ("10.0.0.2".parse().unwrap(), 80),
     );
     assert!(
-        !delivered
-            .windows(SIG.len())
-            .any(|w| w == SIG),
+        !delivered.windows(SIG.len()).any(|w| w == SIG),
         "the RST-interleaved stream must never deliver the signature"
     );
 }

@@ -48,6 +48,39 @@ fn seeded_cuts(len: usize, seed: u64, max_seg: usize) -> Vec<(usize, usize)> {
     cuts
 }
 
+/// Pinned shrink of `any_reordered_segmentation_is_detected` (seed file:
+/// `cc 4cd79e…`): seed 3126427968536741024, prefix 174 — a shuffle that
+/// lands a signature-bearing segment in a spot the delay-line replay used
+/// to miss.
+#[test]
+fn regression_reordered_segmentation_seed_3126427968536741024() {
+    let seed = 3126427968536741024u64;
+    let prefix_len = 174usize;
+    let mut payload = vec![b'.'; prefix_len];
+    payload.extend_from_slice(SIG);
+    payload.extend_from_slice(&[b'.'; 64]);
+
+    let cuts = seeded_cuts(payload.len(), seed, 512);
+    let mut order: Vec<usize> = (0..cuts.len()).collect();
+    let mut state = seed.wrapping_add(17) | 1;
+    for i in (1..order.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut packets: Vec<Vec<u8>> = vec![syn()];
+    packets.extend(order.into_iter().map(|i| {
+        let (s, e) = cuts[i];
+        pkt(1000 + s as u32, &payload[s..e])
+    }));
+
+    let mut sd = SplitDetect::new(sigs()).unwrap();
+    let alerts = run_trace(&mut sd, packets.iter().map(|p| p.as_slice()));
+    assert!(alerts.iter().any(|a| a.signature == 0));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -139,7 +139,10 @@ mod tests {
             }
         }
         for n in 0..200 {
-            assert!(b.estimate(&key(n)) >= (n % 7) as u8, "underestimated key {n}");
+            assert!(
+                b.estimate(&key(n)) >= (n % 7) as u8,
+                "underestimated key {n}"
+            );
         }
     }
 

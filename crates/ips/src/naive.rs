@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn detects_whole_signature_in_packet() {
         let mut ips = NaivePacketIps::new(sigs());
-        let alerts = run_trace(&mut ips, [tcp_pkt(1, b"..EVIL_SIGNATURE_BYTES..").as_slice()]);
+        let alerts = run_trace(
+            &mut ips,
+            [tcp_pkt(1, b"..EVIL_SIGNATURE_BYTES..").as_slice()],
+        );
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].source, AlertSource::Packet);
     }

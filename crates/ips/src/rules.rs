@@ -224,7 +224,10 @@ fn parse_rule_line(line: &str, line_no: usize) -> Result<Option<Rule>, RuleParse
         other => return Err(err(line_no, format!("unsupported protocol {other:?}"))),
     };
     if fields[4] != "->" && fields[4] != "<>" {
-        return Err(err(line_no, format!("expected '->' or '<>', got {:?}", fields[4])));
+        return Err(err(
+            line_no,
+            format!("expected '->' or '<>', got {:?}", fields[4]),
+        ));
     }
 
     let mut rule = Rule {
@@ -406,7 +409,10 @@ mod tests {
         assert_eq!(set.skipped_actions, 0);
         let sigs = set.to_signatures();
         assert_eq!(sigs.len(), 5);
-        assert!(sigs.min_len().unwrap() >= 12, "demo rules must be splittable");
+        assert!(
+            sigs.min_len().unwrap() >= 12,
+            "demo rules must be splittable"
+        );
     }
 
     #[test]
@@ -421,10 +427,9 @@ mod tests {
 
     #[test]
     fn character_escapes_decode() {
-        let set = parse_rules(
-            r#"alert tcp any any -> any any (msg:"q"; content:"a\"b\\c\;d"; sid:6;)"#,
-        )
-        .unwrap();
+        let set =
+            parse_rules(r#"alert tcp any any -> any any (msg:"q"; content:"a\"b\\c\;d"; sid:6;)"#)
+                .unwrap();
         assert_eq!(set.rules[0].contents[0], b"a\"b\\c;d");
     }
 
@@ -451,10 +456,9 @@ mod tests {
 
     #[test]
     fn nocase_is_counted_not_honored() {
-        let set = parse_rules(
-            r#"alert tcp any any -> any any (content:"CaseMatters"; nocase; sid:9;)"#,
-        )
-        .unwrap();
+        let set =
+            parse_rules(r#"alert tcp any any -> any any (content:"CaseMatters"; nocase; sid:9;)"#)
+                .unwrap();
         assert_eq!(set.nocase_ignored, 1);
         assert!(set.rules[0].nocase);
     }
@@ -478,8 +482,8 @@ mod tests {
 
     #[test]
     fn errors_carry_line_numbers() {
-        let e = parse_rules("# ok\nalert tcp any any -> any any content:\"x\"; sid:1;")
-            .unwrap_err();
+        let e =
+            parse_rules("# ok\nalert tcp any any -> any any content:\"x\"; sid:1;").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("line 2"));
 
@@ -513,7 +517,8 @@ mod tests {
 
     #[test]
     fn continuation_errors_report_first_line() {
-        let e = parse_rules("# ok\nalert tcp any any \\\n-> any any (content:\"x\"; sid:zzz;)").unwrap_err();
+        let e = parse_rules("# ok\nalert tcp any any \\\n-> any any (content:\"x\"; sid:zzz;)")
+            .unwrap_err();
         assert_eq!(e.line, 2);
     }
 

@@ -66,8 +66,14 @@ impl SignatureSet {
     pub fn demo() -> Self {
         Self::from_signatures([
             Signature::new("shell-bin-sh", &b"/bin/sh -c 'cat /etc/passwd'"[..]),
-            Signature::new("http-cmd-exe", &b"GET /scripts/..%255c../winnt/system32/cmd.exe"[..]),
-            Signature::new("sql-union-select", &b"' UNION SELECT password FROM users--"[..]),
+            Signature::new(
+                "http-cmd-exe",
+                &b"GET /scripts/..%255c../winnt/system32/cmd.exe"[..],
+            ),
+            Signature::new(
+                "sql-union-select",
+                &b"' UNION SELECT password FROM users--"[..],
+            ),
             Signature::new("nop-sled-x86", vec![0x90u8; 24]),
             Signature::new("ftp-site-exec", &b"SITE EXEC %p%p%p%p|%08x|"[..]),
             Signature::new("dns-infoleak", &b"version.bind CHAOS TXT exfil"[..]),

@@ -412,7 +412,9 @@ mod tests {
 
     #[test]
     fn frame_ip_roundtrip() {
-        let frame = TcpPacketSpec::new("1.2.3.4:5", "6.7.8.9:10").payload(b"x").build();
+        let frame = TcpPacketSpec::new("1.2.3.4:5", "6.7.8.9:10")
+            .payload(b"x")
+            .build();
         let ip = ip_of_frame(&frame).to_vec();
         let again = frame_of_ip(&ip);
         assert_eq!(frame, again);
@@ -426,7 +428,9 @@ mod tests {
 
     #[test]
     fn urgent_sets_urg_flag() {
-        let frame = TcpPacketSpec::new("1.2.3.4:5", "6.7.8.9:10").urgent(3).build();
+        let frame = TcpPacketSpec::new("1.2.3.4:5", "6.7.8.9:10")
+            .urgent(3)
+            .build();
         let p = parse_ethernet(&frame).unwrap();
         assert!(p.tcp().unwrap().repr.flags.urg());
         assert_eq!(p.tcp().unwrap().repr.urgent, 3);

@@ -126,8 +126,10 @@ mod tests {
 
     #[test]
     fn inserting_checksum_verifies() {
-        let mut packet = vec![0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0, 10,
-            0, 0, 1, 10, 0, 0, 2];
+        let mut packet = vec![
+            0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&packet);
         packet[10..12].copy_from_slice(&c.to_be_bytes());
         assert!(verify(&packet));
@@ -165,7 +167,10 @@ mod tests {
             !verify_transport(Ipv4Addr::new(10, 0, 0, 9), dst, 6, &seg),
             "changed addr must fail"
         );
-        assert!(!verify_transport(src, dst, 17, &seg), "changed proto must fail");
+        assert!(
+            !verify_transport(src, dst, 17, &seg),
+            "changed proto must fail"
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn reassembled_bytes_match_original() {
         let pkt = tcp_ip_packet(333);
-        let orig_payload = Ipv4Packet::new_checked(&pkt[..]).unwrap().payload().to_vec();
+        let orig_payload = Ipv4Packet::new_checked(&pkt[..])
+            .unwrap()
+            .payload()
+            .to_vec();
         let frags = fragment_ipv4(&pkt, 64).unwrap();
         let mut rebuilt = vec![0u8; orig_payload.len()];
         for f in &frags {
@@ -133,7 +136,9 @@ mod tests {
         let frags = fragment_ipv4(&pkt, 1480).unwrap();
         assert_eq!(frags.len(), 1);
         assert_eq!(frags[0], pkt);
-        assert!(!Ipv4Packet::new_checked(&frags[0][..]).unwrap().is_fragment());
+        assert!(!Ipv4Packet::new_checked(&frags[0][..])
+            .unwrap()
+            .is_fragment());
     }
 
     #[test]

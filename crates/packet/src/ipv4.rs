@@ -396,28 +396,40 @@ mod tests {
     fn rejects_bad_version() {
         let mut buf = build(sample_repr(), b"01234567");
         buf[0] = (6 << 4) | 5;
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::BadVersion);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
     }
 
     #[test]
     fn rejects_bad_ihl() {
         let mut buf = build(sample_repr(), b"01234567");
         buf[0] = (4 << 4) | 4; // IHL 4 => 16-byte header, illegal
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn rejects_total_len_beyond_buffer() {
         let mut buf = build(sample_repr(), b"01234567");
         buf[2..4].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]
     fn rejects_total_len_smaller_than_header() {
         let mut buf = build(sample_repr(), b"01234567");
         buf[2..4].copy_from_slice(&10u16.to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]

@@ -93,11 +93,19 @@ pub fn parse_ethernet(frame: &[u8]) -> Result<Parsed<'_>> {
     let eth = EthernetFrame::new_checked(frame)?;
     let ethernet = EthernetRepr::parse(&eth);
     if ethernet.ethertype != EtherType::Ipv4 {
-        return Ok(Parsed { ethernet, ipv4: None, transport: Transport::NonIp });
+        return Ok(Parsed {
+            ethernet,
+            ipv4: None,
+            transport: Transport::NonIp,
+        });
     }
     let payload = &frame[crate::ethernet::HEADER_LEN..];
     let inner = parse_ipv4(payload)?;
-    Ok(Parsed { ethernet, ipv4: inner.ipv4, transport: inner.transport })
+    Ok(Parsed {
+        ethernet,
+        ipv4: inner.ipv4,
+        transport: inner.transport,
+    })
 }
 
 /// Parse a standalone IPv4 packet down to the transport layer.
@@ -153,8 +161,8 @@ pub fn is_well_formed(frame: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::Error;
     use crate::builder::{TcpPacketSpec, UdpPacketSpec};
+    use crate::error::Error;
     use crate::frag::fragment_ipv4;
 
     #[test]
@@ -227,7 +235,7 @@ mod tests {
             .build();
         let mut ip: Vec<u8> = frame[crate::ethernet::HEADER_LEN..].to_vec();
         ip[9] = 47; // GRE
-        // fix header checksum
+                    // fix header checksum
         let mut v = crate::ipv4::Ipv4Packet::new_unchecked(&mut ip[..]);
         v.fill_checksum();
         let p = parse_ipv4(&ip).unwrap();

@@ -173,7 +173,11 @@ pub struct TcpOptionIter<'a> {
 impl<'a> TcpOptionIter<'a> {
     /// Iterate over raw option bytes (the region after the fixed header).
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, done: false }
+        Self {
+            data,
+            pos: 0,
+            done: false,
+        }
     }
 }
 
@@ -214,7 +218,10 @@ impl<'a> Iterator for TcpOptionIter<'a> {
                         u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                         u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
                     ),
-                    _ => TcpOption::Unknown { kind, data_len: body.len() as u8 },
+                    _ => TcpOption::Unknown {
+                        kind,
+                        data_len: body.len() as u8,
+                    },
                 };
                 Some(Ok(opt))
             }
@@ -499,9 +506,15 @@ mod tests {
         );
         let mut buf = build(sample(), b"");
         buf[12] = 4 << 4; // offset 4 -> 16-byte header, illegal
-        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
         buf[12] = 15 << 4; // 60-byte header but buffer is 20
-        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]
@@ -510,7 +523,7 @@ mod tests {
         // Timestamps, EOL.
         let opts: Vec<u8> = vec![
             2, 4, 0x05, 0xb4, // MSS 1460
-            1, // NOP
+            1,    // NOP
             3, 3, 7, // WScale 7
             4, 2, // SACK permitted
             8, 10, 0, 0, 0, 1, 0, 0, 0, 2, // TS val=1 ecr=2
@@ -561,7 +574,10 @@ mod tests {
         assert_eq!(
             parsed,
             vec![
-                TcpOption::Unknown { kind: 254, data_len: 2 },
+                TcpOption::Unknown {
+                    kind: 254,
+                    data_len: 2
+                },
                 TcpOption::Nop,
                 TcpOption::EndOfList
             ]

@@ -145,12 +145,21 @@ mod tests {
 
     #[test]
     fn rejects_bad_lengths() {
-        assert_eq!(UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
         let mut buf = build(b"abc");
         buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // shorter than header
-        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
         buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // longer than buffer
-        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]

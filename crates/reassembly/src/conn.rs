@@ -239,7 +239,11 @@ mod tests {
         urg.urgent = 1;
         c.on_segment(Direction::Forward, &urg, b"!yz");
         assert_eq!(c.stream_mut(Direction::Forward).drain(), b"");
-        c.on_segment(Direction::Forward, &seg(101, TcpFlags::ACK), b"wxyz"[..4].as_ref());
+        c.on_segment(
+            Direction::Forward,
+            &seg(101, TcpFlags::ACK),
+            b"wxyz"[..4].as_ref(),
+        );
         assert_eq!(c.stream_mut(Direction::Forward).drain(), b"wxyzyz");
     }
 

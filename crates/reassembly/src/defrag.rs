@@ -110,8 +110,7 @@ impl Context {
                 if pos >= total {
                     break;
                 }
-                if writer[pos] == usize::MAX
-                    || policy.new_wins(writer[pos] as u64, p.offset as u64)
+                if writer[pos] == usize::MAX || policy.new_wins(writer[pos] as u64, p.offset as u64)
                 {
                     out[pos] = b;
                     writer[pos] = p.offset;

@@ -113,7 +113,10 @@ pub struct NormalizerStats {
 impl NormalizerStats {
     /// Total packets dropped for any reason.
     pub fn dropped(&self) -> u64 {
-        self.malformed + self.bad_ip_checksum + self.bad_l4_checksum + self.low_ttl
+        self.malformed
+            + self.bad_ip_checksum
+            + self.bad_l4_checksum
+            + self.low_ttl
             + self.bad_flags
             + self.source_route
     }
@@ -263,7 +266,7 @@ impl Normalizer {
 fn has_source_route(mut opts: &[u8]) -> bool {
     while let Some(&kind) = opts.first() {
         match kind {
-            0 => return false,    // EOOL
+            0 => return false,      // EOOL
             1 => opts = &opts[1..], // NOP
             131 | 137 => return true,
             _ => {

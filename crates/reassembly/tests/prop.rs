@@ -19,6 +19,90 @@ fn arb_policy() -> impl Strategy<Value = OverlapPolicy> {
     prop::sample::select(OverlapPolicy::ALL.to_vec())
 }
 
+/// Pinned shrink of `defrag_roundtrip_any_order` (seed file:
+/// `cc c37325…`): a 1-byte payload fragmented at the 8-byte minimum, with
+/// the header fragment arriving after a data fragment, `policy = First`.
+#[test]
+fn regression_defrag_one_byte_payload_min_fragments_first_policy() {
+    let payload = [0u8];
+    let frame = TcpPacketSpec::new("10.0.0.1:1234", "10.0.0.2:80")
+        .seq(7)
+        .payload(&payload)
+        .dont_frag(false)
+        .build();
+    let pkt = ip_of_frame(&frame).to_vec();
+    let mut frags = fragment_ipv4(&pkt, 8).unwrap();
+
+    // The shrunk case's shuffle: seed = 0, forced odd as in the generator.
+    let mut state = 1u64;
+    for i in (1..frags.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        frags.swap(i, j);
+    }
+
+    let mut d = Defragmenter::new(OverlapPolicy::First);
+    let mut done = None;
+    for (i, f) in frags.iter().enumerate() {
+        let r = d.push_owned(f, i as u64).unwrap();
+        if r.is_some() {
+            assert_eq!(i + 1, frags.len(), "completed before all fragments");
+            done = r;
+        }
+    }
+    let out = done.expect("datagram must complete");
+    let ip = Ipv4Packet::new_checked(&out[..]).unwrap();
+    assert!(ip.verify_checksum());
+    assert_eq!(&out[..], &pkt[..], "reassembled datagram differs");
+    assert_eq!(d.context_count(), 0);
+}
+
+/// Pinned shrink of `stream_overlaps_match_reference_model` (seed file:
+/// `cc 127fbd…`): a later writer overlaps an already-*delivered* prefix
+/// under `policy = Last` — delivered bytes are frozen, so the rewrite must
+/// not leak into the output, and the bytes past the edge still follow the
+/// policy.
+#[test]
+fn regression_stream_overlap_rewrites_delivered_prefix_last_policy() {
+    let pushes: [(usize, usize, u8); 4] = [(0, 8, 0), (20, 10, 0), (0, 1, 1), (0, 1, 1)];
+    let policy = OverlapPolicy::Last;
+    let mut r = TcpStreamReassembler::new(policy);
+    r.on_syn(SeqNumber(0));
+
+    let mut model: Vec<Option<(u8, u64)>> = vec![None; 64 + 24];
+    let mut delivered_upto = 0usize;
+    for &(start, len, fill) in &pushes {
+        let data = vec![fill; len];
+        r.push(SeqNumber(1 + start as u32), &data);
+        #[allow(clippy::needless_range_loop)]
+        for i in start.max(delivered_upto)..start + len {
+            match model[i] {
+                None => model[i] = Some((fill, start as u64)),
+                Some((_, old_start)) => {
+                    if policy.new_wins(old_start, start as u64) {
+                        model[i] = Some((fill, start as u64));
+                    }
+                }
+            }
+        }
+        while delivered_upto < model.len() && model[delivered_upto].is_some() {
+            delivered_upto += 1;
+        }
+    }
+    let mut expected = Vec::new();
+    for slot in &model {
+        match slot {
+            Some((b, _)) => expected.push(*b),
+            None => break,
+        }
+    }
+    let mut out = Vec::new();
+    r.drain_into(&mut out);
+    assert_eq!(out, expected, "policy {policy}");
+}
+
 proptest! {
     /// Consistent segments: any cut + shuffle + duplication delivers the
     /// original stream under every policy.

@@ -59,8 +59,11 @@ impl AhoCorasick {
             queue.push_back(s);
         }
         while let Some(s) = queue.pop_front() {
-            let transitions: Vec<(u8, u32)> =
-                states[s as usize].next.iter().map(|(&b, &t)| (b, t)).collect();
+            let transitions: Vec<(u8, u32)> = states[s as usize]
+                .next
+                .iter()
+                .map(|(&b, &t)| (b, t))
+                .collect();
             for (b, t) in transitions {
                 // Find the deepest proper suffix state with a b-transition.
                 let mut f = states[s as usize].fail;

@@ -22,7 +22,10 @@ impl Horspool {
         for (i, &b) in pattern[..m - 1].iter().enumerate() {
             skip[b as usize] = m - 1 - i;
         }
-        Horspool { pattern: pattern.to_vec(), skip }
+        Horspool {
+            pattern: pattern.to_vec(),
+            skip,
+        }
     }
 
     /// The pattern bytes.

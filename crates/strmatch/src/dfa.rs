@@ -42,7 +42,12 @@ impl AcDfa {
             has_output.push(!out.is_empty());
             outputs.push(out);
         }
-        AcDfa { delta, outputs, has_output, set: nfa.patterns().clone() }
+        AcDfa {
+            delta,
+            outputs,
+            has_output,
+            set: nfa.patterns().clone(),
+        }
     }
 
     /// The pattern set this DFA recognizes.
@@ -150,7 +155,10 @@ mod tests {
     fn agrees_with_naive_on_classics() {
         check(&[b"he", b"she", b"his", b"hers"], b"ushers use hershey");
         check(&[b"aa", b"aaa", b"aaaa"], b"aaaaaa");
-        check(&[b"GET", b"POST", b"HEAD"], b"GET / HTTP/1.1\r\nHost: POSTofficePOST");
+        check(
+            &[b"GET", b"POST", b"HEAD"],
+            b"GET / HTTP/1.1\r\nHost: POSTofficePOST",
+        );
     }
 
     #[test]

@@ -22,9 +22,8 @@ pub fn find_all(set: &PatternSet, hay: &[u8]) -> Vec<Match> {
 
 /// True if any pattern occurs in `hay`.
 pub fn is_match(set: &PatternSet, hay: &[u8]) -> bool {
-    set.iter().any(|(_, pat)| {
-        pat.len() <= hay.len() && hay.windows(pat.len()).any(|w| w == pat)
-    })
+    set.iter()
+        .any(|(_, pat)| pat.len() <= hay.len() && hay.windows(pat.len()).any(|w| w == pat))
 }
 
 #[cfg(test)]
@@ -64,6 +63,9 @@ mod tests {
         let set = PatternSet::from_patterns(["abc", "zzz"]);
         assert!(is_match(&set, b"xxabcxx"));
         assert!(!is_match(&set, b"xxabxcx"));
-        assert_eq!(is_match(&set, b"xxabcxx"), !find_all(&set, b"xxabcxx").is_empty());
+        assert_eq!(
+            is_match(&set, b"xxabcxx"),
+            !find_all(&set, b"xxabcxx").is_empty()
+        );
     }
 }

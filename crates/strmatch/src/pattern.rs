@@ -107,7 +107,12 @@ impl PatternSet {
 
 impl fmt::Display for PatternSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PatternSet({} patterns, {} bytes)", self.len(), self.total_bytes())
+        write!(
+            f,
+            "PatternSet({} patterns, {} bytes)",
+            self.len(),
+            self.total_bytes()
+        )
     }
 }
 

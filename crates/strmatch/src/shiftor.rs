@@ -32,7 +32,11 @@ impl ShiftOr {
         for (i, &b) in pattern.iter().enumerate() {
             mask[b as usize] &= !(1u64 << i);
         }
-        ShiftOr { mask, accept: 1u64 << (pattern.len() - 1), len: pattern.len() }
+        ShiftOr {
+            mask,
+            accept: 1u64 << (pattern.len() - 1),
+            len: pattern.len(),
+        }
     }
 
     /// Pattern length.
@@ -95,7 +99,10 @@ impl ShiftOrBank {
     /// Pack patterns; panics if any is empty or the total length exceeds 64.
     pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
         let total: usize = patterns.iter().map(|p| p.as_ref().len()).sum();
-        assert!(total > 0 && total <= 64, "bank must pack 1..=64 total bytes");
+        assert!(
+            total > 0 && total <= 64,
+            "bank must pack 1..=64 total bytes"
+        );
         let mut mask = [!0u64; 256];
         let mut accept = 0u64;
         let mut start_guard = 0u64;
@@ -118,7 +125,12 @@ impl ShiftOrBank {
             bit_to_pattern.push((acc_bit, pi));
             base += p.len() as u32;
         }
-        ShiftOrBank { mask, accept, start_guard, bit_to_pattern }
+        ShiftOrBank {
+            mask,
+            accept,
+            start_guard,
+            bit_to_pattern,
+        }
     }
 
     /// For each haystack position where at least one pattern ends, report

@@ -54,7 +54,10 @@ impl StreamMatcher {
             state = dfa.next_state(state, b);
             if dfa.is_match_state(state) {
                 for &p in dfa.outputs(state) {
-                    out.push(StreamMatch { end: base + i as u64 + 1, pattern: p });
+                    out.push(StreamMatch {
+                        end: base + i as u64 + 1,
+                        pattern: p,
+                    });
                 }
             }
         }
@@ -118,7 +121,10 @@ mod tests {
         let direct: Vec<StreamMatch> = d
             .find_all(hay)
             .into_iter()
-            .map(|mm| StreamMatch { end: mm.end as u64, pattern: mm.pattern })
+            .map(|mm| StreamMatch {
+                end: mm.end as u64,
+                pattern: mm.pattern,
+            })
             .collect();
         assert_eq!(batch, direct);
     }
@@ -130,7 +136,12 @@ mod tests {
         let mut batch = Vec::new();
         StreamMatcher::new().feed(&d, hay, &mut batch);
         // Several fixed chunkings.
-        for sizes in [[1usize, 30, 1].as_slice(), &[3, 3, 3, 3, 3, 17], &[32], &[5, 27]] {
+        for sizes in [
+            [1usize, 30, 1].as_slice(),
+            &[3, 3, 3, 3, 3, 17],
+            &[32],
+            &[5, 27],
+        ] {
             let mut m = StreamMatcher::new();
             let mut out = Vec::new();
             let mut pos = 0;

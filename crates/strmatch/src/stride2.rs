@@ -165,7 +165,10 @@ mod tests {
     use crate::pattern::PatternSet;
 
     fn dfa(patterns: &[&[u8]]) -> Stride2Dfa {
-        Stride2Dfa::new(AcDfa::new(PatternSet::from_patterns(patterns.iter().copied()))).unwrap()
+        Stride2Dfa::new(AcDfa::new(PatternSet::from_patterns(
+            patterns.iter().copied(),
+        )))
+        .unwrap()
     }
 
     #[test]

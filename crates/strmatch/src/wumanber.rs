@@ -91,8 +91,7 @@ impl WuManber {
         }
         let mut i = 0usize; // window start
         while i + self.m <= hay.len() {
-            let block =
-                ((hay[i + self.m - 2] as usize) << 8) | hay[i + self.m - 1] as usize;
+            let block = ((hay[i + self.m - 2] as usize) << 8) | hay[i + self.m - 1] as usize;
             let s = self.shift[block];
             if s > 0 {
                 i += s as usize;
@@ -117,8 +116,7 @@ impl WuManber {
         }
         let mut i = 0usize;
         while i + self.m <= hay.len() {
-            let block =
-                ((hay[i + self.m - 2] as usize) << 8) | hay[i + self.m - 1] as usize;
+            let block = ((hay[i + self.m - 2] as usize) << 8) | hay[i + self.m - 1] as usize;
             let s = self.shift[block];
             if s > 0 {
                 i += s as usize;
@@ -218,10 +216,18 @@ mod tests {
     #[test]
     fn degradation_gauge_rises_with_pattern_count() {
         let few = WuManber::new(crate::pattern::PatternSet::from_patterns(
-            (0..10).map(|i| format!("pattern-{i:04}").into_bytes()).collect::<Vec<_>>().iter().map(|v| v.as_slice()),
+            (0..10)
+                .map(|i| format!("pattern-{i:04}").into_bytes())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
         ));
         let many = WuManber::new(crate::pattern::PatternSet::from_patterns(
-            (0..2000).map(|i| format!("pattern-{i:04}").into_bytes()).collect::<Vec<_>>().iter().map(|v| v.as_slice()),
+            (0..2000)
+                .map(|i| format!("pattern-{i:04}").into_bytes())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
         ));
         assert!(many.zero_shift_fraction() >= few.zero_shift_fraction());
         assert!(few.memory_bytes() >= 1 << 17);

@@ -273,7 +273,8 @@ impl BenignGenerator {
         let mut all = Vec::new();
         let mut t0 = 0u64;
         for i in 0..self.config.flows {
-            let gap = -self.config.mean_arrival_gap_us * (1.0 - self.rng.gen_range(0.0..1.0f64)).ln();
+            let gap =
+                -self.config.mean_arrival_gap_us * (1.0 - self.rng.gen_range(0.0..1.0f64)).ln();
             t0 += gap as u64;
             let (pkts, _) = self.flow(i, t0);
             all.extend(pkts);
@@ -397,8 +398,8 @@ mod tests {
         let mut mss = 0usize;
         for p in &t.packets {
             match p.data.len() {
-                40 => acks += 1,                       // header-only
-                l if l == 40 + MSS => mss += 1,        // full-size data
+                40 => acks += 1,                // header-only
+                l if l == 40 + MSS => mss += 1, // full-size data
                 _ => {}
             }
         }

@@ -235,13 +235,29 @@ impl<'a> Builder<'a> {
 
     fn data(&mut self, offset: usize, bytes: &[u8]) {
         let seq = self.spec.isn.wrapping_add(1).wrapping_add(offset as u32);
-        let p = self.tcp(seq, TcpFlags::ACK.union(TcpFlags::PSH), bytes, self.spec.ttl, true);
+        let p = self.tcp(
+            seq,
+            TcpFlags::ACK.union(TcpFlags::PSH),
+            bytes,
+            self.spec.ttl,
+            true,
+        );
         self.packets.push(p);
     }
 
     fn fin(&mut self, payload_len: usize) {
-        let seq = self.spec.isn.wrapping_add(1).wrapping_add(payload_len as u32);
-        let p = self.tcp(seq, TcpFlags::FIN.union(TcpFlags::ACK), b"", self.spec.ttl, false);
+        let seq = self
+            .spec
+            .isn
+            .wrapping_add(1)
+            .wrapping_add(payload_len as u32);
+        let p = self.tcp(
+            seq,
+            TcpFlags::FIN.union(TcpFlags::ACK),
+            b"",
+            self.spec.ttl,
+            false,
+        );
         self.packets.push(p);
     }
 }
@@ -391,10 +407,7 @@ pub fn generate(
             // and tie-winning Linux prefer the later copy. BSD keeps the
             // earlier-starting segment, and both copies start at the same
             // offset, so old (first-arrived) wins — like First.
-            let real_first = matches!(
-                victim.policy,
-                OverlapPolicy::First | OverlapPolicy::Bsd
-            );
+            let real_first = matches!(victim.policy, OverlapPolicy::First | OverlapPolicy::Bsd);
             for (i, f) in frags.iter().enumerate() {
                 if i == target {
                     if real_first {
@@ -467,10 +480,8 @@ pub fn generate(
                 (sig.start, &garbage[..mid - sig.start]),
                 (mid, &garbage[mid - sig.start..]),
             ];
-            let real_wins_when_later = matches!(
-                victim.policy,
-                OverlapPolicy::Last | OverlapPolicy::Linux
-            );
+            let real_wins_when_later =
+                matches!(victim.policy, OverlapPolicy::Last | OverlapPolicy::Linux);
             let (first, second) = if real_wins_when_later {
                 (garb, real)
             } else {
@@ -563,7 +574,8 @@ pub fn generate(
                         let (src, dst) = (spec.client.0, spec.server.0);
                         let total = Ipv4Packet::new_unchecked(&pkt[..]).total_len() as usize;
                         let mut seg_bytes = pkt[ihl..total].to_vec();
-                        let mut view = sd_packet::tcp::TcpSegment::new_unchecked(&mut seg_bytes[..]);
+                        let mut view =
+                            sd_packet::tcp::TcpSegment::new_unchecked(&mut seg_bytes[..]);
                         view.fill_checksum(src, dst);
                         pkt[ihl..total].copy_from_slice(&seg_bytes);
                     }
@@ -722,7 +734,12 @@ mod tests {
             policy: OverlapPolicy::First,
             ..Default::default()
         };
-        let packets = generate(&spec, EvasionStrategy::InconsistentRetransmission, victim, 7);
+        let packets = generate(
+            &spec,
+            EvasionStrategy::InconsistentRetransmission,
+            victim,
+            7,
+        );
         let wrong = VictimConfig {
             policy: OverlapPolicy::Last,
             ..Default::default()
@@ -750,7 +767,10 @@ mod tests {
 
     #[test]
     fn catalog_names_are_unique() {
-        let names: Vec<&str> = EvasionStrategy::catalog().iter().map(|s| s.name()).collect();
+        let names: Vec<&str> = EvasionStrategy::catalog()
+            .iter()
+            .map(|s| s.name())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -58,7 +58,10 @@ pub fn mix(
     seed: u64,
 ) -> LabeledTrace {
     let mut rng = StdRng::seed_from_u64(seed);
-    let span = benign.packets.last().map_or(1_000_000, |p| p.ts_micros.max(1));
+    let span = benign
+        .packets
+        .last()
+        .map_or(1_000_000, |p| p.ts_micros.max(1));
     let mut packets = benign.packets;
     let mut labels = Vec::new();
 
@@ -99,10 +102,7 @@ mod tests {
 
     fn attack_pkts(strategy: EvasionStrategy) -> (Vec<Vec<u8>>, AttackSpec) {
         let spec = AttackSpec::simple(&b"EVIL_SIGNATURE_BYTES"[..]);
-        (
-            generate(&spec, strategy, VictimConfig::default(), 3),
-            spec,
-        )
+        (generate(&spec, strategy, VictimConfig::default(), 3), spec)
     }
 
     #[test]

@@ -101,7 +101,11 @@ mod tests {
     #[test]
     fn exact_lengths() {
         let mut rng = StdRng::seed_from_u64(1);
-        for model in [PayloadModel::Uniform, PayloadModel::HttpLike, PayloadModel::Zeros] {
+        for model in [
+            PayloadModel::Uniform,
+            PayloadModel::HttpLike,
+            PayloadModel::Zeros,
+        ] {
             for len in [0usize, 1, 7, 100, 1460] {
                 assert_eq!(model.generate(&mut rng, len).len(), len, "{model:?}/{len}");
             }
@@ -143,6 +147,9 @@ mod tests {
     #[test]
     fn zeros_are_zero() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(PayloadModel::Zeros.generate(&mut rng, 64).iter().all(|&b| b == 0));
+        assert!(PayloadModel::Zeros
+            .generate(&mut rng, 64)
+            .iter()
+            .all(|&b| b == 0));
     }
 }

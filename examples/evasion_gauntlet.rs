@@ -23,7 +23,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("victim stack: policy={}, {} hops away\n", victim.policy, victim.hops_to_victim);
+    println!(
+        "victim stack: policy={}, {} hops away\n",
+        victim.policy, victim.hops_to_victim
+    );
     println!(
         "{:<28} {:>9} {:>13} {:>13} {:>8}",
         "evasion strategy", "delivers?", "naive-packet", "conventional", "split-detect"
@@ -50,8 +53,8 @@ fn main() {
             .iter()
             .any(|a| a.signature == 0);
 
-        let mut sd = SplitDetect::with_config(sigs(), SplitDetectConfig::default())
-            .expect("admissible");
+        let mut sd =
+            SplitDetect::with_config(sigs(), SplitDetectConfig::default()).expect("admissible");
         let sd_hit = run_trace(&mut sd, packets.iter().map(|p| p.as_slice()))
             .iter()
             .any(|a| a.signature == 0);

@@ -78,7 +78,11 @@ fn main() {
         conv_res.state_bytes_peak,
         sd_stats.fast_state_bytes,
     );
-    row("bytes scanned by matcher", conv_res.bytes_scanned, sd_res.bytes_scanned);
+    row(
+        "bytes scanned by matcher",
+        conv_res.bytes_scanned,
+        sd_res.bytes_scanned,
+    );
     row(
         "bytes copied into buffers",
         conv_res.bytes_buffered_total,

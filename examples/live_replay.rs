@@ -3,18 +3,26 @@
 //! paper's "what line rate can this design sustain" question, answered by
 //! bisection instead of a hardware testbed.
 //!
-//! Run with: `cargo run --release --example live_replay [flows]`
+//! Run with: `cargo run --release --example live_replay [flows] [shards] [batch]`
+//!
+//! With `shards > 1` the flow-sharded engine is driven instead of the
+//! single instance; `batch` sets the dispatcher's per-shard batch size
+//! (`shard_batch_packets`, default 64 — batch 1 reproduces the old
+//! per-packet dispatch for comparison).
 
-use split_detect::core::SplitDetect;
+use split_detect::core::config::SplitDetectConfig;
+use split_detect::core::{ShardedSplitDetect, SplitDetect};
 use split_detect::ips::{Ips, SignatureSet};
 use split_detect::traffic::benign::{BenignConfig, BenignGenerator};
 use split_detect::traffic::replay::replay;
 
 fn main() {
-    let flows: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100);
+    let mut args = std::env::args().skip(1);
+    let mut num =
+        |default: usize| -> usize { args.next().and_then(|a| a.parse().ok()).unwrap_or(default) };
+    let flows = num(100);
+    let shards = num(1).max(1);
+    let batch = num(64).max(1);
 
     let trace = BenignGenerator::new(BenignConfig {
         flows,
@@ -29,23 +37,46 @@ fn main() {
     let gbits = trace.total_bytes() as f64 * 8.0 / 1e9;
     println!(
         "workload: {} packets, {:.2} Gbit over {:.2}s of trace time \
-         ({:.2} Gbps as recorded)\n",
+         ({:.2} Gbps as recorded)",
         trace.len(),
         gbits,
         span_secs,
         gbits / span_secs
     );
+    if shards > 1 {
+        println!("engine: {shards} shards, dispatch batch {batch} packets\n");
+    } else {
+        println!("engine: single instance\n");
+    }
+
+    let config = SplitDetectConfig {
+        shard_batch_packets: batch,
+        ..Default::default()
+    };
 
     // Find the largest speed multiplier the engine sustains (max per-packet
     // lateness under 5 ms) by doubling then bisecting.
     // "Keeps up" = the replay finished within 10% (+2 ms scheduling slack)
     // of its scheduled duration; beyond that the engine is the bottleneck.
     let sustains = |speed: f64| {
-        let mut engine = SplitDetect::new(SignatureSet::demo()).expect("admissible");
         let mut alerts = Vec::new();
-        let report = replay(&trace, speed, |pkt, tick| {
-            engine.process_packet(pkt, tick, &mut alerts)
-        });
+        let report = if shards > 1 {
+            let mut engine =
+                ShardedSplitDetect::new(SignatureSet::demo(), config, shards).expect("admissible");
+            let report = replay(&trace, speed, |pkt, tick| {
+                engine.process_packet(pkt, tick, &mut alerts)
+            });
+            engine.finish(&mut alerts);
+            report
+        } else {
+            let mut engine =
+                SplitDetect::with_config(SignatureSet::demo(), config).expect("admissible");
+            let report = replay(&trace, speed, |pkt, tick| {
+                engine.process_packet(pkt, tick, &mut alerts)
+            });
+            engine.finish(&mut alerts);
+            report
+        };
         let ok = report.elapsed_secs <= report.target_secs * 1.10 + 0.002;
         println!(
             "  speed {speed:>7.0}x → offered {:>8.2} Gbps, took {:>7.1} ms (target {:>7.1})  {}",

@@ -41,7 +41,10 @@ fn main() {
     ];
 
     println!("one wire sequence, eight possible application streams:\n");
-    println!("{:<8} {:>12} {:>16}", "policy", "urgent", "application sees");
+    println!(
+        "{:<8} {:>12} {:>16}",
+        "policy", "urgent", "application sees"
+    );
     println!("{}", "-".repeat(44));
     for policy in OverlapPolicy::ALL {
         for urgent in [UrgentSemantics::DiscardOne, UrgentSemantics::Inline] {

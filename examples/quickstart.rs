@@ -39,7 +39,10 @@ fn main() {
         VictimConfig::default(),
         42,
     );
-    println!("attacker sends {} packets, none containing the signature", packets.len());
+    println!(
+        "attacker sends {} packets, none containing the signature",
+        packets.len()
+    );
 
     // 4. Run the trace.
     let alerts = run_trace(&mut engine, packets.iter().map(|p| p.as_slice()));

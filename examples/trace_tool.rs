@@ -48,7 +48,11 @@ fn cmd_generate(args: &[String]) {
             let strategy = catalog[i % catalog.len()];
             let mut spec = AttackSpec::simple(SignatureSet::demo().get(0).bytes.clone());
             spec.client.1 = 40_000 + i as u16;
-            (generate(&spec, strategy, victim, i as u64), 0, strategy.name())
+            (
+                generate(&spec, strategy, victim, i as u64),
+                0,
+                strategy.name(),
+            )
         })
         .collect();
 

@@ -150,13 +150,15 @@ proptest! {
 #[test]
 fn handcrafted_hostile_packets() {
     let cases: Vec<Vec<u8>> = vec![
-        vec![],                          // empty
-        vec![0x45],                      // one byte of a header
-        vec![0x45; 19],                  // one short of a full IPv4 header
-        vec![0xff; 64],                  // all-ones
+        vec![],         // empty
+        vec![0x45],     // one byte of a header
+        vec![0x45; 19], // one short of a full IPv4 header
+        vec![0xff; 64], // all-ones
         {
             // Valid header claiming total_len larger than the buffer.
-            let f = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2").payload(b"abc").build();
+            let f = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+                .payload(b"abc")
+                .build();
             let mut p = ip_of_frame(&f).to_vec();
             p[2] = 0xff; // total_len high byte
             p
@@ -170,7 +172,9 @@ fn handcrafted_hostile_packets() {
         },
         {
             // TCP data offset beyond the segment.
-            let f = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2").payload(b"x").build();
+            let f = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+                .payload(b"x")
+                .build();
             let mut p = ip_of_frame(&f).to_vec();
             p[20 + 12] = 0xf0; // data offset = 15 words
             p
@@ -187,6 +191,10 @@ fn handcrafted_hostile_packets() {
             engine.process_packet(p, tick as u64, &mut out);
         }
         engine.finish(&mut out);
-        assert!(out.is_empty(), "{} alerted on hostile garbage", engine.name());
+        assert!(
+            out.is_empty(),
+            "{} alerted on hostile garbage",
+            engine.name()
+        );
     }
 }

@@ -6,7 +6,6 @@
 use split_detect::core::SplitDetect;
 use split_detect::ips::api::run_trace;
 use split_detect::ips::rules::parse_rules;
-use split_detect::ips::Ips;
 use split_detect::traffic::evasion::{generate, AttackSpec, EvasionStrategy};
 use split_detect::traffic::victim::{receive_stream, VictimConfig};
 
@@ -78,5 +77,8 @@ fn corpus_triggers_no_alerts_on_benign_traffic() {
     })
     .generate();
     let alerts = run_trace(&mut engine, trace.iter_bytes());
-    assert!(alerts.is_empty(), "demo corpus must not false-alert: {alerts:?}");
+    assert!(
+        alerts.is_empty(),
+        "demo corpus must not false-alert: {alerts:?}"
+    );
 }

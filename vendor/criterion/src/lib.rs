@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API subset its benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, `BatchSize`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is honest but simple: warm up, pick an iteration count that
+//! fills a fixed measurement window, report the mean wall-clock time per
+//! iteration (plus derived throughput). No statistics, plots, or saved
+//! baselines — compare numbers across runs by hand.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much measured time each benchmark accumulates.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Work per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (accepted, not acted on).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Restrict runs to benchmarks whose id contains `filter`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.filter, &id.id, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput basis.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work used to derive throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.criterion.filter, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.criterion.filter, &full, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (prints nothing extra; results stream as they run).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records the measured routine.
+pub struct Bencher {
+    /// (total time, iterations) accumulated by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration.
+        let mut calib_iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..calib_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_WINDOW {
+                let per_iter = elapsed / calib_iters as u32;
+                let iters = (MEASURE_WINDOW.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.result = Some((start.elapsed(), iters));
+                return;
+            }
+            calib_iters = calib_iters.saturating_mul(2);
+        }
+    }
+
+    /// Measure `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // Warmup.
+        let input = setup();
+        black_box(routine(input));
+        while total < MEASURE_WINDOW && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    let Some((total, iters)) = b.result else {
+        println!("{id:<48} (no measurement recorded)");
+        return;
+    };
+    let ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    let mut line = format!("{id:<48} {:>12.0} ns/iter", ns_per_iter);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64 / ns_per_iter * 1e9 / (1u64 << 30) as f64;
+            line.push_str(&format!("  {gib_s:>8.3} GiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let me_s = n as f64 / ns_per_iter * 1e9 / 1e6;
+            line.push_str(&format!("  {me_s:>8.3} Melem/s"));
+        }
+        None => {}
+    }
+    println!("{line}  ({iters} iters)");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            if let Some(filter) = std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+            {
+                c = c.with_filter(filter);
+            }
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (--bench,
+            // --test, filters); positional args act as name filters via
+            // criterion_group!, flag args are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures() {
+        let mut b = Bencher { result: None };
+        b.iter(|| black_box(1u64 + 1));
+        let (total, iters) = b.result.unwrap();
+        assert!(iters > 0);
+        assert!(total > Duration::ZERO);
+    }
+
+    #[test]
+    fn bencher_iter_batched_measures() {
+        let mut b = Bencher { result: None };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        let (_, iters) = b.result.unwrap();
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn ids_compose() {
+        let id = BenchmarkId::new("name", 64);
+        assert_eq!(id.id, "name/64");
+    }
+}

@@ -1,0 +1,299 @@
+//! Case execution: seeding, regression replay, and failure persistence.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Runtime configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n = 0` yields the full domain.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return self.next_u64();
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Panic payload used by `prop_assume!` to discard a case.
+pub struct CaseRejected;
+
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    // `file!()` is workspace-relative; only its stem is needed because
+    // every property file in this workspace lives in `<crate>/tests/`.
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "prop".into());
+    Path::new(manifest_dir)
+        .join("tests")
+        .join(format!("{stem}.proptest-regressions"))
+}
+
+fn read_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.is_empty() {
+                return None;
+            }
+            // Upstream hashes are 256-bit; fold the leading 16 nibbles into
+            // a 64-bit seed for this generator.
+            u64::from_str_radix(&hex[..hex.len().min(16)], 16).ok()
+        })
+        .collect()
+}
+
+fn persist_failure(path: &Path, seed: u64, desc: &str) {
+    let line = format!("cc {seed:016x} # shrinks to {desc}");
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if existing
+            .lines()
+            .any(|l| l.trim().starts_with(&format!("cc {seed:016x}")))
+        {
+            return;
+        }
+    }
+    let mut content = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failure cases proptest has generated in the past. It is\n\
+         # automatically read and these particular cases re-run before any\n\
+         # novel cases are generated.\n#\n\
+         # It is recommended to check this file in to source control so that\n\
+         # everyone who runs the test benefits from these saved cases.\n"
+            .to_string()
+    });
+    if !content.ends_with('\n') {
+        content.push('\n');
+    }
+    content.push_str(&line);
+    content.push('\n');
+    let _ = std::fs::write(path, content);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Rejected,
+    Fail(String),
+}
+
+fn run_case<F>(body: &F, seed: u64, desc: &mut String) -> CaseOutcome
+where
+    F: Fn(&mut TestRng, &mut String),
+{
+    let mut rng = TestRng::from_seed(seed);
+    desc.clear();
+    match catch_unwind(AssertUnwindSafe(|| body(&mut rng, desc))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.is::<CaseRejected>() {
+                CaseOutcome::Rejected
+            } else {
+                CaseOutcome::Fail(panic_message(payload.as_ref()))
+            }
+        }
+    }
+}
+
+/// Drive one property: replay checked-in regression seeds, then run fresh
+/// seeded cases until `config.cases` pass (or fail loudly with the seed,
+/// the generated inputs, and the original panic message).
+pub fn run_property<F>(config: Config, manifest_dir: &str, source_file: &str, name: &str, body: F)
+where
+    F: Fn(&mut TestRng, &mut String),
+{
+    let reg_path = regression_path(manifest_dir, source_file);
+    let mut desc = String::new();
+
+    let fail = |seed: u64, desc: &str, msg: String, replayed: bool| -> ! {
+        persist_failure(&reg_path, seed, desc.trim_end_matches(", "));
+        let kind = if replayed { "regression seed" } else { "case" };
+        let mut report = String::new();
+        let _ = writeln!(
+            report,
+            "property {name} failed on {kind} (seed {seed:#018x})"
+        );
+        let _ = writeln!(report, "  inputs: {}", desc.trim_end_matches(", "));
+        let _ = writeln!(report, "  cause: {msg}");
+        let _ = writeln!(
+            report,
+            "  replay: PROPTEST_RNG_SEED={seed} (no shrinking in the offline stub)"
+        );
+        panic!("{report}");
+    };
+
+    // 1. Replay checked-in regression seeds first, like upstream.
+    for seed in read_regression_seeds(&reg_path) {
+        match run_case(&body, seed, &mut desc) {
+            CaseOutcome::Pass | CaseOutcome::Rejected => {}
+            CaseOutcome::Fail(msg) => fail(seed, &desc, msg, true),
+        }
+    }
+
+    // 2. Fresh cases, deterministically seeded per property name.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            })
+        });
+
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = cases as u64 * 20 + 64;
+    while passed < cases {
+        if attempts >= max_attempts {
+            panic!(
+                "property {name}: gave up after {attempts} attempts \
+                 ({passed}/{cases} passed; the rest rejected by prop_assume!)"
+            );
+        }
+        let seed = base.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempts += 1;
+        match run_case(&body, seed, &mut desc) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Rejected => {}
+            CaseOutcome::Fail(msg) => fail(seed, &desc, msg, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn regression_seeds_parse_upstream_format() {
+        let dir = std::env::temp_dir().join("proptest-stub-parse-test");
+        let _ = std::fs::create_dir_all(dir.join("tests"));
+        let path = dir.join("tests/prop.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc 4cd79e4d6e90c6bb7da6b1457fcc59751aa33e1bfa27401fa2a952202f2f5e75 # shrinks to x = 1\n",
+        )
+        .unwrap();
+        let seeds = read_regression_seeds(&path);
+        assert_eq!(seeds, vec![0x4cd79e4d6e90c6bb]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_property_reports_and_persists() {
+        let dir = std::env::temp_dir().join("proptest-stub-fail-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("tests")).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_property(
+                Config::with_cases(8),
+                &manifest,
+                "tests/prop.rs",
+                "always_fails",
+                |rng, desc| {
+                    let v = rng.below(100);
+                    let _ = write!(desc, "v = {v}, ");
+                    assert!(v > 1000, "impossible");
+                },
+            );
+        }));
+        assert!(result.is_err());
+        let persisted =
+            std::fs::read_to_string(dir.join("tests/prop.proptest-regressions")).unwrap();
+        assert!(persisted.contains("cc "), "failure seed persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn passing_property_completes() {
+        run_property(
+            Config::with_cases(16),
+            "/nonexistent",
+            "tests/prop.rs",
+            "always_passes",
+            |rng, desc| {
+                let v = rng.below(10);
+                let _ = write!(desc, "v = {v}, ");
+                assert!(v < 10);
+            },
+        );
+    }
+}
