@@ -13,7 +13,7 @@ use sd_traffic::victim::{receive_stream, VictimConfig};
 use sd_traffic::{pcap, Trace};
 use splitdetect::{ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats};
 
-use crate::opts::{Command, EngineKind, ParsedArgs};
+use crate::opts::{Command, EngineKind, ParsedArgs, SabotageKind};
 
 type Out<'a> = &'a mut dyn Write;
 
@@ -27,6 +27,7 @@ pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
         Command::Gauntlet => gauntlet(&args, out),
         Command::Generate(path) => generate_cmd(&args, path, out),
         Command::Replay(path) => replay_cmd(&args, path, out),
+        Command::Fuzz => fuzz_cmd(&args, out),
     }
 }
 
@@ -379,6 +380,123 @@ fn replay_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     }
     let _ = write!(out, "{}", splitdetect::RunReport::new(engine.stats()));
     Ok(())
+}
+
+/// `sd fuzz`: the differential oracle as a front-end command.
+///
+/// Default mode runs a campaign of random adversarial trace programs; on a
+/// failure the (optionally shrunk) reproducer is written to
+/// `--trace-out` and the command errors. `--replay-trace` re-runs one
+/// saved trace instead. `--sabotage` cripples a fast-path rule so the
+/// oracle's catch can be demonstrated end to end.
+fn fuzz_cmd(args: &ParsedArgs, out: Out) -> Result<(), String> {
+    let tweaks = match args.sabotage {
+        None => sd_oracle::EngineTweaks::NONE,
+        Some(SabotageKind::OutOfOrder) => sd_oracle::EngineTweaks {
+            disable_out_of_order: true,
+            ..sd_oracle::EngineTweaks::NONE
+        },
+        Some(SabotageKind::Fragments) => sd_oracle::EngineTweaks {
+            disable_fragments: true,
+            ..sd_oracle::EngineTweaks::NONE
+        },
+    };
+
+    if let Some(path) = &args.replay_trace {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+        let program = sd_oracle::TraceProgram::from_text(&text)?;
+        let outcome = sd_oracle::run_program(&program, tweaks);
+        let _ = writeln!(
+            out,
+            "replayed {path}: {} packets, delivered {}, split-detect alerted {}, \
+             conventional alerted {}{}",
+            outcome.packets,
+            outcome.delivered,
+            outcome.split_alerted,
+            outcome.conventional_alerted,
+            if outcome.excused {
+                " (excused by divert accounting)"
+            } else {
+                ""
+            }
+        );
+        if outcome.ok() {
+            let _ = writeln!(out, "all invariants held");
+            return Ok(());
+        }
+        for v in &outcome.violations {
+            let _ = writeln!(out, "VIOLATION: {v}");
+        }
+        return Err(format!(
+            "{} invariant violation(s)",
+            outcome.violations.len()
+        ));
+    }
+
+    let _ = writeln!(
+        out,
+        "fuzzing: {} iterations, seed {}{}{}",
+        args.iters,
+        args.seed,
+        if args.minimize { ", minimizing" } else { "" },
+        match args.sabotage {
+            None => String::new(),
+            Some(k) => format!(
+                ", SABOTAGE: {} rule disabled",
+                match k {
+                    SabotageKind::OutOfOrder => "out-of-order",
+                    SabotageKind::Fragments => "fragment",
+                }
+            ),
+        }
+    );
+    let config = sd_oracle::CampaignConfig {
+        iters: args.iters,
+        seed: args.seed,
+        minimize: args.minimize,
+        tweaks,
+        max_failures: 1,
+    };
+    let result = sd_oracle::run_campaign(config, |_, _| {});
+    let s = result.stats;
+    let _ = writeln!(
+        out,
+        "ran {} traces ({} packets): {} delivered, split-detect caught {}, \
+         conventional caught {}, {} excused by divert accounting",
+        s.iters, s.packets, s.delivered, s.split_caught, s.conventional_caught, s.excused
+    );
+    if result.clean() {
+        let _ = writeln!(out, "no invariant violations, no sharded divergence");
+        return Ok(());
+    }
+    for failure in &result.failures {
+        let repro = failure.reproducer();
+        let _ = writeln!(
+            out,
+            "FAILURE: {} mutation(s){} reproduce:",
+            repro.mutations.len(),
+            if failure.shrunk.is_some() {
+                format!(" (shrunk from {})", failure.program.mutations.len())
+            } else {
+                String::new()
+            }
+        );
+        for v in &failure.violations {
+            let _ = writeln!(out, "  VIOLATION: {v}");
+        }
+        std::fs::write(&args.trace_out, repro.to_text())
+            .map_err(|e| format!("cannot write {}: {e}", args.trace_out))?;
+        let _ = writeln!(
+            out,
+            "reproducer written to {} (re-run: sd fuzz --replay-trace {})",
+            args.trace_out, args.trace_out
+        );
+    }
+    Err(format!(
+        "{} failing trace(s) out of {}",
+        s.failing_traces, s.iters
+    ))
 }
 
 fn generate_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {

@@ -2,9 +2,10 @@
 //!
 //! A thin operational front end over the workspace: scan captures with any
 //! of the three engines, compare them side by side, lint rule files, run
-//! the evasion gauntlet against your own rules, and generate labelled
-//! workloads. All logic lives here (the binary is a two-liner) so the
-//! integration tests drive exactly what users run.
+//! the evasion gauntlet against your own rules, generate labelled
+//! workloads, and drive the differential fuzzing oracle. All logic lives
+//! here (the binary is a two-liner) so the integration tests drive exactly
+//! what users run.
 //!
 //! ```text
 //! sd scan capture.pcap --rules local.rules --engine split
@@ -12,6 +13,7 @@
 //! sd rules local.rules
 //! sd gauntlet --rules local.rules
 //! sd generate out.pcap --flows 200 --attacks 5 --seed 7
+//! sd fuzz --iters 10000 --seed 1 --minimize
 //! ```
 
 #![forbid(unsafe_code)]

@@ -14,11 +14,19 @@ usage:
   sd gauntlet [--rules FILE] [--policy P]
   sd replay <capture.pcap> [--rules FILE] [--speed X (default 1.0, 0 = unpaced)]
   sd generate <out.pcap> [--flows N] [--attacks N] [--seed S]
+  sd fuzz [--iters N] [--seed S] [--minimize] [--sabotage ooo|frag]
+          [--trace-out FILE] [--replay-trace FILE]
 
 Without --rules, the embedded demo rule set is used.
 --shards N > 1 runs the flow-sharded engine; --shard-batch sets how many
 packets the dispatcher accumulates per shard before each channel send
-(default 64; 1 degrades to per-packet dispatch).";
+(default 64; 1 degrades to per-packet dispatch).
+fuzz runs the differential oracle: random adversarial traces checked
+against the victim model, Split-Detect (single and sharded) and the
+conventional IPS. --sabotage disables a fast-path rule to prove the
+oracle catches a broken engine; --minimize shrinks failures; the failing
+trace is written to --trace-out (default fuzz-failure.trace);
+--replay-trace re-runs one saved .trace file instead of a campaign.";
 
 /// Which engine `scan` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +47,15 @@ impl fmt::Display for EngineKind {
             EngineKind::Naive => "naive-packet",
         })
     }
+}
+
+/// Which fast-path rule `fuzz --sabotage` disables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageKind {
+    /// Disable the out-of-order divert rule.
+    OutOfOrder,
+    /// Disable the fragment divert rule.
+    Fragments,
 }
 
 /// A parsed command line.
@@ -64,6 +81,17 @@ pub struct ParsedArgs {
     pub shards: usize,
     /// `--shard-batch PKTS` (scan/stats): dispatcher batch size.
     pub shard_batch: usize,
+    /// `--iters N` (fuzz): campaign length.
+    pub iters: u64,
+    /// `--minimize` (fuzz): shrink failing traces.
+    pub minimize: bool,
+    /// `--sabotage ooo|frag` (fuzz): deliberately cripple the engine.
+    pub sabotage: Option<SabotageKind>,
+    /// `--trace-out FILE` (fuzz): where the failing trace is written.
+    pub trace_out: String,
+    /// `--replay-trace FILE` (fuzz): replay one saved trace instead of a
+    /// campaign.
+    pub replay_trace: Option<String>,
 }
 
 /// The subcommand.
@@ -83,6 +111,8 @@ pub enum Command {
     Generate(String),
     /// Replay a capture at its recorded pacing (scaled by --speed).
     Replay(String),
+    /// Run the differential fuzzing oracle.
+    Fuzz,
 }
 
 /// Parse `args` (without the program name).
@@ -100,6 +130,11 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut speed = 1.0f64;
     let mut shards = 1usize;
     let mut shard_batch = 64usize;
+    let mut iters = 256u64;
+    let mut minimize = false;
+    let mut sabotage = None;
+    let mut trace_out = "fuzz-failure.trace".to_string();
+    let mut replay_trace = None;
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -163,6 +198,24 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                     return Err("--shard-batch must be >= 1".into());
                 }
             }
+            "--iters" => {
+                iters = value_of("--iters")?
+                    .parse()
+                    .map_err(|_| "bad --iters value".to_string())?;
+                if iters == 0 {
+                    return Err("--iters must be >= 1".into());
+                }
+            }
+            "--minimize" => minimize = true,
+            "--sabotage" => {
+                sabotage = Some(match value_of("--sabotage")?.as_str() {
+                    "ooo" | "out-of-order" => SabotageKind::OutOfOrder,
+                    "frag" | "fragments" => SabotageKind::Fragments,
+                    other => return Err(format!("unknown sabotage {other:?}")),
+                })
+            }
+            "--trace-out" => trace_out = value_of("--trace-out")?.clone(),
+            "--replay-trace" => replay_trace = Some(value_of("--replay-trace")?.clone()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -189,6 +242,12 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         }
         "generate" => Command::Generate(need_one("output path", &positional)?),
         "replay" => Command::Replay(need_one("pcap path", &positional)?),
+        "fuzz" => {
+            if !positional.is_empty() {
+                return Err("fuzz takes no positional arguments".into());
+            }
+            Command::Fuzz
+        }
         other => return Err(format!("unknown subcommand {other:?}")),
     };
 
@@ -203,6 +262,11 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         speed,
         shards,
         shard_batch,
+        iters,
+        minimize,
+        sabotage,
+        trace_out,
+        replay_trace,
     })
 }
 
@@ -248,6 +312,28 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_defaults_and_flags() {
+        let p = parse(&args("fuzz")).unwrap();
+        assert_eq!(p.command, Command::Fuzz);
+        assert_eq!((p.iters, p.seed, p.minimize), (256, 1, false));
+        assert_eq!(p.sabotage, None);
+        assert_eq!(p.trace_out, "fuzz-failure.trace");
+        assert_eq!(p.replay_trace, None);
+
+        let p = parse(&args(
+            "fuzz --iters 5000 --seed 7 --minimize --sabotage ooo --trace-out f.trace",
+        ))
+        .unwrap();
+        assert_eq!((p.iters, p.seed, p.minimize), (5000, 7, true));
+        assert_eq!(p.sabotage, Some(SabotageKind::OutOfOrder));
+        assert_eq!(p.trace_out, "f.trace");
+
+        let p = parse(&args("fuzz --sabotage frag --replay-trace saved.trace")).unwrap();
+        assert_eq!(p.sabotage, Some(SabotageKind::Fragments));
+        assert_eq!(p.replay_trace.as_deref(), Some("saved.trace"));
+    }
+
+    #[test]
     fn errors_are_helpful() {
         for bad in [
             "",
@@ -262,6 +348,11 @@ mod tests {
             "scan cap.pcap --shards 0",
             "scan cap.pcap --shard-batch 0",
             "scan cap.pcap --shards x",
+            "fuzz stray",
+            "fuzz --iters 0",
+            "fuzz --iters many",
+            "fuzz --sabotage everything",
+            "fuzz --trace-out",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

@@ -198,3 +198,53 @@ fn missing_files_fail_cleanly() {
     let (code, _) = run(&["rules", "/definitely/not/here.rules"]);
     assert_eq!(code, 1);
 }
+
+#[test]
+fn fuzz_smoke_is_clean_and_deterministic() {
+    let (code, out) = run(&["fuzz", "--iters", "40", "--seed", "1"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("no invariant violations"), "{out}");
+    assert!(out.contains("40 traces"), "{out}");
+    let (code2, out2) = run(&["fuzz", "--iters", "40", "--seed", "1"]);
+    assert_eq!(code2, 0);
+    assert_eq!(out, out2, "same seed must print the same campaign");
+}
+
+#[test]
+fn fuzz_sabotage_finds_minimizes_and_replays() {
+    let dir = tmpdir("fuzz");
+    let trace = dir.join("repro.trace");
+    let trace_s = trace.to_str().unwrap();
+
+    // A sabotaged engine must fail the campaign (exit 1) and leave a
+    // replayable artifact behind.
+    let (code, out) = run(&[
+        "fuzz",
+        "--iters",
+        "64",
+        "--seed",
+        "2",
+        "--sabotage",
+        "ooo",
+        "--minimize",
+        "--trace-out",
+        trace_s,
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("VIOLATION"), "{out}");
+    assert!(out.contains("shrunk from"), "{out}");
+    let text = std::fs::read_to_string(&trace).expect("trace artifact written");
+    assert!(
+        text.contains("mutate"),
+        "artifact must carry mutations:\n{text}"
+    );
+
+    // Replaying the artifact against the same sabotage reproduces the
+    // failure; against the intact engine it passes.
+    let (code, out) = run(&["fuzz", "--replay-trace", trace_s, "--sabotage", "ooo"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("VIOLATION"), "{out}");
+    let (code, out) = run(&["fuzz", "--replay-trace", trace_s]);
+    assert_eq!(code, 0, "intact engine must pass the reproducer: {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,7 +26,7 @@ use sd_flow::FlowKey;
 pub const DEFAULT_MAX_DIVERTED: usize = 1 << 20;
 
 /// Counters for the diversion layer.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DivertStats {
     /// Flows ever diverted.
     pub flows_diverted: u64,

@@ -133,7 +133,7 @@ impl FlowState {
 }
 
 /// Running fast-path counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FastPathStats {
     /// Packets classified.
     pub packets: u64,
@@ -317,9 +317,21 @@ impl FastPath {
             payload_len,
             keep,
         };
-        let Some((key, dir)) = FlowKey::from_parsed(&parsed) else {
+        let Some((flow_key, dir)) = FlowKey::from_parsed(&parsed) else {
             return done(None, Verdict::NonFlow);
         };
+        // Diversion, the sticky set, and the delay line are keyed on the
+        // IP pair (ports zeroed), not the 5-tuple: non-first fragments
+        // carry no ports, so under 5-tuple keys a connection's fragments
+        // divert as a *separate* flow and its non-fragment packets (the
+        // SYN above all) reach the slow path out of wire order via a later
+        // replay — the differential fuzzing oracle caught the slow path
+        // adopting a mid-stream origin from a reassembled fragment and
+        // then missing a signature the victim received. Per-flow counters
+        // below still use the 5-tuple; over-diverting sibling connections
+        // of a diverted pair costs only fast-path coverage, never
+        // soundness.
+        let key = FlowKey::from_ip_pair(&parsed).unwrap_or(flow_key);
         if is_diverted(&key) {
             return done(Some(key), Verdict::AlreadyDiverted);
         }
@@ -344,7 +356,7 @@ impl FastPath {
                     Direction::Forward => 0usize,
                     Direction::Backward => 1usize,
                 };
-                self.table.get_or_insert_with(&key, FlowState::default);
+                self.table.get_or_insert_with(&flow_key, FlowState::default);
 
                 // Rule 0: the URG flag. Its delivery semantics differ
                 // across stacks (see sd-reassembly::urgent), so the fast
@@ -363,7 +375,7 @@ impl FastPath {
                     return done(Some(key), v);
                 }
 
-                let (state, _) = self.table.get_or_insert_with(&key, FlowState::default);
+                let (state, _) = self.table.get_or_insert_with(&flow_key, FlowState::default);
 
                 // Rule 2: sequence monotonicity (data/FIN segments only —
                 // pure ACKs carry no stream bytes and repeat seq numbers
@@ -401,16 +413,16 @@ impl FastPath {
                 // (Diverted flows never reach here — they short-circuit at
                 // the sticky set — so reclamation cannot un-divert.)
                 if info.repr.flags.rst() {
-                    if self.table.remove(&key).is_some() {
+                    if self.table.remove(&flow_key).is_some() {
                         self.stats.reclaimed += 1;
                     }
                     return done(Some(key), Verdict::Benign);
                 }
                 if info.repr.flags.fin() {
-                    let (state, _) = self.table.get_or_insert_with(&key, FlowState::default);
+                    let (state, _) = self.table.get_or_insert_with(&flow_key, FlowState::default);
                     state.set_fin(d);
                     if state.both_fins() {
-                        self.table.remove(&key);
+                        self.table.remove(&flow_key);
                         self.stats.reclaimed += 1;
                         return done(Some(key), Verdict::Benign);
                     }
@@ -420,10 +432,10 @@ impl FastPath {
                 if !payload.is_empty() && payload.len() < self.params.cutoff {
                     self.stats.small_segments += 1;
                     let count = match &mut self.small_bloom {
-                        Some(bloom) => bloom.increment(&key),
+                        Some(bloom) => bloom.increment(&flow_key),
                         None => {
                             let (state, _) =
-                                self.table.get_or_insert_with(&key, FlowState::default);
+                                self.table.get_or_insert_with(&flow_key, FlowState::default);
                             state.small_count[d] = state.small_count[d].saturating_add(1);
                             state.small_count[d]
                         }
@@ -440,7 +452,7 @@ impl FastPath {
                 // Same seen-flow accounting as TCP (the entry's counters
                 // are unused for UDP, but the slot is what "per-flow state"
                 // costs either way).
-                self.table.get_or_insert_with(&key, FlowState::default);
+                self.table.get_or_insert_with(&flow_key, FlowState::default);
                 self.stats.bytes_scanned += info.payload.len() as u64;
                 if self.plan.scan(info.payload).is_some() {
                     let v = self.divert(DivertReason::PieceMatch);
@@ -599,6 +611,27 @@ mod tests {
         let frags = fragment_ipv4(ip_of_frame(&frame), 32).unwrap();
         let (_, v) = f.classify(&frags[0], not_diverted);
         assert_eq!(v, Verdict::Divert(DivertReason::Fragment));
+    }
+
+    #[test]
+    fn fragments_and_their_connection_share_a_divert_key() {
+        // Pins the oracle-found ordering bug: diversion is keyed on the
+        // IP pair, so once a connection's fragments divert, its ported
+        // segments are AlreadyDiverted too (and vice versa) — the slow
+        // path sees one flow in wire order, never a SYN replayed after
+        // the fragments it preceded.
+        let mut f = fast();
+        let frame = TcpPacketSpec::new("10.0.0.1:4000", "10.0.0.2:80")
+            .payload(&[0u8; 64])
+            .dont_frag(false)
+            .build();
+        let frags = fragment_ipv4(ip_of_frame(&frame), 32).unwrap();
+        let (frag_key, v) = f.classify(&frags[0], not_diverted);
+        assert_eq!(v, Verdict::Divert(DivertReason::Fragment));
+        let frag_key = frag_key.unwrap();
+        let (seg_key, v) = f.classify(&pkt(1000, b"hello"), |k| *k == frag_key);
+        assert_eq!(v, Verdict::AlreadyDiverted, "same IP pair, same divert key");
+        assert_eq!(seg_key.unwrap(), frag_key);
     }
 
     #[test]

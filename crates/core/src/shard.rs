@@ -6,9 +6,11 @@
 //! this *correct by construction*: every rule Split-Detect applies (small
 //! counts, sequence tracking, diversion stickiness, slow-path reassembly)
 //! is per-flow state, so as long as all packets of one flow reach the same
-//! shard, N engines behave exactly like one. Fragments key on the IP pair
-//! (ports are unreadable), which the canonical [`FlowKey`] already
-//! guarantees, so fragments of one datagram also stay together.
+//! shard, N engines behave exactly like one. Dispatch hashes the IP pair
+//! only ([`FlowKey::from_ip_pair`]): non-first fragments carry no ports,
+//! so a 5-tuple hash would separate a connection's fragments from its
+//! stream segments — the differential fuzzing oracle found exactly that
+//! divergence against the port-aware hash this dispatcher originally used.
 //!
 //! ## Batched, pooled dispatch
 //!
@@ -154,6 +156,76 @@ impl ShardDispatchStats {
                 / self.batches_sent as f64
         }
     }
+
+    /// Serialize as stable `key value` lines; inverted exactly by
+    /// [`ShardDispatchStats::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in [
+            ("batches_sent", self.batches_sent.to_string()),
+            ("packets_enqueued", self.packets_enqueued.to_string()),
+            ("bytes_enqueued", self.bytes_enqueued.to_string()),
+            ("packets_dropped", self.packets_dropped.to_string()),
+            ("recycle_hits", self.recycle_hits.to_string()),
+            ("recycle_misses", self.recycle_misses.to_string()),
+            (
+                "queue_depth_high_water",
+                self.queue_depth_high_water.to_string(),
+            ),
+            ("dead", self.dead.to_string()),
+        ] {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the [`ShardDispatchStats::to_text`] format. Strict: every
+    /// field must appear exactly once, no unknown keys.
+    pub fn from_text(text: &str) -> Result<ShardDispatchStats, String> {
+        let mut s = ShardDispatchStats::default();
+        let mut seen: Vec<String> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = i + 1;
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("dispatch line {lineno}: missing value"))?;
+            if seen.iter().any(|k| k == key) {
+                return Err(format!("dispatch line {lineno}: duplicate key {key}"));
+            }
+            let rest = rest.trim();
+            if key == "dead" {
+                s.dead = rest
+                    .parse::<bool>()
+                    .map_err(|_| format!("dispatch line {lineno}: bad bool {rest}"))?;
+            } else {
+                let v = rest
+                    .parse::<u64>()
+                    .map_err(|_| format!("dispatch line {lineno}: bad number {rest}"))?;
+                match key {
+                    "batches_sent" => s.batches_sent = v,
+                    "packets_enqueued" => s.packets_enqueued = v,
+                    "bytes_enqueued" => s.bytes_enqueued = v,
+                    "packets_dropped" => s.packets_dropped = v,
+                    "recycle_hits" => s.recycle_hits = v,
+                    "recycle_misses" => s.recycle_misses = v,
+                    "queue_depth_high_water" => s.queue_depth_high_water = v,
+                    _ => return Err(format!("dispatch line {lineno}: unknown key {key}")),
+                }
+            }
+            seen.push(key.to_string());
+        }
+        if seen.len() != 8 {
+            return Err(format!("dispatch: expected 8 fields, got {}", seen.len()));
+        }
+        Ok(s)
+    }
 }
 
 /// A worker that died before `finish`, with the panic message it left.
@@ -294,11 +366,15 @@ impl ShardedSplitDetect {
 
     fn shard_of(&self, packet: &[u8]) -> usize {
         let n = self.lanes.len();
+        // Dispatch on the IP pair, not the 5-tuple: non-first fragments
+        // carry no ports, so a port-aware hash would split a connection's
+        // fragments from its stream segments across shards and the sharded
+        // engine would diverge from the single engine on fragmented flows.
         match parse_ipv4(packet)
             .ok()
-            .and_then(|p| FlowKey::from_parsed(&p))
+            .and_then(|p| FlowKey::from_ip_pair(&p))
         {
-            Some((key, _)) => (hash::hash_key_seeded(0x51AD, &key) as usize) % n,
+            Some(key) => (hash::hash_key_seeded(0x51AD, &key) as usize) % n,
             None => 0,
         }
     }
@@ -685,6 +761,27 @@ mod tests {
             total.recycle_hits,
             total.recycle_misses
         );
+    }
+
+    #[test]
+    fn dispatch_stats_text_roundtrip() {
+        let s = ShardDispatchStats {
+            batches_sent: 1,
+            packets_enqueued: 2,
+            bytes_enqueued: 3,
+            packets_dropped: 4,
+            recycle_hits: 5,
+            recycle_misses: 6,
+            queue_depth_high_water: 7,
+            dead: true,
+        };
+        let back = ShardDispatchStats::from_text(&s.to_text()).unwrap();
+        assert_eq!(back, s);
+        // Strictness: unknown key, duplicate, missing field all fail.
+        let good = s.to_text();
+        assert!(ShardDispatchStats::from_text(&format!("{good}x 1\n")).is_err());
+        assert!(ShardDispatchStats::from_text(&format!("{good}dead false\n")).is_err());
+        assert!(ShardDispatchStats::from_text("batches_sent 1\n").is_err());
     }
 
     #[test]

@@ -114,6 +114,29 @@ impl FlowKey {
         ))
     }
 
+    /// Extract a fragmentation-stable *dispatch* key: IP pair and protocol
+    /// only, ports zeroed.
+    ///
+    /// A flow-hash dispatcher must not hash ports: non-first fragments
+    /// carry none, so a 5-tuple hash would route a connection's fragments
+    /// to a different shard than its stream segments and the sharded
+    /// engine would no longer see whole flows. Hashing the IP pair keeps
+    /// every fragment of a datagram — and every segment of the connection
+    /// it belongs to — on the same shard.
+    pub fn from_ip_pair(parsed: &Parsed<'_>) -> Option<FlowKey> {
+        let ip = parsed.ipv4.as_ref()?;
+        if matches!(parsed.transport, Transport::NonIp) {
+            return None;
+        }
+        let proto = match ip.protocol {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Icmp => 1,
+            Protocol::Other(p) => p,
+        };
+        Some(FlowKey::from_endpoints(proto, (ip.src, 0), (ip.dst, 0)).0)
+    }
+
     /// The endpoints in the orientation given by `dir`: `(source, destination)`.
     pub fn oriented(&self, dir: Direction) -> ((Ipv4Addr, u16), (Ipv4Addr, u16)) {
         let a = (self.addr_a, self.port_a);

@@ -187,7 +187,21 @@ impl Ips for ConventionalIps {
         // ordinary packets pass through without a copy.
         let datagram: std::borrow::Cow<'_, [u8]> = match self.defrag.push(packet, tick) {
             Ok(DefragResult::PassThrough) => std::borrow::Cow::Borrowed(packet),
-            Ok(DefragResult::Complete(d)) => std::borrow::Cow::Owned(d),
+            Ok(DefragResult::Complete(d)) => {
+                // Re-normalize the completed datagram: the per-fragment pass
+                // cannot verify the L4 checksum or TCP flag sanity (step 1
+                // accepts fragments on the promise that the whole gets
+                // re-checked). The victim's stack verifies after reassembly
+                // too, so a datagram rejected here must never reach stream
+                // reassembly — the differential fuzzing oracle found that
+                // skipping this lets a fragmented bad-checksum twin occupy
+                // the signature's sequence range and mask the real bytes.
+                if !self.normalizer.check_ipv4(&d).accepted() {
+                    self.observe();
+                    return;
+                }
+                std::borrow::Cow::Owned(d)
+            }
             Ok(DefragResult::Absorbed) | Err(_) => {
                 self.observe();
                 return;
@@ -371,6 +385,43 @@ mod tests {
         chaff[last] ^= 0xff; // corrupt payload; checksum now wrong
         let alerts = run_trace(&mut ips, [chaff.as_slice()]);
         assert!(alerts.is_empty(), "chaff must be normalized away");
+        assert_eq!(ips.normalizer_stats().bad_l4_checksum, 1);
+    }
+
+    #[test]
+    fn reassembled_datagram_is_renormalized() {
+        // Found by the differential fuzzing oracle (sd-oracle): a garbage
+        // twin of the signature segment with a bad TCP checksum, *sent as
+        // IP fragments*, sails through the per-fragment normalizer pass
+        // (fragments defer L4 checks to post-reassembly) — and if the
+        // completed datagram is not re-checked, it occupies the
+        // signature's sequence range under First before the real segment
+        // arrives, masking bytes the victim (which verifies checksums
+        // after reassembly) actually receives.
+        let mut ips = ConventionalIps::new(sigs()); // First policy
+        let twin = {
+            let f = TcpPacketSpec::new("10.0.0.1:4000", "10.0.0.2:80")
+                .seq(1000)
+                .flags(TcpFlags::ACK)
+                .payload(b"garbage_bytes_here_x_garb")
+                .dont_frag(false)
+                .build();
+            let mut ip = ip_of_frame(&f).to_vec();
+            let last = ip.len() - 1;
+            ip[last] ^= 0xff; // corrupt payload; TCP checksum now wrong
+            ip
+        };
+        let frags = fragment_ipv4(&twin, 16).unwrap();
+        assert!(frags.len() > 1, "twin must actually be fragmented");
+        let real = tcp_pkt(1000, b"..EVIL_SIGNATURE_BYTES...");
+        let mut pkts: Vec<Vec<u8>> = frags;
+        pkts.push(real);
+        let alerts = run_trace(&mut ips, pkts.iter().map(|p| p.as_slice()));
+        assert_eq!(
+            alerts.len(),
+            1,
+            "bad-checksum twin must be dropped post-defrag, not delivered"
+        );
         assert_eq!(ips.normalizer_stats().bad_l4_checksum, 1);
     }
 

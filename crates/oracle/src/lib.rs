@@ -1,0 +1,37 @@
+//! # sd-oracle — the differential fuzzing oracle
+//!
+//! The paper's core claim is a theorem: under admissible parameters,
+//! Split-Detect catches every byte-string evasion a full-reassembly IPS
+//! would catch. The hand-written gauntlet exercises 13 known strategies;
+//! this crate machine-checks the theorem against *compositions* nobody
+//! enumerated:
+//!
+//! * [`program`] — seeded adversarial trace programs: a mutation grammar
+//!   (segment splits at random and signature-straddling offsets, IP
+//!   fragmentation, reordering, duplication, overlapping retransmits with
+//!   consistent and inconsistent bytes, TTL/checksum chaff, decoy flows)
+//!   compiled into deterministic packet sequences, plus the replayable
+//!   `.trace` text format;
+//! * [`exec`] — the differential executor: victim-model ground truth,
+//!   `SplitDetect`, `ShardedSplitDetect` (1/2/4 shards) and
+//!   `ConventionalIps` run over each trace with the theorem invariants
+//!   asserted (detection modulo documented divert accounting, sharded /
+//!   unsharded verdict equality, no panics, no decoy alerts);
+//! * [`shrink`] — greedy delta debugging: failing programs are minimized
+//!   to small reproducers and pinned as regression tests.
+//!
+//! The CLI front end is `sd fuzz`; CI runs a bounded smoke campaign.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod program;
+pub mod shrink;
+
+pub use exec::{
+    run_campaign, run_compiled, run_program, CampaignConfig, CampaignResult, CampaignStats,
+    EngineTweaks, FailureCase, TraceOutcome, Violation,
+};
+pub use program::{CompiledTrace, Mutation, TraceProgram, ORACLE_SIGNATURE};
+pub use shrink::shrink;

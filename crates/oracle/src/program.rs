@@ -1,0 +1,1044 @@
+//! Adversarial trace programs — the generator grammar of the oracle.
+//!
+//! A [`TraceProgram`] is a small, fully deterministic attack description:
+//! a seed, a victim overlap policy, padding sizes, and an ordered list of
+//! [`Mutation`]s. Compiling a program yields the packet sequence a
+//! Ptacek–Newsham attacker would emit — segment cuts at random and
+//! signature-straddling offsets, IP fragmentation, reordering, duplication,
+//! overlapping retransmits with consistent *and* inconsistent bytes,
+//! TTL/checksum invalidation, and signature-free decoy flows.
+//!
+//! Two properties make programs a good fuzzing substrate:
+//!
+//! 1. **Ground truth is computed, not promised.** Mutation compositions are
+//!    not required to preserve payload delivery; the executor asks the
+//!    victim model what actually arrived. A composition that breaks the
+//!    attack simply makes the detection invariant vacuous for that trace.
+//! 2. **Mutations are independent under deletion.** Indices are resolved
+//!    modulo the current schedule length and garbage bytes are salted per
+//!    mutation (not drawn from a shared stream), so the shrinker can drop
+//!    any subset and every surviving mutation still means the same thing.
+
+use std::net::Ipv4Addr;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+use sd_packet::frag::fragment_ipv4;
+use sd_packet::ipv4::Ipv4Packet;
+use sd_packet::tcp::TcpFlags;
+use sd_reassembly::OverlapPolicy;
+use sd_traffic::victim::VictimConfig;
+
+/// The signature every program plants (20 bytes → pieces 7/7/6 under the
+/// default `k = 3`).
+pub const ORACLE_SIGNATURE: &[u8] = b"EVIL_SIGNATURE_BYTES";
+
+/// Honest maximum segment size, matching `sd_traffic::evasion`.
+const MSS: usize = 1460;
+
+/// Garbage padding bytes per overlap-stitch sub-segment: with real chunks
+/// of at most 5 bytes this keeps every interior sub-segment at
+/// `chunk + STITCH_PAD ≥ 15`, above the default admissible small-segment
+/// cutoff of 13 — the stitch must not be caught by the *small* rule.
+const STITCH_PAD: usize = 12;
+
+/// One primitive attack transformation. `usize` parameters are raw values
+/// resolved modulo the relevant bound at application time, so any parameter
+/// is valid against any schedule (important for shrinking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Cut the payload at a pseudo-random offset.
+    SplitAt {
+        /// Raw cut position, resolved modulo the payload length.
+        offset: usize,
+    },
+    /// Cut the payload inside the signature (a signature-straddling
+    /// boundary — the cut every per-packet matcher fears).
+    SplitInSignature {
+        /// Raw in-signature position, resolved modulo the signature length.
+        delta: usize,
+    },
+    /// Swap two schedule entries (reordering).
+    Swap {
+        /// First entry (resolved modulo the schedule length).
+        a: usize,
+        /// Second entry (resolved modulo the schedule length).
+        b: usize,
+    },
+    /// Re-send one segment verbatim — an overlapping retransmit with
+    /// *consistent* bytes.
+    Duplicate {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+    },
+    /// Conflicting retransmission of one segment: real and garbage copies
+    /// of the same sequence range, ordered so the victim's overlap policy
+    /// keeps the real bytes, behind a one-byte hole so the conflict is
+    /// resolved in the reassembly buffer.
+    InconsistentRetransmit {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+    },
+    /// The theorem-tight overlap attack: rewrite one segment as a train of
+    /// overlapping segments, each carrying at most `chunk` real bytes
+    /// embedded in garbage the victim's policy discards. No packet holds a
+    /// whole signature piece, no segment is small — only the sequence
+    /// monotonicity rule sees anything.
+    OverlapStitch {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+        /// Real bytes per sub-segment, clamped to `3..=5` (below the
+        /// shortest piece length).
+        chunk: usize,
+    },
+    /// Insert a garbage twin of one segment with a broken TCP checksum
+    /// (the victim's stack drops it; a naive observer scans it).
+    BadChecksumChaff {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+    },
+    /// Insert a garbage twin of one segment with a TTL that expires before
+    /// the victim.
+    LowTtlChaff {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+    },
+    /// IP-fragment one segment's packet into `unit`-byte fragments
+    /// (`unit` need not be a multiple of 8 — the fragmenter rounds down).
+    Fragment {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+        /// Raw fragment payload size, clamped to `8..=256`.
+        unit: usize,
+    },
+    /// Fragment one segment and inject a conflicting garbage copy of a
+    /// data fragment, ordered so the victim's reassembly keeps the real one.
+    OverlapFragment {
+        /// Target entry (resolved modulo the schedule length).
+        index: usize,
+    },
+    /// A signature-free decoy connection to a different server,
+    /// interleaved with the attack packets.
+    Decoy {
+        /// Decoy identity (selects endpoints and payload).
+        id: usize,
+        /// Data segments the decoy sends, clamped to `1..=4`.
+        segments: usize,
+    },
+}
+
+impl Mutation {
+    /// Stable name used by the `.trace` text format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::SplitAt { .. } => "split",
+            Mutation::SplitInSignature { .. } => "split-sig",
+            Mutation::Swap { .. } => "swap",
+            Mutation::Duplicate { .. } => "dup",
+            Mutation::InconsistentRetransmit { .. } => "retransmit-bad",
+            Mutation::OverlapStitch { .. } => "stitch",
+            Mutation::BadChecksumChaff { .. } => "chaff-cksum",
+            Mutation::LowTtlChaff { .. } => "chaff-ttl",
+            Mutation::Fragment { .. } => "frag",
+            Mutation::OverlapFragment { .. } => "frag-overlap",
+            Mutation::Decoy { .. } => "decoy",
+        }
+    }
+
+    /// A stable per-mutation salt, so garbage bytes do not depend on the
+    /// mutation's position in the program (deletion-stable shrinking).
+    fn salt(&self) -> u64 {
+        let (tag, x, y) = match *self {
+            Mutation::SplitAt { offset } => (1u64, offset as u64, 0),
+            Mutation::SplitInSignature { delta } => (2, delta as u64, 0),
+            Mutation::Swap { a, b } => (3, a as u64, b as u64),
+            Mutation::Duplicate { index } => (4, index as u64, 0),
+            Mutation::InconsistentRetransmit { index } => (5, index as u64, 0),
+            Mutation::OverlapStitch { index, chunk } => (6, index as u64, chunk as u64),
+            Mutation::BadChecksumChaff { index } => (7, index as u64, 0),
+            Mutation::LowTtlChaff { index } => (8, index as u64, 0),
+            Mutation::Fragment { index, unit } => (9, index as u64, unit as u64),
+            Mutation::OverlapFragment { index } => (10, index as u64, 0),
+            Mutation::Decoy { id, segments } => (11, id as u64, segments as u64),
+        };
+        mix(mix(tag, x), y)
+    }
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    (a ^ b)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// One adversarial trace, fully determined by its fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceProgram {
+    /// Base seed: padding contents, decoy payloads and garbage all derive
+    /// from it (salted per use).
+    pub seed: u64,
+    /// The victim stack's overlap policy the attack is crafted against.
+    pub policy: OverlapPolicy,
+    /// Benign bytes before the signature.
+    pub prefix_len: usize,
+    /// Benign bytes after the signature.
+    pub suffix_len: usize,
+    /// The mutation list, applied in order.
+    pub mutations: Vec<Mutation>,
+}
+
+/// A compiled program: the wire packets plus everything the executor needs
+/// to judge the run.
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    /// IPv4 packets in wire order (attack flow with decoys interleaved).
+    pub packets: Vec<Vec<u8>>,
+    /// The attack stream's application payload (prefix + signature + suffix).
+    pub payload: Vec<u8>,
+    /// Byte range of [`ORACLE_SIGNATURE`] within `payload`.
+    pub sig_range: Range<usize>,
+    /// The attacked server endpoint (victim model filter).
+    pub server: (Ipv4Addr, u16),
+    /// The attacker endpoint.
+    pub client: (Ipv4Addr, u16),
+    /// The victim stack configuration the program targets.
+    pub victim: VictimConfig,
+}
+
+/// A scheduled TCP send on the attack flow.
+#[derive(Debug, Clone)]
+struct Emit {
+    /// Stream offset (relative to the first payload byte).
+    offset: usize,
+    /// Payload bytes on the wire.
+    bytes: Vec<u8>,
+    /// `bytes` equals `payload[offset..offset + len]` and no invalidation
+    /// or fragmentation was applied — such entries are eligible targets for
+    /// the retransmit/stitch rewrites.
+    pristine: bool,
+    /// Break the TCP checksum after building the packet.
+    bad_checksum: bool,
+    /// TTL override (chaff that dies en route).
+    ttl: Option<u8>,
+    /// IP fragmentation applied when emitting.
+    frag: FragMode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FragMode {
+    None,
+    /// Tile into fragments of at most this payload size.
+    Tiles(usize),
+    /// Tile, then inject a conflicting garbage copy of a data fragment.
+    Overlap,
+}
+
+impl Emit {
+    fn real(payload: &[u8], offset: usize, len: usize) -> Emit {
+        Emit {
+            offset,
+            bytes: payload[offset..offset + len].to_vec(),
+            pristine: true,
+            bad_checksum: false,
+            ttl: None,
+            frag: FragMode::None,
+        }
+    }
+}
+
+/// Filler bytes that can never contain [`ORACLE_SIGNATURE`] (which has
+/// uppercase letters): lowercase alphanumerics plus spacing.
+fn filler(salt: u64, len: usize) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ./-";
+    let mut rng = StdRng::seed_from_u64(salt);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect()
+}
+
+/// Unconstrained garbage (chaff and conflicting-copy contents).
+fn garbage(salt: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(salt);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+impl TraceProgram {
+    /// Draw a random program. Deterministic in `seed`; the program's own
+    /// `seed` field is derived so that content randomness and structural
+    /// randomness never alias.
+    pub fn random(seed: u64) -> TraceProgram {
+        let mut rng = StdRng::seed_from_u64(mix(seed, 0x09AC1E));
+        let policy = OverlapPolicy::ALL[rng.gen_range(0..OverlapPolicy::ALL.len())];
+        let prefix_len = rng.gen_range(8..500);
+        let suffix_len = rng.gen_range(4..400);
+        let n = rng.gen_range(0..=8);
+        let mutations = (0..n).map(|_| random_mutation(&mut rng)).collect();
+        TraceProgram {
+            seed,
+            policy,
+            prefix_len,
+            suffix_len,
+            mutations,
+        }
+    }
+
+    /// The attack flow endpoints (fixed: the oracle judges per-flow alerts).
+    pub fn endpoints() -> ((Ipv4Addr, u16), (Ipv4Addr, u16)) {
+        (
+            ("10.66.0.1".parse().expect("static addr"), 31337),
+            ("10.0.0.2".parse().expect("static addr"), 80),
+        )
+    }
+
+    /// Compile to wire packets. Deterministic; total (never panics on any
+    /// field values).
+    pub fn compile(&self) -> CompiledTrace {
+        let (client, server) = Self::endpoints();
+        let victim = VictimConfig {
+            policy: self.policy,
+            ..Default::default()
+        };
+
+        // Payload: seeded filler around the planted signature.
+        let prefix = filler(mix(self.seed, 0xF111), self.prefix_len.clamp(2, 4096));
+        let suffix = filler(mix(self.seed, 0xF222), self.suffix_len.clamp(1, 4096));
+        let mut payload = prefix;
+        let sig_start = payload.len();
+        payload.extend_from_slice(ORACLE_SIGNATURE);
+        let sig_range = sig_start..payload.len();
+        payload.extend_from_slice(&suffix);
+
+        // Phase 1 — cut set: MSS grid plus every split mutation.
+        let mut cuts: Vec<usize> = (0..payload.len()).step_by(MSS).collect();
+        cuts.push(payload.len());
+        for m in &self.mutations {
+            match *m {
+                Mutation::SplitAt { offset } => {
+                    let at = 1 + offset % (payload.len() - 1);
+                    cuts.push(at);
+                }
+                Mutation::SplitInSignature { delta } => {
+                    let at = sig_range.start + 1 + delta % (ORACLE_SIGNATURE.len() - 1);
+                    cuts.push(at);
+                }
+                _ => {}
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut schedule: Vec<Emit> = cuts
+            .windows(2)
+            .map(|w| Emit::real(&payload, w[0], w[1] - w[0]))
+            .collect();
+
+        // Phase 2 — structural mutations, in program order.
+        let mut decoys: Vec<(usize, usize, u64)> = Vec::new();
+        for m in &self.mutations {
+            let salt = mix(self.seed, m.salt());
+            match *m {
+                Mutation::SplitAt { .. } | Mutation::SplitInSignature { .. } => {}
+                Mutation::Swap { a, b } => {
+                    if schedule.len() >= 2 {
+                        let (i, j) = (a % schedule.len(), b % schedule.len());
+                        schedule.swap(i, j);
+                    }
+                }
+                Mutation::Duplicate { index } => {
+                    if !schedule.is_empty() {
+                        let i = index % schedule.len();
+                        let copy = schedule[i].clone();
+                        schedule.insert(i + 1, copy);
+                    }
+                }
+                Mutation::InconsistentRetransmit { index } => {
+                    apply_inconsistent_retransmit(
+                        &mut schedule,
+                        index,
+                        &payload,
+                        self.policy,
+                        salt,
+                    );
+                }
+                Mutation::OverlapStitch { index, chunk } => {
+                    apply_overlap_stitch(&mut schedule, index, chunk, &payload, salt);
+                }
+                Mutation::BadChecksumChaff { index } => {
+                    if !schedule.is_empty() {
+                        let i = index % schedule.len();
+                        let twin = Emit {
+                            offset: schedule[i].offset,
+                            bytes: garbage(salt, schedule[i].bytes.len().max(1)),
+                            pristine: false,
+                            bad_checksum: true,
+                            ttl: None,
+                            frag: FragMode::None,
+                        };
+                        schedule.insert(i, twin);
+                    }
+                }
+                Mutation::LowTtlChaff { index } => {
+                    if !schedule.is_empty() {
+                        let i = index % schedule.len();
+                        let twin = Emit {
+                            offset: schedule[i].offset,
+                            bytes: garbage(salt, schedule[i].bytes.len().max(1)),
+                            pristine: false,
+                            bad_checksum: false,
+                            // VictimConfig::default() drops TTL < 4 hops.
+                            ttl: Some(2),
+                            frag: FragMode::None,
+                        };
+                        schedule.insert(i, twin);
+                    }
+                }
+                Mutation::Fragment { index, unit } => {
+                    if !schedule.is_empty() {
+                        let i = index % schedule.len();
+                        schedule[i].frag = FragMode::Tiles(unit.clamp(8, 256));
+                        schedule[i].pristine = false;
+                    }
+                }
+                Mutation::OverlapFragment { index } => {
+                    if !schedule.is_empty() {
+                        let i = index % schedule.len();
+                        schedule[i].frag = FragMode::Overlap;
+                        schedule[i].pristine = false;
+                    }
+                }
+                Mutation::Decoy { id, segments } => {
+                    decoys.push((id, segments.clamp(1, 4), salt));
+                }
+            }
+        }
+
+        // Phase 3 — emit the attack flow.
+        let mut b = PacketBuilder::new(client, server, self.policy);
+        b.syn();
+        for e in &schedule {
+            b.emit(e, mix(self.seed, 0x0F0F));
+        }
+        b.fin(payload.len());
+        let mut packets = b.packets;
+
+        // Phase 4 — interleave decoy flows at evenly spaced positions.
+        for (id, segments, salt) in decoys {
+            let decoy = decoy_packets(id, segments, salt);
+            let stride = packets.len() / (decoy.len() + 1);
+            for (k, pkt) in decoy.into_iter().enumerate() {
+                let at = ((k + 1) * stride.max(1) + k).min(packets.len());
+                packets.insert(at, pkt);
+            }
+        }
+
+        CompiledTrace {
+            packets,
+            payload,
+            sig_range,
+            server,
+            client,
+            victim,
+        }
+    }
+}
+
+fn random_mutation(rng: &mut StdRng) -> Mutation {
+    match rng.gen_range(0..11u32) {
+        0 => Mutation::SplitAt { offset: rng.gen() },
+        1 => Mutation::SplitInSignature { delta: rng.gen() },
+        2 => Mutation::Swap {
+            a: rng.gen(),
+            b: rng.gen(),
+        },
+        3 => Mutation::Duplicate { index: rng.gen() },
+        4 => Mutation::InconsistentRetransmit { index: rng.gen() },
+        5 => Mutation::OverlapStitch {
+            index: rng.gen(),
+            chunk: rng.gen_range(3..=5),
+        },
+        6 => Mutation::BadChecksumChaff { index: rng.gen() },
+        7 => Mutation::LowTtlChaff { index: rng.gen() },
+        8 => Mutation::Fragment {
+            index: rng.gen(),
+            unit: rng.gen_range(8..64),
+        },
+        9 => Mutation::OverlapFragment { index: rng.gen() },
+        _ => Mutation::Decoy {
+            id: rng.gen_range(0..1000),
+            segments: rng.gen_range(1..=4),
+        },
+    }
+}
+
+/// Replace entry `index` with a conflicting-retransmission triplet: both
+/// copies cover `offset + 1 ..`, arrive while the byte at `offset` is still
+/// a hole (so they meet in the reassembly buffer), and are ordered so the
+/// victim's policy keeps the real copy; the one-byte plug comes last.
+fn apply_inconsistent_retransmit(
+    schedule: &mut Vec<Emit>,
+    index: usize,
+    payload: &[u8],
+    policy: OverlapPolicy,
+    salt: u64,
+) {
+    if schedule.is_empty() {
+        return;
+    }
+    let i = index % schedule.len();
+    let e = &schedule[i];
+    if !e.pristine || e.bytes.len() < 2 {
+        return;
+    }
+    let (o, l) = (e.offset, e.bytes.len());
+    let contested_real = Emit::real(payload, o + 1, l - 1);
+    let contested_garb = Emit {
+        offset: o + 1,
+        bytes: garbage(salt, l - 1),
+        pristine: false,
+        bad_checksum: false,
+        ttl: None,
+        frag: FragMode::None,
+    };
+    let plug = Emit::real(payload, o, 1);
+    // Both copies start at the same offset: every overlap is a tie, so
+    // First/BSD victims keep the first arrival, Last/Linux the second.
+    let real_first = matches!(policy, OverlapPolicy::First | OverlapPolicy::Bsd);
+    let (first, second) = if real_first {
+        (contested_real, contested_garb)
+    } else {
+        (contested_garb, contested_real)
+    };
+    schedule.splice(i..=i, [first, second, plug]);
+}
+
+/// Replace entry `index` with the overlap-stitch train: each sub-segment
+/// is `garbage(pad) ++ real(chunk)` and starts `pad` bytes *before* its
+/// real chunk. When the flow is otherwise in order, the garbage head lands
+/// entirely on territory the victim has already **delivered** — and
+/// delivered bytes are frozen in every real stack, so the garbage is
+/// discarded under *all four* overlap policies while the real chunk
+/// extends the stream.
+///
+/// No stitched packet carries more than `chunk ≤ 5` consecutive real bytes
+/// (no whole piece), every stitched sub-segment is `chunk + STITCH_PAD ≥
+/// 15` bytes (never small), and every sub-segment's sequence number
+/// regresses behind the delivered edge — the attack is visible *only* to
+/// the out-of-order rule.
+fn apply_overlap_stitch(
+    schedule: &mut Vec<Emit>,
+    index: usize,
+    chunk: usize,
+    payload: &[u8],
+    salt: u64,
+) {
+    if schedule.is_empty() {
+        return;
+    }
+    let i = index % schedule.len();
+    let e = &schedule[i];
+    let chunk = chunk.clamp(3, 5);
+    if !e.pristine || e.bytes.len() < 2 * chunk {
+        return;
+    }
+    let (o, l) = (e.offset, e.bytes.len());
+    // Stream positions below STITCH_PAD cannot be given a full garbage
+    // head; a shorter head would leave sub-segments under the small-segment
+    // cutoff and the train would trip the small budget instead of staying
+    // visible only to the out-of-order rule. Ship that lead-in as one plain
+    // segment (at most one small segment — within the budget of T = 1).
+    let pre = STITCH_PAD.saturating_sub(o).min(l);
+    if l <= pre {
+        return;
+    }
+    let mut train = Vec::new();
+    if pre > 0 {
+        train.push(Emit::real(payload, o, pre));
+    }
+    let mut j = pre;
+    while j < l {
+        let take = chunk.min(l - j);
+        let mut bytes = garbage(mix(salt, j as u64), STITCH_PAD);
+        bytes.extend_from_slice(&payload[o + j..o + j + take]);
+        train.push(Emit {
+            offset: o + j - STITCH_PAD,
+            bytes,
+            pristine: false,
+            bad_checksum: false,
+            ttl: None,
+            frag: FragMode::None,
+        });
+        j += take;
+    }
+    schedule.splice(i..=i, train);
+}
+
+/// Packet assembly for the attack flow, mirroring the evasion builder:
+/// distinct IP idents per packet, seq = isn + 1 + stream offset.
+struct PacketBuilder {
+    client: (Ipv4Addr, u16),
+    server: (Ipv4Addr, u16),
+    policy: OverlapPolicy,
+    isn: u32,
+    ttl: u8,
+    next_ident: u16,
+    packets: Vec<Vec<u8>>,
+}
+
+impl PacketBuilder {
+    fn new(client: (Ipv4Addr, u16), server: (Ipv4Addr, u16), policy: OverlapPolicy) -> Self {
+        let isn = 0x1000_0000;
+        PacketBuilder {
+            client,
+            server,
+            policy,
+            isn,
+            ttl: 64,
+            next_ident: client.1 ^ (isn as u16),
+            packets: Vec::new(),
+        }
+    }
+
+    fn tcp(&mut self, seq: u32, flags: TcpFlags, payload: &[u8], ttl: u8, frag: bool) -> Vec<u8> {
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1);
+        let frame = TcpPacketSpec::between(
+            std::net::SocketAddrV4::new(self.client.0, self.client.1),
+            std::net::SocketAddrV4::new(self.server.0, self.server.1),
+        )
+        .seq(seq)
+        .flags(flags)
+        .ttl(ttl)
+        .ident(ident)
+        .dont_frag(!frag)
+        .payload(payload)
+        .build();
+        ip_of_frame(&frame).to_vec()
+    }
+
+    fn syn(&mut self) {
+        let p = self.tcp(self.isn, TcpFlags::SYN, b"", self.ttl, false);
+        self.packets.push(p);
+    }
+
+    fn fin(&mut self, payload_len: usize) {
+        let seq = self.isn.wrapping_add(1).wrapping_add(payload_len as u32);
+        let p = self.tcp(
+            seq,
+            TcpFlags::FIN.union(TcpFlags::ACK),
+            b"",
+            self.ttl,
+            false,
+        );
+        self.packets.push(p);
+    }
+
+    fn emit(&mut self, e: &Emit, forge_salt: u64) {
+        let seq = self.isn.wrapping_add(1).wrapping_add(e.offset as u32);
+        let ttl = e.ttl.unwrap_or(self.ttl);
+        let frag = e.frag != FragMode::None;
+        let mut pkt = self.tcp(seq, TcpFlags::ACK.union(TcpFlags::PSH), &e.bytes, ttl, frag);
+        if e.bad_checksum {
+            let ihl = Ipv4Packet::new_unchecked(&pkt[..]).header_len();
+            pkt[ihl + 16] ^= 0xff;
+        }
+        match e.frag {
+            FragMode::None => self.packets.push(pkt),
+            FragMode::Tiles(unit) => match fragment_ipv4(&pkt, unit) {
+                Ok(frags) => self.packets.extend(frags),
+                Err(_) => self.packets.push(pkt),
+            },
+            FragMode::Overlap => {
+                // Roughly trisect the datagram; fall back to the whole
+                // packet when it cannot produce at least three fragments.
+                let ip_payload = 20 + e.bytes.len();
+                let unit = (ip_payload.div_ceil(3)).max(8);
+                let frags = match fragment_ipv4(&pkt, unit) {
+                    Ok(f) if f.len() >= 3 => f,
+                    _ => {
+                        self.packets.push(pkt);
+                        return;
+                    }
+                };
+                // Forge a conflicting copy of a *middle* fragment; the
+                // copies tie on offset, so First/BSD victims keep the first
+                // arrival, Last/Linux the second. The target must carry
+                // MF=1: a forged copy of the final fragment would complete
+                // the datagram early with garbage content and the real
+                // bytes could then never be delivered.
+                let target = frags.len() - 2;
+                let mut forged = frags[target].clone();
+                {
+                    let mut v = Ipv4Packet::new_unchecked(&mut forged[..]);
+                    let g = garbage(mix(forge_salt, seq as u64), v.payload().len());
+                    v.payload_mut().copy_from_slice(&g);
+                    v.fill_checksum();
+                }
+                let real_first = matches!(self.policy, OverlapPolicy::First | OverlapPolicy::Bsd);
+                for (i, f) in frags.iter().enumerate() {
+                    if i == target {
+                        if real_first {
+                            self.packets.push(f.clone());
+                            self.packets.push(forged.clone());
+                        } else {
+                            self.packets.push(forged.clone());
+                            self.packets.push(f.clone());
+                        }
+                    } else {
+                        self.packets.push(f.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A decoy conversation: SYN, `segments` filler segments, FIN — to a
+/// *different* server, so the victim model (which tracks the attacked
+/// service) never sees it, and carrying filler that cannot contain the
+/// signature, so any alert on it is a false alert.
+fn decoy_packets(id: usize, segments: usize, salt: u64) -> Vec<Vec<u8>> {
+    let client: Ipv4Addr = format!("10.77.{}.{}", (id / 250) % 250, 1 + id % 250)
+        .parse()
+        .expect("static addr");
+    let server: Ipv4Addr = format!("10.0.9.{}", 1 + id % 250)
+        .parse()
+        .expect("static addr");
+    let cport = 20_000 + (id % 10_000) as u16;
+    let isn = 0x5EED_0000u32.wrapping_add(id as u32);
+    let mut rng = StdRng::seed_from_u64(salt);
+    let mut packets = Vec::new();
+    let mut ident = cport ^ (isn as u16);
+    let tcp = |seq: u32, flags: TcpFlags, payload: &[u8], ident: u16| {
+        let frame = TcpPacketSpec::between(
+            std::net::SocketAddrV4::new(client, cport),
+            std::net::SocketAddrV4::new(server, 80),
+        )
+        .seq(seq)
+        .flags(flags)
+        .ttl(64)
+        .ident(ident)
+        .payload(payload)
+        .build();
+        ip_of_frame(&frame).to_vec()
+    };
+    packets.push(tcp(isn, TcpFlags::SYN, b"", ident));
+    let mut off = 0usize;
+    for _ in 0..segments {
+        let len = rng.gen_range(40..600);
+        let body = filler(mix(salt, off as u64), len);
+        ident = ident.wrapping_add(1);
+        packets.push(tcp(
+            isn.wrapping_add(1).wrapping_add(off as u32),
+            TcpFlags::ACK.union(TcpFlags::PSH),
+            &body,
+            ident,
+        ));
+        off += len;
+    }
+    ident = ident.wrapping_add(1);
+    packets.push(tcp(
+        isn.wrapping_add(1).wrapping_add(off as u32),
+        TcpFlags::FIN.union(TcpFlags::ACK),
+        b"",
+        ident,
+    ));
+    packets
+}
+
+// ---------------------------------------------------------------------------
+// The `.trace` text format.
+// ---------------------------------------------------------------------------
+
+impl TraceProgram {
+    /// Render as the line-based `.trace` artifact format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# split-detect fuzz trace\n");
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("policy {}\n", self.policy));
+        s.push_str(&format!("prefix {}\n", self.prefix_len));
+        s.push_str(&format!("suffix {}\n", self.suffix_len));
+        for m in &self.mutations {
+            let args = match *m {
+                Mutation::SplitAt { offset } => format!("{offset}"),
+                Mutation::SplitInSignature { delta } => format!("{delta}"),
+                Mutation::Swap { a, b } => format!("{a} {b}"),
+                Mutation::Duplicate { index } => format!("{index}"),
+                Mutation::InconsistentRetransmit { index } => format!("{index}"),
+                Mutation::OverlapStitch { index, chunk } => format!("{index} {chunk}"),
+                Mutation::BadChecksumChaff { index } => format!("{index}"),
+                Mutation::LowTtlChaff { index } => format!("{index}"),
+                Mutation::Fragment { index, unit } => format!("{index} {unit}"),
+                Mutation::OverlapFragment { index } => format!("{index}"),
+                Mutation::Decoy { id, segments } => format!("{id} {segments}"),
+            };
+            s.push_str(&format!("mutate {} {}\n", m.name(), args));
+        }
+        s
+    }
+
+    /// Parse the `.trace` format back. Inverse of [`to_text`](Self::to_text).
+    pub fn from_text(text: &str) -> Result<TraceProgram, String> {
+        let mut seed = None;
+        let mut policy = None;
+        let mut prefix_len = None;
+        let mut suffix_len = None;
+        let mut mutations = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            fn take<'t>(
+                tokens: &[&'t str],
+                cursor: &mut usize,
+                lineno: usize,
+                name: &str,
+            ) -> Result<&'t str, String> {
+                let t = tokens
+                    .get(*cursor)
+                    .ok_or_else(|| format!("line {}: {name} needs a value", lineno + 1))?;
+                *cursor += 1;
+                Ok(t)
+            }
+            fn take_num(
+                tokens: &[&str],
+                cursor: &mut usize,
+                lineno: usize,
+                name: &str,
+            ) -> Result<usize, String> {
+                take(tokens, cursor, lineno, name)?
+                    .parse::<usize>()
+                    .map_err(|_| format!("line {}: bad {name} value", lineno + 1))
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let key = tokens[0];
+            let mut at = 1usize;
+            match key {
+                "seed" => seed = Some(take_num(&tokens, &mut at, lineno, "seed")? as u64),
+                "prefix" => prefix_len = Some(take_num(&tokens, &mut at, lineno, "prefix")?),
+                "suffix" => suffix_len = Some(take_num(&tokens, &mut at, lineno, "suffix")?),
+                "policy" => {
+                    let p = take(&tokens, &mut at, lineno, "policy")?;
+                    policy = Some(match p {
+                        "first" => OverlapPolicy::First,
+                        "last" => OverlapPolicy::Last,
+                        "bsd" => OverlapPolicy::Bsd,
+                        "linux" => OverlapPolicy::Linux,
+                        other => {
+                            return Err(format!("line {}: unknown policy {other:?}", lineno + 1))
+                        }
+                    });
+                }
+                "mutate" => {
+                    let kind = take(&tokens, &mut at, lineno, "mutation kind")?;
+                    let num = |name: &str, at: &mut usize| take_num(&tokens, at, lineno, name);
+                    let m = match kind {
+                        "split" => Mutation::SplitAt {
+                            offset: num("offset", &mut at)?,
+                        },
+                        "split-sig" => Mutation::SplitInSignature {
+                            delta: num("delta", &mut at)?,
+                        },
+                        "swap" => Mutation::Swap {
+                            a: num("a", &mut at)?,
+                            b: num("b", &mut at)?,
+                        },
+                        "dup" => Mutation::Duplicate {
+                            index: num("index", &mut at)?,
+                        },
+                        "retransmit-bad" => Mutation::InconsistentRetransmit {
+                            index: num("index", &mut at)?,
+                        },
+                        "stitch" => Mutation::OverlapStitch {
+                            index: num("index", &mut at)?,
+                            chunk: num("chunk", &mut at)?,
+                        },
+                        "chaff-cksum" => Mutation::BadChecksumChaff {
+                            index: num("index", &mut at)?,
+                        },
+                        "chaff-ttl" => Mutation::LowTtlChaff {
+                            index: num("index", &mut at)?,
+                        },
+                        "frag" => Mutation::Fragment {
+                            index: num("index", &mut at)?,
+                            unit: num("unit", &mut at)?,
+                        },
+                        "frag-overlap" => Mutation::OverlapFragment {
+                            index: num("index", &mut at)?,
+                        },
+                        "decoy" => Mutation::Decoy {
+                            id: num("id", &mut at)?,
+                            segments: num("segments", &mut at)?,
+                        },
+                        other => {
+                            return Err(format!("line {}: unknown mutation {other:?}", lineno + 1))
+                        }
+                    };
+                    mutations.push(m);
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+            if at != tokens.len() {
+                return Err(format!("line {}: trailing tokens", lineno + 1));
+            }
+        }
+        Ok(TraceProgram {
+            seed: seed.ok_or("missing seed")?,
+            policy: policy.ok_or("missing policy")?,
+            prefix_len: prefix_len.ok_or("missing prefix")?,
+            suffix_len: suffix_len.ok_or("missing suffix")?,
+            mutations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_traffic::victim::receive_stream;
+
+    fn delivered(p: &TraceProgram) -> bool {
+        let c = p.compile();
+        let stream = receive_stream(c.packets.iter(), c.victim, c.server);
+        stream
+            .windows(ORACLE_SIGNATURE.len())
+            .any(|w| w == ORACLE_SIGNATURE)
+    }
+
+    #[test]
+    fn bare_program_delivers() {
+        for policy in OverlapPolicy::ALL {
+            let p = TraceProgram {
+                seed: 1,
+                policy,
+                prefix_len: 100,
+                suffix_len: 50,
+                mutations: vec![],
+            };
+            assert!(delivered(&p), "bare program must deliver under {policy}");
+        }
+    }
+
+    #[test]
+    fn stitch_delivers_and_hides_pieces_under_every_policy() {
+        for policy in OverlapPolicy::ALL {
+            let p = TraceProgram {
+                seed: 2,
+                policy,
+                prefix_len: 60,
+                suffix_len: 40,
+                mutations: vec![Mutation::OverlapStitch { index: 0, chunk: 4 }],
+            };
+            assert!(delivered(&p), "stitch must deliver under {policy}");
+            // No packet may carry 6 consecutive signature bytes (the
+            // shortest piece under the default split is 6 bytes).
+            let c = p.compile();
+            for pkt in &c.packets {
+                for piece in ORACLE_SIGNATURE.windows(6) {
+                    assert!(
+                        !pkt.windows(6).any(|w| w == piece),
+                        "a stitched packet leaks a signature window ({policy})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_retransmit_delivers_under_every_policy() {
+        for policy in OverlapPolicy::ALL {
+            let p = TraceProgram {
+                seed: 3,
+                policy,
+                prefix_len: 80,
+                suffix_len: 30,
+                mutations: vec![Mutation::InconsistentRetransmit { index: 0 }],
+            };
+            assert!(delivered(&p), "retransmit-bad must deliver under {policy}");
+        }
+    }
+
+    #[test]
+    fn chaff_and_fragments_deliver() {
+        for policy in OverlapPolicy::ALL {
+            let p = TraceProgram {
+                seed: 4,
+                policy,
+                prefix_len: 120,
+                suffix_len: 80,
+                mutations: vec![
+                    Mutation::SplitInSignature { delta: 9 },
+                    Mutation::BadChecksumChaff { index: 0 },
+                    Mutation::LowTtlChaff { index: 1 },
+                    Mutation::Fragment { index: 1, unit: 13 },
+                    Mutation::OverlapFragment { index: 2 },
+                    Mutation::Decoy { id: 7, segments: 2 },
+                ],
+            };
+            assert!(delivered(&p), "chaff program must deliver under {policy}");
+        }
+    }
+
+    #[test]
+    fn compile_is_total_on_junk_parameters() {
+        // Any parameter values must compile without panicking.
+        let p = TraceProgram {
+            seed: 5,
+            policy: OverlapPolicy::Linux,
+            prefix_len: 0,
+            suffix_len: 0,
+            mutations: vec![
+                Mutation::SplitAt { offset: usize::MAX },
+                Mutation::Swap {
+                    a: usize::MAX,
+                    b: 0,
+                },
+                Mutation::OverlapStitch {
+                    index: usize::MAX,
+                    chunk: usize::MAX,
+                },
+                Mutation::Fragment {
+                    index: 3,
+                    unit: usize::MAX,
+                },
+                Mutation::InconsistentRetransmit { index: usize::MAX },
+            ],
+        };
+        let c = p.compile();
+        assert!(!c.packets.is_empty());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        for seed in 0..50u64 {
+            let p = TraceProgram::random(seed);
+            let text = p.to_text();
+            let back = TraceProgram::from_text(&text).expect("parse back");
+            assert_eq!(p, back, "text roundtrip for seed {seed}\n{text}");
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_junk() {
+        assert!(TraceProgram::from_text("").is_err());
+        assert!(TraceProgram::from_text("seed 1\npolicy weird\n").is_err());
+        assert!(TraceProgram::from_text(
+            "seed 1\npolicy first\nprefix 1\nsuffix 1\nmutate zap 3\n"
+        )
+        .is_err());
+        assert!(TraceProgram::from_text(
+            "seed 1\npolicy first\nprefix 1\nsuffix 1\nmutate swap 3\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn random_programs_are_deterministic() {
+        assert_eq!(TraceProgram::random(42), TraceProgram::random(42));
+        assert_ne!(TraceProgram::random(42), TraceProgram::random(43));
+    }
+}

@@ -1,0 +1,149 @@
+//! Delta-debugging shrinker for failing trace programs.
+//!
+//! The vendored proptest stand-in replays seeds but does not shrink, so
+//! the oracle carries its own minimizer: greedy delta debugging over the
+//! mutation list plus padding reduction, re-checking the failure predicate
+//! after every candidate edit. Deletion-stable mutation semantics (indices
+//! resolved modulo the schedule, per-mutation garbage salts — see
+//! [`crate::program`]) are what make this converge: dropping one mutation
+//! does not scramble the meaning of the others.
+
+use crate::program::TraceProgram;
+
+/// Minimize `program` while `still_failing` holds. Runs to a fixpoint:
+/// the result is 1-minimal in mutations (no single mutation can be
+/// dropped) and padding is reduced as far as the failure allows.
+pub fn shrink(
+    program: &TraceProgram,
+    mut still_failing: impl FnMut(&TraceProgram) -> bool,
+) -> TraceProgram {
+    let mut best = program.clone();
+    debug_assert!(still_failing(&best), "shrink needs a failing input");
+
+    loop {
+        let mut progressed = false;
+
+        // Drop mutations, one at a time (restarting after each success so
+        // index resolution is always judged against the current list).
+        let mut i = 0;
+        while i < best.mutations.len() {
+            let mut candidate = best.clone();
+            candidate.mutations.remove(i);
+            if still_failing(&candidate) {
+                best = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Merge exact duplicates (a dup of a dup adds nothing).
+        let mut deduped = best.clone();
+        deduped.mutations.dedup();
+        if deduped.mutations.len() < best.mutations.len() && still_failing(&deduped) {
+            best = deduped;
+            progressed = true;
+        }
+
+        // Halve the padding while the failure survives.
+        for field in [0, 1] {
+            loop {
+                let mut candidate = best.clone();
+                let v = if field == 0 {
+                    &mut candidate.prefix_len
+                } else {
+                    &mut candidate.suffix_len
+                };
+                if *v <= 2 {
+                    break;
+                }
+                *v /= 2;
+                if still_failing(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Mutation;
+    use sd_reassembly::OverlapPolicy;
+
+    /// A synthetic predicate: "failing" iff a stitch mutation survives.
+    /// Exercises the shrinking loop without engine runs.
+    #[test]
+    fn shrink_drops_everything_but_the_culprit() {
+        let program = TraceProgram {
+            seed: 9,
+            policy: OverlapPolicy::Bsd,
+            prefix_len: 400,
+            suffix_len: 300,
+            mutations: vec![
+                Mutation::SplitAt { offset: 7 },
+                Mutation::Decoy { id: 3, segments: 2 },
+                Mutation::OverlapStitch { index: 0, chunk: 4 },
+                Mutation::Duplicate { index: 1 },
+                Mutation::Duplicate { index: 1 },
+                Mutation::LowTtlChaff { index: 0 },
+            ],
+        };
+        let shrunk = shrink(&program, |p| {
+            p.mutations
+                .iter()
+                .any(|m| matches!(m, Mutation::OverlapStitch { .. }))
+        });
+        assert_eq!(
+            shrunk.mutations,
+            vec![Mutation::OverlapStitch { index: 0, chunk: 4 }]
+        );
+        assert!(
+            shrunk.prefix_len <= 3,
+            "prefix not shrunk: {}",
+            shrunk.prefix_len
+        );
+        assert!(
+            shrunk.suffix_len <= 2,
+            "suffix not shrunk: {}",
+            shrunk.suffix_len
+        );
+    }
+
+    #[test]
+    fn shrink_keeps_interdependent_pairs() {
+        // Failing iff both a split and a swap survive: 1-minimality keeps
+        // both (neither can be dropped alone).
+        let program = TraceProgram {
+            seed: 10,
+            policy: OverlapPolicy::First,
+            prefix_len: 64,
+            suffix_len: 64,
+            mutations: vec![
+                Mutation::SplitAt { offset: 1 },
+                Mutation::Decoy { id: 1, segments: 1 },
+                Mutation::Swap { a: 0, b: 1 },
+            ],
+        };
+        let shrunk = shrink(&program, |p| {
+            let has_split = p
+                .mutations
+                .iter()
+                .any(|m| matches!(m, Mutation::SplitAt { .. }));
+            let has_swap = p
+                .mutations
+                .iter()
+                .any(|m| matches!(m, Mutation::Swap { .. }));
+            has_split && has_swap
+        });
+        assert_eq!(shrunk.mutations.len(), 2);
+    }
+}

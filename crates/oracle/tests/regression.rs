@@ -1,0 +1,117 @@
+//! Shrunk reproducers of real bugs the differential oracle found, pinned
+//! forever. Each trace below once broke an invariant on the shipping
+//! engine; the fix landed with the trace as its regression test.
+//!
+//! The traces are kept in the replayable `.trace` artifact format — the
+//! same text `sd fuzz` writes on failure — so the pin also exercises the
+//! parser on real field data.
+
+use sd_oracle::{run_program, EngineTweaks, TraceProgram, Violation};
+
+fn replay_clean(trace: &str) {
+    let program = TraceProgram::from_text(trace).expect("pinned trace must parse");
+    let outcome = run_program(&program, EngineTweaks::NONE);
+    assert!(
+        outcome.ok(),
+        "pinned regression resurfaced: {:?}\n{}",
+        outcome.violations,
+        program.to_text()
+    );
+    assert!(
+        outcome.delivered && outcome.split_alerted,
+        "pin lost its teeth: the signature no longer reaches the victim \
+         (delivered={}, alerted={})",
+        outcome.delivered,
+        outcome.split_alerted
+    );
+}
+
+/// Bug 1 (sharded dispatch): the shard hash covered the TCP 5-tuple, but
+/// non-first fragments carry no ports — a connection's fragments hashed to
+/// a different shard than its stream segments, and sharded verdicts
+/// diverged from the single engine. Fixed by hashing the IP pair plus
+/// protocol only (`FlowKey::from_ip_pair`). The pin is a synthetic program
+/// (the original campaign hit predates the artifact format): a fragmented
+/// signature-straddling split is exactly the shape that split one
+/// connection across shards.
+#[test]
+fn sharded_fragment_routing_stays_fixed() {
+    replay_clean(
+        "# split-detect fuzz trace\n\
+         seed 77\n\
+         policy first\n\
+         prefix 40\n\
+         suffix 30\n\
+         mutate split-sig 9\n\
+         mutate frag 0 24\n",
+    );
+}
+
+/// Bug 2 (slow-path checksum): the normalizer accepts IP fragments on the
+/// promise that L4 checks rerun after reassembly — but the conventional
+/// engine (and therefore Split-Detect's slow path) never re-checked the
+/// completed datagram. A fragmented bad-checksum garbage twin of the
+/// signature segment occupied the sequence range under First while the
+/// victim, which verifies after reassembly, dropped it and received the
+/// real bytes. Shrunk from 8 mutations to these 2.
+#[test]
+fn post_defrag_renormalization_stays_fixed() {
+    replay_clean(
+        "# split-detect fuzz trace\n\
+         seed 13968259953709020894\n\
+         policy first\n\
+         prefix 1\n\
+         suffix 2\n\
+         mutate chaff-cksum 1501928558060025601\n\
+         mutate frag 3759307373701782754 43\n",
+    );
+}
+
+/// Bug 3 (divert ordering): diversion and the delay line were keyed on the
+/// 5-tuple, so a connection's fragments diverted as a *separate* flow and
+/// the SYN reached the slow path only later, replayed after the
+/// reassembled fragment data — a mid-stream pickup that adopted the wrong
+/// stream origin and missed a signature the victim received. Fixed by
+/// keying diversion on the IP pair. Shrunk from 3 mutations to these 2.
+#[test]
+fn divert_key_ordering_stays_fixed() {
+    replay_clean(
+        "# split-detect fuzz trace\n\
+         seed 5770459859425060368\n\
+         policy linux\n\
+         prefix 1\n\
+         suffix 2\n\
+         mutate retransmit-bad 9843630119496533149\n\
+         mutate frag-overlap 71580601167850740\n",
+    );
+}
+
+/// The sabotage fixture the oracle's own tests rely on: with the
+/// out-of-order rule disabled, the theorem-tight stitch is missed — and
+/// the violation is specifically a missed delivery, nothing noisier.
+#[test]
+fn stitch_requires_the_out_of_order_rule() {
+    let trace = "# split-detect fuzz trace\n\
+                 seed 12\n\
+                 policy first\n\
+                 prefix 80\n\
+                 suffix 40\n\
+                 mutate stitch 0 4\n";
+    let program = TraceProgram::from_text(trace).unwrap();
+    let outcome = run_program(
+        &program,
+        EngineTweaks {
+            disable_out_of_order: true,
+            disable_fragments: false,
+        },
+    );
+    assert!(outcome.delivered, "stitch must still reach the victim");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissedDelivery { .. })),
+        "expected a missed delivery, got {:?}",
+        outcome.violations
+    );
+}

@@ -8,6 +8,8 @@ use sd_packet::frag::{coverage, fragment_ipv4};
 use sd_packet::ipv4::Ipv4Packet;
 use sd_packet::parse::parse_ethernet;
 use sd_packet::tcp::{TcpFlags, TcpSegment};
+use sd_reassembly::defrag::DefragResult;
+use sd_reassembly::{Defragmenter, OverlapPolicy};
 
 fn endpoint() -> impl Strategy<Value = String> {
     (1u8..=254, 1u8..=254, 1u16..=65535).prop_map(|(a, b, p)| format!("10.{a}.{b}.1:{p}"))
@@ -92,6 +94,123 @@ proptest! {
             prop_assert!(ip.verify_checksum());
         }
         prop_assert_eq!(rebuilt, orig_payload);
+    }
+
+    /// Fragmenting here and reassembling with `sd_reassembly::defrag` is
+    /// the identity, for any payload size and any requested unit —
+    /// including units that are not multiples of 8 (the fragmenter rounds
+    /// down) — under every overlap policy (no overlaps yet, so the policy
+    /// must not matter).
+    #[test]
+    fn fragment_then_defrag_is_identity(
+        payload_len in 1usize..2500,
+        unit in 8usize..1480,
+        policy_idx in 0usize..4,
+        reverse in any::<bool>(),
+    ) {
+        let policy = OverlapPolicy::ALL[policy_idx];
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i * 131 % 256) as u8).collect();
+        let frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+            .dont_frag(false)
+            .payload(&payload)
+            .build();
+        let pkt = ip_of_frame(&frame);
+        let mut frags = fragment_ipv4(pkt, unit).unwrap();
+        if reverse {
+            frags.reverse();
+        }
+
+        let mut defrag = Defragmenter::new(policy);
+        let mut complete = None;
+        for (i, f) in frags.iter().enumerate() {
+            match defrag.push(f, 0).unwrap() {
+                DefragResult::PassThrough => {
+                    // Only possible when the packet fit in one "fragment".
+                    prop_assert_eq!(frags.len(), 1);
+                    complete = Some(f.clone());
+                }
+                DefragResult::Absorbed => {
+                    prop_assert!(i + 1 < frags.len(), "last fragment must complete");
+                }
+                DefragResult::Complete(d) => {
+                    prop_assert_eq!(i + 1, frags.len(), "early completion");
+                    complete = Some(d);
+                }
+            }
+        }
+        let d = complete.expect("datagram must complete");
+        let rebuilt = Ipv4Packet::new_checked(&d[..]).unwrap();
+        let original = Ipv4Packet::new_checked(pkt).unwrap();
+        prop_assert_eq!(rebuilt.payload(), original.payload());
+        prop_assert_eq!(rebuilt.src_addr(), original.src_addr());
+        prop_assert_eq!(rebuilt.dst_addr(), original.dst_addr());
+        prop_assert!(!rebuilt.is_fragment());
+    }
+
+    /// Conflicting same-offset copies of one middle fragment resolve
+    /// exactly as each policy's `new_wins` rule says: First and Bsd keep
+    /// the copy that arrived first, Last and Linux keep the second.
+    /// Consistent duplicates are a no-op either way.
+    #[test]
+    fn overlapping_fragments_resolve_by_policy(
+        payload_len in 300usize..1200,
+        unit in 8usize..64,
+        policy_idx in 0usize..4,
+        garbage in any::<bool>(),
+    ) {
+        let policy = OverlapPolicy::ALL[policy_idx];
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i * 17 % 256) as u8).collect();
+        let frame = TcpPacketSpec::new("10.0.0.1:1", "10.0.0.2:2")
+            .dont_frag(false)
+            .payload(&payload)
+            .build();
+        let pkt = ip_of_frame(&frame);
+        let frags = fragment_ipv4(pkt, unit).unwrap();
+        prop_assert!(frags.len() >= 3, "need a middle fragment to overlap");
+
+        // Forge a twin of a middle fragment (same offset/length); with
+        // `garbage` its payload bytes differ, otherwise it is a verbatim
+        // duplicate.
+        let target = frags.len() / 2;
+        let mut twin = frags[target].clone();
+        if garbage {
+            let hdr = (twin[0] & 0x0f) as usize * 4;
+            for b in &mut twin[hdr..] {
+                *b = !*b;
+            }
+        }
+
+        // Arrival order: all fragments in sequence, with the twin injected
+        // immediately before its real counterpart.
+        let mut defrag = Defragmenter::new(policy);
+        let mut complete = None;
+        for (i, f) in frags.iter().enumerate() {
+            if i == target {
+                prop_assert_eq!(defrag.push(&twin, 0).unwrap(), DefragResult::Absorbed);
+            }
+            if let DefragResult::Complete(d) = defrag.push(f, 0).unwrap() {
+                complete = Some(d);
+            }
+        }
+        let d = complete.expect("datagram must complete");
+        let rebuilt = Ipv4Packet::new_checked(&d[..]).unwrap();
+        let original = Ipv4Packet::new_checked(pkt).unwrap();
+
+        // First/Bsd keep the twin (it arrived first at that offset);
+        // Last/Linux keep the real bytes that came second.
+        let twin_wins = garbage && matches!(policy, OverlapPolicy::First | OverlapPolicy::Bsd);
+        let range = {
+            let ip = Ipv4Packet::new_checked(&frags[target][..]).unwrap();
+            let off = ip.frag_offset() as usize;
+            off..off + ip.payload().len()
+        };
+        let mut expected = original.payload().to_vec();
+        if twin_wins {
+            for b in &mut expected[range] {
+                *b = !*b;
+            }
+        }
+        prop_assert_eq!(rebuilt.payload(), &expected[..]);
     }
 
     #[test]
