@@ -1,0 +1,131 @@
+//! Telemetry-overhead bench: the `shard_dispatch` mixed-trace workload
+//! with stage-latency timing off (`stage_timing_sample_shift: None`),
+//! at the default 1-in-64 sampling, and timed on every packet.
+//!
+//! Counters and size histograms always run (they are a handful of array
+//! adds per packet, far below this bench's noise floor against channel
+//! traffic); the toggleable cost is the `Instant::now()` pairs of stage
+//! timing. The E17 budget says the default sampling must cost < 5 % of
+//! the timing-off throughput; the paired measurement at the end prints
+//! the observed overhead and, when `SD_TELEMETRY_ENFORCE=1` (the CI smoke
+//! step), fails the bench if the budget is blown.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
+use sd_bench::{standard_benign, SIG};
+use sd_ips::api::run_trace;
+use sd_ips::{Signature, SignatureSet};
+use sd_traffic::benign::BenignGenerator;
+use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+use sd_traffic::mixer::mix;
+use sd_traffic::trace::Trace;
+use sd_traffic::victim::VictimConfig;
+use splitdetect::{ShardedSplitDetect, SplitDetectConfig};
+
+const SHARDS: usize = 4;
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("evil", SIG)])
+}
+
+fn mixed_trace() -> Trace {
+    let benign = BenignGenerator::new(standard_benign(300, 23)).generate();
+    let victim = VictimConfig::default();
+    let attacks = (0..6)
+        .map(|i| {
+            let mut spec = AttackSpec::simple(SIG);
+            spec.client.1 = 42_000 + i as u16;
+            (
+                generate(
+                    &spec,
+                    EvasionStrategy::TinySegments { size: 4 },
+                    victim,
+                    i as u64,
+                ),
+                0usize,
+                "tiny",
+            )
+        })
+        .collect();
+    mix(benign, attacks, 31).trace
+}
+
+fn config(sample_shift: Option<u8>) -> SplitDetectConfig {
+    SplitDetectConfig {
+        stage_timing_sample_shift: sample_shift,
+        ..Default::default()
+    }
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let trace = mixed_trace();
+    let bytes = trace.total_bytes();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(20);
+
+    for (name, shift) in [
+        ("timing-off", None),
+        ("sampled-1-in-64", Some(6)),
+        ("timed-every-packet", Some(0)),
+    ] {
+        let cfg = config(shift);
+        group.bench_with_input(BenchmarkId::new("shift", name), &cfg, |b, cfg| {
+            b.iter_batched(
+                || ShardedSplitDetect::new(sigs(), *cfg, SHARDS).expect("admissible"),
+                |mut e| black_box(run_trace(&mut e, trace.iter_bytes())).len(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+
+/// One full run of the workload under `cfg`, timed wall-clock (engine
+/// construction and worker join included — identical across configs).
+fn run_once(trace: &Trace, cfg: SplitDetectConfig) -> Duration {
+    let mut e = ShardedSplitDetect::new(sigs(), cfg, SHARDS).expect("admissible");
+    let start = Instant::now();
+    black_box(run_trace(&mut e, trace.iter_bytes()));
+    start.elapsed()
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    benches();
+
+    // Paired overhead measurement: alternate configs so thermal/scheduler
+    // drift cancels, compare medians.
+    let trace = mixed_trace();
+    let rounds = 9;
+    let mut off = Vec::with_capacity(rounds);
+    let mut sampled = Vec::with_capacity(rounds);
+    // Warm both paths once before measuring.
+    run_once(&trace, config(None));
+    run_once(&trace, config(Some(6)));
+    for _ in 0..rounds {
+        off.push(run_once(&trace, config(None)));
+        sampled.push(run_once(&trace, config(Some(6))));
+    }
+    let off = median(off).as_secs_f64();
+    let sampled = median(sampled).as_secs_f64();
+    let overhead = (sampled - off) / off * 100.0;
+    println!(
+        "telemetry overhead (sampled-1-in-64 vs timing-off, median of {rounds}): {overhead:+.2}%"
+    );
+    if std::env::var("SD_TELEMETRY_ENFORCE").as_deref() == Ok("1") {
+        assert!(
+            overhead < 5.0,
+            "telemetry overhead {overhead:.2}% blows the 5% budget"
+        );
+        println!("telemetry overhead within the 5% budget");
+    }
+}

@@ -13,7 +13,7 @@ use sd_traffic::victim::{receive_stream, VictimConfig};
 use sd_traffic::{pcap, Trace};
 use splitdetect::{ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats};
 
-use crate::opts::{Command, EngineKind, ParsedArgs, SabotageKind};
+use crate::opts::{Command, EngineKind, OutputFormat, ParsedArgs, SabotageKind};
 
 type Out<'a> = &'a mut dyn Write;
 
@@ -21,6 +21,7 @@ type Out<'a> = &'a mut dyn Write;
 pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
     match &args.command {
         Command::Scan(path) => scan(&args, path, out),
+        Command::Run(path) => run_cmd(&args, path, out),
         Command::Compare(path) => compare(&args, path, out),
         Command::Stats(path) => stats_cmd(&args, path, out),
         Command::Rules(path) => lint_rules(path, out),
@@ -161,6 +162,42 @@ fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     Ok(())
 }
 
+/// `sd run`: drive Split-Detect (sharded dispatcher, even at 1 shard, so
+/// the export always carries per-shard lane counters) and optionally
+/// write the merged telemetry registry as `PATH.prom` + `PATH.json`.
+fn run_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    let trace = load_trace(path)?;
+    let mut engine = build_sharded(rules.to_signatures(), args)?;
+    let alerts = run_trace(&mut engine, trace.iter_bytes());
+    let _ = writeln!(
+        out,
+        "ran {path}: {} packets, {} shards, {} alert(s)",
+        trace.len(),
+        engine.shard_count(),
+        alerts.len()
+    );
+    if let Some(report) = sharded_report(&engine) {
+        let _ = write!(out, "{report}");
+    }
+    for failure in engine.failures() {
+        let _ = writeln!(out, "WARNING: {failure}");
+    }
+    if let Some(base) = &args.metrics_out {
+        let tel = engine
+            .telemetry()
+            .ok_or("telemetry is only available after finish")?;
+        let prom_path = format!("{base}.prom");
+        let json_path = format!("{base}.json");
+        std::fs::write(&prom_path, sd_telemetry::to_prometheus(tel.registry()))
+            .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+        std::fs::write(&json_path, sd_telemetry::to_json(tel.registry()))
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        let _ = writeln!(out, "metrics written to {prom_path} and {json_path}");
+    }
+    Ok(())
+}
+
 fn compare(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     let rules = load_rules(args, out)?;
     let trace = load_trace(path)?;
@@ -201,6 +238,23 @@ fn compare(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
 
 fn stats_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     let trace = load_trace(path)?;
+    if args.format != OutputFormat::Human {
+        // Machine formats: drive the engine over the capture and emit its
+        // telemetry registry instead of the human workload summary.
+        let rules = load_rules(args, &mut std::io::sink())?;
+        let mut engine = build_sharded(rules.to_signatures(), args)?;
+        let _ = run_trace(&mut engine, trace.iter_bytes());
+        let tel = engine
+            .telemetry()
+            .ok_or("telemetry is only available after finish")?;
+        let rendered = match args.format {
+            OutputFormat::Prom => sd_telemetry::to_prometheus(tel.registry()),
+            OutputFormat::Json => sd_telemetry::to_json(tel.registry()),
+            OutputFormat::Human => unreachable!(),
+        };
+        let _ = out.write_all(rendered.as_bytes());
+        return Ok(());
+    }
     let s = sd_traffic::stats::analyze(&trace);
     let _ = writeln!(
         out,

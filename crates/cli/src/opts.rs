@@ -8,8 +8,11 @@ usage:
   sd scan <capture.pcap> [--rules FILE] [--engine split|conventional|naive]
                          [--policy first|last|bsd|linux]
                          [--shards N] [--shard-batch PKTS]
+  sd run <capture.pcap>  [--rules FILE] [--policy P] [--shards N]
+                         [--shard-batch PKTS] [--metrics-out PATH]
   sd compare <capture.pcap> [--rules FILE] [--policy P]
   sd stats <capture.pcap> [--shards N] [--shard-batch PKTS]
+           [--format human|prom|json]
   sd rules <FILE>
   sd gauntlet [--rules FILE] [--policy P]
   sd replay <capture.pcap> [--rules FILE] [--speed X (default 1.0, 0 = unpaced)]
@@ -18,6 +21,10 @@ usage:
           [--trace-out FILE] [--replay-trace FILE]
 
 Without --rules, the embedded demo rule set is used.
+run drives Split-Detect over the capture and, with --metrics-out PATH,
+writes the telemetry registry as PATH.prom (Prometheus text exposition)
+and PATH.json. stats --format prom|json drives the engine and emits the
+same registry instead of the human workload summary.
 --shards N > 1 runs the flow-sharded engine; --shard-batch sets how many
 packets the dispatcher accumulates per shard before each channel send
 (default 64; 1 degrades to per-packet dispatch).
@@ -47,6 +54,17 @@ impl fmt::Display for EngineKind {
             EngineKind::Naive => "naive-packet",
         })
     }
+}
+
+/// Output format for `stats` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable workload summary (the default).
+    Human,
+    /// Prometheus text exposition of the engine's telemetry registry.
+    Prom,
+    /// JSON snapshot of the engine's telemetry registry.
+    Json,
 }
 
 /// Which fast-path rule `fuzz --sabotage` disables.
@@ -92,6 +110,10 @@ pub struct ParsedArgs {
     /// `--replay-trace FILE` (fuzz): replay one saved trace instead of a
     /// campaign.
     pub replay_trace: Option<String>,
+    /// `--metrics-out PATH` (run): write telemetry as PATH.prom + PATH.json.
+    pub metrics_out: Option<String>,
+    /// `--format human|prom|json` (stats).
+    pub format: OutputFormat,
 }
 
 /// The subcommand.
@@ -99,6 +121,8 @@ pub struct ParsedArgs {
 pub enum Command {
     /// Scan a capture.
     Scan(String),
+    /// Run Split-Detect over a capture with telemetry export.
+    Run(String),
     /// Compare all three engines on a capture.
     Compare(String),
     /// Print workload statistics of a capture.
@@ -135,6 +159,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut sabotage = None;
     let mut trace_out = "fuzz-failure.trace".to_string();
     let mut replay_trace = None;
+    let mut metrics_out = None;
+    let mut format = OutputFormat::Human;
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -216,6 +242,15 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
             }
             "--trace-out" => trace_out = value_of("--trace-out")?.clone(),
             "--replay-trace" => replay_trace = Some(value_of("--replay-trace")?.clone()),
+            "--metrics-out" => metrics_out = Some(value_of("--metrics-out")?.clone()),
+            "--format" => {
+                format = match value_of("--format")?.as_str() {
+                    "human" => OutputFormat::Human,
+                    "prom" | "prometheus" => OutputFormat::Prom,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -231,6 +266,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
 
     let command = match sub.as_str() {
         "scan" => Command::Scan(need_one("pcap path", &positional)?),
+        "run" => Command::Run(need_one("pcap path", &positional)?),
         "compare" => Command::Compare(need_one("pcap path", &positional)?),
         "stats" => Command::Stats(need_one("pcap path", &positional)?),
         "rules" => Command::Rules(need_one("rules path", &positional)?),
@@ -267,6 +303,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         sabotage,
         trace_out,
         replay_trace,
+        metrics_out,
+        format,
     })
 }
 
@@ -334,6 +372,25 @@ mod tests {
     }
 
     #[test]
+    fn run_and_format_flags() {
+        let p = parse(&args("run cap.pcap")).unwrap();
+        assert_eq!(p.command, Command::Run("cap.pcap".into()));
+        assert_eq!(p.metrics_out, None);
+        assert_eq!(p.format, OutputFormat::Human);
+
+        let p = parse(&args("run cap.pcap --metrics-out m --shards 2")).unwrap();
+        assert_eq!(p.metrics_out.as_deref(), Some("m"));
+        assert_eq!(p.shards, 2);
+
+        let p = parse(&args("stats cap.pcap --format prom")).unwrap();
+        assert_eq!(p.format, OutputFormat::Prom);
+        let p = parse(&args("stats cap.pcap --format json")).unwrap();
+        assert_eq!(p.format, OutputFormat::Json);
+        let p = parse(&args("stats cap.pcap --format human")).unwrap();
+        assert_eq!(p.format, OutputFormat::Human);
+    }
+
+    #[test]
     fn errors_are_helpful() {
         for bad in [
             "",
@@ -353,6 +410,10 @@ mod tests {
             "fuzz --iters many",
             "fuzz --sabotage everything",
             "fuzz --trace-out",
+            "run",
+            "run a b",
+            "run cap.pcap --metrics-out",
+            "stats cap.pcap --format yaml",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

@@ -171,6 +171,72 @@ fn stats_describes_a_capture() {
 }
 
 #[test]
+fn run_writes_valid_prometheus_and_json_metrics() {
+    let dir = tmpdir("metrics");
+    let pcap = dir.join("m.pcap");
+    let pcap_s = pcap.to_str().unwrap();
+    run(&["generate", pcap_s, "--flows", "12", "--attacks", "2"]);
+
+    let base = dir.join("metrics");
+    let base_s = base.to_str().unwrap();
+    let (code, out) = run(&["run", pcap_s, "--shards", "2", "--metrics-out", base_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("metrics written to"), "{out}");
+
+    let prom = std::fs::read_to_string(format!("{base_s}.prom")).unwrap();
+    sd_telemetry::promcheck::validate(&prom).unwrap_or_else(|errs| {
+        panic!("invalid Prometheus exposition: {errs:?}\n{prom}");
+    });
+    // Per-stage latency histograms and per-shard lane counters both made
+    // it through the shard merge into the export.
+    assert!(
+        prom.contains("sd_stage_latency_ns_bucket{stage=\"fast_path\""),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("sd_shard_packets_total{shard=\"0\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("sd_shard_packets_total{shard=\"1\"}"),
+        "{prom}"
+    );
+    assert!(prom.contains("sd_packets_total"), "{prom}");
+
+    let json = std::fs::read_to_string(format!("{base_s}.json")).unwrap();
+    assert!(json.starts_with('{'), "{json}");
+    assert!(json.contains("\"counters\""), "{json}");
+    assert!(json.contains("\"histograms\""), "{json}");
+    assert!(json.contains("sd_stage_latency_ns"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_format_emits_machine_readable_registry() {
+    let dir = tmpdir("statsfmt");
+    let pcap = dir.join("f.pcap");
+    let pcap_s = pcap.to_str().unwrap();
+    run(&["generate", pcap_s, "--flows", "8", "--attacks", "1"]);
+
+    let (code, prom) = run(&["stats", pcap_s, "--format", "prom"]);
+    assert_eq!(code, 0, "{prom}");
+    sd_telemetry::promcheck::validate(&prom).unwrap_or_else(|errs| {
+        panic!("invalid Prometheus exposition: {errs:?}\n{prom}");
+    });
+    assert!(prom.contains("sd_stage_packets_total"), "{prom}");
+    assert!(
+        !prom.contains("size mix"),
+        "machine format must not mix in the human summary: {prom}"
+    );
+
+    let (code, json) = run(&["stats", pcap_s, "--format", "json"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("sd_diverted_flows"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn replay_unpaced_detects_attacks() {
     let dir = tmpdir("replay");
     let pcap = dir.join("r.pcap");

@@ -10,6 +10,7 @@ use std::fmt;
 use sd_ips::SignatureSet;
 use sd_reassembly::{OverlapPolicy, UrgentSemantics};
 
+use crate::divert::{EvictionPolicy, DEFAULT_MAX_DIVERTED};
 use crate::fastpath::SmallCounterBackend;
 
 /// Why a configuration is inadmissible.
@@ -136,6 +137,17 @@ pub struct SplitDetectConfig {
     /// traffic at the cost of per-packet latency. Ignored by the
     /// single-instance engine.
     pub shard_batch_packets: usize,
+    /// Bound on the sticky diverted set (flows). Diversions beyond it are
+    /// handled per [`EvictionPolicy`]; either outcome erodes soundness and
+    /// is counted loudly.
+    pub max_diverted_flows: usize,
+    /// What to do when a new diversion hits `max_diverted_flows`.
+    pub divert_eviction: EvictionPolicy,
+    /// Telemetry: sample per-stage latencies on one packet in `2^shift`.
+    /// `None` disables latency timing entirely (counters and size
+    /// histograms still run); the default 1-in-64 keeps the telemetry tax
+    /// under the 5 % budget the E17 overhead bench enforces.
+    pub stage_timing_sample_shift: Option<u8>,
 }
 
 impl Default for SplitDetectConfig {
@@ -154,6 +166,9 @@ impl Default for SplitDetectConfig {
             divert_on_urgent: true,
             small_counter: SmallCounterBackend::Exact,
             shard_batch_packets: 64,
+            max_diverted_flows: DEFAULT_MAX_DIVERTED,
+            divert_eviction: EvictionPolicy::EvictOldest,
+            stage_timing_sample_shift: Some(6),
         }
     }
 }

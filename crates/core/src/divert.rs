@@ -17,13 +17,74 @@
 //!    that: a bounded FIFO over all fast-path traffic, searched (rarely) on
 //!    diversion. Setting its length to 0 gives the divert-from-now
 //!    ablation, which E10 shows breaks detection for split signatures.
+//!
+//! ## The diverted-set bound
+//!
+//! The sticky set is bounded; what happens *at* the bound is a policy
+//! choice with soundness consequences, so it is explicit
+//! ([`EvictionPolicy`]) and loud ([`DivertStats::set_evictions`] /
+//! [`DivertStats::set_refused`]). An earlier revision discarded an
+//! *arbitrary* `HashSet` element at the bound, which could silently
+//! un-divert an **active** attacker mid-signature — the slow path then
+//! never saw the rest of the stream and the split signature was missed.
+//! Both supported policies are deterministic: FIFO eviction sheds the
+//! *oldest* diversion (most likely long-idle), and refuse-new keeps every
+//! established diversion at the cost of not admitting new ones.
 
 use std::collections::{HashSet, VecDeque};
+use std::fmt;
 
 use sd_flow::FlowKey;
 
 /// Default bound on remembered diverted flows.
 pub const DEFAULT_MAX_DIVERTED: usize = 1 << 20;
+
+/// Ceiling on a pooled delay-line buffer's retained capacity. Buffers are
+/// reused across packets and `Vec` never shrinks on `clear()`, so one
+/// jumbo burst would otherwise ratchet every recycled buffer to jumbo
+/// capacity forever; recycling clamps them back to one jumbo frame.
+pub const POOL_BUFFER_CAP_BYTES: usize = 9216;
+
+/// What the diversion manager does when a new flow must divert but the
+/// sticky set is at its bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EvictionPolicy {
+    /// Evict the *oldest* diversion (FIFO) to admit the new one. Sheds the
+    /// entry most likely to be long-idle, but can un-divert a still-active
+    /// flow; every eviction increments [`DivertStats::set_evictions`].
+    #[default]
+    EvictOldest,
+    /// Keep every established diversion and refuse the new one. The
+    /// refused flow stays on the fast path (its triggering packets still
+    /// reach the slow path one-shot); every refusal increments
+    /// [`DivertStats::set_refused`].
+    RefuseNew,
+}
+
+impl EvictionPolicy {
+    /// Stable label used in reports and the stats text format.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::EvictOldest => "evict-oldest",
+            EvictionPolicy::RefuseNew => "refuse-new",
+        }
+    }
+
+    /// Inverse of [`EvictionPolicy::name`].
+    pub fn from_name(s: &str) -> Option<EvictionPolicy> {
+        match s {
+            "evict-oldest" => Some(EvictionPolicy::EvictOldest),
+            "refuse-new" => Some(EvictionPolicy::RefuseNew),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Counters for the diversion layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,25 +94,107 @@ pub struct DivertStats {
     /// Diverted-set entries discarded at the bound (soundness erosion —
     /// must be zero in a correctly provisioned deployment).
     pub set_evictions: u64,
+    /// New diversions refused at the bound under
+    /// [`EvictionPolicy::RefuseNew`] (also soundness erosion: the refused
+    /// flow's history is never replayed).
+    pub set_refused: u64,
     /// Packets replayed from the delay line on diversion.
     pub replayed_packets: u64,
     /// Packets that fell off the delay line before their flow diverted.
     pub delay_line_misses: u64,
+    /// The bound policy in force (uniform across shards).
+    pub policy: EvictionPolicy,
+}
+
+impl DivertStats {
+    /// Serialize as stable `key value` lines, inverted exactly by
+    /// [`DivertStats::from_text`] — the same snapshot discipline as
+    /// `SplitDetectStats` and `ShardDispatchStats`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in [
+            ("flows_diverted", self.flows_diverted.to_string()),
+            ("set_evictions", self.set_evictions.to_string()),
+            ("set_refused", self.set_refused.to_string()),
+            ("replayed_packets", self.replayed_packets.to_string()),
+            ("delay_line_misses", self.delay_line_misses.to_string()),
+            ("eviction_policy", self.policy.name().to_string()),
+        ] {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the [`DivertStats::to_text`] format. Strict: every field must
+    /// appear exactly once and no unknown keys are accepted.
+    pub fn from_text(text: &str) -> Result<DivertStats, String> {
+        let mut s = DivertStats::default();
+        let mut seen: Vec<String> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = i + 1;
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("divert line {lineno}: missing value"))?;
+            if seen.iter().any(|k| k == key) {
+                return Err(format!("divert line {lineno}: duplicate key {key}"));
+            }
+            let rest = rest.trim();
+            if key == "eviction_policy" {
+                s.policy = EvictionPolicy::from_name(rest)
+                    .ok_or_else(|| format!("divert line {lineno}: unknown policy {rest}"))?;
+            } else {
+                let v = rest
+                    .parse::<u64>()
+                    .map_err(|_| format!("divert line {lineno}: bad number {rest}"))?;
+                match key {
+                    "flows_diverted" => s.flows_diverted = v,
+                    "set_evictions" => s.set_evictions = v,
+                    "set_refused" => s.set_refused = v,
+                    "replayed_packets" => s.replayed_packets = v,
+                    "delay_line_misses" => s.delay_line_misses = v,
+                    _ => return Err(format!("divert line {lineno}: unknown key {key}")),
+                }
+            }
+            seen.push(key.to_string());
+        }
+        if seen.len() != 6 {
+            return Err(format!("divert: expected 6 fields, got {}", seen.len()));
+        }
+        Ok(s)
+    }
 }
 
 /// The diversion manager.
 #[derive(Debug)]
 pub struct DiversionManager {
     diverted: HashSet<FlowKey>,
+    /// Insertion order of `diverted`, for deterministic FIFO eviction.
+    /// Entries leave the set only through this queue, so the two stay in
+    /// lockstep.
+    order: VecDeque<FlowKey>,
     max_diverted: usize,
+    policy: EvictionPolicy,
     delay: VecDeque<(FlowKey, Vec<u8>)>,
     delay_cap: usize,
-    delay_bytes: usize,
+    /// Sum of *capacities* (not lengths) of the delay line's buffers —
+    /// reused buffers retain capacity across packets, so capacity is what
+    /// the allocator actually holds.
+    delay_buf_bytes: usize,
     /// Retired buffers reused by `record` — the delay line is the hottest
     /// allocation site on the fast path (one buffer per packet), so at
     /// steady state it must not touch the allocator, mirroring the fixed
-    /// FIFO a hardware delay line is.
+    /// FIFO a hardware delay line is. Bounded at `delay_cap` entries, each
+    /// clamped to [`POOL_BUFFER_CAP_BYTES`].
     pool: Vec<Vec<u8>>,
+    /// Sum of capacities of pooled buffers.
+    pool_buf_bytes: usize,
     stats: DivertStats,
 }
 
@@ -62,16 +205,27 @@ impl DiversionManager {
         Self::with_limits(delay_cap, DEFAULT_MAX_DIVERTED)
     }
 
-    /// Build with explicit bounds.
+    /// Build with explicit bounds and the default (FIFO) bound policy.
     pub fn with_limits(delay_cap: usize, max_diverted: usize) -> Self {
+        Self::with_policy(delay_cap, max_diverted, EvictionPolicy::default())
+    }
+
+    /// Build with explicit bounds and bound policy.
+    pub fn with_policy(delay_cap: usize, max_diverted: usize, policy: EvictionPolicy) -> Self {
         DiversionManager {
             diverted: HashSet::new(),
+            order: VecDeque::new(),
             max_diverted: max_diverted.max(1),
+            policy,
             delay: VecDeque::new(),
             delay_cap,
-            delay_bytes: 0,
+            delay_buf_bytes: 0,
             pool: Vec::new(),
-            stats: DivertStats::default(),
+            pool_buf_bytes: 0,
+            stats: DivertStats {
+                policy,
+                ..DivertStats::default()
+            },
         }
     }
 
@@ -85,9 +239,29 @@ impl DiversionManager {
         self.diverted.len()
     }
 
+    /// The bound policy in force.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
     /// Counters.
     pub fn stats(&self) -> DivertStats {
         self.stats
+    }
+
+    /// Retire a buffer into the pool: bounded entry count, clamped
+    /// capacity. A buffer that does not fit is simply dropped — the
+    /// allocator reclaims it and steady-state memory stays bounded.
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.pool.len() >= self.delay_cap {
+            return;
+        }
+        buf.clear();
+        if buf.capacity() > POOL_BUFFER_CAP_BYTES {
+            buf.shrink_to(POOL_BUFFER_CAP_BYTES);
+        }
+        self.pool_buf_bytes += buf.capacity();
+        self.pool.push(buf);
     }
 
     /// Record a benign-so-far packet into the delay line.
@@ -95,18 +269,24 @@ impl DiversionManager {
         if self.delay_cap == 0 {
             return;
         }
-        self.delay_bytes += packet.len();
-        let mut buf = self.pool.pop().unwrap_or_default();
+        let mut buf = match self.pool.pop() {
+            Some(b) => {
+                self.pool_buf_bytes -= b.capacity();
+                b
+            }
+            None => Vec::new(),
+        };
         buf.clear();
         buf.extend_from_slice(packet);
+        self.delay_buf_bytes += buf.capacity();
         self.delay.push_back((key, buf));
         while self.delay.len() > self.delay_cap {
             if let Some((_, dropped)) = self.delay.pop_front() {
-                self.delay_bytes -= dropped.len();
+                self.delay_buf_bytes -= dropped.capacity();
                 // A dropped packet whose flow later diverts is a miss; we
                 // cannot know the future, so misses are counted lazily at
                 // diversion time. The buffer itself goes back to the pool.
-                self.pool.push(dropped);
+                self.recycle(dropped);
             }
         }
     }
@@ -114,40 +294,57 @@ impl DiversionManager {
     /// Mark a flow diverted and return its delay-line history, oldest
     /// first. The history is removed from the line (those packets now
     /// belong to the slow path).
+    ///
+    /// At the diverted-set bound the configured [`EvictionPolicy`]
+    /// applies: `EvictOldest` sheds the oldest diversion to admit this
+    /// one; `RefuseNew` leaves the set untouched and returns an empty
+    /// history (the flow is *not* diverted). Both outcomes are counted.
     pub fn divert(&mut self, key: FlowKey) -> Vec<Vec<u8>> {
         if self.diverted.contains(&key) {
             return Vec::new();
         }
         if self.diverted.len() >= self.max_diverted {
-            // Discard an arbitrary entry; counted loudly because this is
-            // where soundness erodes if under-provisioned.
-            if let Some(victim) = self.diverted.iter().next().copied() {
-                self.diverted.remove(&victim);
-                self.stats.set_evictions += 1;
+            match self.policy {
+                EvictionPolicy::EvictOldest => {
+                    if let Some(victim) = self.order.pop_front() {
+                        self.diverted.remove(&victim);
+                        self.stats.set_evictions += 1;
+                    }
+                }
+                EvictionPolicy::RefuseNew => {
+                    self.stats.set_refused += 1;
+                    return Vec::new();
+                }
             }
         }
         self.diverted.insert(key);
+        self.order.push_back(key);
         self.stats.flows_diverted += 1;
 
         let mut history = Vec::new();
         let mut kept = VecDeque::with_capacity(self.delay.len());
         for (k, pkt) in self.delay.drain(..) {
             if k == key {
-                self.delay_bytes -= pkt.len();
                 history.push(pkt);
             } else {
                 kept.push_back((k, pkt));
             }
         }
         self.delay = kept;
+        self.delay_buf_bytes = self.delay.iter().map(|(_, b)| b.capacity()).sum();
         self.stats.replayed_packets += history.len() as u64;
         history
     }
 
-    /// Memory footprint: the delay line's buffered bytes plus per-entry and
-    /// diverted-set overhead.
+    /// Memory footprint: buffer capacities actually held (delay line plus
+    /// recycle pool — capacity, not content, is what the allocator keeps),
+    /// per-entry overhead, and the diverted set with its FIFO order queue.
     pub fn memory_bytes(&self) -> usize {
-        self.delay_bytes + self.delay.len() * 24 + self.diverted.len() * (FlowKey::WIRE_BYTES + 8)
+        self.delay_buf_bytes
+            + self.pool_buf_bytes
+            + (self.delay.len() + self.pool.len()) * 24
+            + self.diverted.len() * (FlowKey::WIRE_BYTES + 8)
+            + self.order.len() * FlowKey::WIRE_BYTES
     }
 }
 
@@ -209,7 +406,48 @@ mod tests {
         d.record(key(1), b"lost");
         let h = d.divert(key(1));
         assert!(h.is_empty());
-        assert_eq!(d.memory_bytes(), key(1).to_bytes().len() + 8);
+        let key_bytes = key(1).to_bytes().len();
+        assert_eq!(d.memory_bytes(), (key_bytes + 8) + key_bytes);
+    }
+
+    #[test]
+    fn fifo_policy_evicts_the_oldest_diversion() {
+        // Pins the bugfix: eviction at the bound is deterministic FIFO,
+        // not an arbitrary HashSet element.
+        let mut d = DiversionManager::with_limits(4, 2);
+        assert_eq!(d.policy(), EvictionPolicy::EvictOldest);
+        d.divert(key(1));
+        d.divert(key(2));
+        d.divert(key(3)); // bound hit: key(1) is the oldest
+        assert_eq!(d.diverted_count(), 2);
+        assert!(!d.is_diverted(&key(1)), "oldest evicted first");
+        assert!(d.is_diverted(&key(2)));
+        assert!(d.is_diverted(&key(3)));
+        assert_eq!(d.stats().set_evictions, 1);
+        assert_eq!(d.stats().set_refused, 0);
+        d.divert(key(4)); // next oldest is key(2)
+        assert!(!d.is_diverted(&key(2)));
+        assert!(d.is_diverted(&key(3)));
+        assert_eq!(d.stats().set_evictions, 2);
+    }
+
+    #[test]
+    fn refuse_new_policy_keeps_established_diversions() {
+        let mut d = DiversionManager::with_policy(4, 2, EvictionPolicy::RefuseNew);
+        d.record(key(3), b"evidence");
+        d.divert(key(1));
+        d.divert(key(2));
+        let h = d.divert(key(3)); // bound hit: refused
+        assert!(h.is_empty(), "refused diversions replay nothing");
+        assert!(!d.is_diverted(&key(3)));
+        assert!(d.is_diverted(&key(1)) && d.is_diverted(&key(2)));
+        assert_eq!(d.stats().flows_diverted, 2, "refusal is not a diversion");
+        assert_eq!(d.stats().set_refused, 1);
+        assert_eq!(d.stats().set_evictions, 0);
+        // The refused flow's history stays queued: if capacity frees up
+        // conceptually (it never does here — diversions are permanent),
+        // the evidence has not been destroyed.
+        assert!(d.memory_bytes() > 0);
     }
 
     #[test]
@@ -230,5 +468,99 @@ mod tests {
         assert!(d.memory_bytes() >= 100);
         d.divert(key(1));
         assert!(d.memory_bytes() < 100, "history handed off");
+    }
+
+    #[test]
+    fn pool_memory_is_bounded_under_jumbo_tiny_alternation() {
+        // Pins the bugfix: recycled buffers retain their *capacity*, so a
+        // jumbo burst used to ratchet every delay-line buffer to jumbo
+        // capacity forever even when the line holds only tiny packets.
+        // The pool now clamps recycled buffers to POOL_BUFFER_CAP_BYTES
+        // and bounds its entry count at delay_cap.
+        const CAP: usize = 64;
+        let mut d = DiversionManager::new(CAP);
+        // Phase 1: jumbo packets ratchet buffer capacities up.
+        let jumbo = vec![0u8; 60_000];
+        for _ in 0..(CAP * 4) {
+            d.record(key(1), &jumbo);
+        }
+        // Phase 2: tiny packets cycle every buffer through the pool.
+        let tiny = [0u8; 16];
+        for _ in 0..(CAP * 4) {
+            d.record(key(2), &tiny);
+        }
+        // Steady state: the line holds CAP tiny packets in buffers whose
+        // capacity has been clamped by pool recycling, plus a bounded
+        // pool. Without the clamp this would report (and hold) tens of
+        // megabytes of dead jumbo capacity.
+        let bound = 2 * CAP * (POOL_BUFFER_CAP_BYTES + 24) + 4096;
+        assert!(
+            d.memory_bytes() < bound,
+            "steady-state memory {} exceeds bound {bound}",
+            d.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn pool_entry_count_is_bounded() {
+        let mut d = DiversionManager::new(8);
+        // Heavy churn: many records and a divert that empties the line.
+        for i in 0..100u32 {
+            d.record(key(i % 3), &[0u8; 64]);
+        }
+        d.divert(key(0));
+        d.divert(key(1));
+        d.divert(key(2));
+        for i in 0..100u32 {
+            d.record(key(10 + i % 3), &[0u8; 64]);
+        }
+        assert!(
+            d.pool.len() <= 8,
+            "pool holds {} > delay_cap entries",
+            d.pool.len()
+        );
+        // Accounting invariant: tracked pool bytes match reality.
+        let actual: usize = d.pool.iter().map(Vec::capacity).sum();
+        assert_eq!(d.pool_buf_bytes, actual);
+        let actual_delay: usize = d.delay.iter().map(|(_, b)| b.capacity()).sum();
+        assert_eq!(d.delay_buf_bytes, actual_delay);
+    }
+
+    #[test]
+    fn divert_stats_text_roundtrip() {
+        let s = DivertStats {
+            flows_diverted: 1,
+            set_evictions: 2,
+            set_refused: 3,
+            replayed_packets: 4,
+            delay_line_misses: 5,
+            policy: EvictionPolicy::RefuseNew,
+        };
+        let text = s.to_text();
+        let back = DivertStats::from_text(&text).unwrap();
+        assert_eq!(back, s);
+        // Strictness: unknown key, duplicate, missing field, bad policy.
+        assert!(DivertStats::from_text(&format!("{text}mystery 1\n")).is_err());
+        assert!(DivertStats::from_text(&format!("{text}set_refused 9\n")).is_err());
+        assert!(DivertStats::from_text("flows_diverted 1\n")
+            .unwrap_err()
+            .contains("6 fields"));
+        let bad = text.replace("refuse-new", "coin-flip");
+        assert!(DivertStats::from_text(&bad)
+            .unwrap_err()
+            .contains("unknown policy"));
+        let bad = text.replace("set_refused 3", "set_refused x");
+        assert!(DivertStats::from_text(&bad)
+            .unwrap_err()
+            .contains("bad number"));
+    }
+
+    #[test]
+    fn eviction_policy_names_roundtrip() {
+        for p in [EvictionPolicy::EvictOldest, EvictionPolicy::RefuseNew] {
+            assert_eq!(EvictionPolicy::from_name(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(EvictionPolicy::from_name("random"), None);
     }
 }

@@ -21,6 +21,7 @@
 use sd_ips::alert::AlertSource;
 use sd_ips::conventional::{ConventionalConfig, ConventionalIps};
 use sd_ips::{Alert, Ips, ResourceUsage, SignatureSet};
+use sd_telemetry::{PipelineTelemetry, Stage};
 
 use crate::config::{ConfigError, SplitDetectConfig};
 use crate::divert::DiversionManager;
@@ -57,6 +58,7 @@ pub struct SplitDetect {
     usage: ResourceUsage,
     packets_to_slow: u64,
     bytes_to_slow: u64,
+    telemetry: PipelineTelemetry,
 }
 
 impl SplitDetect {
@@ -113,12 +115,17 @@ impl SplitDetect {
         );
         SplitDetect {
             fast,
-            divert: DiversionManager::new(config.delay_line_packets),
+            divert: DiversionManager::with_policy(
+                config.delay_line_packets,
+                config.max_diverted_flows,
+                config.divert_eviction,
+            ),
             slow,
             config,
             usage: ResourceUsage::default(),
             packets_to_slow: 0,
             bytes_to_slow: 0,
+            telemetry: PipelineTelemetry::new(config.stage_timing_sample_shift),
         }
     }
 
@@ -150,7 +157,21 @@ impl SplitDetect {
         }
     }
 
+    /// The engine's telemetry registry (per-stage counters and sampled
+    /// latency histograms), for export and for merging shard instances.
+    pub fn telemetry(&self) -> &PipelineTelemetry {
+        &self.telemetry
+    }
+
+    /// Decay the fast path's small-segment Bloom counters (no-op for the
+    /// exact backend). Safe at any time: diversion stickiness lives in the
+    /// `DiversionManager`, never in these counters.
+    pub fn decay_small_counters(&mut self) {
+        self.fast.decay_small_counters();
+    }
+
     fn hand_to_slow(&mut self, packet: &[u8], tick: u64, out: &mut Vec<Alert>) {
+        self.telemetry.stage_packet(Stage::SlowPath);
         self.packets_to_slow += 1;
         self.bytes_to_slow += packet_info(packet).0 as u64;
         let before = out.len();
@@ -194,10 +215,24 @@ impl Ips for SplitDetect {
 
     fn process_packet(&mut self, packet: &[u8], tick: u64, out: &mut Vec<Alert>) {
         self.usage.packets += 1;
+        let mut clock = self.telemetry.begin_packet(packet.len() as u64);
+        let fast = &mut self.fast;
         let divert_ref = &self.divert;
-        let c = self
-            .fast
-            .classify_full(packet, |k| divert_ref.is_diverted(k));
+        let tel = &mut self.telemetry;
+        let c = fast.classify_instrumented(
+            packet,
+            |k| divert_ref.is_diverted(k),
+            |parse_ok| {
+                tel.stage_lap(&mut clock, Stage::Parse);
+                if parse_ok {
+                    tel.stage_packet(Stage::Parse);
+                } else {
+                    tel.parse_error();
+                }
+            },
+        );
+        self.telemetry.stage_lap(&mut clock, Stage::FastPath);
+        self.telemetry.stage_packet(Stage::FastPath);
         self.usage.payload_bytes += c.payload_len as u64;
         let (key, verdict) = (c.key, c.verdict);
 
@@ -206,22 +241,30 @@ impl Ips for SplitDetect {
                 if let Some(key) = key {
                     if c.keep {
                         self.divert.record(key, packet);
+                        self.telemetry.stage_lap(&mut clock, Stage::Divert);
+                        self.telemetry.stage_packet(Stage::Divert);
                     }
                 }
             }
             Verdict::AlreadyDiverted => {
                 self.hand_to_slow(packet, tick, out);
+                self.telemetry.stage_lap(&mut clock, Stage::SlowPath);
             }
             Verdict::Divert(_reason) => {
                 let key = key.expect("divert verdicts carry a key");
                 let history = self.divert.divert(key);
+                self.telemetry.stage_lap(&mut clock, Stage::Divert);
+                self.telemetry.stage_packet(Stage::Divert);
                 for old in history {
                     self.hand_to_slow(&old, tick, out);
                 }
                 self.hand_to_slow(packet, tick, out);
+                self.telemetry.stage_lap(&mut clock, Stage::SlowPath);
             }
             Verdict::Drop => {}
         }
+        self.telemetry
+            .set_divert_occupancy(self.divert.diverted_count(), self.divert.memory_bytes());
 
         let state = self.fast.table_memory_bytes() as u64
             + self.divert.memory_bytes() as u64

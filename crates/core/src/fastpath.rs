@@ -274,6 +274,18 @@ impl FastPath {
         self.plan.memory_bytes()
     }
 
+    /// Halve the counting-Bloom small-segment counters (no-op for the
+    /// exact backend, whose counters die with their table entry). Periodic
+    /// decay keeps a long-lived filter from saturating on benign churn; it
+    /// can *lose* small-segment evidence, which is safe only because
+    /// diversion stickiness is owned by the `DiversionManager`, never by
+    /// these counters — the divert-stickiness property test pins that.
+    pub fn decay_small_counters(&mut self) {
+        if let Some(bloom) = &mut self.small_bloom {
+            bloom.decay();
+        }
+    }
+
     /// Classify one IPv4 packet. `is_diverted` supplies the authoritative
     /// sticky diversion set (owned by the engine, so table evictions cannot
     /// silently un-divert a flow).
@@ -294,8 +306,24 @@ impl FastPath {
         packet: &[u8],
         is_diverted: impl Fn(&FlowKey) -> bool,
     ) -> Classification {
+        self.classify_instrumented(packet, is_diverted, |_| {})
+    }
+
+    /// [`classify_full`](Self::classify_full) with a telemetry hook:
+    /// `after_parse(ok)` fires as soon as header decode finishes (before
+    /// any rule runs), so the engine can split parse latency from
+    /// fast-path latency without a second header parse. The uninstrumented
+    /// wrapper passes a no-op closure, which the optimizer erases.
+    pub fn classify_instrumented(
+        &mut self,
+        packet: &[u8],
+        is_diverted: impl Fn(&FlowKey) -> bool,
+        mut after_parse: impl FnMut(bool),
+    ) -> Classification {
         self.stats.packets += 1;
-        let Ok(parsed) = parse_ipv4(packet) else {
+        let parsed = parse_ipv4(packet);
+        after_parse(parsed.is_ok());
+        let Ok(parsed) = parsed else {
             self.stats.malformed += 1;
             return Classification::non_flow(None, Verdict::Drop);
         };

@@ -53,8 +53,13 @@ pub mod stats;
 pub mod theory;
 
 pub use config::SplitDetectConfig;
+pub use divert::{DivertStats, EvictionPolicy};
 pub use engine::SplitDetect;
 pub use report::RunReport;
 pub use shard::{ShardDispatchStats, ShardFailure, ShardedSplitDetect};
 pub use split::SplitPlan;
 pub use stats::SplitDetectStats;
+
+// The telemetry types engines hand out; re-exported so downstream crates
+// need not depend on `sd-telemetry` directly to read an engine's metrics.
+pub use sd_telemetry::{PipelineTelemetry, Stage};

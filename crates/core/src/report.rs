@@ -213,9 +213,17 @@ impl fmt::Display for RunReport {
         if s.divert.set_evictions > 0 {
             writeln!(
                 f,
-                "WARNING: {} diverted-set evictions — detection guarantee eroded, \
-                 raise the diverted-flow bound",
-                s.divert.set_evictions
+                "WARNING: {} diverted-set evictions (policy {}) — detection guarantee \
+                 eroded, raise the diverted-flow bound",
+                s.divert.set_evictions, s.divert.policy
+            )?;
+        }
+        if s.divert.set_refused > 0 {
+            writeln!(
+                f,
+                "WARNING: {} diversions refused at the bound (policy {}) — new \
+                 suspicious flows were not diverted, raise the diverted-flow bound",
+                s.divert.set_refused, s.divert.policy
             )?;
         }
         if !self.dispatch.is_empty() {

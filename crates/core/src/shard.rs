@@ -47,6 +47,7 @@ use std::thread::JoinHandle;
 use sd_flow::{hash, FlowKey};
 use sd_ips::{Alert, Ips, ResourceUsage, SignatureSet};
 use sd_packet::parse::parse_ipv4;
+use sd_telemetry::PipelineTelemetry;
 
 use crate::config::{ConfigError, SplitDetectConfig};
 use crate::engine::SplitDetect;
@@ -260,6 +261,9 @@ struct Finished {
     usage: ResourceUsage,
     dispatch: Vec<ShardDispatchStats>,
     failures: Vec<ShardFailure>,
+    /// Per-shard engine registries merged into one, plus per-lane
+    /// dispatcher counters (`{shard="i"}`-labeled) attached for export.
+    telemetry: PipelineTelemetry,
 }
 
 /// N independent [`SplitDetect`] engines behind a flow-hash dispatcher
@@ -300,6 +304,7 @@ impl ShardedSplitDetect {
             flow_table_capacity: config.flow_table_capacity.div_ceil(shards),
             slow_path_max_connections: config.slow_path_max_connections.div_ceil(shards),
             delay_line_packets: config.delay_line_packets.div_ceil(shards),
+            max_diverted_flows: config.max_diverted_flows.div_ceil(shards),
             ..config
         };
         // Validate once up front so errors surface on the caller's thread.
@@ -476,6 +481,14 @@ impl ShardedSplitDetect {
         f.engines.iter().flatten().map(|e| e.stats()).collect()
     }
 
+    /// Merged pipeline telemetry across surviving shards, with per-lane
+    /// dispatcher counters (`sd_shard_*_total{shard="i"}`) attached.
+    /// `None` before [`Ips::finish`] — registries live on the worker
+    /// threads until then.
+    pub fn telemetry(&self) -> Option<&PipelineTelemetry> {
+        self.finished.as_ref().map(|f| &f.telemetry)
+    }
+
     /// Chaos/test hook: make `shard`'s worker panic on its next job, as a
     /// hardware lane failure would. Hidden from docs; used by the
     /// fault-containment tests.
@@ -532,11 +545,47 @@ impl ShardedSplitDetect {
             }
             dispatch.push(lane.stats);
         }
+        // Merge the per-shard engine registries (identical schemas by
+        // construction), then attach per-lane dispatcher counters so one
+        // export shows both pipeline and dispatch behaviour.
+        let mut telemetry = PipelineTelemetry::new(None);
+        for engine in engines.iter().flatten() {
+            if let Err(e) = telemetry.merge_from(engine.telemetry()) {
+                // Unreachable for engines built by the same constructor;
+                // surface rather than silently drop if it ever happens.
+                eprintln!("split-detect: telemetry merge failed: {e}");
+            }
+        }
+        let reg = telemetry.registry_mut();
+        for (i, d) in dispatch.iter().enumerate() {
+            let shard = i.to_string();
+            for (name, help, value) in [
+                (
+                    "sd_shard_packets_total",
+                    "Packets enqueued to each shard lane",
+                    d.packets_enqueued,
+                ),
+                (
+                    "sd_shard_batches_total",
+                    "Batches sent to each shard lane",
+                    d.batches_sent,
+                ),
+                (
+                    "sd_shard_dropped_total",
+                    "Packets dropped because the shard worker had died",
+                    d.packets_dropped,
+                ),
+            ] {
+                let id = reg.counter_labeled(name, help, "shard", &shard);
+                reg.inc(id, value);
+            }
+        }
         self.finished = Some(Finished {
             engines,
             usage,
             dispatch,
             failures,
+            telemetry,
         });
     }
 }
@@ -782,6 +831,37 @@ mod tests {
         assert!(ShardDispatchStats::from_text(&format!("{good}x 1\n")).is_err());
         assert!(ShardDispatchStats::from_text(&format!("{good}dead false\n")).is_err());
         assert!(ShardDispatchStats::from_text("batches_sent 1\n").is_err());
+    }
+
+    #[test]
+    fn merged_telemetry_covers_all_shards() {
+        let labeled = mixed_trace(3);
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 3).unwrap();
+        assert!(
+            engine.telemetry().is_none(),
+            "registries live on the workers until finish"
+        );
+        let mut out = Vec::new();
+        let n = labeled.trace.len() as u64;
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        let tel = engine.telemetry().unwrap();
+        assert_eq!(tel.packets_total(), n, "every delivered packet counted");
+        let reg = tel.registry();
+        let per_shard: u64 = (0..3)
+            .map(|i| {
+                reg.counter_by_name(&format!("sd_shard_packets_total{{shard=\"{i}\"}}"))
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(per_shard, n, "per-lane dispatch counters cover the trace");
+        // The merged registry exports valid Prometheus text with the
+        // per-stage histograms intact.
+        let text = sd_telemetry::to_prometheus(reg);
+        sd_telemetry::promcheck::validate(&text).unwrap();
+        assert!(text.contains("sd_stage_latency_ns_bucket"), "{text}");
     }
 
     #[test]

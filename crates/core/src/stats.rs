@@ -98,6 +98,7 @@ impl SplitDetectStats {
                 "divert.set_evictions",
                 self.divert.set_evictions.to_string(),
             ),
+            ("divert.set_refused", self.divert.set_refused.to_string()),
             (
                 "divert.replayed_packets",
                 self.divert.replayed_packets.to_string(),
@@ -105,6 +106,10 @@ impl SplitDetectStats {
             (
                 "divert.delay_line_misses",
                 self.divert.delay_line_misses.to_string(),
+            ),
+            (
+                "divert.eviction_policy",
+                self.divert.policy.name().to_string(),
             ),
             ("flows_seen", self.flows_seen.to_string()),
             ("packets_to_slow", self.packets_to_slow.to_string()),
@@ -162,6 +167,10 @@ impl SplitDetectStats {
                     ));
                 }
                 s.fast.diverts.copy_from_slice(&vals);
+            } else if key == "divert.eviction_policy" {
+                let rest = rest.trim();
+                s.divert.policy = crate::divert::EvictionPolicy::from_name(rest)
+                    .ok_or_else(|| format!("stats line {lineno}: unknown policy {rest}"))?;
             } else {
                 let v = rest
                     .trim()
@@ -176,6 +185,7 @@ impl SplitDetectStats {
                     "fast.reclaimed" => s.fast.reclaimed = v,
                     "divert.flows_diverted" => s.divert.flows_diverted = v,
                     "divert.set_evictions" => s.divert.set_evictions = v,
+                    "divert.set_refused" => s.divert.set_refused = v,
                     "divert.replayed_packets" => s.divert.replayed_packets = v,
                     "divert.delay_line_misses" => s.divert.delay_line_misses = v,
                     "flows_seen" => s.flows_seen = v,
@@ -192,8 +202,8 @@ impl SplitDetectStats {
             }
             seen.push(key.to_string());
         }
-        if seen.len() != 20 {
-            return Err(format!("stats: expected 20 fields, got {}", seen.len()));
+        if seen.len() != 22 {
+            return Err(format!("stats: expected 22 fields, got {}", seen.len()));
         }
         Ok(s)
     }
@@ -217,8 +227,10 @@ impl SplitDetectStats {
             total.fast.reclaimed += s.fast.reclaimed;
             total.divert.flows_diverted += s.divert.flows_diverted;
             total.divert.set_evictions += s.divert.set_evictions;
+            total.divert.set_refused += s.divert.set_refused;
             total.divert.replayed_packets += s.divert.replayed_packets;
             total.divert.delay_line_misses += s.divert.delay_line_misses;
+            // The policy is uniform across shards; keep the first's.
             total.flows_seen += s.flows_seen;
             total.packets_to_slow += s.packets_to_slow;
             total.bytes_to_slow += s.bytes_to_slow;
@@ -309,8 +321,10 @@ mod tests {
         s.fast.reclaimed = 11;
         s.divert.flows_diverted = 12;
         s.divert.set_evictions = 13;
+        s.divert.set_refused = 25;
         s.divert.replayed_packets = 14;
         s.divert.delay_line_misses = 15;
+        s.divert.policy = crate::divert::EvictionPolicy::RefuseNew;
         s.flows_seen = 16;
         s.packets_to_slow = 17;
         s.bytes_to_slow = 18;
@@ -348,7 +362,12 @@ mod tests {
             .collect();
         assert!(SplitDetectStats::from_text(&t)
             .unwrap_err()
-            .contains("20 fields"));
+            .contains("22 fields"));
+        // Bad policy name.
+        let t = good.replace("eviction_policy evict-oldest", "eviction_policy coin-flip");
+        assert!(SplitDetectStats::from_text(&t)
+            .unwrap_err()
+            .contains("unknown policy"));
         // Bad number.
         let t = good.replace("flows_seen 0", "flows_seen zero");
         assert!(SplitDetectStats::from_text(&t)

@@ -1,0 +1,299 @@
+//! Exposition: Prometheus text format and JSON.
+//!
+//! Both renderings are pure functions of a [`Registry`] snapshot — the hot
+//! path never sees them. The Prometheus output follows the text exposition
+//! format version 0.0.4 (`# HELP` / `# TYPE` headers, cumulative
+//! `_bucket{le=...}` histogram series ending in `+Inf`, `_sum`/`_count`);
+//! [`crate::promcheck`] validates it structurally, so a format regression
+//! is a test failure rather than a scrape failure in some future
+//! deployment. JSON is hand-rendered (the workspace is dependency-free by
+//! constraint) and nests histograms as sparse `{bucket_upper: count}`
+//! maps to keep snapshots diff-friendly.
+
+use crate::registry::{Histogram, MetricMeta, Registry};
+
+fn label_suffix(meta: &MetricMeta, extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    if let Some((k, v)) = &meta.label {
+        pairs.push((k.to_string(), v.clone()));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push((k.to_string(), v));
+    }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Render the registry in the Prometheus text exposition format. Metric
+/// families sharing a name (e.g. one histogram per stage, distinguished by
+/// label) are grouped under a single `# HELP`/`# TYPE` header, as the
+/// format requires.
+pub fn to_prometheus(r: &Registry) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+
+    for c in r.counters() {
+        if !seen.contains(&c.meta.name) {
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                c.meta.name,
+                escape_help(c.meta.help)
+            ));
+            out.push_str(&format!("# TYPE {} counter\n", c.meta.name));
+            seen.push(c.meta.name);
+            // Emit every series of this family right after its header.
+            for s in r.counters().iter().filter(|s| s.meta.name == c.meta.name) {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.meta.name,
+                    label_suffix(&s.meta, None),
+                    s.value
+                ));
+            }
+        }
+    }
+    for g in r.gauges() {
+        if !seen.contains(&g.meta.name) {
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                g.meta.name,
+                escape_help(g.meta.help)
+            ));
+            out.push_str(&format!("# TYPE {} gauge\n", g.meta.name));
+            seen.push(g.meta.name);
+            for s in r.gauges().iter().filter(|s| s.meta.name == g.meta.name) {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.meta.name,
+                    label_suffix(&s.meta, None),
+                    s.value
+                ));
+            }
+        }
+    }
+    for h in r.histograms() {
+        if !seen.contains(&h.meta.name) {
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                h.meta.name,
+                escape_help(h.meta.help)
+            ));
+            out.push_str(&format!("# TYPE {} histogram\n", h.meta.name));
+            seen.push(h.meta.name);
+            for s in r.histograms().iter().filter(|s| s.meta.name == h.meta.name) {
+                render_histogram(&mut out, s);
+            }
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &crate::registry::Histogram) {
+    // Cumulative buckets; skip trailing empty ones but always keep +Inf.
+    let top = h.max_bucket().map_or(0, |i| i + 1);
+    let mut cum = 0u64;
+    for i in 0..top {
+        cum += h.buckets[i];
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            h.meta.name,
+            label_suffix(
+                &h.meta,
+                Some(("le", Histogram::bucket_upper(i).to_string()))
+            ),
+            cum
+        ));
+    }
+    out.push_str(&format!(
+        "{}_bucket{} {}\n",
+        h.meta.name,
+        label_suffix(&h.meta, Some(("le", "+Inf".to_string()))),
+        h.count
+    ));
+    out.push_str(&format!(
+        "{}_sum{} {}\n",
+        h.meta.name,
+        label_suffix(&h.meta, None),
+        h.sum
+    ));
+    out.push_str(&format!(
+        "{}_count{} {}\n",
+        h.meta.name,
+        label_suffix(&h.meta, None),
+        h.count
+    ));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the registry as a JSON snapshot:
+/// `{"counters": {name: value, ...}, "gauges": {...},
+///   "histograms": {name: {"count": n, "sum": s, "buckets": {upper: count}}}}`.
+/// Keys are full names (label pair folded in), so merged and per-shard
+/// snapshots diff cleanly.
+pub fn to_json(r: &Registry) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters: Vec<String> = r
+        .counters()
+        .iter()
+        .map(|c| format!("\"{}\": {}", json_escape(&c.meta.full_name()), c.value))
+        .collect();
+    out.push_str(&counters.join(", "));
+    out.push_str("},\n  \"gauges\": {");
+    let gauges: Vec<String> = r
+        .gauges()
+        .iter()
+        .map(|g| format!("\"{}\": {}", json_escape(&g.meta.full_name()), g.value))
+        .collect();
+    out.push_str(&gauges.join(", "));
+    out.push_str("},\n  \"histograms\": {\n");
+    let hists: Vec<String> = r
+        .histograms()
+        .iter()
+        .map(|h| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .map(|(i, &b)| format!("\"{}\": {}", Histogram::bucket_upper(i), b))
+                .collect();
+            format!(
+                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{{}}}}}",
+                json_escape(&h.meta.full_name()),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&hists.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promcheck;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        let c = r.counter("sd_packets_total", "Packets processed");
+        let c2 = r.counter_labeled(
+            "sd_stage_packets_total",
+            "Per-stage packets",
+            "stage",
+            "fast_path",
+        );
+        let c3 = r.counter_labeled(
+            "sd_stage_packets_total",
+            "Per-stage packets",
+            "stage",
+            "slow_path",
+        );
+        let g = r.gauge("sd_diverted_flows", "Currently diverted");
+        let h = r.histogram_labeled("sd_stage_latency_ns", "Stage latency", "stage", "fast_path");
+        r.inc(c, 100);
+        r.inc(c2, 90);
+        r.inc(c3, 10);
+        r.set(g, 4);
+        for v in [50u64, 300, 300, 9000] {
+            r.observe(h, v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_output_is_valid_and_complete() {
+        let text = to_prometheus(&sample());
+        promcheck::validate(&text).expect("valid exposition");
+        assert!(text.contains("# TYPE sd_packets_total counter"), "{text}");
+        assert!(text.contains("sd_packets_total 100"), "{text}");
+        assert!(
+            text.contains("sd_stage_packets_total{stage=\"fast_path\"} 90"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE sd_stage_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sd_stage_latency_ns_bucket{stage=\"fast_path\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("sd_stage_latency_ns_sum{stage=\"fast_path\"} 9650"));
+        assert!(text.contains("sd_stage_latency_ns_count{stage=\"fast_path\"} 4"));
+        // One header per family even with multiple series.
+        assert_eq!(text.matches("# TYPE sd_stage_packets_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut r = Registry::new();
+        let h = r.histogram("h_bytes", "h");
+        r.observe(h, 1); // bucket 0 (le 1)
+        r.observe(h, 2); // bucket 1 (le 3)
+        r.observe(h, 2);
+        let text = to_prometheus(&r);
+        assert!(text.contains("h_bytes_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("h_bytes_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("h_bytes_bucket{le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_is_parseable_shape() {
+        let text = to_json(&sample());
+        // No JSON parser in-tree; assert the structural landmarks.
+        assert!(text.starts_with("{\n"), "{text}");
+        assert!(text.trim_end().ends_with('}'), "{text}");
+        assert!(text.contains("\"sd_packets_total\": 100"), "{text}");
+        assert!(
+            text.contains("\"sd_stage_packets_total{stage=\\\"slow_path\\\"}\": 10"),
+            "{text}"
+        );
+        assert!(text.contains("\"count\": 4, \"sum\": 9650"), "{text}");
+        // Balanced braces (cheap well-formedness check given escaped quotes).
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes, "{text}");
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = Registry::new();
+        promcheck::validate(&to_prometheus(&r)).unwrap();
+        let j = to_json(&r);
+        assert!(j.contains("\"counters\": {}"), "{j}");
+    }
+}

@@ -1,0 +1,35 @@
+//! `sd-telemetry`: allocation-free metrics for the Split-Detect pipeline.
+//!
+//! The paper's feasibility argument is quantitative — fast-path cost per
+//! packet, diverted fraction, slow-path spill — so the reproduction has to
+//! be able to measure itself without perturbing what it measures. This
+//! crate provides:
+//!
+//! - [`Registry`]: counters, gauges, and fixed 64-bucket log₂ histograms
+//!   behind index handles. Registration allocates once; the hot-path ops
+//!   (`inc`/`set`/`observe`) are array indexing plus an add. No atomics —
+//!   each shard owns a registry and they merge at `finish()`.
+//! - [`PipelineTelemetry`]: the fixed per-engine metric schema (per-stage
+//!   packet counters, sampled per-stage latency histograms, packet-size
+//!   histogram, divert occupancy gauges) with 1-in-`2^shift` sampled
+//!   timing via [`StageClock`].
+//! - [`export`]: Prometheus text-format and JSON renderings of a
+//!   registry snapshot.
+//! - [`promcheck`]: a dependency-free structural validator for the
+//!   Prometheus exposition format, used by tests and CI to pin the
+//!   exporter's output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod pipeline;
+pub mod promcheck;
+pub mod registry;
+
+pub use export::{to_json, to_prometheus};
+pub use pipeline::{PipelineTelemetry, Stage, StageClock};
+pub use registry::{
+    Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricMeta, Registry,
+    HISTOGRAM_BUCKETS,
+};

@@ -1,0 +1,411 @@
+//! Structural validator for the Prometheus text exposition format.
+//!
+//! A miniature, dependency-free checker used by tests and CI to catch
+//! format regressions in [`crate::export::to_prometheus`] without a real
+//! Prometheus scraper in the loop. It enforces the rules that actually
+//! bite in production scrapes:
+//!
+//! - metric and label names match `[a-zA-Z_:][a-zA-Z0-9_:]*` /
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`
+//! - every sample line is preceded by a `# TYPE` header for its family,
+//!   and `# HELP`/`# TYPE` appear at most once per family
+//! - label bodies are well-formed `key="value"` lists with escaped quotes
+//! - histogram families expose a `+Inf` bucket, `_sum`, and `_count`,
+//!   bucket values are cumulative (non-decreasing in `le` order), and the
+//!   `+Inf` bucket equals `_count`
+//! - sample values parse as integers or floats
+
+use std::collections::HashMap;
+
+/// A single validation failure, with the 1-based line number it occurred on
+/// (0 for whole-document failures such as a missing `+Inf` bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromError {
+    /// 1-based line number, or 0 for document-level errors.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "exposition: {}", self.message)
+        } else {
+            write!(f, "exposition line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> PromError {
+    PromError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse a `key="value",key2="value2"` label body (without braces).
+/// Returns the parsed pairs or an error message.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    loop {
+        let eq = rest.find('=').ok_or("label pair missing '='")?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value must be double-quoted".into());
+        }
+        rest = &rest[1..];
+        // Scan for the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                value.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let close = close.ok_or("unterminated label value")?;
+        pairs.push((key.to_string(), value));
+        rest = &rest[close + 1..];
+        if rest.is_empty() {
+            return Ok(pairs);
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or("expected ',' between label pairs")?;
+    }
+}
+
+/// The base family name for a sample: strips histogram suffixes so
+/// `foo_bucket`/`foo_sum`/`foo_count` resolve to family `foo` when a
+/// histogram TYPE header for `foo` was seen.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validate a full exposition document. Returns all violations found, or
+/// `Ok(())` when the document is clean. An empty document is valid.
+pub fn validate(text: &str) -> Result<(), Vec<PromError>> {
+    let mut errors: Vec<PromError> = Vec::new();
+    // family -> declared type; family -> help seen
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashMap<String, usize> = HashMap::new();
+    // (family, label-key minus le) -> per-series histogram tracking
+    struct HistSeries {
+        bucket_values: Vec<(f64, u64)>, // (le, cumulative count), in order seen
+        sum: Option<u64>,
+        count: Option<u64>,
+    }
+    let mut hists: HashMap<String, HistSeries> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, _help)) = rest.split_once(' ') else {
+                errors.push(err(lineno, "HELP line missing text"));
+                continue;
+            };
+            if !valid_metric_name(name) {
+                errors.push(err(lineno, format!("bad metric name in HELP: {name:?}")));
+            }
+            if *helps.entry(name.to_string()).or_insert(0) >= 1 {
+                errors.push(err(lineno, format!("duplicate HELP for {name}")));
+            }
+            *helps.get_mut(name).unwrap() += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                errors.push(err(lineno, "TYPE line missing kind"));
+                continue;
+            };
+            if !valid_metric_name(name) {
+                errors.push(err(lineno, format!("bad metric name in TYPE: {name:?}")));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                errors.push(err(lineno, format!("unknown metric type {kind:?}")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                errors.push(err(lineno, format!("duplicate TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Other comments are permitted and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_and_labels, value_str) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => {
+                errors.push(err(lineno, "sample line missing value"));
+                continue;
+            }
+        };
+        if value_str.parse::<f64>().is_err() {
+            errors.push(err(lineno, format!("bad sample value {value_str:?}")));
+            continue;
+        }
+        let (name, labels) = match name_and_labels.find('{') {
+            Some(open) => {
+                let Some(body) = name_and_labels[open..]
+                    .strip_prefix('{')
+                    .and_then(|s| s.strip_suffix('}'))
+                else {
+                    errors.push(err(lineno, "unbalanced label braces"));
+                    continue;
+                };
+                match parse_labels(body) {
+                    Ok(pairs) => (&name_and_labels[..open], pairs),
+                    Err(m) => {
+                        errors.push(err(lineno, m));
+                        continue;
+                    }
+                }
+            }
+            None => (name_and_labels, Vec::new()),
+        };
+        if !valid_metric_name(name) {
+            errors.push(err(lineno, format!("bad metric name {name:?}")));
+            continue;
+        }
+        let family = family_of(name, &types);
+        if !types.contains_key(family) {
+            errors.push(err(
+                lineno,
+                format!("sample for {name} precedes its TYPE header"),
+            ));
+            continue;
+        }
+
+        // Histogram bookkeeping, keyed by family + non-le labels.
+        if types.get(family).map(String::as_str) == Some("histogram") {
+            let series_key = {
+                let mut non_le: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                non_le.sort();
+                format!("{family}|{}", non_le.join(","))
+            };
+            let entry = hists.entry(series_key).or_insert(HistSeries {
+                bucket_values: Vec::new(),
+                sum: None,
+                count: None,
+            });
+            if name.ends_with("_bucket") {
+                let Some((_, le)) = labels.iter().find(|(k, _)| k == "le") else {
+                    errors.push(err(lineno, "histogram bucket missing le label"));
+                    continue;
+                };
+                let le_val = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    match le.parse::<f64>() {
+                        Ok(v) => v,
+                        Err(_) => {
+                            errors.push(err(lineno, format!("bad le value {le:?}")));
+                            continue;
+                        }
+                    }
+                };
+                let count = value_str.parse::<u64>().unwrap_or(0);
+                entry.bucket_values.push((le_val, count));
+            } else if name.ends_with("_sum") {
+                entry.sum = Some(value_str.parse::<u64>().unwrap_or(0));
+            } else if name.ends_with("_count") {
+                entry.count = Some(value_str.parse::<u64>().unwrap_or(0));
+            }
+        }
+    }
+
+    // Document-level histogram invariants.
+    for (key, h) in &hists {
+        let family = key.split('|').next().unwrap_or(key);
+        if h.bucket_values.is_empty() {
+            errors.push(err(0, format!("histogram {family} has no buckets")));
+            continue;
+        }
+        let mut prev = 0u64;
+        let mut prev_le = f64::NEG_INFINITY;
+        for &(le, count) in &h.bucket_values {
+            if le <= prev_le {
+                errors.push(err(
+                    0,
+                    format!("histogram {key} buckets not in increasing le order"),
+                ));
+            }
+            if count < prev {
+                errors.push(err(0, format!("histogram {key} buckets not cumulative")));
+            }
+            prev = count;
+            prev_le = le;
+        }
+        let inf = h.bucket_values.iter().find(|(le, _)| le.is_infinite());
+        match inf {
+            None => errors.push(err(0, format!("histogram {key} missing +Inf bucket"))),
+            Some(&(_, inf_count)) => {
+                if let Some(count) = h.count {
+                    if count != inf_count {
+                        errors.push(err(
+                            0,
+                            format!("histogram {key}: _count {count} != +Inf bucket {inf_count}"),
+                        ));
+                    }
+                }
+            }
+        }
+        if h.count.is_none() {
+            errors.push(err(0, format!("histogram {key} missing _count")));
+        }
+        if h.sum.is_none() {
+            errors.push(err(0, format!("histogram {key} missing _sum")));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_err(text: &str, needle: &str) {
+        let errs = validate(text).expect_err("should be invalid");
+        assert!(
+            errs.iter().any(|e| e.message.contains(needle)),
+            "expected error containing {needle:?}, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_minimal_counter() {
+        let text = "# HELP a_total help text\n# TYPE a_total counter\na_total 3\n";
+        validate(text).unwrap();
+    }
+
+    #[test]
+    fn accepts_labeled_series_and_histogram() {
+        let text = "\
+# HELP lat_ns stage latency
+# TYPE lat_ns histogram
+lat_ns_bucket{stage=\"fast\",le=\"1\"} 1
+lat_ns_bucket{stage=\"fast\",le=\"3\"} 4
+lat_ns_bucket{stage=\"fast\",le=\"+Inf\"} 5
+lat_ns_sum{stage=\"fast\"} 42
+lat_ns_count{stage=\"fast\"} 5
+";
+        validate(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_sample_without_type_header() {
+        one_err("orphan_total 1\n", "precedes its TYPE header");
+    }
+
+    #[test]
+    fn rejects_bad_metric_name() {
+        one_err("# TYPE 9bad counter\n9bad 1\n", "bad metric name");
+    }
+
+    #[test]
+    fn rejects_unquoted_label_value() {
+        one_err("# TYPE x counter\nx{stage=fast} 1\n", "double-quoted");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 2
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 5
+";
+        one_err(text, "not cumulative");
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_sum 1
+h_count 5
+";
+        one_err(text, "missing +Inf");
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 4
+";
+        one_err(text, "!= +Inf bucket");
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        one_err("# TYPE x counter\nx abc\n", "bad sample value");
+    }
+
+    #[test]
+    fn empty_document_is_valid() {
+        validate("").unwrap();
+    }
+}

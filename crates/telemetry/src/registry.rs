@@ -1,0 +1,443 @@
+//! The metric registry: counters, gauges, and log₂ histograms behind
+//! index handles.
+//!
+//! Registration happens once at construction time (allocates); the hot
+//! path only ever indexes into pre-sized vectors — `inc`, `set`, and
+//! `observe` are a bounds-checked array access plus an add. That is the
+//! whole design: a line-rate pipeline cannot afford name lookups, hashing,
+//! or allocation per packet, so names exist only at registration and
+//! export time.
+
+use std::fmt;
+
+/// Number of log₂ buckets in every histogram. Bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (bucket 0 also holds 0), so 64 buckets cover the full
+/// `u64` range with a fixed 512-byte array and no allocation on record.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+/// Name, help text, and an optional single `key="value"` label pair — the
+/// subset of the Prometheus data model this pipeline needs. The label
+/// value is owned so per-shard and per-stage instances can be minted in a
+/// loop; everything else is `&'static`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricMeta {
+    /// Metric family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: &'static str,
+    /// One-line HELP text.
+    pub help: &'static str,
+    /// Optional `(key, value)` label pair.
+    pub label: Option<(&'static str, String)>,
+}
+
+impl MetricMeta {
+    fn new(name: &'static str, help: &'static str) -> Self {
+        MetricMeta {
+            name,
+            help,
+            label: None,
+        }
+    }
+
+    fn labeled(name: &'static str, help: &'static str, key: &'static str, value: &str) -> Self {
+        MetricMeta {
+            name,
+            help,
+            label: Some((key, value.to_string())),
+        }
+    }
+
+    /// `name{key="value"}` (or bare name) for display and merge identity.
+    pub fn full_name(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for MetricMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full_name())
+    }
+}
+
+/// A monotonic counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    /// Identity.
+    pub meta: MetricMeta,
+    /// Current value.
+    pub value: u64,
+}
+
+/// An instantaneous gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    /// Identity.
+    pub meta: MetricMeta,
+    /// Current value.
+    pub value: i64,
+}
+
+/// A log₂-bucketed histogram: fixed 64-bucket array, running count and
+/// sum. `record` is branch-free except for the `ilog2` intrinsic — no
+/// allocation, no float math.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Identity.
+    pub meta: MetricMeta,
+    /// `buckets[i]` counts values in `[2^i, 2^(i+1))`; bucket 0 includes 0.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn new(meta: MetricMeta) -> Self {
+        Histogram {
+            meta,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^(i+1) − 1`).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i + 1 >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Smallest bucket upper bound covering at least fraction `q` of the
+    /// observations (a coarse quantile: exact bucket, not exact value).
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target.max(1) {
+                return Self::bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Index of the highest non-empty bucket (`None` when empty).
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&b| b > 0)
+    }
+}
+
+/// The registry. One per engine instance (no interior mutability, no
+/// atomics — per-shard registries are merged at `finish()` instead of
+/// contending during the run).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    histograms: Vec<Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a counter; returns its hot-path handle.
+    pub fn counter(&mut self, name: &'static str, help: &'static str) -> CounterId {
+        self.counters.push(Counter {
+            meta: MetricMeta::new(name, help),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a counter carrying one label pair.
+    pub fn counter_labeled(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &str,
+    ) -> CounterId {
+        self.counters.push(Counter {
+            meta: MetricMeta::labeled(name, help, key, value),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge.
+    pub fn gauge(&mut self, name: &'static str, help: &'static str) -> GaugeId {
+        self.gauges.push(Gauge {
+            meta: MetricMeta::new(name, help),
+            value: 0,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram.
+    pub fn histogram(&mut self, name: &'static str, help: &'static str) -> HistogramId {
+        self.histograms
+            .push(Histogram::new(MetricMeta::new(name, help)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Register a histogram carrying one label pair.
+    pub fn histogram_labeled(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &str,
+    ) -> HistogramId {
+        self.histograms
+            .push(Histogram::new(MetricMeta::labeled(name, help, key, value)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Add `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].value += by;
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].record(value);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].value
+    }
+
+    /// Read a histogram.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// All counters, registration order.
+    pub fn counters(&self) -> &[Counter] {
+        &self.counters
+    }
+
+    /// All gauges, registration order.
+    pub fn gauges(&self) -> &[Gauge] {
+        &self.gauges
+    }
+
+    /// All histograms, registration order.
+    pub fn histograms(&self) -> &[Histogram] {
+        &self.histograms
+    }
+
+    /// Look up a counter's value by its full name (export/test helper —
+    /// never the hot path).
+    pub fn counter_by_name(&self, full_name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.meta.full_name() == full_name)
+            .map(|c| c.value)
+    }
+
+    /// Merge another registry of the *same schema* into this one:
+    /// counters and histogram buckets add, gauges take the sum (per-shard
+    /// occupancy gauges add up to fleet occupancy). Metrics are matched
+    /// positionally and verified by full name — shards built from the same
+    /// constructor always agree; anything else is a bug.
+    ///
+    /// # Errors
+    /// When the schemas differ (count or any full name mismatch).
+    pub fn merge_from(&mut self, other: &Registry) -> Result<(), String> {
+        if self.counters.len() != other.counters.len()
+            || self.gauges.len() != other.gauges.len()
+            || self.histograms.len() != other.histograms.len()
+        {
+            return Err(format!(
+                "registry shape mismatch: {}c/{}g/{}h vs {}c/{}g/{}h",
+                self.counters.len(),
+                self.gauges.len(),
+                self.histograms.len(),
+                other.counters.len(),
+                other.gauges.len(),
+                other.histograms.len()
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            if a.meta != b.meta {
+                return Err(format!("counter mismatch: {} vs {}", a.meta, b.meta));
+            }
+            a.value += b.value;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(&other.gauges) {
+            if a.meta != b.meta {
+                return Err(format!("gauge mismatch: {} vs {}", a.meta, b.meta));
+            }
+            a.value += b.value;
+        }
+        for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
+            if a.meta != b.meta {
+                return Err(format!("histogram mismatch: {} vs {}", a.meta, b.meta));
+            }
+            for (x, y) in a.buckets.iter_mut().zip(b.buckets) {
+                *x += y;
+            }
+            a.count += b.count;
+            a.sum = a.sum.saturating_add(b.sum);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut r = Registry::new();
+        let c = r.counter("pkts_total", "packets");
+        let g = r.gauge("occupancy", "live flows");
+        r.inc(c, 3);
+        r.inc(c, 4);
+        r.set(g, -2);
+        assert_eq!(r.counter_value(c), 7);
+        assert_eq!(r.gauge_value(g), -2);
+        assert_eq!(r.counter_by_name("pkts_total"), Some(7));
+        assert_eq!(r.counter_by_name("nope"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat_ns", "latency");
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            r.observe(h, v);
+        }
+        let hist = r.histogram_ref(h);
+        assert_eq!(hist.count, 8);
+        assert_eq!(hist.buckets[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(hist.buckets[1], 2, "2 and 3");
+        assert_eq!(hist.buckets[2], 2, "4 and 7");
+        assert_eq!(hist.buckets[3], 1, "8");
+        assert_eq!(hist.buckets[20], 1);
+        assert_eq!(hist.sum, 1 + 2 + 3 + 4 + 7 + 8 + (1 << 20));
+        assert_eq!(hist.max_bucket(), Some(20));
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(Histogram::bucket_upper(0), 1);
+        assert_eq!(Histogram::bucket_upper(3), 15);
+        assert_eq!(Histogram::bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_coarse() {
+        let mut r = Registry::new();
+        let h = r.histogram("h", "h");
+        for _ in 0..99 {
+            r.observe(h, 100); // bucket 6, upper 127
+        }
+        r.observe(h, 1 << 30);
+        let hist = r.histogram_ref(h);
+        assert_eq!(hist.quantile_upper(0.5), 127);
+        assert_eq!(hist.quantile_upper(0.99), 127);
+        assert_eq!(hist.quantile_upper(1.0), Histogram::bucket_upper(30));
+        let empty = Histogram::new(MetricMeta::new("e", "e"));
+        assert_eq!(empty.quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let build = || {
+            let mut r = Registry::new();
+            let c = r.counter("c_total", "c");
+            let g = r.gauge("g", "g");
+            let h = r.histogram_labeled("h_ns", "h", "stage", "fast");
+            (r, c, g, h)
+        };
+        let (mut a, c, g, h) = build();
+        let (mut b, c2, g2, h2) = build();
+        a.inc(c, 5);
+        a.set(g, 1);
+        a.observe(h, 10);
+        b.inc(c2, 7);
+        b.set(g2, 2);
+        b.observe(h2, 10);
+        b.observe(h2, 1000);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.counter_value(c), 12);
+        assert_eq!(a.gauge_value(g), 3);
+        assert_eq!(a.histogram_ref(h).count, 3);
+        assert_eq!(a.histogram_ref(h).sum, 1020);
+    }
+
+    #[test]
+    fn merge_rejects_schema_mismatch() {
+        let mut a = Registry::new();
+        a.counter("x_total", "x");
+        let mut b = Registry::new();
+        b.counter("y_total", "y");
+        assert!(a.merge_from(&b).unwrap_err().contains("counter mismatch"));
+        let c = Registry::new();
+        assert!(a.merge_from(&c).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn labels_render_in_full_name() {
+        let mut r = Registry::new();
+        let id = r.counter_labeled("pkts_total", "p", "shard", "3");
+        assert_eq!(
+            r.counters()[id.0].meta.full_name(),
+            "pkts_total{shard=\"3\"}"
+        );
+    }
+}

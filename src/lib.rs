@@ -11,6 +11,7 @@
 //!   normalization,
 //! * [`ips`] (`sd-ips`) — the `Ips` trait and the baseline engines,
 //! * [`traffic`] (`sd-traffic`) — trace model, generators, evasions, pcap,
+//! * [`telemetry`] (`sd-telemetry`) — metric registry and exporters,
 //! * [`core`] (`splitdetect`) — the paper's contribution.
 
 #![forbid(unsafe_code)]
@@ -20,5 +21,6 @@ pub use sd_ips as ips;
 pub use sd_match as strmatch;
 pub use sd_packet as packet;
 pub use sd_reassembly as reassembly;
+pub use sd_telemetry as telemetry;
 pub use sd_traffic as traffic;
 pub use splitdetect as core;
