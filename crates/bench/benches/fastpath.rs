@@ -1,16 +1,60 @@
 //! Fast-path bench: per-packet classification throughput — the number the
-//! paper's line-rate argument rides on. Measures packets/sec and bytes/sec
-//! through `FastPath::classify` alone (no slow path, benign traffic).
+//! paper's line-rate argument rides on — now across the three scan-engine
+//! builds (`dense`, `classed`, `classed+prefilter`) and three payload
+//! mixes:
+//!
+//! * **benign** — HTTP-like traffic with no signature material; the mix
+//!   the prefilter's skip loop is built for,
+//! * **pieces** — benign bytes with a signature piece planted in every
+//!   segment, so every scan ends in a DFA hit (both engines early-exit at
+//!   the same byte),
+//! * **adversarial** — benign bytes salted with ~25 % escape bytes, the
+//!   attacker's best attempt at defeating the skip loop (candidates
+//!   everywhere ⇒ the prefilter degrades toward plain `classed`, which is
+//!   the worst-case-unchanged claim of DESIGN.md §8).
+//!
+//! The criterion groups measure `FastPath::classify` end to end. The
+//! custom `main` then runs a paired-median measurement of the raw
+//! `SplitPlan::scan` loop and the full classify path, prints a table,
+//! writes machine-readable JSON when `SD_FASTPATH_JSON=<path>` is set
+//! (that is how `scripts/bench_json.sh` produces `BENCH_fastpath.json`),
+//! and — when `SD_FASTPATH_ENFORCE=1`, the CI smoke step — fails unless
+//! the prefiltered engine is no slower than dense on the benign mix.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sd_bench::{benign_trace, generated_signatures};
 use sd_ips::{Signature, SignatureSet};
+use sd_traffic::payload::PayloadModel;
 use splitdetect::fastpath::{FastPath, FastPathParams};
 use splitdetect::split::SplitPlan;
-use splitdetect::SplitDetectConfig;
+use splitdetect::{MatcherKind, SplitDetectConfig};
 
-fn build_fastpath(sigs: &SignatureSet) -> FastPath {
-    let config = SplitDetectConfig::default();
+/// Scan corpus size (split into segment-sized scans).
+const VOLUME: usize = 1 << 20;
+/// Model MTU-ish payload per scan call.
+const SEGMENT: usize = 1400;
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("one", sd_bench::SIG)])
+}
+
+fn plan_for(kind: MatcherKind) -> SplitPlan {
+    let config = SplitDetectConfig {
+        fastpath_matcher: kind,
+        ..Default::default()
+    };
+    SplitPlan::compile(&sigs(), &config).expect("admissible")
+}
+
+fn build_fastpath(sigs: &SignatureSet, kind: MatcherKind) -> FastPath {
+    let config = SplitDetectConfig {
+        fastpath_matcher: kind,
+        ..Default::default()
+    };
     let cutoff = config.validate(sigs).expect("admissible");
     let plan = SplitPlan::compile(sigs, &config).expect("admissible");
     FastPath::new(
@@ -24,6 +68,50 @@ fn build_fastpath(sigs: &SignatureSet) -> FastPath {
     )
 }
 
+/// The benched signature's pieces, cut exactly as `SplitPlan` cuts them.
+fn sig_pieces() -> Vec<&'static [u8]> {
+    splitdetect::split::balanced_cuts(sd_bench::SIG.len(), 3)
+        .into_iter()
+        .map(|(a, b)| &sd_bench::SIG[a..b])
+        .collect()
+}
+
+/// Benign mix: HTTP-like bytes, no signature material.
+fn benign_corpus() -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(3);
+    PayloadModel::HttpLike.generate(&mut rng, VOLUME)
+}
+
+/// Piece-bearing mix: one signature piece planted per segment, so every
+/// scan call terminates in a match.
+fn piece_corpus() -> Vec<u8> {
+    let mut corpus = benign_corpus();
+    let mut rng = StdRng::seed_from_u64(11);
+    let pieces = sig_pieces();
+    let mut seg = 0;
+    while seg + SEGMENT <= corpus.len() {
+        let piece = pieces[rng.gen_range(0..pieces.len())];
+        let at = seg + rng.gen_range(0..SEGMENT - piece.len());
+        corpus[at..at + piece.len()].copy_from_slice(piece);
+        seg += SEGMENT;
+    }
+    corpus
+}
+
+/// Adversarial mix: ~25 % of bytes replaced with escape bytes (piece
+/// first-bytes), flooding the prefilter with candidates.
+fn adversarial_corpus() -> Vec<u8> {
+    let mut corpus = benign_corpus();
+    let escapes: Vec<u8> = sig_pieces().iter().map(|p| p[0]).collect();
+    let mut rng = StdRng::seed_from_u64(29);
+    for b in corpus.iter_mut() {
+        if rng.gen_range(0..4u8) == 0 {
+            *b = escapes[rng.gen_range(0..escapes.len())];
+        }
+    }
+    corpus
+}
+
 fn bench_classify(c: &mut Criterion) {
     let trace = benign_trace(200, 17);
     let bytes: u64 = trace.total_bytes();
@@ -33,28 +121,244 @@ fn bench_classify(c: &mut Criterion) {
 
     for &n in &[1usize, 100, 1000] {
         let sigs = if n == 1 {
-            SignatureSet::from_signatures([Signature::new("one", sd_bench::SIG)])
+            sigs()
         } else {
             generated_signatures(n, n as u64)
         };
-        group.bench_with_input(BenchmarkId::new("benign_trace", n), &n, |b, _| {
-            b.iter_batched(
-                || build_fastpath(&sigs),
-                |mut fp| {
-                    let mut diverts = 0u64;
-                    for pkt in trace.iter_bytes() {
-                        let (_, v) = fp.classify(black_box(pkt), |_| false);
-                        diverts +=
-                            u64::from(matches!(v, splitdetect::fastpath::Verdict::Divert(_)));
-                    }
-                    diverts
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        for kind in MatcherKind::ALL {
+            let id = BenchmarkId::new(format!("benign_trace/{kind}"), n);
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter_batched(
+                    || build_fastpath(&sigs, kind),
+                    |mut fp| {
+                        let mut diverts = 0u64;
+                        for pkt in trace.iter_bytes() {
+                            let (_, v) = fp.classify(black_box(pkt), |_| false);
+                            diverts +=
+                                u64::from(matches!(v, splitdetect::fastpath::Verdict::Divert(_)));
+                        }
+                        diverts
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_classify);
-criterion_main!(benches);
+fn bench_scan_mixes(c: &mut Criterion) {
+    let mixes: [(&str, Vec<u8>); 3] = [
+        ("benign", benign_corpus()),
+        ("pieces", piece_corpus()),
+        ("adversarial", adversarial_corpus()),
+    ];
+
+    let mut group = c.benchmark_group("fastpath_scan");
+    group.throughput(Throughput::Bytes(VOLUME as u64));
+    for (mix, corpus) in &mixes {
+        for kind in MatcherKind::ALL {
+            let plan = plan_for(kind);
+            let id = BenchmarkId::new(format!("scan/{kind}"), mix);
+            group.bench_with_input(id, mix, |b, _| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    for seg in corpus.chunks(SEGMENT) {
+                        hits += u64::from(plan.scan(black_box(seg)).is_some());
+                    }
+                    hits
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_scan_mixes);
+
+/// One timed pass of `SplitPlan::scan` over `corpus` in segment chunks.
+fn scan_once(plan: &SplitPlan, corpus: &[u8]) -> Duration {
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for seg in corpus.chunks(SEGMENT) {
+        hits += u64::from(plan.scan(black_box(seg)).is_some());
+    }
+    black_box(hits);
+    start.elapsed()
+}
+
+/// One timed pass of the full classify path over the benign packet trace.
+fn classify_once(kind: MatcherKind, trace: &sd_traffic::trace::Trace) -> Duration {
+    let mut fp = build_fastpath(&sigs(), kind);
+    let start = Instant::now();
+    let mut diverts = 0u64;
+    for pkt in trace.iter_bytes() {
+        let (_, v) = fp.classify(black_box(pkt), |_| false);
+        diverts += u64::from(matches!(v, splitdetect::fastpath::Verdict::Divert(_)));
+    }
+    black_box(diverts);
+    start.elapsed()
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+struct Row {
+    mix: &'static str,
+    kind: MatcherKind,
+    median: Duration,
+    bytes: u64,
+}
+
+impl Row {
+    fn mib_per_s(&self) -> f64 {
+        self.bytes as f64 / (1 << 20) as f64 / self.median.as_secs_f64()
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we embed is a matcher/mix name: [a-z+_/]+ only.
+    s
+}
+
+fn write_json(path: &str, rows: &[Row], rounds: usize) {
+    let plans: Vec<SplitPlan> = MatcherKind::ALL.iter().map(|&k| plan_for(k)).collect();
+    let mut out = String::from("{\n  \"bench\": \"fastpath\",\n");
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str(&format!(
+        "  \"segment_bytes\": {SEGMENT},\n  \"automaton\": {{\n"
+    ));
+    for (i, plan) in plans.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"bytes\": {}, \"classes\": {}, \"escape_bytes\": {}}}{}\n",
+            json_escape_free(&plan.matcher_kind().to_string()),
+            plan.memory_bytes(),
+            plan.class_count().unwrap_or(256),
+            plan.escape_byte_count().unwrap_or(0),
+            if i + 1 < plans.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"results\": [\n");
+    // Dense baselines per mix, for the speedup field.
+    let dense_secs = |mix: &str| {
+        rows.iter()
+            .find(|r| r.mix == mix && r.kind == MatcherKind::Dense)
+            .map(|r| r.median.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"matcher\": \"{}\", \"median_secs\": {:.6}, \
+             \"mib_per_s\": {:.1}, \"speedup_vs_dense\": {:.2}}}{}\n",
+            json_escape_free(r.mix),
+            json_escape_free(&r.kind.to_string()),
+            r.median.as_secs_f64(),
+            r.mib_per_s(),
+            dense_secs(r.mix) / r.median.as_secs_f64(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write SD_FASTPATH_JSON");
+    println!("wrote {path}");
+}
+
+fn main() {
+    benches();
+
+    let rounds = 9;
+    let scan_mixes: [(&'static str, Vec<u8>); 3] = [
+        ("scan/benign", benign_corpus()),
+        ("scan/pieces", piece_corpus()),
+        ("scan/adversarial", adversarial_corpus()),
+    ];
+    let trace = benign_trace(200, 17);
+    let trace_bytes = trace.total_bytes();
+    let plans: Vec<(MatcherKind, SplitPlan)> =
+        MatcherKind::ALL.iter().map(|&k| (k, plan_for(k))).collect();
+
+    // Warm every path once before measuring.
+    for (kind, plan) in &plans {
+        for (_, corpus) in &scan_mixes {
+            scan_once(plan, corpus);
+        }
+        classify_once(*kind, &trace);
+    }
+
+    // Paired measurement: alternate engines inside each round so
+    // thermal/scheduler drift cancels, compare medians.
+    let mut samples: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds); plans.len() * 4];
+    for _ in 0..rounds {
+        for (pi, (kind, plan)) in plans.iter().enumerate() {
+            for (mi, (_, corpus)) in scan_mixes.iter().enumerate() {
+                samples[pi * 4 + mi].push(scan_once(plan, corpus));
+            }
+            samples[pi * 4 + 3].push(classify_once(*kind, &trace));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (pi, (kind, _)) in plans.iter().enumerate() {
+        for (mi, (mix, _)) in scan_mixes.iter().enumerate() {
+            rows.push(Row {
+                mix,
+                kind: *kind,
+                median: median(samples[pi * 4 + mi].clone()),
+                bytes: VOLUME as u64,
+            });
+        }
+        rows.push(Row {
+            mix: "classify/benign",
+            kind: *kind,
+            median: median(samples[pi * 4 + 3].clone()),
+            bytes: trace_bytes,
+        });
+    }
+    rows.sort_by(|a, b| a.mix.cmp(b.mix));
+
+    println!("\nfast-path matcher throughput (median of {rounds} paired rounds):");
+    println!(
+        "{:<18} {:<18} {:>10} {:>9}",
+        "mix", "matcher", "MiB/s", "vs dense"
+    );
+    for r in &rows {
+        let dense = rows
+            .iter()
+            .find(|d| d.mix == r.mix && d.kind == MatcherKind::Dense)
+            .expect("dense baseline present");
+        println!(
+            "{:<18} {:<18} {:>10.1} {:>8.2}x",
+            r.mix,
+            r.kind.to_string(),
+            r.mib_per_s(),
+            dense.median.as_secs_f64() / r.median.as_secs_f64()
+        );
+    }
+
+    if let Ok(path) = std::env::var("SD_FASTPATH_JSON") {
+        write_json(&path, &rows, rounds);
+    }
+
+    if std::env::var("SD_FASTPATH_ENFORCE").as_deref() == Ok("1") {
+        let get = |mix: &str, kind: MatcherKind| {
+            rows.iter()
+                .find(|r| r.mix == mix && r.kind == kind)
+                .expect("row present")
+                .median
+                .as_secs_f64()
+        };
+        let dense = get("scan/benign", MatcherKind::Dense);
+        let pre = get("scan/benign", MatcherKind::ClassedPrefilter);
+        assert!(
+            pre <= dense,
+            "prefiltered scan slower than dense on the benign mix: \
+             {pre:.6}s vs {dense:.6}s"
+        );
+        println!(
+            "prefiltered no slower than dense on benign mix ({:.2}x faster)",
+            dense / pre
+        );
+    }
+}

@@ -4,14 +4,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sd_bench::generated_signatures;
 use sd_match::aho::AhoCorasick;
 use sd_match::bmh::Horspool;
 use sd_match::shiftor::ShiftOr;
 use sd_match::stride2::Stride2Dfa;
 use sd_match::wumanber::WuManber;
-use sd_match::AcDfa;
+use sd_match::{AcDfa, ClassedDfa, PrefilteredDfa};
 use sd_traffic::payload::PayloadModel;
 
 const VOLUME: usize = 1 << 20; // 1 MiB per iteration
@@ -19,6 +19,68 @@ const VOLUME: usize = 1 << 20; // 1 MiB per iteration
 fn corpus() -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(3);
     PayloadModel::HttpLike.generate(&mut rng, VOLUME)
+}
+
+/// Benign HTTP-like bytes, with patterns planted every ~4 KiB
+/// (piece-bearing), or with ~25 % of bytes swapped for pattern first-bytes
+/// (adversarial — floods the start-state prefilter with candidates).
+fn mixed_corpora(set: &sd_match::pattern::PatternSet) -> [(&'static str, Vec<u8>); 3] {
+    let benign = corpus();
+
+    let mut pieces = benign.clone();
+    let mut rng = StdRng::seed_from_u64(7);
+    let pats: Vec<&[u8]> = set.iter().map(|(_, p)| p).collect();
+    let mut at = 0usize;
+    while at + 4096 <= pieces.len() {
+        let p = pats[rng.gen_range(0..pats.len())];
+        let off = at + rng.gen_range(0..4096 - p.len());
+        pieces[off..off + p.len()].copy_from_slice(p);
+        at += 4096;
+    }
+
+    let mut adversarial = benign.clone();
+    let escapes: Vec<u8> = pats.iter().map(|p| p[0]).collect();
+    let mut rng = StdRng::seed_from_u64(19);
+    for b in adversarial.iter_mut() {
+        if rng.gen_range(0..4u8) == 0 {
+            *b = escapes[rng.gen_range(0..escapes.len())];
+        }
+    }
+
+    [
+        ("benign", benign),
+        ("pieces", pieces),
+        ("adversarial", adversarial),
+    ]
+}
+
+/// The fast-path engine ablation this PR adds: dense transition table vs
+/// byte-class compressed vs compressed-plus-SWAR-prefilter, over the
+/// three payload mixes. `find_all` keeps the work identical across
+/// engines (no early exit hides the scan cost).
+fn bench_compressed_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compressed_engines");
+    group.throughput(Throughput::Bytes(VOLUME as u64));
+    for &n in &[10usize, 100] {
+        let set = generated_signatures(n, n as u64).to_patterns();
+        let dense = AcDfa::new(set.clone());
+        let classed = ClassedDfa::new(set.clone());
+        let pre = PrefilteredDfa::new(set.clone());
+        for (mix, corpus) in mixed_corpora(&set) {
+            group.bench_with_input(BenchmarkId::new(format!("dense/{mix}"), n), &n, |b, _| {
+                b.iter(|| black_box(dense.find_all(black_box(&corpus))).len())
+            });
+            group.bench_with_input(BenchmarkId::new(format!("classed/{mix}"), n), &n, |b, _| {
+                b.iter(|| black_box(classed.find_all(black_box(&corpus))).len())
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("classed+prefilter/{mix}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(pre.find_all(black_box(&corpus))).len()),
+            );
+        }
+    }
+    group.finish();
 }
 
 fn bench_multi_pattern(c: &mut Criterion) {
@@ -72,5 +134,10 @@ fn bench_single_pattern(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_multi_pattern, bench_single_pattern);
+criterion_group!(
+    benches,
+    bench_multi_pattern,
+    bench_single_pattern,
+    bench_compressed_engines
+);
 criterion_main!(benches);

@@ -550,7 +550,13 @@ fn e7() {
     for &n in &[10usize, 50, 100, 500, 1000, 2000] {
         let sigs = generated_signatures(n, 1000 + n as u64);
         let full = AcDfa::new(sigs.to_patterns());
-        let plan = splitdetect::split::SplitPlan::compile_unchecked(&sigs, 3);
+        // The stepwise walk below needs raw transition access, which only
+        // the dense engine exposes.
+        let plan = splitdetect::split::SplitPlan::compile_unchecked_with(
+            &sigs,
+            3,
+            splitdetect::MatcherKind::Dense,
+        );
         let wm = sd_match::WuManber::new(sigs.to_patterns());
 
         let time_scan = |dfa: &AcDfa| {
@@ -565,7 +571,7 @@ fn e7() {
             (VOLUME as f64 / 1e6 / secs, acc)
         };
         let (full_tput, _) = time_scan(&full);
-        let (piece_tput, _) = time_scan(plan.dfa());
+        let (piece_tput, _) = time_scan(plan.dense_dfa().expect("compiled dense"));
         let wm_tput = {
             let start = Instant::now();
             let hits = wm.find_all(&corpus).len();

@@ -64,6 +64,7 @@ fn split_config(args: &ParsedArgs) -> SplitDetectConfig {
     SplitDetectConfig {
         slow_path_policy: args.policy,
         shard_batch_packets: args.shard_batch,
+        fastpath_matcher: args.matcher,
         ..Default::default()
     }
 }

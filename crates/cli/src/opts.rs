@@ -7,9 +7,10 @@ pub const USAGE: &str = "\
 usage:
   sd scan <capture.pcap> [--rules FILE] [--engine split|conventional|naive]
                          [--policy first|last|bsd|linux]
-                         [--shards N] [--shard-batch PKTS]
+                         [--shards N] [--shard-batch PKTS] [--matcher M]
   sd run <capture.pcap>  [--rules FILE] [--policy P] [--shards N]
                          [--shard-batch PKTS] [--metrics-out PATH]
+                         [--matcher M]
   sd compare <capture.pcap> [--rules FILE] [--policy P]
   sd stats <capture.pcap> [--shards N] [--shard-batch PKTS]
            [--format human|prom|json]
@@ -28,6 +29,9 @@ same registry instead of the human workload summary.
 --shards N > 1 runs the flow-sharded engine; --shard-batch sets how many
 packets the dispatcher accumulates per shard before each channel send
 (default 64; 1 degrades to per-packet dispatch).
+--matcher selects the fast-path scan engine:
+dense|classed|classed+prefilter (default classed+prefilter, the
+fastest; all three make identical divert decisions).
 fuzz runs the differential oracle: random adversarial traces checked
 against the victim model, Split-Detect (single and sharded) and the
 conventional IPS. --sabotage disables a fast-path rule to prove the
@@ -114,6 +118,9 @@ pub struct ParsedArgs {
     pub metrics_out: Option<String>,
     /// `--format human|prom|json` (stats).
     pub format: OutputFormat,
+    /// `--matcher dense|classed|classed+prefilter`: the fast-path scan
+    /// engine (perf knob; divert decisions are identical across kinds).
+    pub matcher: splitdetect::MatcherKind,
 }
 
 /// The subcommand.
@@ -161,6 +168,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut replay_trace = None;
     let mut metrics_out = None;
     let mut format = OutputFormat::Human;
+    let mut matcher = splitdetect::MatcherKind::default();
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -251,6 +259,11 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                     other => return Err(format!("unknown format {other:?}")),
                 }
             }
+            "--matcher" => {
+                let v = value_of("--matcher")?;
+                matcher = splitdetect::MatcherKind::from_name(v)
+                    .ok_or_else(|| format!("unknown matcher {v:?}"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -305,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         replay_trace,
         metrics_out,
         format,
+        matcher,
     })
 }
 
@@ -337,6 +351,19 @@ mod tests {
         let a = parse(&args("scan --rules r.rules cap.pcap")).unwrap();
         let b = parse(&args("scan cap.pcap --rules r.rules")).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matcher_flag_defaults_and_parses() {
+        use splitdetect::MatcherKind;
+        let p = parse(&args("scan cap.pcap")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::ClassedPrefilter);
+        let p = parse(&args("scan cap.pcap --matcher dense")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::Dense);
+        let p = parse(&args("run cap.pcap --matcher classed")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::Classed);
+        let p = parse(&args("stats cap.pcap --matcher classed+prefilter")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::ClassedPrefilter);
     }
 
     #[test]
@@ -414,6 +441,8 @@ mod tests {
             "run a b",
             "run cap.pcap --metrics-out",
             "stats cap.pcap --format yaml",
+            "scan cap.pcap --matcher warp",
+            "scan cap.pcap --matcher",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

@@ -92,6 +92,54 @@ impl std::error::Error for ConfigError {}
 /// and the theorem's probabilistic side collapses (E5 quantifies).
 pub const MIN_PIECE_LEN: usize = 4;
 
+/// Which scanning engine the fast path compiles the piece automaton to.
+///
+/// All three produce byte-identical divert decisions on every input (the
+/// matcher-equivalence oracle tests pin this); they differ only in table
+/// footprint and benign-traffic throughput. The default is the fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatcherKind {
+    /// Dense 256-entry-row Aho–Corasick DFA: the paper's baseline engine,
+    /// one table lookup per byte, 1 KB per state.
+    Dense,
+    /// Byte-class compressed DFA: same lookup count, rows shrunk to the
+    /// rule set's byte equivalence classes (~4–10× smaller tables).
+    Classed,
+    /// Classed DFA behind a SWAR start-state skip prefilter: benign bytes
+    /// are dismissed 8 per step, the DFA runs only at candidate positions.
+    #[default]
+    ClassedPrefilter,
+}
+
+impl MatcherKind {
+    /// All kinds, in ablation order.
+    pub const ALL: [MatcherKind; 3] = [
+        MatcherKind::Dense,
+        MatcherKind::Classed,
+        MatcherKind::ClassedPrefilter,
+    ];
+
+    /// Stable name (CLI values and stats snapshots).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatcherKind::Dense => "dense",
+            MatcherKind::Classed => "classed",
+            MatcherKind::ClassedPrefilter => "classed+prefilter",
+        }
+    }
+
+    /// Inverse of [`MatcherKind::name`].
+    pub fn from_name(name: &str) -> Option<MatcherKind> {
+        Self::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for MatcherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full Split-Detect configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SplitDetectConfig {
@@ -148,6 +196,10 @@ pub struct SplitDetectConfig {
     /// histograms still run); the default 1-in-64 keeps the telemetry tax
     /// under the 5 % budget the E17 overhead bench enforces.
     pub stage_timing_sample_shift: Option<u8>,
+    /// Which engine the piece automaton compiles to. Purely a perf knob:
+    /// every kind yields identical divert decisions (E18 measures the
+    /// throughput and table-size spread).
+    pub fastpath_matcher: MatcherKind,
 }
 
 impl Default for SplitDetectConfig {
@@ -169,6 +221,7 @@ impl Default for SplitDetectConfig {
             max_diverted_flows: DEFAULT_MAX_DIVERTED,
             divert_eviction: EvictionPolicy::EvictOldest,
             stage_timing_sample_shift: Some(6),
+            fastpath_matcher: MatcherKind::default(),
         }
     }
 }
@@ -306,6 +359,16 @@ mod tests {
             SplitDetectConfig::default().validate(&SignatureSet::new()),
             Err(ConfigError::NoSignatures)
         );
+    }
+
+    #[test]
+    fn matcher_names_round_trip() {
+        for kind in MatcherKind::ALL {
+            assert_eq!(MatcherKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(MatcherKind::from_name("warp-speed"), None);
+        assert_eq!(MatcherKind::default(), MatcherKind::ClassedPrefilter);
     }
 
     #[test]

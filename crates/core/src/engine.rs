@@ -92,7 +92,13 @@ impl SplitDetect {
     }
 
     fn build(sigs: SignatureSet, config: SplitDetectConfig, cutoff: usize) -> Self {
-        let plan = SplitPlan::compile_unchecked(&sigs, config.pieces_per_signature);
+        let plan = SplitPlan::compile_unchecked_with(
+            &sigs,
+            config.pieces_per_signature,
+            config.fastpath_matcher,
+        );
+        let mut telemetry = PipelineTelemetry::new(config.stage_timing_sample_shift);
+        telemetry.set_automaton_bytes(plan.memory_bytes());
         let fast = FastPath::new(
             plan,
             FastPathParams {
@@ -125,7 +131,7 @@ impl SplitDetect {
             usage: ResourceUsage::default(),
             packets_to_slow: 0,
             bytes_to_slow: 0,
-            telemetry: PipelineTelemetry::new(config.stage_timing_sample_shift),
+            telemetry,
         }
     }
 
@@ -154,6 +160,7 @@ impl SplitDetect {
             slow_state_bytes: slow_res.state_bytes,
             slow_state_peak_bytes: slow_res.state_bytes_peak,
             automaton_bytes: self.fast.automaton_bytes() as u64,
+            matcher: self.fast.plan().matcher_kind(),
         }
     }
 

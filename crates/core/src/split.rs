@@ -12,9 +12,9 @@ use std::collections::HashMap;
 
 use sd_ips::{SignatureId, SignatureSet};
 use sd_match::pattern::PatternSet;
-use sd_match::{AcDfa, PatternId};
+use sd_match::{AcDfa, ClassedDfa, PatternId, PrefilteredDfa};
 
-use crate::config::{ConfigError, SplitDetectConfig};
+use crate::config::{ConfigError, MatcherKind, SplitDetectConfig};
 
 /// Where a piece occurs inside its signature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,10 +27,57 @@ pub struct PieceOrigin {
     pub offset: usize,
 }
 
+/// The piece automaton in whichever engine the config selected. Every
+/// variant recognizes the identical match set; they differ only in table
+/// layout and benign-byte cost (see [`MatcherKind`]).
+#[derive(Debug, Clone)]
+enum PieceAutomaton {
+    Dense(AcDfa),
+    Classed(ClassedDfa),
+    Prefiltered(PrefilteredDfa),
+}
+
+impl PieceAutomaton {
+    fn compile(set: PatternSet, matcher: MatcherKind) -> Self {
+        match matcher {
+            MatcherKind::Dense => PieceAutomaton::Dense(AcDfa::new(set)),
+            MatcherKind::Classed => PieceAutomaton::Classed(ClassedDfa::new(set)),
+            MatcherKind::ClassedPrefilter => PieceAutomaton::Prefiltered(PrefilteredDfa::new(set)),
+        }
+    }
+
+    /// Early-exit scan: the id of the first matching piece, with no
+    /// `Match` materialized (the fast path never wants the offset).
+    #[inline]
+    fn find_first_id(&self, payload: &[u8]) -> Option<PatternId> {
+        match self {
+            PieceAutomaton::Dense(d) => d.find_first_id(payload),
+            PieceAutomaton::Classed(d) => d.find_first_id(payload),
+            PieceAutomaton::Prefiltered(d) => d.find_first_id(payload),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            PieceAutomaton::Dense(d) => d.memory_bytes(),
+            PieceAutomaton::Classed(d) => d.memory_bytes(),
+            PieceAutomaton::Prefiltered(d) => d.memory_bytes(),
+        }
+    }
+
+    fn kind(&self) -> MatcherKind {
+        match self {
+            PieceAutomaton::Dense(_) => MatcherKind::Dense,
+            PieceAutomaton::Classed(_) => MatcherKind::Classed,
+            PieceAutomaton::Prefiltered(_) => MatcherKind::ClassedPrefilter,
+        }
+    }
+}
+
 /// The compiled split: piece automaton plus provenance.
 #[derive(Debug, Clone)]
 pub struct SplitPlan {
-    dfa: AcDfa,
+    automaton: PieceAutomaton,
     /// origin lists parallel to pattern ids.
     origins: Vec<Vec<PieceOrigin>>,
     /// Longest piece length (the admissible small-segment cutoff floor).
@@ -59,12 +106,21 @@ impl SplitPlan {
     /// Compile a signature set under a configuration. Validates A3.
     pub fn compile(sigs: &SignatureSet, config: &SplitDetectConfig) -> Result<Self, ConfigError> {
         config.validate(sigs)?;
-        Ok(Self::compile_unchecked(sigs, config.pieces_per_signature))
+        Ok(Self::compile_unchecked_with(
+            sigs,
+            config.pieces_per_signature,
+            config.fastpath_matcher,
+        ))
+    }
+
+    /// [`SplitPlan::compile_unchecked_with`] using the default matcher.
+    pub fn compile_unchecked(sigs: &SignatureSet, k: usize) -> Self {
+        Self::compile_unchecked_with(sigs, k, MatcherKind::default())
     }
 
     /// Compile without admissibility checks (ablation experiments). A
     /// signature shorter than `k` bytes is split into fewer pieces.
-    pub fn compile_unchecked(sigs: &SignatureSet, k: usize) -> Self {
+    pub fn compile_unchecked_with(sigs: &SignatureSet, k: usize, matcher: MatcherKind) -> Self {
         let mut strings: Vec<Vec<u8>> = Vec::new();
         let mut origins: Vec<Vec<PieceOrigin>> = Vec::new();
         let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
@@ -98,7 +154,7 @@ impl SplitPlan {
 
         let set = PatternSet::from_patterns(strings.iter().map(|p| p.as_slice()));
         SplitPlan {
-            dfa: AcDfa::new(set),
+            automaton: PieceAutomaton::compile(set, matcher),
             origins,
             max_piece_len: max_piece,
             min_piece_len: min_piece.min(max_piece),
@@ -106,9 +162,38 @@ impl SplitPlan {
         }
     }
 
-    /// The piece automaton the fast path runs.
-    pub fn dfa(&self) -> &AcDfa {
-        &self.dfa
+    /// Which engine the piece automaton was compiled to.
+    pub fn matcher_kind(&self) -> MatcherKind {
+        self.automaton.kind()
+    }
+
+    /// The dense DFA, when this plan was compiled with
+    /// [`MatcherKind::Dense`] (the stepwise-walk experiments need raw
+    /// transition access, which only the dense engine exposes).
+    pub fn dense_dfa(&self) -> Option<&AcDfa> {
+        match &self.automaton {
+            PieceAutomaton::Dense(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Byte equivalence classes of the compressed engines (`None` for
+    /// dense, whose row width is always 256).
+    pub fn class_count(&self) -> Option<usize> {
+        match &self.automaton {
+            PieceAutomaton::Dense(_) => None,
+            PieceAutomaton::Classed(d) => Some(d.class_count()),
+            PieceAutomaton::Prefiltered(d) => Some(d.class_count()),
+        }
+    }
+
+    /// Distinct bytes that leave the automaton's start state (the
+    /// prefilter's escape set; `None` unless prefiltered).
+    pub fn escape_byte_count(&self) -> Option<usize> {
+        match &self.automaton {
+            PieceAutomaton::Prefiltered(d) => Some(d.escape_count()),
+            _ => None,
+        }
     }
 
     /// Provenance of a matched piece pattern.
@@ -139,12 +224,15 @@ impl SplitPlan {
     /// Automaton memory (shared across all flows — this is control-plane
     /// memory, reported separately from per-flow state).
     pub fn memory_bytes(&self) -> usize {
-        self.dfa.memory_bytes()
+        self.automaton.memory_bytes()
     }
 
     /// Does any piece occur in `payload`? The fast path's per-packet scan.
+    /// Early-exits at the first match state without materializing a
+    /// `Match` — the caller only ever wants the piece id.
+    #[inline]
     pub fn scan(&self, payload: &[u8]) -> Option<PatternId> {
-        self.dfa.find_first(payload).map(|m| m.pattern)
+        self.automaton.find_first_id(payload)
     }
 }
 
@@ -229,6 +317,50 @@ mod tests {
             ..Default::default()
         };
         assert!(SplitPlan::compile(&sigs, &bad).is_err());
+    }
+
+    #[test]
+    fn every_matcher_kind_scans_identically() {
+        let sigs = set(&[b"ABCDEFGHIJKLMNOPQRSTUVWX", b"abcdefghijklmnopqrstuvwx"]);
+        let plans: Vec<SplitPlan> = MatcherKind::ALL
+            .iter()
+            .map(|&m| SplitPlan::compile_unchecked_with(&sigs, 3, m))
+            .collect();
+        let probes: [&[u8]; 6] = [
+            b"ABCDEFGH",
+            b"..ABCDEFGH..",
+            b"BCDEFGH",
+            b"",
+            b"nothing to see here",
+            b"qrstuvwx",
+        ];
+        for probe in probes {
+            let hits: Vec<Option<_>> = plans.iter().map(|p| p.scan(probe)).collect();
+            assert!(
+                hits.windows(2).all(|w| w[0] == w[1]),
+                "probe {probe:?}: {hits:?}"
+            );
+        }
+        for (plan, kind) in plans.iter().zip(MatcherKind::ALL) {
+            assert_eq!(plan.matcher_kind(), kind);
+        }
+    }
+
+    #[test]
+    fn compressed_engines_report_smaller_tables() {
+        let sigs = set(&[b"ABCDEFGHIJKLMNOPQRSTUVWX", b"abcdefghijklmnopqrstuvwx"]);
+        let dense = SplitPlan::compile_unchecked_with(&sigs, 3, MatcherKind::Dense);
+        let classed = SplitPlan::compile_unchecked_with(&sigs, 3, MatcherKind::Classed);
+        let pre = SplitPlan::compile_unchecked_with(&sigs, 3, MatcherKind::ClassedPrefilter);
+        assert!(classed.memory_bytes() < dense.memory_bytes() / 4);
+        assert!(pre.memory_bytes() < dense.memory_bytes() / 4);
+        assert!(dense.dense_dfa().is_some());
+        assert_eq!(dense.class_count(), None);
+        assert!(classed.dense_dfa().is_none());
+        assert!(classed.class_count().unwrap() <= 49, "48 letters + rest");
+        assert_eq!(classed.escape_byte_count(), None);
+        // Piece first bytes: A, I, Q, a, i, q → 6 escape bytes.
+        assert_eq!(pre.escape_byte_count(), Some(6));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! diverted fractions (flows / packets / bytes), state splits between the
 //! fast and slow paths, and the per-byte processing split.
 
+use crate::config::MatcherKind;
 use crate::divert::DivertStats;
 use crate::fastpath::{DivertReason, FastPathStats};
 
@@ -32,6 +33,10 @@ pub struct SplitDetectStats {
     pub slow_state_peak_bytes: u64,
     /// Shared piece-automaton bytes (control plane, not per-flow).
     pub automaton_bytes: u64,
+    /// Which engine the piece automaton compiled to (context for
+    /// `automaton_bytes` — the compressed engines report far smaller
+    /// tables).
+    pub matcher: MatcherKind,
 }
 
 impl SplitDetectStats {
@@ -123,6 +128,7 @@ impl SplitDetectStats {
                 self.slow_state_peak_bytes.to_string(),
             ),
             ("automaton_bytes", self.automaton_bytes.to_string()),
+            ("fastpath_matcher", self.matcher.name().to_string()),
         ] {
             out.push_str(key);
             out.push(' ');
@@ -167,6 +173,10 @@ impl SplitDetectStats {
                     ));
                 }
                 s.fast.diverts.copy_from_slice(&vals);
+            } else if key == "fastpath_matcher" {
+                let rest = rest.trim();
+                s.matcher = MatcherKind::from_name(rest)
+                    .ok_or_else(|| format!("stats line {lineno}: unknown matcher {rest}"))?;
             } else if key == "divert.eviction_policy" {
                 let rest = rest.trim();
                 s.divert.policy = crate::divert::EvictionPolicy::from_name(rest)
@@ -202,8 +212,8 @@ impl SplitDetectStats {
             }
             seen.push(key.to_string());
         }
-        if seen.len() != 22 {
-            return Err(format!("stats: expected 22 fields, got {}", seen.len()));
+        if seen.len() != 23 {
+            return Err(format!("stats: expected 23 fields, got {}", seen.len()));
         }
         Ok(s)
     }
@@ -240,6 +250,7 @@ impl SplitDetectStats {
             total.slow_state_bytes += s.slow_state_bytes;
             total.slow_state_peak_bytes += s.slow_state_peak_bytes;
             total.automaton_bytes += s.automaton_bytes;
+            // The matcher kind is uniform across shards; keep the first's.
         }
         Some(total)
     }
@@ -262,6 +273,7 @@ mod tests {
             slow_state_bytes: 0,
             slow_state_peak_bytes: 0,
             automaton_bytes: 0,
+            matcher: MatcherKind::default(),
         }
     }
 
@@ -334,6 +346,7 @@ mod tests {
         s.slow_state_bytes = 22;
         s.slow_state_peak_bytes = 23;
         s.automaton_bytes = 24;
+        s.matcher = MatcherKind::Dense;
         let text = s.to_text();
         let back = SplitDetectStats::from_text(&text).unwrap();
         assert_eq!(back, s);
@@ -362,7 +375,15 @@ mod tests {
             .collect();
         assert!(SplitDetectStats::from_text(&t)
             .unwrap_err()
-            .contains("22 fields"));
+            .contains("23 fields"));
+        // Bad matcher name.
+        let t = good.replace(
+            "fastpath_matcher classed+prefilter",
+            "fastpath_matcher abacus",
+        );
+        assert!(SplitDetectStats::from_text(&t)
+            .unwrap_err()
+            .contains("unknown matcher"));
         // Bad policy name.
         let t = good.replace("eviction_policy evict-oldest", "eviction_policy coin-flip");
         assert!(SplitDetectStats::from_text(&t)

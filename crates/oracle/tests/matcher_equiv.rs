@@ -1,0 +1,155 @@
+//! Matcher-kind equivalence over adversarial traces.
+//!
+//! The fast-path scan engine comes in three builds — the dense DFA, the
+//! byte-class compressed table, and the compressed table behind the
+//! start-state skip prefilter — and the compression/prefilter work is
+//! only sound if all three are *observationally identical*: same alerts,
+//! same divert decisions, same accounting, on every wire input. The unit
+//! and property tests check the matchers agree on raw byte strings; this
+//! suite checks the full engines agree on the oracle's adversarial
+//! traces, where the payload arrives fragmented, overlapped, chaffed and
+//! out of order.
+//!
+//! Stats are compared whole except for the two fields that *describe* the
+//! matcher (`matcher`, `automaton_bytes`) — everything observable about
+//! the traffic must match bit for bit.
+
+use sd_ips::api::run_trace;
+use sd_ips::{Alert, Signature, SignatureSet};
+use sd_oracle::{CompiledTrace, TraceProgram, ORACLE_SIGNATURE};
+use splitdetect::{
+    MatcherKind, ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats,
+};
+
+/// The pinned regression traces from `regression.rs`: shrunk reproducers
+/// of real engine bugs, i.e. exactly the wire shapes that have fooled
+/// this engine before.
+const PINNED: [&str; 3] = [
+    "# split-detect fuzz trace\n\
+     seed 77\n\
+     policy first\n\
+     prefix 40\n\
+     suffix 30\n\
+     mutate split-sig 9\n\
+     mutate frag 0 24\n",
+    "# split-detect fuzz trace\n\
+     seed 13968259953709020894\n\
+     policy first\n\
+     prefix 1\n\
+     suffix 2\n\
+     mutate chaff-cksum 1501928558060025601\n\
+     mutate frag 3759307373701782754 43\n",
+    "# split-detect fuzz trace\n\
+     seed 5770459859425060368\n\
+     policy linux\n\
+     prefix 1\n\
+     suffix 2\n\
+     mutate retransmit-bad 9843630119496533149\n\
+     mutate frag-overlap 71580601167850740\n",
+];
+
+fn signatures() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("oracle-evil", ORACLE_SIGNATURE)])
+}
+
+fn config_for(compiled: &CompiledTrace, kind: MatcherKind) -> SplitDetectConfig {
+    SplitDetectConfig {
+        slow_path_policy: compiled.victim.policy,
+        fastpath_matcher: kind,
+        ..Default::default()
+    }
+}
+
+/// Sort key making alert lists comparable: flow, signature, offset, stage.
+fn alert_keys(alerts: &[Alert]) -> Vec<(sd_flow::FlowKey, usize, u64, u8)> {
+    let mut keys: Vec<_> = alerts
+        .iter()
+        .map(|a| (a.flow, a.signature, a.offset, a.source as u8))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Blank out the fields that legitimately differ between matcher builds.
+fn normalized(mut stats: SplitDetectStats) -> SplitDetectStats {
+    stats.matcher = MatcherKind::Dense;
+    stats.automaton_bytes = 0;
+    stats
+}
+
+fn run_single(
+    compiled: &CompiledTrace,
+    kind: MatcherKind,
+) -> (Vec<(sd_flow::FlowKey, usize, u64, u8)>, SplitDetectStats) {
+    let mut engine = SplitDetect::with_config(signatures(), config_for(compiled, kind))
+        .expect("oracle config is admissible");
+    let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
+    (alert_keys(&alerts), engine.stats())
+}
+
+fn assert_kinds_agree(compiled: &CompiledTrace, label: &str) {
+    let (dense_alerts, dense_stats) = run_single(compiled, MatcherKind::Dense);
+    for kind in [MatcherKind::Classed, MatcherKind::ClassedPrefilter] {
+        let (alerts, stats) = run_single(compiled, kind);
+        assert_eq!(
+            alerts, dense_alerts,
+            "{label}: {kind} alerts diverge from dense"
+        );
+        assert_eq!(
+            normalized(stats),
+            normalized(dense_stats),
+            "{label}: {kind} stats diverge from dense"
+        );
+    }
+}
+
+#[test]
+fn pinned_regressions_agree_across_matchers() {
+    for (i, text) in PINNED.iter().enumerate() {
+        let program = TraceProgram::from_text(text).expect("pinned trace must parse");
+        let compiled = program.compile();
+        // The pins must keep their teeth: each one delivers the signature
+        // and the engine alerts, so the agreement below is about real
+        // detections, not three engines all saying nothing.
+        let (dense_alerts, _) = run_single(&compiled, MatcherKind::Dense);
+        assert!(
+            !dense_alerts.is_empty(),
+            "pin {i} no longer triggers any alert"
+        );
+        assert_kinds_agree(&compiled, &format!("pin {i}"));
+    }
+}
+
+#[test]
+fn random_adversarial_programs_agree_across_matchers() {
+    for seed in 0..48u64 {
+        let compiled = TraceProgram::random(seed).compile();
+        assert_kinds_agree(&compiled, &format!("random program seed {seed}"));
+    }
+}
+
+#[test]
+fn sharded_engines_agree_across_matchers() {
+    for (i, text) in PINNED.iter().enumerate() {
+        let program = TraceProgram::from_text(text).expect("pinned trace must parse");
+        let compiled = program.compile();
+        let (dense_alerts, _) = run_single(&compiled, MatcherKind::Dense);
+        for kind in MatcherKind::ALL {
+            for shards in [2usize, 4] {
+                let mut engine =
+                    ShardedSplitDetect::new(signatures(), config_for(&compiled, kind), shards)
+                        .expect("oracle config is admissible");
+                let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
+                assert!(
+                    engine.failures().is_empty(),
+                    "pin {i}: {kind} x{shards} shard worker failed"
+                );
+                assert_eq!(
+                    alert_keys(&alerts),
+                    dense_alerts,
+                    "pin {i}: {kind} x{shards} shards diverge from single dense"
+                );
+            }
+        }
+    }
+}

@@ -108,6 +108,20 @@ impl AcDfa {
         None
     }
 
+    /// Pattern id of the first match, without materializing a [`Match`] —
+    /// the fast path only wants "which piece", never the offset.
+    #[inline]
+    pub fn find_first_id(&self, hay: &[u8]) -> Option<PatternId> {
+        let mut state = Self::START;
+        for &b in hay {
+            state = self.next_state(state, b);
+            if self.is_match_state(state) {
+                return Some(self.outputs(state)[0]);
+            }
+        }
+        None
+    }
+
     /// True if any pattern occurs in `hay`. This is the exact per-packet
     /// hot loop of the fast path.
     #[inline]
@@ -195,6 +209,8 @@ mod tests {
     fn find_first_early_exit() {
         let dfa = AcDfa::new(PatternSet::from_patterns(["ab", "abcdef"]));
         assert_eq!(dfa.find_first(b"abcdef"), Some(Match::new(0, 2)));
+        assert_eq!(dfa.find_first_id(b"abcdef"), Some(0));
+        assert_eq!(dfa.find_first_id(b"zzz"), None);
     }
 
     #[test]

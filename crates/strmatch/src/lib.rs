@@ -9,6 +9,12 @@
 //! * [`dfa`] — a dense byte-indexed DFA compiled from the NFA; this is the
 //!   fast-path engine the paper's hardware argument is about (one table
 //!   lookup per byte, no failure chains),
+//! * [`classed`] — the dense DFA with its 256-byte alphabet compressed to
+//!   equivalence classes, shrinking the transition table ~4–10× so real
+//!   rule sets stay L1/L2-resident at the same one-lookup-per-byte bound,
+//! * [`prefilter`] — a start-state skip prefilter (SWAR `u64` membership
+//!   scan, 8 bytes per step in safe Rust) fronting the classed DFA: the
+//!   accelerated engine the Split-Detect fast path defaults to,
 //! * [`bmh`] — Boyer–Moore–Horspool for single patterns (used by tests and
 //!   by the naive per-packet baseline when it has one signature),
 //! * [`shiftor`] — bit-parallel shift-or for short patterns (≤ 64 bytes;
@@ -35,17 +41,21 @@
 
 pub mod aho;
 pub mod bmh;
+pub mod classed;
 pub mod dfa;
 pub mod naive;
 pub mod pattern;
+pub mod prefilter;
 pub mod shiftor;
 pub mod stream;
 pub mod stride2;
 pub mod wumanber;
 
 pub use aho::AhoCorasick;
+pub use classed::ClassedDfa;
 pub use dfa::AcDfa;
 pub use pattern::{Match, PatternId, PatternSet};
+pub use prefilter::{PrefilteredDfa, StartSkip};
 pub use stream::StreamMatcher;
 pub use stride2::Stride2Dfa;
 pub use wumanber::WuManber;

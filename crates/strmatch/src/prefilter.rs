@@ -1,0 +1,413 @@
+//! Start-state skip prefilter + the prefiltered scanning engine.
+//!
+//! Almost all traffic is benign and a benign payload mostly keeps an
+//! Aho–Corasick DFA parked in its start state — yet the dense scan still
+//! pays a serial, load-latency-bound table lookup for every byte. The only
+//! bytes that matter while parked are the ones with a transition *out* of
+//! the start state (the first bytes of pattern prefixes). [`StartSkip`]
+//! precomputes that escape set and scans eight bytes per step in safe Rust:
+//!
+//! * **general path** — one `u64` load per chunk, then a branch-free
+//!   256-bit-bitmap membership test per lane, OR-ed into a single per-chunk
+//!   branch. The eight tests are independent (full ILP), unlike the DFA's
+//!   chain of dependent loads.
+//! * **rare path** (≤ 3 escape bytes) — the classic SWAR zero-byte trick
+//!   (`memchr` without `memchr`): XOR with a splatted byte value turns
+//!   occurrences into zero lanes, and `(x - 0x01…) & !x & 0x80…` flags
+//!   them; three ALU ops per value per chunk, no per-lane work at all.
+//!
+//! [`PrefilteredDfa`] couples the skipper with a [`ClassedDfa`]: it skips
+//! while the automaton would sit in the start state, enters the DFA at the
+//! first candidate byte, and drops back to skipping whenever the walk
+//! returns to start. Skipped bytes provably keep the DFA at start (that is
+//! the definition of the escape set) and the start state never reports a
+//! match (empty patterns are rejected at [`PatternSet`] construction), so
+//! the match set is byte-identical to the dense scan on every input — the
+//! cross-check property tests in `tests/prop.rs` pin this. Worst-case cost
+//! is unchanged: adversarial bytes degrade to the plain one-lookup-per-byte
+//! DFA walk plus a bounded prefilter tax.
+
+use crate::classed::ClassedDfa;
+use crate::pattern::{Match, PatternId, PatternSet};
+
+/// Escape sets at most this large use the splatted-byte SWAR path.
+const RARE_MAX: usize = 3;
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// The set of bytes with a transition out of the DFA start state, with an
+/// 8-bytes-per-step candidate search.
+#[derive(Debug, Clone)]
+pub struct StartSkip {
+    /// 256-bit membership bitmap, bit `b` of word `b / 64`.
+    bitmap: [u64; 4],
+    /// The escape bytes themselves when few enough for the splatted-byte
+    /// path; empty means "use the bitmap path".
+    rare: Vec<u8>,
+    escape_count: usize,
+}
+
+impl StartSkip {
+    /// Build from the bytes that leave `dfa`'s start state.
+    pub fn for_dfa(dfa: &ClassedDfa) -> Self {
+        Self::from_escape_bytes(
+            (0u8..=255).filter(|&b| dfa.next_state(ClassedDfa::START, b) != ClassedDfa::START),
+        )
+    }
+
+    /// Build from an explicit escape-byte set.
+    pub fn from_escape_bytes(bytes: impl IntoIterator<Item = u8>) -> Self {
+        let mut bitmap = [0u64; 4];
+        let mut escapes: Vec<u8> = Vec::new();
+        for b in bytes {
+            if bitmap[(b >> 6) as usize] & (1 << (b & 63)) == 0 {
+                bitmap[(b >> 6) as usize] |= 1 << (b & 63);
+                escapes.push(b);
+            }
+        }
+        let escape_count = escapes.len();
+        let rare = if escape_count <= RARE_MAX {
+            escapes
+        } else {
+            Vec::new()
+        };
+        StartSkip {
+            bitmap,
+            rare,
+            escape_count,
+        }
+    }
+
+    /// Number of distinct escape bytes.
+    pub fn escape_count(&self) -> usize {
+        self.escape_count
+    }
+
+    /// Whether the splatted-byte rare path is active.
+    pub fn is_rare(&self) -> bool {
+        !self.rare.is_empty() || self.escape_count == 0
+    }
+
+    /// Membership test for a single byte.
+    #[inline(always)]
+    pub fn contains(&self, b: u8) -> bool {
+        (self.bitmap[(b >> 6) as usize] >> (b & 63)) & 1 != 0
+    }
+
+    /// Index of the first escape byte at or after `from`, scanning eight
+    /// bytes per step.
+    #[inline]
+    pub fn find_candidate(&self, hay: &[u8], from: usize) -> Option<usize> {
+        let mut i = from.min(hay.len());
+        if self.rare.is_empty() {
+            while i + 8 <= hay.len() {
+                let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
+                let mut hits = 0u32;
+                for lane in 0..8 {
+                    let b = ((w >> (lane * 8)) & 0xff) as usize;
+                    let bit = (self.bitmap[b >> 6] >> (b & 63)) & 1;
+                    hits |= (bit as u32) << lane;
+                }
+                if hits != 0 {
+                    return Some(i + hits.trailing_zeros() as usize);
+                }
+                i += 8;
+            }
+        } else {
+            while i + 8 <= hay.len() {
+                let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
+                let mut flagged = 0u64;
+                for &v in &self.rare {
+                    let x = w ^ (SWAR_LO * u64::from(v));
+                    flagged |= x.wrapping_sub(SWAR_LO) & !x & SWAR_HI;
+                }
+                if flagged != 0 {
+                    // The lowest flagged lane is the exact first hit, but a
+                    // per-byte confirm keeps correctness independent of the
+                    // bit trick: scan the chunk from that lane and fall
+                    // through (soundly) if nothing confirms.
+                    let lane = (flagged.trailing_zeros() / 8) as usize;
+                    for (off, &b) in hay[i + lane..i + 8].iter().enumerate() {
+                        if self.contains(b) {
+                            return Some(i + lane + off);
+                        }
+                    }
+                }
+                i += 8;
+            }
+        }
+        hay[i..]
+            .iter()
+            .position(|&b| self.contains(b))
+            .map(|off| i + off)
+    }
+
+    /// Footprint in bytes (the bitmap plus the rare list).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<[u64; 4]>() + self.rare.len()
+    }
+}
+
+/// A [`ClassedDfa`] fronted by a [`StartSkip`] prefilter.
+#[derive(Debug, Clone)]
+pub struct PrefilteredDfa {
+    dfa: ClassedDfa,
+    skip: StartSkip,
+}
+
+impl PrefilteredDfa {
+    /// Compile from patterns.
+    pub fn new(set: PatternSet) -> Self {
+        Self::from_classed(ClassedDfa::new(set))
+    }
+
+    /// Wrap an already-compiled classed DFA.
+    pub fn from_classed(dfa: ClassedDfa) -> Self {
+        let skip = StartSkip::for_dfa(&dfa);
+        PrefilteredDfa { dfa, skip }
+    }
+
+    /// The wrapped automaton.
+    pub fn dfa(&self) -> &ClassedDfa {
+        &self.dfa
+    }
+
+    /// The start-state escape set.
+    pub fn skip(&self) -> &StartSkip {
+        &self.skip
+    }
+
+    /// The pattern set this engine recognizes.
+    pub fn patterns(&self) -> &PatternSet {
+        self.dfa.patterns()
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.dfa.state_count()
+    }
+
+    /// Number of byte equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.dfa.class_count()
+    }
+
+    /// Number of bytes that leave the start state.
+    pub fn escape_count(&self) -> usize {
+        self.skip.escape_count()
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.dfa.memory_bytes() + self.skip.memory_bytes()
+    }
+
+    /// Pattern id of the first match, early-exiting — the fast path's
+    /// per-packet scan.
+    #[inline]
+    pub fn find_first_id(&self, hay: &[u8]) -> Option<PatternId> {
+        let mut i = 0;
+        while let Some(c) = self.skip.find_candidate(hay, i) {
+            let mut state = ClassedDfa::START;
+            let mut j = c;
+            while j < hay.len() {
+                state = self.dfa.next_state(state, hay[j]);
+                j += 1;
+                if self.dfa.is_match_state(state) {
+                    return Some(self.dfa.outputs(state)[0]);
+                }
+                if state == ClassedDfa::START {
+                    break;
+                }
+            }
+            if j >= hay.len() {
+                return None;
+            }
+            i = j;
+        }
+        None
+    }
+
+    /// True if any pattern occurs in `hay`.
+    #[inline]
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        self.find_first_id(hay).is_some()
+    }
+
+    /// First match in `hay`.
+    pub fn find_first(&self, hay: &[u8]) -> Option<Match> {
+        let mut i = 0;
+        while let Some(c) = self.skip.find_candidate(hay, i) {
+            let mut state = ClassedDfa::START;
+            let mut j = c;
+            while j < hay.len() {
+                state = self.dfa.next_state(state, hay[j]);
+                j += 1;
+                if self.dfa.is_match_state(state) {
+                    return Some(Match::new(self.dfa.outputs(state)[0], j));
+                }
+                if state == ClassedDfa::START {
+                    break;
+                }
+            }
+            if j >= hay.len() {
+                return None;
+            }
+            i = j;
+        }
+        None
+    }
+
+    /// Find all matches in `hay` with end offsets relative to `hay`.
+    pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while let Some(c) = self.skip.find_candidate(hay, i) {
+            let mut state = ClassedDfa::START;
+            let mut j = c;
+            while j < hay.len() {
+                state = self.dfa.next_state(state, hay[j]);
+                j += 1;
+                if self.dfa.is_match_state(state) {
+                    for &p in self.dfa.outputs(state) {
+                        out.push(Match::new(p, j));
+                    }
+                }
+                if state == ClassedDfa::START {
+                    break;
+                }
+            }
+            if j >= hay.len() {
+                break;
+            }
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::AcDfa;
+    use crate::naive;
+
+    fn check(patterns: &[&[u8]], hay: &[u8]) {
+        let set = PatternSet::from_patterns(patterns);
+        let pre = PrefilteredDfa::new(set.clone());
+        let mut got = pre.find_all(hay);
+        let mut want = naive::find_all(&set, hay);
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "patterns {patterns:?} hay {hay:?}");
+        assert_eq!(pre.is_match(hay), !want.is_empty());
+        let dense = AcDfa::new(set);
+        assert_eq!(pre.find_first(hay), dense.find_first(hay));
+    }
+
+    #[test]
+    fn skip_set_is_exactly_the_escape_bytes() {
+        let pre = PrefilteredDfa::new(PatternSet::from_patterns([b"GET".as_slice(), b"_tail"]));
+        // Escape bytes: 'G' and '_' (and nothing else — 'E', 'T' only
+        // matter after a 'G').
+        assert_eq!(pre.escape_count(), 2);
+        assert!(pre.skip().contains(b'G'));
+        assert!(pre.skip().contains(b'_'));
+        assert!(!pre.skip().contains(b'E'));
+        assert!(pre.skip().is_rare());
+    }
+
+    #[test]
+    fn rare_and_general_paths_agree() {
+        // 2 escape bytes → rare path; 5 → general path. Same candidates.
+        let rare = StartSkip::from_escape_bytes([b'x', b'Q']);
+        let general = StartSkip::from_escape_bytes([b'x', b'Q', 1, 2, 3]);
+        assert!(rare.is_rare());
+        assert!(!general.is_rare());
+        let hay: Vec<u8> = (0..100u8)
+            .map(|i| if i % 37 == 0 { b'Q' } else { b'.' })
+            .collect();
+        for from in 0..hay.len() + 2 {
+            assert_eq!(
+                rare.find_candidate(&hay, from),
+                general.find_candidate(&hay, from),
+                "from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_at_every_offset() {
+        // Sweep the candidate across all 8 chunk lanes, plus the tail.
+        let skip = StartSkip::from_escape_bytes([0xEE]);
+        for len in 0..24usize {
+            for at in 0..len {
+                let mut hay = vec![0x20u8; len];
+                hay[at] = 0xEE;
+                assert_eq!(skip.find_candidate(&hay, 0), Some(at), "len {len} at {at}");
+                assert_eq!(skip.find_candidate(&hay, at + 1), None);
+            }
+        }
+        assert_eq!(skip.find_candidate(&[], 0), None);
+        assert_eq!(skip.find_candidate(&[0u8; 9], 99), None);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_classics() {
+        check(&[b"he", b"she", b"his", b"hers"], b"ushers use hershey");
+        check(&[b"aa", b"aaa", b"aaaa"], b"aaaaaa");
+        check(
+            &[b"GET", b"POST", b"HEAD"],
+            b"GET / HTTP/1.1\r\nHost: POSTofficePOST",
+        );
+    }
+
+    #[test]
+    fn matches_straddling_chunk_boundaries() {
+        // Pattern starts at offset 6 and crosses the first 8-byte chunk.
+        let mut hay = vec![b'.'; 6];
+        hay.extend_from_slice(b"needle");
+        hay.extend_from_slice(&[b'.'; 3]);
+        check(&[b"needle"], &hay);
+        // Payload ends mid-chunk, match in the tail.
+        check(&[b"ab"], b"0123456789ab");
+        // Candidate in the last lane of a chunk.
+        check(&[b"xy"], b"0123456xy");
+    }
+
+    #[test]
+    fn resumes_skipping_after_failed_candidates() {
+        // Lots of 'n's that enter the DFA and immediately fall back to
+        // start; the real match is at the very end.
+        let mut hay = vec![b'n'; 50];
+        hay.extend_from_slice(b"needle");
+        check(&[b"needle"], &hay);
+    }
+
+    #[test]
+    fn overlapping_outputs_inside_one_dfa_entry() {
+        // After entering at 'u', the walk reports she+he at the same
+        // position without returning to start in between.
+        check(&[b"she", b"he"], b"..ushers..");
+    }
+
+    #[test]
+    fn all_256_byte_values() {
+        let p: Vec<u8> = vec![0, 127, 255];
+        let set = PatternSet::from_patterns([p.clone()]);
+        let pre = PrefilteredDfa::new(set);
+        let mut hay: Vec<u8> = (0u8..=255).collect();
+        hay.extend_from_slice(&p);
+        let ms = pre.find_all(&hay);
+        assert!(ms.iter().any(|m| m.end == hay.len()));
+    }
+
+    #[test]
+    fn memory_includes_dfa_and_skip() {
+        let pre = PrefilteredDfa::new(PatternSet::from_patterns(["needle"]));
+        assert!(pre.memory_bytes() > pre.dfa().memory_bytes());
+        // {n, e, d, l} plus the catch-all class.
+        assert_eq!(pre.class_count(), 5);
+    }
+}

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use sd_match::bmh::Horspool;
 use sd_match::shiftor::{ShiftOr, ShiftOrBank};
 use sd_match::stream::{StreamMatch, StreamMatcher};
-use sd_match::{naive, AcDfa, AhoCorasick, PatternSet};
+use sd_match::{naive, AcDfa, AhoCorasick, ClassedDfa, PatternSet, PrefilteredDfa};
 
 /// Small alphabet so matches actually happen.
 fn small_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -125,6 +125,76 @@ proptest! {
         b.sort_by_key(|m| (m.end, m.pattern));
         prop_assert_eq!(a, b);
         prop_assert_eq!(dfa.is_match(&hay), s2.is_match(&hay));
+    }
+
+    /// The byte-class compressed DFA is transition-for-transition the dense
+    /// DFA: same matches, same match-state decisions, on the full byte
+    /// alphabet.
+    #[test]
+    fn classed_agrees_with_naive_and_dense(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..8),
+        hay in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let set = PatternSet::from_patterns(patterns.iter().map(|p| p.as_slice()));
+        let dense = AcDfa::new(set.clone());
+        let classed = ClassedDfa::new(set.clone());
+        let mut a = naive::find_all(&set, &hay);
+        let mut b = classed.find_all(&hay);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(classed.is_match(&hay), dense.is_match(&hay));
+        prop_assert_eq!(classed.find_first(&hay), dense.find_first(&hay));
+        prop_assert_eq!(classed.find_first_id(&hay), dense.find_first_id(&hay));
+        prop_assert!(classed.class_count() <= 256);
+    }
+
+    /// The prefiltered scan reports exactly the dense DFA's matches —
+    /// including overlapping ones found mid-walk — on the full byte
+    /// alphabet, with haystacks of every length mod 8 (payloads ending
+    /// mid-chunk come out of the random length).
+    #[test]
+    fn prefiltered_agrees_with_naive_and_dense(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..8),
+        hay in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let set = PatternSet::from_patterns(patterns.iter().map(|p| p.as_slice()));
+        let dense = AcDfa::new(set.clone());
+        let pre = PrefilteredDfa::new(set.clone());
+        let mut a = naive::find_all(&set, &hay);
+        let mut b = pre.find_all(&hay);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(pre.is_match(&hay), dense.is_match(&hay));
+        prop_assert_eq!(pre.find_first(&hay), dense.find_first(&hay));
+        prop_assert_eq!(pre.find_first_id(&hay), dense.find_first_id(&hay));
+    }
+
+    /// Planted occurrences that straddle the 8-byte SWAR chunk boundary:
+    /// the pattern is embedded at an arbitrary offset (sweeping all lanes)
+    /// in a sparse haystack, so the prefilter must hand over to the DFA at
+    /// exactly the right position whichever lane the first byte lands in.
+    #[test]
+    fn prefiltered_finds_planted_matches_across_chunk_boundaries(
+        pattern in prop::collection::vec(any::<u8>(), 1..12),
+        noise in prop::collection::vec(any::<u8>(), 0..40),
+        at in 0usize..40,
+        tail in 0usize..9,
+    ) {
+        let mut hay = noise.clone();
+        let at = at.min(hay.len());
+        hay.splice(at..at, pattern.iter().copied());
+        hay.extend(std::iter::repeat_n(0u8, tail)); // end mid-chunk
+        let set = PatternSet::from_patterns([pattern.as_slice()]);
+        let dense = AcDfa::new(set.clone());
+        let pre = PrefilteredDfa::new(set);
+        prop_assert!(pre.is_match(&hay), "planted pattern must be found");
+        let mut a = dense.find_all(&hay);
+        let mut b = pre.find_all(&hay);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
     }
 
     /// Wu–Manber reports exactly the reference matcher's matches for any

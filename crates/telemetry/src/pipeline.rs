@@ -111,6 +111,7 @@ pub struct PipelineTelemetry {
     packet_bytes: HistogramId,
     diverted_flows: GaugeId,
     divert_memory: GaugeId,
+    automaton_memory: GaugeId,
 }
 
 impl PipelineTelemetry {
@@ -150,6 +151,10 @@ impl PipelineTelemetry {
             "sd_divert_memory_bytes",
             "Bytes held by the diversion manager (delay line, set, pool)",
         );
+        let automaton_memory = r.gauge(
+            "sd_automaton_bytes",
+            "Compiled piece-automaton table bytes (shared, not per-flow)",
+        );
         PipelineTelemetry {
             registry: r,
             sample_shift,
@@ -163,6 +168,7 @@ impl PipelineTelemetry {
             packet_bytes,
             diverted_flows,
             divert_memory,
+            automaton_memory,
         }
     }
 
@@ -214,6 +220,13 @@ impl PipelineTelemetry {
         self.registry
             .set(self.diverted_flows, diverted_flows as i64);
         self.registry.set(self.divert_memory, memory_bytes as i64);
+    }
+
+    /// Record the compiled automaton's footprint (set once at engine
+    /// construction; the matcher-kind knob makes this worth watching).
+    #[inline]
+    pub fn set_automaton_bytes(&mut self, bytes: usize) {
+        self.registry.set(self.automaton_memory, bytes as i64);
     }
 
     /// The underlying registry, for export.
@@ -327,9 +340,11 @@ mod tests {
         t.stage_lap(&mut clock, Stage::Parse);
         t.stage_packet(Stage::FastPath);
         t.set_divert_occupancy(3, 4096);
+        t.set_automaton_bytes(1234);
         let text = crate::export::to_prometheus(t.registry());
         crate::promcheck::validate(&text).unwrap();
         assert!(text.contains("sd_diverted_flows 3"), "{text}");
+        assert!(text.contains("sd_automaton_bytes 1234"), "{text}");
         assert!(
             text.contains("sd_stage_latency_ns_bucket{stage=\"parse\""),
             "{text}"

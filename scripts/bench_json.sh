@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Record the fast-path matcher benchmark as machine-readable JSON.
+#
+# Runs the `fastpath` bench (release profile) with SD_FASTPATH_JSON
+# pointed at BENCH_fastpath.json in the repo root, so the dense /
+# classed / classed+prefilter throughput trajectory is checked in next
+# to the code that changed it. Pass SD_FASTPATH_ENFORCE=1 to also fail
+# unless the prefiltered engine is no slower than dense on the benign
+# mix (the CI smoke gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SD_FASTPATH_JSON="$PWD/BENCH_fastpath.json" cargo bench -p sd-bench --bench fastpath "$@"
+echo "recorded $PWD/BENCH_fastpath.json"
