@@ -5,7 +5,7 @@ use std::io::Write;
 use sd_ips::api::run_trace;
 use sd_ips::conventional::ConventionalConfig;
 use sd_ips::rules::{parse_rules, RuleSet, DEMO_RULES};
-use sd_ips::{ConventionalIps, Ips, NaivePacketIps, SignatureSet};
+use sd_ips::{AlertSource, ConventionalIps, Ips, NaivePacketIps, SignatureSet};
 use sd_traffic::benign::{BenignConfig, BenignGenerator};
 use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
 use sd_traffic::mixer::mix;
@@ -65,6 +65,9 @@ fn split_config(args: &ParsedArgs) -> SplitDetectConfig {
         slow_path_policy: args.policy,
         shard_batch_packets: args.shard_batch,
         fastpath_matcher: args.matcher,
+        slow_path_workers: args.slow_workers,
+        slow_path_lane_depth: args.slow_lane_depth,
+        slow_path_shed: args.shed_policy,
         ..Default::default()
     }
 }
@@ -130,6 +133,9 @@ fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
             let mut e = build_split(sigs, args)?;
             let alerts = run_trace(&mut e, trace.iter_bytes());
             let _ = write!(out, "{}", splitdetect::RunReport::new(e.stats()));
+            for failure in e.slow_failures() {
+                let _ = writeln!(out, "WARNING: {failure}");
+            }
             alerts
         }
         EngineKind::Conventional => {
@@ -150,6 +156,16 @@ fn scan(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
 
     let _ = writeln!(out, "{} alert(s)", alerts.len());
     for a in &alerts {
+        // Overload alerts are synthetic (shed slow-path lanes); their
+        // `signature` field is meaningless and must not index the rule set.
+        if a.source == AlertSource::Overload {
+            let _ = writeln!(
+                out,
+                "  [overload] slow-path lane full, flow={} shed",
+                a.flow
+            );
+            continue;
+        }
         let rule = &rules.rules[a.signature];
         let _ = writeln!(
             out,
@@ -388,7 +404,7 @@ fn gauntlet(args: &ParsedArgs, out: Out) -> Result<(), String> {
         let mut sd = build_split(rules.to_signatures(), args)?;
         let detected = run_trace(&mut sd, packets.iter().map(|p| p.as_slice()))
             .iter()
-            .any(|a| a.signature == 0);
+            .any(|a| a.source != AlertSource::Overload && a.signature == 0);
         all_ok &= detected;
         let _ = writeln!(
             out,
@@ -430,10 +446,21 @@ fn replay_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
     );
     let _ = writeln!(out, "{} alert(s)", alerts.len());
     for a in &alerts {
+        if a.source == AlertSource::Overload {
+            let _ = writeln!(
+                out,
+                "  [overload] slow-path lane full, flow={} shed",
+                a.flow
+            );
+            continue;
+        }
         let rule = &rules.rules[a.signature];
         let _ = writeln!(out, "  [{}] {} flow={}", rule.sid, rule.name(), a.flow);
     }
     let _ = write!(out, "{}", splitdetect::RunReport::new(engine.stats()));
+    for failure in engine.slow_failures() {
+        let _ = writeln!(out, "WARNING: {failure}");
+    }
     Ok(())
 }
 

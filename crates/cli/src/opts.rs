@@ -8,9 +8,12 @@ usage:
   sd scan <capture.pcap> [--rules FILE] [--engine split|conventional|naive]
                          [--policy first|last|bsd|linux]
                          [--shards N] [--shard-batch PKTS] [--matcher M]
+                         [--slow-workers N] [--slow-lane-depth PKTS]
+                         [--shed-policy block|shed-flow|alert-overload]
   sd run <capture.pcap>  [--rules FILE] [--policy P] [--shards N]
                          [--shard-batch PKTS] [--metrics-out PATH]
-                         [--matcher M]
+                         [--matcher M] [--slow-workers N]
+                         [--slow-lane-depth PKTS] [--shed-policy S]
   sd compare <capture.pcap> [--rules FILE] [--policy P]
   sd stats <capture.pcap> [--shards N] [--shard-batch PKTS]
            [--format human|prom|json]
@@ -32,6 +35,12 @@ packets the dispatcher accumulates per shard before each channel send
 --matcher selects the fast-path scan engine:
 dense|classed|classed+prefilter (default classed+prefilter, the
 fastest; all three make identical divert decisions).
+--slow-workers N >= 1 moves the slow path to N asynchronous worker
+threads behind bounded lanes (--slow-lane-depth packets each, default
+512) so diverted flows never stall the fast path; 0 (default) keeps it
+inline. --shed-policy picks the full-lane behaviour: block (fast path
+waits), shed-flow (drop + count), or alert-overload (drop + count +
+synthetic overload alert; the default).
 fuzz runs the differential oracle: random adversarial traces checked
 against the victim model, Split-Detect (single and sharded) and the
 conventional IPS. --sabotage disables a fast-path rule to prove the
@@ -121,6 +130,13 @@ pub struct ParsedArgs {
     /// `--matcher dense|classed|classed+prefilter`: the fast-path scan
     /// engine (perf knob; divert decisions are identical across kinds).
     pub matcher: splitdetect::MatcherKind,
+    /// `--slow-workers N`: asynchronous slow-path worker threads
+    /// (0 = inline slow path, the default).
+    pub slow_workers: usize,
+    /// `--slow-lane-depth PKTS`: bound of each slow-path worker lane.
+    pub slow_lane_depth: usize,
+    /// `--shed-policy block|shed-flow|alert-overload`: full-lane policy.
+    pub shed_policy: splitdetect::ShedPolicy,
 }
 
 /// The subcommand.
@@ -169,6 +185,9 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut metrics_out = None;
     let mut format = OutputFormat::Human;
     let mut matcher = splitdetect::MatcherKind::default();
+    let mut slow_workers = 0usize;
+    let mut slow_lane_depth = 512usize;
+    let mut shed_policy = splitdetect::ShedPolicy::default();
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -264,6 +283,24 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                 matcher = splitdetect::MatcherKind::from_name(v)
                     .ok_or_else(|| format!("unknown matcher {v:?}"))?;
             }
+            "--slow-workers" => {
+                slow_workers = value_of("--slow-workers")?
+                    .parse()
+                    .map_err(|_| "bad --slow-workers value".to_string())?
+            }
+            "--slow-lane-depth" => {
+                slow_lane_depth = value_of("--slow-lane-depth")?
+                    .parse()
+                    .map_err(|_| "bad --slow-lane-depth value".to_string())?;
+                if slow_lane_depth == 0 {
+                    return Err("--slow-lane-depth must be >= 1".into());
+                }
+            }
+            "--shed-policy" => {
+                let v = value_of("--shed-policy")?;
+                shed_policy = splitdetect::ShedPolicy::from_name(v)
+                    .ok_or_else(|| format!("unknown shed policy {v:?}"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -319,6 +356,9 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         metrics_out,
         format,
         matcher,
+        slow_workers,
+        slow_lane_depth,
+        shed_policy,
     })
 }
 
@@ -364,6 +404,28 @@ mod tests {
         assert_eq!(p.matcher, MatcherKind::Classed);
         let p = parse(&args("stats cap.pcap --matcher classed+prefilter")).unwrap();
         assert_eq!(p.matcher, MatcherKind::ClassedPrefilter);
+    }
+
+    #[test]
+    fn slow_path_flags_default_and_parse() {
+        use splitdetect::ShedPolicy;
+        let p = parse(&args("scan cap.pcap")).unwrap();
+        assert_eq!(
+            (p.slow_workers, p.slow_lane_depth, p.shed_policy),
+            (0, 512, ShedPolicy::AlertOverload)
+        );
+        let p = parse(&args(
+            "scan cap.pcap --slow-workers 4 --slow-lane-depth 64 --shed-policy block",
+        ))
+        .unwrap();
+        assert_eq!(
+            (p.slow_workers, p.slow_lane_depth, p.shed_policy),
+            (4, 64, ShedPolicy::Block)
+        );
+        let p = parse(&args("run cap.pcap --shed-policy shed-flow")).unwrap();
+        assert_eq!(p.shed_policy, ShedPolicy::ShedFlow);
+        let p = parse(&args("run cap.pcap --shed-policy alert-overload")).unwrap();
+        assert_eq!(p.shed_policy, ShedPolicy::AlertOverload);
     }
 
     #[test]
@@ -443,6 +505,10 @@ mod tests {
             "stats cap.pcap --format yaml",
             "scan cap.pcap --matcher warp",
             "scan cap.pcap --matcher",
+            "scan cap.pcap --slow-workers many",
+            "scan cap.pcap --slow-lane-depth 0",
+            "scan cap.pcap --shed-policy coin-flip",
+            "scan cap.pcap --shed-policy",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

@@ -61,6 +61,34 @@ fn generate_then_scan_detects_labelled_attacks() {
 }
 
 #[test]
+fn scan_with_async_slow_path_matches_inline_alerts() {
+    let dir = tmpdir("slowpool");
+    let pcap = dir.join("t.pcap");
+    let pcap_s = pcap.to_str().unwrap();
+    run(&[
+        "generate",
+        pcap_s,
+        "--flows",
+        "20",
+        "--attacks",
+        "3",
+        "--seed",
+        "5",
+    ]);
+
+    let (code, inline_out) = run(&["scan", pcap_s]);
+    assert_eq!(code, 0, "{inline_out}");
+    let (code, pool_out) = run(&["scan", pcap_s, "--slow-workers", "2"]);
+    assert_eq!(code, 0, "{pool_out}");
+    // Deep lanes (default 512) mean no shedding, so the pooled scan must
+    // report exactly the inline alert count.
+    assert!(pool_out.contains("3 alert(s)"), "{pool_out}");
+    assert!(inline_out.contains("3 alert(s)"), "{inline_out}");
+    assert!(!pool_out.contains("[overload]"), "{pool_out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn compare_prints_all_three_engines() {
     let dir = tmpdir("compare");
     let pcap = dir.join("c.pcap");

@@ -12,6 +12,7 @@ use sd_reassembly::{OverlapPolicy, UrgentSemantics};
 
 use crate::divert::{EvictionPolicy, DEFAULT_MAX_DIVERTED};
 use crate::fastpath::SmallCounterBackend;
+use crate::slowpath::ShedPolicy;
 
 /// Why a configuration is inadmissible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,8 @@ pub enum ConfigError {
     NoSignatures,
     /// The sharded dispatcher's batch size must be at least one packet.
     ZeroBatchSize,
+    /// The slow-path worker lanes must hold at least one packet.
+    ZeroLaneDepth,
 }
 
 impl fmt::Display for ConfigError {
@@ -81,6 +84,9 @@ impl fmt::Display for ConfigError {
             ConfigError::NoSignatures => f.write_str("signature set is empty"),
             ConfigError::ZeroBatchSize => {
                 f.write_str("shard_batch_packets = 0, need ≥ 1 packet per dispatch batch")
+            }
+            ConfigError::ZeroLaneDepth => {
+                f.write_str("slow_path_lane_depth = 0, need ≥ 1 packet per worker lane")
             }
         }
     }
@@ -200,6 +206,21 @@ pub struct SplitDetectConfig {
     /// every kind yields identical divert decisions (E18 measures the
     /// throughput and table-size spread).
     pub fastpath_matcher: MatcherKind,
+    /// Slow-path worker threads. `0` (the default) runs the slow path
+    /// inline on the hot thread — synchronous alerts, the original
+    /// behaviour. `≥ 1` moves diverted-flow reassembly to an asynchronous
+    /// [`crate::slowpath::SlowPathPool`]: the fast path never blocks on
+    /// it, alerts return via [`crate::SplitDetect::poll`] / `finish()`,
+    /// and overload is governed by [`Self::slow_path_shed`].
+    pub slow_path_workers: usize,
+    /// Bound of each worker's packet lane (packets). The bound is what
+    /// makes overload *visible*: a full lane triggers the shed policy
+    /// instead of queueing without limit. Ignored when
+    /// `slow_path_workers == 0`.
+    pub slow_path_lane_depth: usize,
+    /// What to do when a diverted packet's worker lane is full (E19
+    /// sweeps shed fraction against lane depth).
+    pub slow_path_shed: ShedPolicy,
 }
 
 impl Default for SplitDetectConfig {
@@ -222,6 +243,9 @@ impl Default for SplitDetectConfig {
             divert_eviction: EvictionPolicy::EvictOldest,
             stage_timing_sample_shift: Some(6),
             fastpath_matcher: MatcherKind::default(),
+            slow_path_workers: 0,
+            slow_path_lane_depth: 512,
+            slow_path_shed: ShedPolicy::default(),
         }
     }
 }
@@ -248,6 +272,9 @@ impl SplitDetectConfig {
         }
         if self.shard_batch_packets == 0 {
             return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.slow_path_workers > 0 && self.slow_path_lane_depth == 0 {
+            return Err(ConfigError::ZeroLaneDepth);
         }
         let k = self.pieces_per_signature;
         if k < 3 {
@@ -354,6 +381,23 @@ mod tests {
     }
 
     #[test]
+    fn rejects_zero_lane_depth_only_with_workers() {
+        let cfg = SplitDetectConfig {
+            slow_path_workers: 2,
+            slow_path_lane_depth: 0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(&sigs()), Err(ConfigError::ZeroLaneDepth));
+        // Inline mode never reads the lane depth, so 0 is fine there.
+        let inline = SplitDetectConfig {
+            slow_path_workers: 0,
+            slow_path_lane_depth: 0,
+            ..Default::default()
+        };
+        assert!(inline.validate(&sigs()).is_ok());
+    }
+
+    #[test]
     fn rejects_empty_set() {
         assert_eq!(
             SplitDetectConfig::default().validate(&SignatureSet::new()),
@@ -387,6 +431,7 @@ mod tests {
             },
             ConfigError::NoSignatures,
             ConfigError::ZeroBatchSize,
+            ConfigError::ZeroLaneDepth,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -102,6 +102,12 @@ pub struct DivertStats {
     pub replayed_packets: u64,
     /// Packets that fell off the delay line before their flow diverted.
     pub delay_line_misses: u64,
+    /// Diverted packets shed at a full slow-path worker lane (asynchronous
+    /// pool mode only — inline dispatch never sheds). Like `set_evictions`,
+    /// nonzero means detection coverage degraded and the report WARNs.
+    pub shed_packets: u64,
+    /// Payload bytes of the shed packets.
+    pub shed_bytes: u64,
     /// The bound policy in force (uniform across shards).
     pub policy: EvictionPolicy,
 }
@@ -118,6 +124,8 @@ impl DivertStats {
             ("set_refused", self.set_refused.to_string()),
             ("replayed_packets", self.replayed_packets.to_string()),
             ("delay_line_misses", self.delay_line_misses.to_string()),
+            ("shed_packets", self.shed_packets.to_string()),
+            ("shed_bytes", self.shed_bytes.to_string()),
             ("eviction_policy", self.policy.name().to_string()),
         ] {
             out.push_str(key);
@@ -159,13 +167,15 @@ impl DivertStats {
                     "set_refused" => s.set_refused = v,
                     "replayed_packets" => s.replayed_packets = v,
                     "delay_line_misses" => s.delay_line_misses = v,
+                    "shed_packets" => s.shed_packets = v,
+                    "shed_bytes" => s.shed_bytes = v,
                     _ => return Err(format!("divert line {lineno}: unknown key {key}")),
                 }
             }
             seen.push(key.to_string());
         }
-        if seen.len() != 6 {
-            return Err(format!("divert: expected 6 fields, got {}", seen.len()));
+        if seen.len() != 8 {
+            return Err(format!("divert: expected 8 fields, got {}", seen.len()));
         }
         Ok(s)
     }
@@ -534,6 +544,8 @@ mod tests {
             set_refused: 3,
             replayed_packets: 4,
             delay_line_misses: 5,
+            shed_packets: 6,
+            shed_bytes: 7,
             policy: EvictionPolicy::RefuseNew,
         };
         let text = s.to_text();
@@ -544,7 +556,7 @@ mod tests {
         assert!(DivertStats::from_text(&format!("{text}set_refused 9\n")).is_err());
         assert!(DivertStats::from_text("flows_diverted 1\n")
             .unwrap_err()
-            .contains("6 fields"));
+            .contains("8 fields"));
         let bad = text.replace("refuse-new", "coin-flip");
         assert!(DivertStats::from_text(&bad)
             .unwrap_err()

@@ -18,6 +18,7 @@
 //!                                     └───────────┘
 //! ```
 
+use sd_flow::FlowKey;
 use sd_ips::alert::AlertSource;
 use sd_ips::conventional::{ConventionalConfig, ConventionalIps};
 use sd_ips::{Alert, Ips, ResourceUsage, SignatureSet};
@@ -26,8 +27,21 @@ use sd_telemetry::{PipelineTelemetry, Stage};
 use crate::config::{ConfigError, SplitDetectConfig};
 use crate::divert::DiversionManager;
 use crate::fastpath::{FastPath, FastPathParams, Verdict};
+use crate::slowpath::{SlowPathPool, SlowWorkerFailure};
 use crate::split::SplitPlan;
 use crate::stats::SplitDetectStats;
+
+/// How diverted packets reach the conventional slow path: inline on the
+/// hot thread (synchronous alerts — the default), or enqueued to the
+/// asynchronous bounded worker pool (`slow_path_workers ≥ 1`), whose
+/// alerts surface at [`SplitDetect::poll`] / `finish()`.
+// One instance per engine, never collected — boxing the big variant
+// would buy nothing but an extra indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum SlowPathDispatch {
+    Inline(ConventionalIps),
+    Pool(SlowPathPool),
+}
 
 /// The Split-Detect engine.
 ///
@@ -53,7 +67,7 @@ use crate::stats::SplitDetectStats;
 pub struct SplitDetect {
     fast: FastPath,
     divert: DiversionManager,
-    slow: ConventionalIps,
+    slow: SlowPathDispatch,
     config: SplitDetectConfig,
     usage: ResourceUsage,
     packets_to_slow: u64,
@@ -111,14 +125,22 @@ impl SplitDetect {
                 small_counter: config.small_counter,
             },
         );
-        let slow = ConventionalIps::with_config(
-            sigs,
-            ConventionalConfig {
-                policy: config.slow_path_policy,
-                max_connections: config.slow_path_max_connections,
-                urgent: config.slow_path_urgent,
-            },
-        );
+        let conv = ConventionalConfig {
+            policy: config.slow_path_policy,
+            max_connections: config.slow_path_max_connections,
+            urgent: config.slow_path_urgent,
+        };
+        let slow = if config.slow_path_workers == 0 {
+            SlowPathDispatch::Inline(ConventionalIps::with_config(sigs, conv))
+        } else {
+            SlowPathDispatch::Pool(SlowPathPool::new(
+                sigs,
+                conv,
+                config.slow_path_workers,
+                config.slow_path_lane_depth,
+                config.slow_path_shed,
+            ))
+        };
         SplitDetect {
             fast,
             divert: DiversionManager::with_policy(
@@ -145,12 +167,30 @@ impl SplitDetect {
         self.fast.plan()
     }
 
+    /// Resource usage of the slow-path engine(s). In asynchronous pool
+    /// mode the worker engines own their state until `finish()` joins
+    /// them, so live readings are zero mid-run and settle at finish.
+    fn slow_resources(&self) -> ResourceUsage {
+        match &self.slow {
+            SlowPathDispatch::Inline(slow) => slow.resources(),
+            SlowPathDispatch::Pool(pool) => pool.usage(),
+        }
+    }
+
     /// Snapshot of everything the experiments measure.
     pub fn stats(&self) -> SplitDetectStats {
-        let slow_res = self.slow.resources();
+        let slow_res = self.slow_resources();
+        let mut divert = self.divert.stats();
+        if let SlowPathDispatch::Pool(pool) = &self.slow {
+            // Shedding happens at the pool's lanes, but it is part of the
+            // diversion story — surface it where the report reads it.
+            let p = pool.stats();
+            divert.shed_packets = p.shed_packets;
+            divert.shed_bytes = p.shed_bytes;
+        }
         SplitDetectStats {
             fast: self.fast.stats(),
-            divert: self.divert.stats(),
+            divert,
             flows_seen: self.fast.table_stats().insertions,
             packets_to_slow: self.packets_to_slow,
             bytes_to_slow: self.bytes_to_slow,
@@ -177,17 +217,70 @@ impl SplitDetect {
         self.fast.decay_small_counters();
     }
 
-    fn hand_to_slow(&mut self, packet: &[u8], tick: u64, out: &mut Vec<Alert>) {
-        self.telemetry.stage_packet(Stage::SlowPath);
-        self.packets_to_slow += 1;
-        self.bytes_to_slow += packet_info(packet).0 as u64;
-        let before = out.len();
-        self.slow.process_packet(packet, tick, out);
-        // Slow-path alerts are re-labelled so reports can attribute them.
-        for alert in &mut out[before..] {
-            alert.source = AlertSource::SlowPath;
+    /// Workers of the asynchronous slow-path pool that panicked (empty in
+    /// inline mode, and before `finish()`). A failed worker degrades —
+    /// its flows' packets are shed and counted — it never aborts the run.
+    pub fn slow_failures(&self) -> &[SlowWorkerFailure] {
+        match &self.slow {
+            SlowPathDispatch::Inline(_) => &[],
+            SlowPathDispatch::Pool(pool) => pool.failures(),
         }
-        self.usage.alerts += (out.len() - before) as u64;
+    }
+
+    /// Drain slow-path alerts delivered so far into `out` (asynchronous
+    /// pool mode; a no-op inline, where alerts are synchronous). Mid-run
+    /// drains are best-effort — whatever has arrived is merged in
+    /// deterministic `(tick, worker, seq)` order; `finish()` performs the
+    /// complete merge.
+    pub fn poll(&mut self, out: &mut Vec<Alert>) {
+        if let SlowPathDispatch::Pool(pool) = &mut self.slow {
+            let before = out.len();
+            let info = pool.poll(out);
+            self.usage.alerts += (out.len() - before) as u64;
+            for ns in &info.latencies_ns {
+                self.telemetry.observe_slowpath_latency(*ns);
+            }
+            self.telemetry.set_slowpath_queue_depth(info.queue_depth);
+        }
+    }
+
+    fn hand_to_slow(&mut self, key: FlowKey, packet: &[u8], tick: u64, out: &mut Vec<Alert>) {
+        self.telemetry.stage_packet(Stage::SlowPath);
+        // Payload length is parsed *before* the slow path validates the
+        // packet: accounting is best-effort (0 for unparsable bytes), and
+        // each packet is counted exactly once — replayed history packets
+        // arrive here individually, the live diverting packet afterwards.
+        let payload_len = packet_info(packet).0;
+        match &mut self.slow {
+            SlowPathDispatch::Inline(slow) => {
+                self.packets_to_slow += 1;
+                self.bytes_to_slow += payload_len as u64;
+                let before = out.len();
+                slow.process_packet(packet, tick, out);
+                // Slow-path alerts are re-labelled so reports can attribute
+                // them.
+                for alert in &mut out[before..] {
+                    alert.source = AlertSource::SlowPath;
+                }
+                self.usage.alerts += (out.len() - before) as u64;
+            }
+            SlowPathDispatch::Pool(pool) => {
+                let outcome = pool.enqueue(key, packet, payload_len, tick);
+                if outcome.accepted {
+                    // `packets/bytes_to_slow` count what the slow path
+                    // actually receives; shed traffic is counted apart.
+                    self.packets_to_slow += 1;
+                    self.bytes_to_slow += payload_len as u64;
+                } else {
+                    self.telemetry.slowpath_shed(payload_len as u64);
+                }
+                self.telemetry.set_slowpath_queue_depth(pool.queue_depth());
+                if let Some(alert) = outcome.overload_alert {
+                    out.push(alert);
+                    self.usage.alerts += 1;
+                }
+            }
+        }
     }
 }
 
@@ -254,7 +347,8 @@ impl Ips for SplitDetect {
                 }
             }
             Verdict::AlreadyDiverted => {
-                self.hand_to_slow(packet, tick, out);
+                let key = key.expect("already-diverted verdicts carry a key");
+                self.hand_to_slow(key, packet, tick, out);
                 self.telemetry.stage_lap(&mut clock, Stage::SlowPath);
             }
             Verdict::Divert(_reason) => {
@@ -263,9 +357,9 @@ impl Ips for SplitDetect {
                 self.telemetry.stage_lap(&mut clock, Stage::Divert);
                 self.telemetry.stage_packet(Stage::Divert);
                 for old in history {
-                    self.hand_to_slow(&old, tick, out);
+                    self.hand_to_slow(key, &old, tick, out);
                 }
-                self.hand_to_slow(packet, tick, out);
+                self.hand_to_slow(key, packet, tick, out);
                 self.telemetry.stage_lap(&mut clock, Stage::SlowPath);
             }
             Verdict::Drop => {}
@@ -275,16 +369,33 @@ impl Ips for SplitDetect {
 
         let state = self.fast.table_memory_bytes() as u64
             + self.divert.memory_bytes() as u64
-            + self.slow.resources().state_bytes;
+            + self.slow_resources().state_bytes;
         self.usage.observe_state(state);
     }
 
     fn finish(&mut self, out: &mut Vec<Alert>) {
-        self.slow.finish(out);
+        match &mut self.slow {
+            SlowPathDispatch::Inline(slow) => slow.finish(out),
+            SlowPathDispatch::Pool(pool) => {
+                let before = out.len();
+                let info = pool.finish(out);
+                self.usage.alerts += (out.len() - before) as u64;
+                for ns in &info.latencies_ns {
+                    self.telemetry.observe_slowpath_latency(*ns);
+                }
+                self.telemetry.set_slowpath_queue_depth(0);
+                // Joined worker state is now visible; fold the peak in so
+                // post-finish resource readings are comparable to inline.
+                let state = self.fast.table_memory_bytes() as u64
+                    + self.divert.memory_bytes() as u64
+                    + pool.usage().state_bytes;
+                self.usage.observe_state(state);
+            }
+        }
     }
 
     fn resources(&self) -> ResourceUsage {
-        let slow = self.slow.resources();
+        let slow = self.slow_resources();
         ResourceUsage {
             packets: self.usage.packets,
             payload_bytes: self.usage.payload_bytes,
@@ -501,6 +612,182 @@ mod tests {
             .build();
         sd.process_packet(ip_of_frame(&frame), 0, &mut out2);
         assert!(sd.stats().fast_state_bytes < 4096);
+    }
+
+    fn pool_config(workers: usize) -> SplitDetectConfig {
+        SplitDetectConfig {
+            slow_path_workers: workers,
+            ..Default::default()
+        }
+    }
+
+    /// Run a trace through an engine, polling between packets like a live
+    /// deployment would, and return sorted alert identity keys.
+    fn run_async(
+        config: SplitDetectConfig,
+        pkts: &[Vec<u8>],
+    ) -> Vec<(sd_flow::FlowKey, usize, u64, u8)> {
+        let sigs = SignatureSet::from_signatures([Signature::new("evil", SIG)]);
+        let mut e = SplitDetect::with_config(sigs, config).unwrap();
+        let mut out = Vec::new();
+        for (tick, p) in pkts.iter().enumerate() {
+            e.process_packet(p, tick as u64, &mut out);
+            e.poll(&mut out);
+        }
+        e.finish(&mut out);
+        assert!(e.slow_failures().is_empty());
+        let mut keys: Vec<_> = out
+            .iter()
+            .map(|a| (a.flow, a.signature, a.offset, a.source as u8))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn async_pool_is_alert_equivalent_to_inline() {
+        // Whole signature, split signature, and history-replay shapes, all
+        // through inline and 1/2/4-worker pools: identical alert sets.
+        let mut whole = b"....".to_vec();
+        whole.extend_from_slice(SIG);
+        let traces: Vec<Vec<Vec<u8>>> = vec![
+            vec![pkt(1000, &whole)],
+            vec![pkt(1000, &SIG[..10]), pkt(1010, &SIG[10..])],
+            {
+                let mut head = SIG[..7].to_vec();
+                head.splice(0..0, b"x".iter().copied());
+                vec![
+                    pkt(1000, &head),
+                    pkt(1008, &SIG[7..17]),
+                    pkt(1018, &SIG[17..]),
+                ]
+            },
+        ];
+        for (i, trace) in traces.iter().enumerate() {
+            let inline = run_async(pool_config(0), trace);
+            assert!(!inline.is_empty(), "trace {i} must alert inline");
+            for workers in [1usize, 2, 4] {
+                let pooled = run_async(pool_config(workers), trace);
+                assert_eq!(pooled, inline, "trace {i}: {workers} workers diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_to_slow_counts_each_packet_exactly_once() {
+        // Pins the accounting in hand_to_slow: payload bytes are measured
+        // per delivered packet — replayed history packets once each, the
+        // live diverting packet once — and unparsable bytes never count.
+        let mut e = engine();
+        let mut out = Vec::new();
+        // q1: benign 8-byte payload, recorded to the delay line.
+        let mut head = SIG[..7].to_vec();
+        head.splice(0..0, b"x".iter().copied());
+        let q1 = pkt(1000, &head); // 8 payload bytes
+        let q2 = pkt(1008, &SIG[7..17]); // 10 bytes, diverts (piece hit)
+        let q3 = pkt(1018, &SIG[17..]); // 7 bytes, already diverted
+        e.process_packet(&q1, 0, &mut out);
+        assert_eq!(e.stats().bytes_to_slow, 0, "benign packet not counted");
+        e.process_packet(&q2, 1, &mut out);
+        // Divert replays q1 from the delay line (8 B) then hands q2 (10 B):
+        // each exactly once, even though q1 was both recorded and replayed.
+        assert_eq!(e.stats().bytes_to_slow, 18);
+        assert_eq!(e.stats().packets_to_slow, 2);
+        e.process_packet(&q3, 2, &mut out);
+        assert_eq!(e.stats().bytes_to_slow, 25);
+        assert_eq!(e.stats().packets_to_slow, 3);
+        // Garbage and truncated packets parse to no payload: whatever path
+        // they take, they must not inflate the slow-path byte accounting.
+        let garbage = vec![0xFFu8; 40];
+        e.process_packet(&garbage, 3, &mut out);
+        let truncated = &q3[..q3.len().min(24)]; // IP header only
+        e.process_packet(truncated, 4, &mut out);
+        assert_eq!(
+            e.stats().bytes_to_slow,
+            25,
+            "unparsable diverted traffic must count zero payload bytes"
+        );
+    }
+
+    #[test]
+    fn finish_twice_is_idempotent_in_both_modes() {
+        for workers in [0usize, 2] {
+            let sigs = SignatureSet::from_signatures([Signature::new("evil", SIG)]);
+            let mut e = SplitDetect::with_config(sigs, pool_config(workers)).unwrap();
+            let mut payload = b"..".to_vec();
+            payload.extend_from_slice(SIG);
+            let mut out = Vec::new();
+            e.process_packet(&pkt(1000, &payload), 0, &mut out);
+            e.finish(&mut out);
+            assert_eq!(out.len(), 1, "{workers} workers: one alert after finish");
+            e.finish(&mut out);
+            assert_eq!(out.len(), 1, "{workers} workers: second finish re-emitted");
+        }
+    }
+
+    #[test]
+    fn drop_with_in_flight_slow_work_is_safe() {
+        let sigs = SignatureSet::from_signatures([Signature::new("evil", SIG)]);
+        let mut e = SplitDetect::with_config(sigs, pool_config(4)).unwrap();
+        let mut out = Vec::new();
+        // Divert many flows and keep feeding them so work is queued when
+        // the engine drops without finish().
+        for f in 0..32u16 {
+            let src = format!("10.3.{}.{}:4000", f / 200, f % 200 + 1);
+            let first = TcpPacketSpec::new(&src, "10.0.0.2:80")
+                .seq(1000)
+                .flags(TcpFlags::ACK.union(TcpFlags::PSH))
+                .payload(&SIG[..10])
+                .build();
+            e.process_packet(ip_of_frame(&first), f as u64, &mut out);
+            for j in 0..8u32 {
+                let follow = TcpPacketSpec::new(&src, "10.0.0.2:80")
+                    .seq(1010 + j * 1400)
+                    .flags(TcpFlags::ACK)
+                    .payload(&[b'm'; 1400])
+                    .build();
+                e.process_packet(ip_of_frame(&follow), 100 + j as u64, &mut out);
+            }
+        }
+        drop(e); // must join worker threads without panicking or hanging
+    }
+
+    #[test]
+    fn overload_shed_is_counted_and_alerted() {
+        let sigs = SignatureSet::from_signatures([Signature::new("evil", SIG)]);
+        let config = SplitDetectConfig {
+            slow_path_workers: 1,
+            slow_path_lane_depth: 1,
+            ..Default::default()
+        };
+        let mut e = SplitDetect::with_config(sigs, config).unwrap();
+        let mut out = Vec::new();
+        // Divert one flow, then flood it far past what a depth-1 lane and
+        // one reassembling worker can absorb.
+        e.process_packet(&pkt(1000, &SIG[..10]), 0, &mut out);
+        let n = 2000u32;
+        for i in 0..n {
+            e.process_packet(&pkt(1010 + i * 1400, &[b'f'; 1400]), 1 + i as u64, &mut out);
+        }
+        e.finish(&mut out);
+        let s = e.stats();
+        // Conservation: every diverted packet was either delivered or shed.
+        assert_eq!(
+            s.packets_to_slow + s.divert.shed_packets,
+            1 + n as u64,
+            "delivered + shed must cover every diverted packet"
+        );
+        assert!(
+            s.divert.shed_packets > 0,
+            "a depth-1 lane cannot absorb a {n}-packet flood"
+        );
+        assert_eq!(s.divert.shed_bytes % 1400, 0, "only flood packets shed");
+        assert!(
+            out.iter().any(|a| a.source == AlertSource::Overload),
+            "default policy must surface the overload in the alert stream"
+        );
+        let report = crate::RunReport::new(s).to_string();
+        assert!(report.contains("shed at full slow-path lanes"), "{report}");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   that lets the slow path see the packets that *caused* diversion,
 //! * [`engine`] — [`SplitDetect`], the full `Ips`-trait engine wiring fast
 //!   path, diversion and slow path together,
+//! * [`slowpath`] — the asynchronous bounded slow-path worker pool with
+//!   load shedding: decouples diverted-flow reassembly from the hot
+//!   thread (inline remains the default; see `ShedPolicy`),
 //! * [`shard`] — flow-hash sharding across N engine instances: the
 //!   software form of the parallelism the 20 Gbps argument assumes,
 //! * [`theory`] — the detection theorem: machine-checkable statement of the
@@ -48,6 +51,7 @@ pub mod engine;
 pub mod fastpath;
 pub mod report;
 pub mod shard;
+pub mod slowpath;
 pub mod split;
 pub mod stats;
 pub mod theory;
@@ -57,6 +61,7 @@ pub use divert::{DivertStats, EvictionPolicy};
 pub use engine::SplitDetect;
 pub use report::RunReport;
 pub use shard::{ShardDispatchStats, ShardFailure, ShardedSplitDetect};
+pub use slowpath::{ShedPolicy, SlowPathPool, SlowWorkerFailure};
 pub use split::SplitPlan;
 pub use stats::SplitDetectStats;
 

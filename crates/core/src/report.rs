@@ -227,6 +227,16 @@ impl fmt::Display for RunReport {
                 s.divert.set_refused, s.divert.policy
             )?;
         }
+        if s.divert.shed_packets > 0 {
+            writeln!(
+                f,
+                "WARNING: {} diverted packets ({}) shed at full slow-path lanes — \
+                 those flows were not fully inspected; raise slow-path workers or \
+                 lane depth",
+                s.divert.shed_packets,
+                human_bytes(s.divert.shed_bytes)
+            )?;
+        }
         if !self.dispatch.is_empty() {
             let d = ShardDispatchStats::aggregate(&self.dispatch);
             writeln!(
@@ -292,6 +302,19 @@ mod tests {
         assert!(text.contains("piece-match=1"), "{text}");
         assert!(text.contains("state: fast"), "{text}");
         assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn shed_traffic_warns() {
+        let sigs =
+            SignatureSet::from_signatures([Signature::new("e", &b"EVIL_SIGNATURE_BYTES"[..])]);
+        let engine = SplitDetect::new(sigs).unwrap();
+        let mut stats = engine.stats();
+        stats.divert.shed_packets = 42;
+        stats.divert.shed_bytes = 58_800;
+        let text = RunReport::new(stats).to_string();
+        assert!(text.contains("WARNING: 42 diverted packets"), "{text}");
+        assert!(text.contains("shed at full slow-path lanes"), "{text}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! A per-packet channel send plus a per-packet `Vec` allocation would make
 //! the dispatcher, not the engines, the bottleneck (experiment E15
 //! measures exactly this). The dispatcher therefore accumulates packets
-//! into per-shard [`PacketBatch`] buffers — one contiguous byte arena plus
+//! into per-shard `PacketBatch` buffers — one contiguous byte arena plus
 //! a span index — and sends whole batches. Workers return drained batches
 //! through a recycle channel, so steady-state operation performs **zero
 //! heap allocations per packet**: every byte is copied once into a pooled
@@ -294,6 +294,18 @@ impl ShardedSplitDetect {
     /// single-instance engine with `config` would hold. The dispatcher
     /// batches [`SplitDetectConfig::shard_batch_packets`] packets per
     /// channel send.
+    ///
+    /// When `config.slow_path_workers ≥ 1`, each shard owns its own
+    /// slow-path worker pool (so the process runs `shards ×
+    /// slow_path_workers` slow-path threads). Per-shard — not shared —
+    /// pools are deliberate: a shard *is* a complete single engine over
+    /// its flow partition, so the flow-affinity argument that makes
+    /// sharding alert-equivalent to a single engine carries over with
+    /// zero cross-shard coordination, no shared-channel contention on the
+    /// divert path, and shard-local shed accounting. The cost is worker
+    /// threads that cannot steal load across shards; the divert path is
+    /// ~10 % of traffic by design, so idle workers are cheap and an
+    /// overloaded shard is already visible in its own shed counters.
     pub fn new(
         sigs: SignatureSet,
         config: SplitDetectConfig,

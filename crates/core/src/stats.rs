@@ -112,6 +112,8 @@ impl SplitDetectStats {
                 "divert.delay_line_misses",
                 self.divert.delay_line_misses.to_string(),
             ),
+            ("divert.shed_packets", self.divert.shed_packets.to_string()),
+            ("divert.shed_bytes", self.divert.shed_bytes.to_string()),
             (
                 "divert.eviction_policy",
                 self.divert.policy.name().to_string(),
@@ -198,6 +200,8 @@ impl SplitDetectStats {
                     "divert.set_refused" => s.divert.set_refused = v,
                     "divert.replayed_packets" => s.divert.replayed_packets = v,
                     "divert.delay_line_misses" => s.divert.delay_line_misses = v,
+                    "divert.shed_packets" => s.divert.shed_packets = v,
+                    "divert.shed_bytes" => s.divert.shed_bytes = v,
                     "flows_seen" => s.flows_seen = v,
                     "packets_to_slow" => s.packets_to_slow = v,
                     "bytes_to_slow" => s.bytes_to_slow = v,
@@ -212,8 +216,8 @@ impl SplitDetectStats {
             }
             seen.push(key.to_string());
         }
-        if seen.len() != 23 {
-            return Err(format!("stats: expected 23 fields, got {}", seen.len()));
+        if seen.len() != 25 {
+            return Err(format!("stats: expected 25 fields, got {}", seen.len()));
         }
         Ok(s)
     }
@@ -240,6 +244,8 @@ impl SplitDetectStats {
             total.divert.set_refused += s.divert.set_refused;
             total.divert.replayed_packets += s.divert.replayed_packets;
             total.divert.delay_line_misses += s.divert.delay_line_misses;
+            total.divert.shed_packets += s.divert.shed_packets;
+            total.divert.shed_bytes += s.divert.shed_bytes;
             // The policy is uniform across shards; keep the first's.
             total.flows_seen += s.flows_seen;
             total.packets_to_slow += s.packets_to_slow;
@@ -336,6 +342,8 @@ mod tests {
         s.divert.set_refused = 25;
         s.divert.replayed_packets = 14;
         s.divert.delay_line_misses = 15;
+        s.divert.shed_packets = 26;
+        s.divert.shed_bytes = 27;
         s.divert.policy = crate::divert::EvictionPolicy::RefuseNew;
         s.flows_seen = 16;
         s.packets_to_slow = 17;
@@ -375,7 +383,7 @@ mod tests {
             .collect();
         assert!(SplitDetectStats::from_text(&t)
             .unwrap_err()
-            .contains("23 fields"));
+            .contains("25 fields"));
         // Bad matcher name.
         let t = good.replace(
             "fastpath_matcher classed+prefilter",

@@ -17,6 +17,12 @@ pub enum AlertSource {
     Stream,
     /// Found by Split-Detect's slow path after diversion.
     SlowPath,
+    /// Synthetic: the slow path was overloaded and this flow's diverted
+    /// packets were shed before inspection. Not a detection — a loud,
+    /// attributable admission that coverage degraded (the alternative, a
+    /// stalled fast path, is exactly what Split-Detect exists to avoid).
+    /// The `signature` field of an overload alert is meaningless.
+    Overload,
 }
 
 impl fmt::Display for AlertSource {
@@ -25,6 +31,7 @@ impl fmt::Display for AlertSource {
             AlertSource::Packet => "packet",
             AlertSource::Stream => "stream",
             AlertSource::SlowPath => "slow-path",
+            AlertSource::Overload => "overload",
         })
     }
 }

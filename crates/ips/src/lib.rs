@@ -29,7 +29,7 @@ pub mod naive;
 pub mod rules;
 pub mod signature;
 
-pub use alert::Alert;
+pub use alert::{Alert, AlertSource};
 pub use api::{Ips, ResourceUsage};
 pub use conventional::ConventionalIps;
 pub use naive::NaivePacketIps;

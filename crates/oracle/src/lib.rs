@@ -17,7 +17,7 @@
 //!   `ConventionalIps` run over each trace with the theorem invariants
 //!   asserted (detection modulo documented divert accounting, sharded /
 //!   unsharded verdict equality, no panics, no decoy alerts);
-//! * [`shrink`] — greedy delta debugging: failing programs are minimized
+//! * [`mod@shrink`] — greedy delta debugging: failing programs are minimized
 //!   to small reproducers and pinned as regression tests.
 //!
 //! The CLI front end is `sd fuzz`; CI runs a bounded smoke campaign.

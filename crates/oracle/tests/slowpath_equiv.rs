@@ -1,0 +1,176 @@
+//! Asynchronous slow-path equivalence over adversarial traces.
+//!
+//! The slow path comes in two dispatch modes — inline (the diverted
+//! packet is reassembled on the hot thread, the paper's baseline) and
+//! the bounded worker pool (packets cross per-worker SPSC lanes and the
+//! alerts come back asynchronously). The pool is only sound if, absent
+//! shedding, it is *alert-equivalent* to inline dispatch: same alerts on
+//! every wire input, for any worker count, in one deterministic order
+//! once the run is finished. The unit tests pin this on hand-built
+//! flows; this suite pins it on the oracle's adversarial traces, where
+//! the payload arrives fragmented, overlapped, chaffed and out of
+//! order — exactly the shapes that force traffic through the divert
+//! stage and into the slow path.
+//!
+//! Lanes are provisioned deep (4096 packets) so nothing is shed; each
+//! run asserts that precondition before comparing. Stats are compared
+//! whole except the two slow-path residency gauges
+//! (`slow_state_bytes`, `slow_state_peak_bytes`): the pool reports
+//! per-worker sums, which legitimately differ from the single inline
+//! reassembler. Everything observable about the traffic — alerts,
+//! divert accounting, byte counters — must match bit for bit.
+
+use sd_ips::api::run_trace;
+use sd_ips::{Alert, Signature, SignatureSet};
+use sd_oracle::{CompiledTrace, TraceProgram, ORACLE_SIGNATURE};
+use splitdetect::{ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats};
+
+/// The pinned regression traces from `regression.rs`: shrunk reproducers
+/// of real engine bugs, i.e. exactly the wire shapes that have fooled
+/// this engine before.
+const PINNED: [&str; 3] = [
+    "# split-detect fuzz trace\n\
+     seed 77\n\
+     policy first\n\
+     prefix 40\n\
+     suffix 30\n\
+     mutate split-sig 9\n\
+     mutate frag 0 24\n",
+    "# split-detect fuzz trace\n\
+     seed 13968259953709020894\n\
+     policy first\n\
+     prefix 1\n\
+     suffix 2\n\
+     mutate chaff-cksum 1501928558060025601\n\
+     mutate frag 3759307373701782754 43\n",
+    "# split-detect fuzz trace\n\
+     seed 5770459859425060368\n\
+     policy linux\n\
+     prefix 1\n\
+     suffix 2\n\
+     mutate retransmit-bad 9843630119496533149\n\
+     mutate frag-overlap 71580601167850740\n",
+];
+
+/// Lane depth deep enough that no oracle trace can fill a worker lane:
+/// shedding would break equivalence by design, so the suite rules it out.
+const DEEP_LANES: usize = 4096;
+
+fn signatures() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("oracle-evil", ORACLE_SIGNATURE)])
+}
+
+fn config_for(compiled: &CompiledTrace, workers: usize) -> SplitDetectConfig {
+    SplitDetectConfig {
+        slow_path_policy: compiled.victim.policy,
+        slow_path_workers: workers,
+        slow_path_lane_depth: DEEP_LANES,
+        ..Default::default()
+    }
+}
+
+/// Sort key making alert lists comparable: flow, signature, offset, stage.
+fn alert_keys(alerts: &[Alert]) -> Vec<(sd_flow::FlowKey, usize, u64, u8)> {
+    let mut keys: Vec<_> = alerts
+        .iter()
+        .map(|a| (a.flow, a.signature, a.offset, a.source as u8))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Blank out the fields that legitimately differ between dispatch modes.
+fn normalized(mut stats: SplitDetectStats) -> SplitDetectStats {
+    stats.slow_state_bytes = 0;
+    stats.slow_state_peak_bytes = 0;
+    stats
+}
+
+fn run_single(
+    compiled: &CompiledTrace,
+    workers: usize,
+    label: &str,
+) -> (Vec<(sd_flow::FlowKey, usize, u64, u8)>, SplitDetectStats) {
+    let mut engine = SplitDetect::with_config(signatures(), config_for(compiled, workers))
+        .expect("oracle config is admissible");
+    let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
+    assert!(
+        engine.slow_failures().is_empty(),
+        "{label}: slow-path worker failed: {:?}",
+        engine.slow_failures()
+    );
+    let stats = engine.stats();
+    assert_eq!(
+        stats.divert.shed_packets, 0,
+        "{label}: deep lanes must not shed, equivalence precondition broken"
+    );
+    (alert_keys(&alerts), stats)
+}
+
+fn assert_workers_agree(compiled: &CompiledTrace, label: &str) {
+    let (inline_alerts, inline_stats) = run_single(compiled, 0, &format!("{label} inline"));
+    for workers in [1usize, 2, 4] {
+        let sub = format!("{label} {workers}w");
+        let (alerts, stats) = run_single(compiled, workers, &sub);
+        assert_eq!(
+            alerts, inline_alerts,
+            "{sub}: pooled alerts diverge from inline"
+        );
+        assert_eq!(
+            normalized(stats),
+            normalized(inline_stats),
+            "{sub}: pooled stats diverge from inline"
+        );
+    }
+}
+
+#[test]
+fn pinned_regressions_agree_across_worker_counts() {
+    for (i, text) in PINNED.iter().enumerate() {
+        let program = TraceProgram::from_text(text).expect("pinned trace must parse");
+        let compiled = program.compile();
+        // The pins must keep their teeth: each one delivers the signature
+        // and the engine alerts, so the agreement below is about real
+        // detections, not every dispatch mode saying nothing.
+        let (inline_alerts, _) = run_single(&compiled, 0, &format!("pin {i} inline"));
+        assert!(
+            !inline_alerts.is_empty(),
+            "pin {i} no longer triggers any alert"
+        );
+        assert_workers_agree(&compiled, &format!("pin {i}"));
+    }
+}
+
+#[test]
+fn random_adversarial_programs_agree_across_worker_counts() {
+    for seed in 0..48u64 {
+        let compiled = TraceProgram::random(seed).compile();
+        assert_workers_agree(&compiled, &format!("random program seed {seed}"));
+    }
+}
+
+#[test]
+fn sharded_engines_agree_across_worker_counts() {
+    for (i, text) in PINNED.iter().enumerate() {
+        let program = TraceProgram::from_text(text).expect("pinned trace must parse");
+        let compiled = program.compile();
+        let (inline_alerts, _) = run_single(&compiled, 0, &format!("pin {i} inline"));
+        for workers in [1usize, 2, 4] {
+            for shards in [2usize, 4] {
+                let mut engine =
+                    ShardedSplitDetect::new(signatures(), config_for(&compiled, workers), shards)
+                        .expect("oracle config is admissible");
+                let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
+                assert!(
+                    engine.failures().is_empty(),
+                    "pin {i}: {workers}w x{shards} shard worker failed"
+                );
+                assert_eq!(
+                    alert_keys(&alerts),
+                    inline_alerts,
+                    "pin {i}: {workers}w x{shards} shards diverge from single inline"
+                );
+            }
+        }
+    }
+}

@@ -141,7 +141,7 @@ impl TcpOption {
             TcpOption::Unknown { kind, data_len } => {
                 out.push(kind);
                 out.push(data_len + 2);
-                out.extend(std::iter::repeat_n(0u8, data_len as usize));
+                out.extend(std::iter::repeat(0u8).take(data_len as usize));
             }
         }
     }

@@ -112,6 +112,10 @@ pub struct PipelineTelemetry {
     diverted_flows: GaugeId,
     divert_memory: GaugeId,
     automaton_memory: GaugeId,
+    slowpath_queue_depth: GaugeId,
+    slowpath_shed: CounterId,
+    slowpath_shed_bytes: CounterId,
+    slowpath_latency: HistogramId,
 }
 
 impl PipelineTelemetry {
@@ -155,6 +159,22 @@ impl PipelineTelemetry {
             "sd_automaton_bytes",
             "Compiled piece-automaton table bytes (shared, not per-flow)",
         );
+        let slowpath_queue_depth = r.gauge(
+            "sd_slowpath_queue_depth",
+            "Diverted packets currently queued in slow-path worker lanes",
+        );
+        let slowpath_shed = r.counter(
+            "sd_slowpath_shed_total",
+            "Diverted packets shed at a full slow-path worker lane",
+        );
+        let slowpath_shed_bytes = r.counter(
+            "sd_slowpath_shed_bytes_total",
+            "Payload bytes of diverted packets shed at a full worker lane",
+        );
+        let slowpath_latency = r.histogram(
+            "sd_slowpath_latency_ns",
+            "Enqueue-to-alert-delivery latency of asynchronous slow-path alerts",
+        );
         PipelineTelemetry {
             registry: r,
             sample_shift,
@@ -169,6 +189,10 @@ impl PipelineTelemetry {
             diverted_flows,
             divert_memory,
             automaton_memory,
+            slowpath_queue_depth,
+            slowpath_shed,
+            slowpath_shed_bytes,
+            slowpath_latency,
         }
     }
 
@@ -227,6 +251,33 @@ impl PipelineTelemetry {
     #[inline]
     pub fn set_automaton_bytes(&mut self, bytes: usize) {
         self.registry.set(self.automaton_memory, bytes as i64);
+    }
+
+    /// Update the slow-path worker-lane occupancy gauge (asynchronous
+    /// dispatch mode; inline engines leave it at zero).
+    #[inline]
+    pub fn set_slowpath_queue_depth(&mut self, depth: u64) {
+        self.registry.set(self.slowpath_queue_depth, depth as i64);
+    }
+
+    /// Count one diverted packet (and its payload bytes) shed at a full
+    /// slow-path worker lane.
+    #[inline]
+    pub fn slowpath_shed(&mut self, payload_bytes: u64) {
+        self.registry.inc(self.slowpath_shed, 1);
+        self.registry.inc(self.slowpath_shed_bytes, payload_bytes);
+    }
+
+    /// Record one enqueue→alert-delivery latency sample from the
+    /// asynchronous slow path.
+    #[inline]
+    pub fn observe_slowpath_latency(&mut self, ns: u64) {
+        self.registry.observe(self.slowpath_latency, ns);
+    }
+
+    /// The slow-path delivery-latency histogram.
+    pub fn slowpath_latency(&self) -> &crate::registry::Histogram {
+        self.registry.histogram_ref(self.slowpath_latency)
     }
 
     /// The underlying registry, for export.
@@ -349,5 +400,31 @@ mod tests {
             text.contains("sd_stage_latency_ns_bucket{stage=\"parse\""),
             "{text}"
         );
+    }
+
+    #[test]
+    fn slowpath_metrics_record_and_merge() {
+        let mut a = PipelineTelemetry::new(Some(6));
+        let mut b = PipelineTelemetry::new(Some(6));
+        a.set_slowpath_queue_depth(7);
+        a.slowpath_shed(1400);
+        a.slowpath_shed(200);
+        a.observe_slowpath_latency(1_000);
+        b.slowpath_shed(64);
+        b.observe_slowpath_latency(9_000);
+        a.merge_from(&b).unwrap();
+        assert_eq!(
+            a.registry().counter_by_name("sd_slowpath_shed_total"),
+            Some(3)
+        );
+        assert_eq!(
+            a.registry().counter_by_name("sd_slowpath_shed_bytes_total"),
+            Some(1664)
+        );
+        assert_eq!(a.slowpath_latency().count, 2);
+        let text = crate::export::to_prometheus(a.registry());
+        crate::promcheck::validate(&text).unwrap();
+        assert!(text.contains("sd_slowpath_queue_depth"), "{text}");
+        assert!(text.contains("sd_slowpath_latency_ns_bucket"), "{text}");
     }
 }

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare freshly-measured benchmark JSON against checked-in baselines.
+
+Usage:
+    bench_compare.py [--threshold 0.15] BASELINE CURRENT [BASELINE CURRENT ...]
+
+Each file is one of the ``BENCH_*.json`` records written by
+``scripts/bench_json.sh``: an object with a ``results`` array whose rows
+mix identity fields (strings, e.g. ``mix``/``matcher``/``mode``) and
+metric fields (numbers). Throughput metrics — any numeric field whose
+name contains ``mib_per_s``, ``gbps`` or ``throughput`` — are
+higher-is-better medians; a row regresses when the current value drops
+more than ``--threshold`` (default 15%) below the baseline. Rows or
+metrics present on only one side are reported but never fail the gate
+(benches grow new modes; old baselines lag a commit behind).
+
+Prints a markdown delta table to stdout and, when running under GitHub
+Actions, appends it to ``$GITHUB_STEP_SUMMARY``. Exits non-zero iff any
+metric regressed beyond the threshold. Standard library only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+METRIC_MARKERS = ("mib_per_s", "gbps", "throughput")
+
+
+def is_throughput(name, value):
+    return isinstance(value, (int, float)) and any(m in name for m in METRIC_MARKERS)
+
+
+def row_key(row):
+    """Identity of a result row: its string-valued fields, in key order."""
+    parts = [f"{k}={v}" for k, v in sorted(row.items()) if isinstance(v, str)]
+    return " ".join(parts) or "<anonymous row>"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        sys.exit(f"{path}: no 'results' array")
+    table = {}
+    for row in rows:
+        metrics = {k: float(v) for k, v in row.items() if is_throughput(k, v)}
+        if not metrics:
+            sys.exit(f"{path}: row {row_key(row)!r} has no throughput metric")
+        table[row_key(row)] = metrics
+    return doc.get("bench", os.path.basename(path)), table
+
+
+def compare(base_path, cur_path, threshold):
+    bench, base = load(base_path)
+    _, cur = load(cur_path)
+    lines = []
+    failures = []
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            lines.append((bench, key, "-", "absent", "absent", "-", "row dropped"))
+            continue
+        if key not in base:
+            lines.append((bench, key, "-", "absent", "absent", "-", "new row"))
+            continue
+        for metric in sorted(set(base[key]) | set(cur[key])):
+            if metric not in base[key] or metric not in cur[key]:
+                lines.append((bench, key, metric, "absent", "absent", "-", "new metric"))
+                continue
+            b, c = base[key][metric], cur[key][metric]
+            delta = (c - b) / b if b else 0.0
+            regressed = delta < -threshold
+            status = "REGRESSED" if regressed else "ok"
+            lines.append(
+                (bench, key, metric, f"{b:.1f}", f"{c:.1f}", f"{delta:+.1%}", status)
+            )
+            if regressed:
+                failures.append(f"{bench}: {key} {metric} {delta:+.1%} (>{threshold:.0%} drop)")
+    return lines, failures
+
+
+def markdown(all_lines, threshold):
+    out = [f"### Bench regression gate (fail below -{threshold:.0%})", ""]
+    out.append("| bench | row | metric | baseline | current | delta | status |")
+    out.append("|---|---|---|---:|---:|---:|---|")
+    for line in all_lines:
+        out.append("| " + " | ".join(str(x) for x in line) + " |")
+    return "\n".join(out) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("files", nargs="+", metavar="BASELINE CURRENT")
+    args = ap.parse_args()
+    if len(args.files) % 2:
+        ap.error("files must come in BASELINE CURRENT pairs")
+
+    all_lines = []
+    failures = []
+    for i in range(0, len(args.files), 2):
+        lines, fails = compare(args.files[i], args.files[i + 1], args.threshold)
+        all_lines.extend(lines)
+        failures.extend(fails)
+
+    table = markdown(all_lines, args.threshold)
+    print(table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(table)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Record the fast-path matcher benchmark as machine-readable JSON.
+# Record the performance benchmarks as machine-readable JSON.
 #
-# Runs the `fastpath` bench (release profile) with SD_FASTPATH_JSON
-# pointed at BENCH_fastpath.json in the repo root, so the dense /
-# classed / classed+prefilter throughput trajectory is checked in next
-# to the code that changed it. Pass SD_FASTPATH_ENFORCE=1 to also fail
-# unless the prefiltered engine is no slower than dense on the benign
-# mix (the CI smoke gate).
+# Runs the `fastpath` bench with SD_FASTPATH_JSON pointed at
+# BENCH_fastpath.json and the `slowpath` bench with SD_SLOWPATH_JSON
+# pointed at BENCH_slowpath.json, both in the repo root, so the matcher
+# throughput trajectory and the slow-path dispatch speedup are checked
+# in next to the code that changed them. `scripts/bench_compare.py`
+# diffs a fresh pair of these files against the checked-in baselines in
+# the CI perf-regression gate. Pass SD_FASTPATH_ENFORCE=1 /
+# SD_SLOWPATH_ENFORCE=1 to also fail on the benches' own invariants
+# (prefiltered >= dense; pooled ingest >= 2x inline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 SD_FASTPATH_JSON="$PWD/BENCH_fastpath.json" cargo bench -p sd-bench --bench fastpath "$@"
 echo "recorded $PWD/BENCH_fastpath.json"
+SD_SLOWPATH_JSON="$PWD/BENCH_slowpath.json" cargo bench -p sd-bench --bench slowpath "$@"
+echo "recorded $PWD/BENCH_slowpath.json"
