@@ -168,6 +168,9 @@ fn e2() {
             SplitDetectConfig {
                 flow_table_capacity: n * 2,
                 slow_path_max_connections: n,
+                // Pin the flow-hash key: the experiments regenerate
+                // documented tables, so runs must be bit-reproducible.
+                flow_hash_seed: Some(0xE0),
                 ..Default::default()
             },
         )
@@ -627,6 +630,9 @@ fn e8() {
             SplitDetectConfig {
                 flow_table_capacity: n * 2,
                 slow_path_max_connections: n,
+                // Pin the flow-hash key: the experiments regenerate
+                // documented tables, so runs must be bit-reproducible.
+                flow_hash_seed: Some(0xE0),
                 ..Default::default()
             },
         )
@@ -1152,6 +1158,7 @@ fn e14() {
                 SplitDetectConfig {
                     slow_path_max_connections: cap,
                     flow_table_capacity: 2 * n,
+                    flow_hash_seed: Some(0xE0),
                     ..Default::default()
                 },
             )

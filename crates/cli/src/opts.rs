@@ -10,6 +10,7 @@ usage:
                          [--shards N] [--shard-batch PKTS] [--matcher M]
                          [--slow-workers N] [--slow-lane-depth PKTS]
                          [--shed-policy block|shed-flow|alert-overload]
+                         [--flow-hash-seed S]
   sd run <capture.pcap>  [--rules FILE] [--policy P] [--shards N]
                          [--shard-batch PKTS] [--metrics-out PATH]
                          [--matcher M] [--slow-workers N]
@@ -35,6 +36,9 @@ packets the dispatcher accumulates per shard before each channel send
 --matcher selects the fast-path scan engine:
 dense|classed|classed+prefilter (default classed+prefilter, the
 fastest; all three make identical divert decisions).
+--flow-hash-seed S pins the flow-table hash key for bit-reproducible
+runs; without it every engine draws a process-random key, so collision
+floods against the table cannot be precomputed.
 --slow-workers N >= 1 moves the slow path to N asynchronous worker
 threads behind bounded lanes (--slow-lane-depth packets each, default
 512) so diverted flows never stall the fast path; 0 (default) keeps it
@@ -137,6 +141,9 @@ pub struct ParsedArgs {
     pub slow_lane_depth: usize,
     /// `--shed-policy block|shed-flow|alert-overload`: full-lane policy.
     pub shed_policy: splitdetect::ShedPolicy,
+    /// `--flow-hash-seed S`: pin the flow-table hash key (reproducible
+    /// runs); absent, the engine draws a process-random key.
+    pub flow_hash_seed: Option<u64>,
 }
 
 /// The subcommand.
@@ -188,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut slow_workers = 0usize;
     let mut slow_lane_depth = 512usize;
     let mut shed_policy = splitdetect::ShedPolicy::default();
+    let mut flow_hash_seed = None;
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -301,6 +309,13 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                 shed_policy = splitdetect::ShedPolicy::from_name(v)
                     .ok_or_else(|| format!("unknown shed policy {v:?}"))?;
             }
+            "--flow-hash-seed" => {
+                flow_hash_seed = Some(
+                    value_of("--flow-hash-seed")?
+                        .parse()
+                        .map_err(|_| "bad --flow-hash-seed value".to_string())?,
+                )
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -359,6 +374,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         slow_workers,
         slow_lane_depth,
         shed_policy,
+        flow_hash_seed,
     })
 }
 

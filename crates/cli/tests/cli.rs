@@ -317,7 +317,7 @@ fn fuzz_sabotage_finds_minimizes_and_replays() {
         "--iters",
         "64",
         "--seed",
-        "2",
+        "1",
         "--sabotage",
         "ooo",
         "--minimize",

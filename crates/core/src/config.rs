@@ -165,6 +165,13 @@ pub struct SplitDetectConfig {
     pub divert_on_fragments: bool,
     /// Fast-path flow table capacity (slots).
     pub flow_table_capacity: usize,
+    /// Seed for the flow-table and small-counter-Bloom hashes. `None`
+    /// (the default) draws a process-random key at engine build — an
+    /// adversary can no longer precompute flow keys that collide into one
+    /// probe window and evict tracked state. Pin a value for
+    /// bit-reproducible runs (experiments, the differential-fuzz oracle);
+    /// sharded engines derive a distinct per-shard seed from it.
+    pub flow_hash_seed: Option<u64>,
     /// Delay line: how many recent data-bearing packets are held so the
     /// slow path can replay a diverted flow's history (0 = divert-from-now
     /// ablation). Sized to stay cache/SRAM-resident; pure ACKs are not
@@ -232,6 +239,7 @@ impl Default for SplitDetectConfig {
             divert_on_out_of_order: true,
             divert_on_fragments: true,
             flow_table_capacity: 1 << 16,
+            flow_hash_seed: None,
             delay_line_packets: 1024,
             slow_path_policy: OverlapPolicy::First,
             slow_path_max_connections: 1 << 16,

@@ -122,6 +122,7 @@ impl SplitDetect {
                 divert_on_fragments: config.divert_on_fragments,
                 divert_on_urgent: config.divert_on_urgent,
                 table_capacity: config.flow_table_capacity,
+                hash_seed: config.flow_hash_seed.unwrap_or_else(sd_flow::random_seed),
                 small_counter: config.small_counter,
             },
         );

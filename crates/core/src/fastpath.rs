@@ -196,6 +196,12 @@ pub struct FastPathParams {
     pub divert_on_urgent: bool,
     /// Flow-table slots.
     pub table_capacity: usize,
+    /// Resolved hash seed for the flow table (the Bloom backend derives
+    /// its own stream from it). The engine resolves
+    /// `SplitDetectConfig::flow_hash_seed` — random when unset — before
+    /// building; the `Default` here pins 0 so bare unit tests stay
+    /// deterministic.
+    pub hash_seed: u64,
     /// Small-segment counter backend.
     pub small_counter: SmallCounterBackend,
 }
@@ -209,6 +215,7 @@ impl Default for FastPathParams {
             divert_on_fragments: true,
             divert_on_urgent: true,
             table_capacity: 1 << 16,
+            hash_seed: 0,
             small_counter: SmallCounterBackend::Exact,
         }
     }
@@ -227,16 +234,22 @@ pub struct FastPath {
 impl FastPath {
     /// Build from a compiled plan and validated parameters.
     pub fn new(plan: SplitPlan, params: FastPathParams) -> Self {
+        // Table and Bloom derive distinct hash streams from one resolved
+        // seed so neither shares index functions with the other.
         let small_bloom = match params.small_counter {
             SmallCounterBackend::Exact => None,
             SmallCounterBackend::Bloom { cells, hashes } => {
-                Some(sd_flow::CountingBloom::new(cells, hashes))
+                Some(sd_flow::CountingBloom::with_seed(
+                    cells,
+                    hashes,
+                    params.hash_seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+                ))
             }
         };
         FastPath {
             plan,
             budget: params.budget.min(u8::MAX as usize) as u8,
-            table: FlowTable::with_capacity(params.table_capacity),
+            table: FlowTable::with_seed(params.table_capacity, params.hash_seed),
             small_bloom,
             params,
             stats: FastPathStats::default(),

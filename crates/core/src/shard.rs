@@ -325,7 +325,16 @@ impl ShardedSplitDetect {
         let (recycle_tx, recycle_rx) = channel::<PacketBatch>();
         let mut lanes = Vec::with_capacity(shards);
         for i in 0..shards {
-            let engine = SplitDetect::with_config(sigs.clone(), per_shard)?;
+            // A pinned seed still gets a distinct per-shard derivation so
+            // shard tables do not share collision sets; `None` stays `None`
+            // (each shard draws its own random key at build).
+            let shard_config = SplitDetectConfig {
+                flow_hash_seed: per_shard
+                    .flow_hash_seed
+                    .map(|s| s.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+                ..per_shard
+            };
+            let engine = SplitDetect::with_config(sigs.clone(), shard_config)?;
             let (tx, rx) = sync_channel::<Job>(SHARD_QUEUE_BATCHES);
             let recycle = recycle_tx.clone();
             let handle = std::thread::Builder::new()

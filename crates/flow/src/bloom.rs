@@ -7,29 +7,54 @@
 //! are safe — the slow path is sound — so the trade is purely a slow-path
 //! load question, which experiment E3's Bloom variant quantifies.
 
-use crate::hash::hash_key_seeded;
+use crate::hash::{hash_key_seeded, random_seed};
 use crate::key::FlowKey;
 
 /// A counting Bloom filter with 8-bit saturating cells.
+///
+/// Cell indices derive from a per-instance base seed (random by default,
+/// [`CountingBloom::with_seed`] to pin one), so an adversary cannot
+/// precompute flow keys that all land in — and saturate — the same cells.
 #[derive(Debug, Clone)]
 pub struct CountingBloom {
     cells: Vec<u8>,
     hashes: u32,
+    seed: u64,
+    /// Cells currently non-zero, maintained incrementally so
+    /// [`fill_ratio`](Self::fill_ratio) really is the cheap load signal it
+    /// claims to be (it used to scan every cell).
+    nonzero: usize,
 }
 
 impl CountingBloom {
     /// Create a filter with `cells` counters (rounded up to a power of two)
-    /// and `hashes` hash functions.
+    /// and `hashes` hash functions, keyed with a process-random seed.
     ///
     /// # Panics
     /// Panics if `hashes` is 0.
     pub fn new(cells: usize, hashes: u32) -> Self {
+        Self::with_seed(cells, hashes, random_seed())
+    }
+
+    /// [`new`](Self::new) with a pinned base seed, for bit-reproducible
+    /// runs.
+    ///
+    /// # Panics
+    /// Panics if `hashes` is 0.
+    pub fn with_seed(cells: usize, hashes: u32, seed: u64) -> Self {
         assert!(hashes > 0, "need at least one hash function");
         let n = cells.max(64).next_power_of_two();
         CountingBloom {
             cells: vec![0; n],
             hashes,
+            seed,
+            nonzero: 0,
         }
+    }
+
+    /// The base seed the per-hash index functions derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of counter cells.
@@ -47,16 +72,19 @@ impl CountingBloom {
         self.cells.len()
     }
 
-    fn index(&self, seed: u64, key: &FlowKey) -> usize {
-        hash_key_seeded(seed, key) as usize & (self.cells.len() - 1)
+    fn index(&self, hash_fn: u64, key: &FlowKey) -> usize {
+        hash_key_seeded(self.seed ^ hash_fn, key) as usize & (self.cells.len() - 1)
     }
 
     /// Increment the key's cells (saturating at 255). Returns the new
     /// estimated count.
     pub fn increment(&mut self, key: &FlowKey) -> u8 {
         let mut min = u8::MAX;
-        for seed in 0..self.hashes as u64 {
-            let idx = self.index(seed, key);
+        for hash_fn in 0..self.hashes as u64 {
+            let idx = self.index(hash_fn, key);
+            if self.cells[idx] == 0 {
+                self.nonzero += 1;
+            }
             self.cells[idx] = self.cells[idx].saturating_add(1);
             min = min.min(self.cells[idx]);
         }
@@ -66,8 +94,11 @@ impl CountingBloom {
     /// Decrement the key's cells (saturating at 0); used when a flow
     /// terminates cleanly and its budget should be returned.
     pub fn decrement(&mut self, key: &FlowKey) {
-        for seed in 0..self.hashes as u64 {
-            let idx = self.index(seed, key);
+        for hash_fn in 0..self.hashes as u64 {
+            let idx = self.index(hash_fn, key);
+            if self.cells[idx] == 1 {
+                self.nonzero -= 1;
+            }
             self.cells[idx] = self.cells[idx].saturating_sub(1);
         }
     }
@@ -76,7 +107,7 @@ impl CountingBloom {
     /// underestimates (before saturation); may overestimate on collisions.
     pub fn estimate(&self, key: &FlowKey) -> u8 {
         (0..self.hashes as u64)
-            .map(|seed| self.cells[self.index(seed, key)])
+            .map(|hash_fn| self.cells[self.index(hash_fn, key)])
             .min()
             .unwrap_or(0)
     }
@@ -84,6 +115,7 @@ impl CountingBloom {
     /// Reset every cell to zero.
     pub fn clear(&mut self) {
         self.cells.fill(0);
+        self.nonzero = 0;
     }
 
     /// Age the filter by halving every cell — the standard fix for
@@ -93,13 +125,24 @@ impl CountingBloom {
     /// one-sided-error property between calls.
     pub fn decay(&mut self) {
         for c in &mut self.cells {
+            if *c == 1 {
+                self.nonzero -= 1;
+            }
             *c >>= 1;
         }
     }
 
-    /// Fraction of cells that are non-zero; a cheap load signal used to
-    /// decide when to age the filter.
+    /// Fraction of cells that are non-zero; a cheap O(1) load signal used
+    /// to decide when to age the filter (maintained incrementally — no
+    /// cell scan).
     pub fn fill_ratio(&self) -> f64 {
+        self.nonzero as f64 / self.cells.len() as f64
+    }
+
+    /// [`fill_ratio`](Self::fill_ratio) recomputed by scanning every cell:
+    /// the O(cells) reference the tests cross-check the incremental
+    /// counter against. Not for hot paths.
+    pub fn scan_fill_ratio(&self) -> f64 {
         let nonzero = self.cells.iter().filter(|&&c| c > 0).count();
         nonzero as f64 / self.cells.len() as f64
     }
@@ -207,5 +250,53 @@ mod tests {
         assert_eq!(b.cells(), 1024);
         assert_eq!(b.memory_bytes(), 1024);
         assert_eq!(b.hashes(), 4);
+    }
+
+    #[test]
+    fn pinned_seed_reproducible_and_default_random() {
+        let run = |mut b: CountingBloom| {
+            for n in 0..300 {
+                b.increment(&key(n));
+            }
+            (b.estimate(&key(7)), b.fill_ratio())
+        };
+        let a = run(CountingBloom::with_seed(256, 3, 99));
+        let b = run(CountingBloom::with_seed(256, 3, 99));
+        assert_eq!(a, b, "same seed, same outcome");
+        let x = CountingBloom::new(256, 3);
+        let y = CountingBloom::new(256, 3);
+        assert_ne!(x.seed(), y.seed(), "default seeds are per-instance");
+    }
+
+    #[test]
+    fn fill_ratio_matches_cell_scan_through_all_transitions() {
+        // The incremental nonzero counter against the scan it replaced,
+        // across increment, decrement, decay, saturation and clear.
+        let mut b = CountingBloom::with_seed(128, 3, 5);
+        for n in 0..400u32 {
+            b.increment(&key(n % 90));
+            if n % 3 == 0 {
+                b.decrement(&key((n / 2) % 90));
+            }
+            if n % 97 == 0 {
+                b.decay();
+            }
+            assert_eq!(
+                b.fill_ratio(),
+                b.scan_fill_ratio(),
+                "incremental counter drifted from scan at op {n}"
+            );
+        }
+        // Saturate one key hard, then drain by decay.
+        for _ in 0..600 {
+            b.increment(&key(1));
+        }
+        for _ in 0..9 {
+            b.decay();
+            assert_eq!(b.fill_ratio(), b.scan_fill_ratio());
+        }
+        b.clear();
+        assert_eq!(b.fill_ratio(), 0.0);
+        assert_eq!(b.scan_fill_ratio(), 0.0);
     }
 }

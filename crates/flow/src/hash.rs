@@ -1,10 +1,14 @@
-//! Deterministic hashing for flow keys.
+//! Hashing for flow keys: seeded FNV-1a plus a process-random seed source.
 //!
-//! The experiments must be bit-reproducible across processes and runs, so
-//! the table and Bloom filter cannot use `std::collections::HashMap`'s
-//! randomized `RandomState`. FNV-1a is tiny, has good avalanche behaviour on
-//! short keys like a 13-byte flow tuple, and — because it is public and
-//! fixed — mirrors what a hardware fast path would ship.
+//! FNV-1a is tiny and has good avalanche behaviour on short keys like a
+//! 13-byte flow tuple. The *unseeded* variant is kept for reference and for
+//! the pinned test vectors, but every table and Bloom filter now takes a
+//! per-instance seed: a public, fixed hash lets an adversary precompute
+//! flow keys that collide into one probe window and evict tracked flows
+//! (the algorithmic-complexity attack the reassembly-hashing literature
+//! warns about). Production draws the seed from [`random_seed`]; the
+//! experiments and the differential-fuzz oracle pin one so runs stay
+//! bit-reproducible.
 
 use crate::key::FlowKey;
 
@@ -48,6 +52,16 @@ pub fn hash_key_seeded(seed: u64, key: &FlowKey) -> u64 {
     fnv1a_seeded(seed, &key.to_bytes())
 }
 
+/// A process-random 64-bit hash seed (the production default for tables
+/// and filters). Built on the standard library's per-instance
+/// `RandomState` so it needs no extra dependencies and no `unsafe`; two
+/// calls yield independent values.
+pub fn random_seed() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    RandomState::new().build_hasher().finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +100,13 @@ mod tests {
                 assert_ne!(h[i], h[j], "seeds {i} and {j} collided");
             }
         }
+    }
+
+    #[test]
+    fn random_seeds_are_distinct() {
+        let a = random_seed();
+        let b = random_seed();
+        assert_ne!(a, b, "consecutive random seeds must differ");
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! provides the substrate for both sides of that comparison:
 //!
 //! * [`key`] — canonical 5-tuple flow keys with direction handling,
-//! * [`hash`] — a deterministic FNV-1a based hasher (no RandomState: runs
-//!   must be reproducible across processes for the experiments),
+//! * [`hash`] — seeded FNV-1a hashing plus a process-random seed source;
+//!   production keys every table with a random seed (collision floods
+//!   cannot be precomputed), experiments pin one for reproducibility,
 //! * [`table`] — a fixed-capacity open-addressing flow table with CLOCK
-//!   (second-chance) eviction and byte-accurate memory accounting,
+//!   (second-chance) eviction, allocation-free probing, and byte-accurate
+//!   memory accounting,
 //! * [`bloom`] — a counting Bloom filter, the alternative fast-path
 //!   suspicion-counter backend evaluated in the ablations.
 
@@ -22,5 +24,6 @@ pub mod key;
 pub mod table;
 
 pub use bloom::CountingBloom;
+pub use hash::random_seed;
 pub use key::{Direction, FlowKey};
 pub use table::FlowTable;

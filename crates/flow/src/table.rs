@@ -4,21 +4,29 @@
 //! line-rate implementation would be:
 //!
 //! * **fixed capacity** — memory is provisioned once (the paper sizes for
-//!   ~1 M connections); no rehashing, no allocation per packet;
+//!   ~1 M connections); no rehashing, no allocation per packet — lookups,
+//!   inserts and removes iterate the probe window in place and never touch
+//!   the heap;
 //! * **bounded probing** — linear probing limited to a window of
 //!   [`PROBE_WINDOW`] slots, so the worst-case per-packet work is constant;
-//! * **CLOCK (second-chance) eviction** — when a window is full, the first
-//!   entry whose reference bit is clear is evicted; reference bits are set
-//!   on every hit and cleared as the CLOCK hand sweeps. Evicting a live
-//!   benign flow is harmless for correctness (its counters restart at zero);
-//!   the false-negative risk this creates for *diverted* flows is handled a
-//!   layer up, which is why diversion is sticky in `splitdetect`;
+//! * **seeded hashing** — slot indices come from a per-instance
+//!   random-keyed hash ([`crate::hash::random_seed`] by default,
+//!   [`FlowTable::with_seed`] to pin one), so an adversary cannot
+//!   precompute flow keys that pile into one probe window and evict
+//!   tracked flows;
+//! * **CLOCK (second-chance) eviction** — when a window is full, the sweep
+//!   starts at a rotating hand (not the window head), clears reference
+//!   bits until an unreferenced entry is found, and evicts it; reference
+//!   bits are set on every hit. Evicting a live benign flow is harmless
+//!   for correctness (its counters restart at zero); the false-negative
+//!   risk this creates for *diverted* flows is handled a layer up, which
+//!   is why diversion is sticky in `splitdetect`;
 //! * **byte-accurate accounting** — [`FlowTable::memory_bytes`] reports the
 //!   provisioned footprint the way the paper's state comparison counts it.
 
 use std::mem;
 
-use crate::hash::hash_key;
+use crate::hash::{hash_key_seeded, random_seed};
 use crate::key::FlowKey;
 
 /// Probe window: how many consecutive slots a key may occupy. Bounds the
@@ -77,13 +85,27 @@ pub struct FlowTable<V> {
     slots: Vec<Option<Slot<V>>>,
     mask: usize,
     len: usize,
+    seed: u64,
+    /// CLOCK hand: the in-window position (`0..PROBE_WINDOW`) where the
+    /// next eviction sweep starts. Shared across windows so sustained
+    /// pressure on one window rotates its victims instead of hammering the
+    /// earliest unreferenced slot.
+    hand: usize,
     stats: TableStats,
 }
 
 impl<V> FlowTable<V> {
     /// Create a table with at least `capacity` slots (rounded up to a power
-    /// of two, minimum [`PROBE_WINDOW`]).
+    /// of two, minimum [`PROBE_WINDOW`]) and a process-random hash seed —
+    /// the production default, which keeps precomputed collision floods
+    /// from targeting the table.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_seed(capacity, random_seed())
+    }
+
+    /// [`with_capacity`](Self::with_capacity) with a pinned hash seed, for
+    /// bit-reproducible runs (experiments, the differential-fuzz oracle).
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
         let cap = capacity.max(PROBE_WINDOW).next_power_of_two();
         let mut slots = Vec::with_capacity(cap);
         slots.resize_with(cap, || None);
@@ -91,8 +113,15 @@ impl<V> FlowTable<V> {
             slots,
             mask: cap - 1,
             len: 0,
+            seed,
+            hand: 0,
             stats: TableStats::default(),
         }
+    }
+
+    /// The hash seed slot indices derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of live entries.
@@ -128,37 +157,39 @@ impl<V> FlowTable<V> {
         FlowKey::WIRE_BYTES + mem::size_of::<V>() + 1
     }
 
-    fn window(&self, key: &FlowKey) -> impl Iterator<Item = usize> + '_ {
-        let start = hash_key(key) as usize & self.mask;
-        let mask = self.mask;
-        (0..PROBE_WINDOW).map(move |i| (start + i) & mask)
+    /// First slot index of the key's probe window.
+    fn start(&self, key: &FlowKey) -> usize {
+        hash_key_seeded(self.seed, key) as usize & self.mask
     }
 
-    /// Look up `key`, setting its reference bit on a hit.
-    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut V> {
-        self.stats.lookups += 1;
-        let idxs: Vec<usize> = self.window(key).collect();
-        for idx in idxs {
-            if let Some(slot) = &mut self.slots[idx] {
-                if slot.key == *key {
-                    slot.referenced = true;
-                    self.stats.hits += 1;
-                    return Some(&mut self.slots[idx].as_mut().unwrap().value);
-                }
+    /// Slot index of `key` within its probe window, scanning in place (the
+    /// hot paths below must not allocate).
+    fn find(&self, key: &FlowKey) -> Option<usize> {
+        let start = self.start(key);
+        for i in 0..PROBE_WINDOW {
+            let idx = (start + i) & self.mask;
+            if self.slots[idx].as_ref().is_some_and(|s| s.key == *key) {
+                return Some(idx);
             }
         }
         None
     }
 
+    /// Look up `key`, setting its reference bit on a hit.
+    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut V> {
+        self.stats.lookups += 1;
+        let idx = self.find(key)?;
+        self.stats.hits += 1;
+        let slot = self.slots[idx].as_mut().expect("find returned occupied");
+        slot.referenced = true;
+        Some(&mut slot.value)
+    }
+
     /// Look up `key` without touching reference bits or stats (read-only
     /// inspection for tests and reporting).
     pub fn peek(&self, key: &FlowKey) -> Option<&V> {
-        self.window(key).find_map(|idx| {
-            self.slots[idx]
-                .as_ref()
-                .filter(|s| s.key == *key)
-                .map(|s| &s.value)
-        })
+        self.find(key)
+            .map(|idx| &self.slots[idx].as_ref().expect("occupied").value)
     }
 
     /// Look up `key`, inserting `make()` if absent. Runs CLOCK eviction
@@ -169,16 +200,17 @@ impl<V> FlowTable<V> {
         make: impl FnOnce() -> V,
     ) -> (&mut V, InsertOutcome) {
         self.stats.lookups += 1;
-        let idxs: Vec<usize> = self.window(key).collect();
+        let start = self.start(key);
+        let mask = self.mask;
 
         let mut free: Option<usize> = None;
-        for &idx in &idxs {
-            match &mut self.slots[idx] {
+        let mut hit: Option<usize> = None;
+        for i in 0..PROBE_WINDOW {
+            let idx = (start + i) & mask;
+            match &self.slots[idx] {
                 Some(slot) if slot.key == *key => {
-                    slot.referenced = true;
-                    self.stats.hits += 1;
-                    let v = &mut self.slots[idx].as_mut().unwrap().value;
-                    return (v, InsertOutcome::Found);
+                    hit = Some(idx);
+                    break;
                 }
                 Some(_) => {}
                 None => {
@@ -188,6 +220,12 @@ impl<V> FlowTable<V> {
                 }
             }
         }
+        if let Some(idx) = hit {
+            self.stats.hits += 1;
+            let slot = self.slots[idx].as_mut().expect("hit is occupied");
+            slot.referenced = true;
+            return (&mut slot.value, InsertOutcome::Found);
+        }
 
         let (idx, outcome) = match free {
             Some(idx) => {
@@ -195,21 +233,31 @@ impl<V> FlowTable<V> {
                 (idx, InsertOutcome::Inserted)
             }
             None => {
-                // CLOCK sweep over the window: clear reference bits until an
-                // unreferenced victim is found; if every entry was
-                // referenced, the first (now-cleared) slot is the victim.
-                let mut victim = idxs[0];
-                for &idx in &idxs {
+                // CLOCK sweep over the window, starting at the rotating
+                // hand rather than the window head (a head-anchored sweep
+                // hammers the earliest unreferenced slot under sustained
+                // pressure): clear reference bits until an unreferenced
+                // victim is found; if every entry was referenced, the
+                // first (now-cleared) slot swept is the victim. The hand
+                // advances past the victim either way.
+                let mut victim_pos = self.hand;
+                for j in 0..PROBE_WINDOW {
+                    let pos = (self.hand + j) % PROBE_WINDOW;
+                    let idx = (start + pos) & mask;
                     let slot = self.slots[idx].as_mut().expect("window is full");
                     if slot.referenced {
                         slot.referenced = false;
                     } else {
-                        victim = idx;
+                        victim_pos = pos;
                         break;
                     }
                 }
+                self.hand = (victim_pos + 1) % PROBE_WINDOW;
                 self.stats.evictions += 1;
-                (victim, InsertOutcome::InsertedWithEviction)
+                (
+                    (start + victim_pos) & mask,
+                    InsertOutcome::InsertedWithEviction,
+                )
             }
         };
 
@@ -225,14 +273,9 @@ impl<V> FlowTable<V> {
 
     /// Remove `key`, returning its value.
     pub fn remove(&mut self, key: &FlowKey) -> Option<V> {
-        let idxs: Vec<usize> = self.window(key).collect();
-        for idx in idxs {
-            if self.slots[idx].as_ref().is_some_and(|s| s.key == *key) {
-                self.len -= 1;
-                return self.slots[idx].take().map(|s| s.value);
-            }
-        }
-        None
+        let idx = self.find(key)?;
+        self.len -= 1;
+        self.slots[idx].take().map(|s| s.value)
     }
 
     /// Iterate over live `(key, value)` pairs in slot order.
@@ -348,6 +391,83 @@ mod tests {
             t.peek(&survivor).is_some(),
             "CLOCK evicted a just-referenced entry while cold entries existed"
         );
+    }
+
+    /// Brute-force `n` distinct keys whose probe windows all start at slot
+    /// `target` of a `cap`-slot table hashed with `seed` — the collision
+    /// flood an adversary could precompute against a *fixed* public hash.
+    fn colliding_keys(seed: u64, cap: usize, target: usize, n: usize) -> Vec<FlowKey> {
+        let mask = cap - 1;
+        let mut out = Vec::new();
+        let mut c = 0u32;
+        while out.len() < n {
+            let k = key(c);
+            if crate::hash::hash_key_seeded(seed, &k) as usize & mask == target {
+                out.push(k);
+            }
+            c += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn clock_hand_rotates_across_evictions() {
+        // 16 cold keys fill one probe window; 16 fresh same-window keys
+        // then arrive. With a rotating hand every cold entry is evicted
+        // exactly once; a head-anchored sweep would ping-pong on the first
+        // couple of positions and leave most cold entries untouched.
+        let seed = 42u64;
+        let keys = colliding_keys(seed, PROBE_WINDOW, 0, 2 * PROBE_WINDOW);
+        let (cold, fresh) = keys.split_at(PROBE_WINDOW);
+        let mut t: FlowTable<u32> = FlowTable::with_seed(PROBE_WINDOW, seed);
+        for k in cold {
+            t.get_or_insert_with(k, || 0);
+        }
+        for k in fresh {
+            let (_, outcome) = t.get_or_insert_with(k, || 1);
+            assert_eq!(outcome, InsertOutcome::InsertedWithEviction);
+        }
+        let survivors = cold.iter().filter(|k| t.peek(k).is_some()).count();
+        assert_eq!(
+            survivors, 0,
+            "rotating CLOCK hand must cycle through every cold entry"
+        );
+        for k in fresh {
+            assert!(t.peek(k).is_some(), "every fresh key must be resident");
+        }
+    }
+
+    #[test]
+    fn pinned_seed_is_reproducible_and_default_is_random() {
+        let run = |mut t: FlowTable<u32>| {
+            for n in 0..200 {
+                t.get_or_insert_with(&key(n), || n);
+            }
+            t.stats()
+        };
+        let a = run(FlowTable::with_seed(32, 7));
+        let b = run(FlowTable::with_seed(32, 7));
+        assert_eq!(a, b, "same seed, same ops, same outcome");
+        let t1: FlowTable<u32> = FlowTable::with_capacity(32);
+        let t2: FlowTable<u32> = FlowTable::with_capacity(32);
+        assert_ne!(t1.seed(), t2.seed(), "default seeds are per-instance");
+    }
+
+    #[test]
+    fn collision_flood_is_confined_to_its_window() {
+        // A flood aimed at one window (under a known seed) must not evict
+        // flows resident in other windows: probing is window-bounded.
+        let seed = 9u64;
+        let cap = 1024usize;
+        let mut t: FlowTable<u32> = FlowTable::with_seed(cap, seed);
+        // A victim flow far from the flood's window.
+        let victim = colliding_keys(seed, cap, 500, 1)[0];
+        t.get_or_insert_with(&victim, || 7);
+        for k in colliding_keys(seed, cap, 0, 3 * PROBE_WINDOW) {
+            t.get_or_insert_with(&k, || 0);
+        }
+        assert!(t.stats().evictions > 0, "the flooded window must overflow");
+        assert_eq!(t.peek(&victim), Some(&7), "other windows are untouched");
     }
 
     #[test]

@@ -103,6 +103,46 @@ proptest! {
         }
     }
 
+    /// The incremental nonzero-cell counter behind `fill_ratio` agrees
+    /// with a full cell scan under arbitrary increment/decrement/decay
+    /// sequences (the satellite fix for the O(cells) "cheap load signal").
+    #[test]
+    fn bloom_fill_ratio_matches_scan(ops in prop::collection::vec((0u8..4, arb_key()), 1..400),
+                                     seed in any::<u64>()) {
+        let mut bloom = CountingBloom::with_seed(512, 3, seed);
+        for (op, k) in ops {
+            match op {
+                0 | 1 => { bloom.increment(&k); }
+                2 => bloom.decrement(&k),
+                _ => bloom.decay(),
+            }
+            prop_assert_eq!(bloom.fill_ratio(), bloom.scan_fill_ratio());
+        }
+        bloom.clear();
+        prop_assert_eq!(bloom.fill_ratio(), 0.0);
+    }
+
+    /// Pinned-seed tables are bit-reproducible: identical op sequences on
+    /// identical seeds give identical stats and contents.
+    #[test]
+    fn seeded_table_is_reproducible(ops in prop::collection::vec(any::<u32>(), 1..200),
+                                    seed in any::<u64>()) {
+        let run = |mut t: FlowTable<u32>| {
+            for &s in &ops {
+                let k = FlowKey::from_endpoints(
+                    6,
+                    (Ipv4Addr::from(s), (s % 50000) as u16),
+                    (Ipv4Addr::from(0x0a00_0001u32), 80),
+                ).0;
+                t.get_or_insert_with(&k, || s);
+            }
+            (t.stats(), t.len())
+        };
+        let a = run(FlowTable::with_seed(64, seed));
+        let b = run(FlowTable::with_seed(64, seed));
+        prop_assert_eq!(a, b);
+    }
+
     /// Even under heavy eviction pressure, a table never loses the entry it
     /// just inserted (the insert-then-read guarantee diversion relies on).
     #[test]

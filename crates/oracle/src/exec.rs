@@ -65,6 +65,10 @@ impl EngineTweaks {
             slow_path_policy: policy,
             divert_on_out_of_order: !self.disable_out_of_order,
             divert_on_fragments: !self.disable_fragments,
+            // Pinned so campaigns are bit-deterministic and so the
+            // collision-flood primitive's brute-forced keys actually
+            // collide in the engine under test.
+            flow_hash_seed: Some(crate::program::ORACLE_FLOW_HASH_SEED),
             ..Default::default()
         }
     }
@@ -520,6 +524,48 @@ mod tests {
         assert_eq!(
             a.stats.split_caught, a.stats.delivered,
             "split-detect must catch every delivered trace"
+        );
+    }
+
+    #[test]
+    fn collision_flood_cannot_unstick_a_diverted_flow() {
+        use crate::program::{collision_flood_packets, ORACLE_FLOW_HASH_SEED};
+
+        // A stitch attack diverts the flow almost immediately (its train
+        // regresses behind the delivered edge). Splice a 32-flow collision
+        // flood into the middle of the stream against a small table at
+        // occupancy: the flood fills the attack flow's probe window and
+        // forces CLOCK evictions, but diversion is sticky — the evicted
+        // *table* entry must not turn into a false negative.
+        let p = TraceProgram {
+            seed: 31,
+            policy: OverlapPolicy::First,
+            prefix_len: 90,
+            suffix_len: 60,
+            mutations: vec![Mutation::OverlapStitch { index: 0, chunk: 4 }],
+        };
+        let compiled = p.compile();
+        let mut packets = compiled.packets.clone();
+        let at = packets.len() / 3;
+        packets.splice(at..at, collision_flood_packets(32, 7));
+
+        let config = SplitDetectConfig {
+            slow_path_policy: OverlapPolicy::First,
+            flow_table_capacity: 1 << 10,
+            flow_hash_seed: Some(ORACLE_FLOW_HASH_SEED),
+            ..Default::default()
+        };
+        let mut engine = SplitDetect::with_config(oracle_signatures(), config)
+            .expect("flood config is admissible");
+        let alerts = run_trace(&mut engine, packets.iter().map(|p| p.as_slice()));
+        let (attack_flow, _) = FlowKey::from_endpoints(6, compiled.client, compiled.server);
+        assert!(
+            alerts.iter().any(|a| a.flow == attack_flow),
+            "diverted attack flow must still alert through a collision flood"
+        );
+        assert!(
+            alerts.iter().all(|a| a.flow == attack_flow),
+            "signature-free flood flows must not alert"
         );
     }
 

@@ -33,5 +33,8 @@ pub use exec::{
     run_campaign, run_compiled, run_program, CampaignConfig, CampaignResult, CampaignStats,
     EngineTweaks, FailureCase, TraceOutcome, Violation,
 };
-pub use program::{CompiledTrace, Mutation, TraceProgram, ORACLE_SIGNATURE};
+pub use program::{
+    collision_flood_packets, CompiledTrace, Mutation, TraceProgram, ORACLE_FLOW_HASH_SEED,
+    ORACLE_SIGNATURE,
+};
 pub use shrink::shrink;

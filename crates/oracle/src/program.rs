@@ -35,6 +35,19 @@ use sd_traffic::victim::VictimConfig;
 /// default `k = 3`).
 pub const ORACLE_SIGNATURE: &[u8] = b"EVIL_SIGNATURE_BYTES";
 
+/// The flow-hash seed every oracle engine pins. Production engines draw a
+/// process-random key (collision floods cannot be precomputed there); the
+/// oracle *needs* floods to be craftable, so it fixes the key and the
+/// [`Mutation::CollisionFlood`] brute force targets it. Pinning also keeps
+/// campaigns bit-deterministic.
+pub const ORACLE_FLOW_HASH_SEED: u64 = 0x5EED_F00D_CAFE_D00D;
+
+/// Collision floods collide on the low 16 bits of the seeded key hash.
+/// Power-of-two table masks nest, so a 16-bit collision shares a probe
+/// window with the attack flow in *any* table of ≤ 2^16 slots — the
+/// default single-engine table and every smaller per-shard or test table.
+const FLOOD_MASK: u64 = (1 << 16) - 1;
+
 /// Honest maximum segment size, matching `sd_traffic::evasion`.
 const MSS: usize = 1460;
 
@@ -127,6 +140,23 @@ pub enum Mutation {
         /// Data segments the decoy sends, clamped to `1..=4`.
         segments: usize,
     },
+    /// A collision flood: short-lived flows whose 5-tuples are brute-forced
+    /// (under [`ORACLE_FLOW_HASH_SEED`]) to hash into the attack flow's
+    /// probe window, filling it and forcing CLOCK evictions. Flood flows
+    /// run *before* the attack connection and are victim-invisible
+    /// (different server, signature-free filler).
+    CollisionFlood {
+        /// Colliding flows emitted, clamped to `1..=32`.
+        flows: usize,
+    },
+    /// Heavy-tailed background churn: a seeded
+    /// [`sd_traffic::heavytail::HeavyTailGenerator`] population (Zipf flow
+    /// sizes, replacement churn) interleaved with the attack packets.
+    /// Victim-invisible and signature-free like decoys.
+    HeavyTailNoise {
+        /// Distinct background flows, clamped to `4..=32`.
+        flows: usize,
+    },
 }
 
 impl Mutation {
@@ -144,6 +174,8 @@ impl Mutation {
             Mutation::Fragment { .. } => "frag",
             Mutation::OverlapFragment { .. } => "frag-overlap",
             Mutation::Decoy { .. } => "decoy",
+            Mutation::CollisionFlood { .. } => "collide-flood",
+            Mutation::HeavyTailNoise { .. } => "heavytail",
         }
     }
 
@@ -162,6 +194,8 @@ impl Mutation {
             Mutation::Fragment { index, unit } => (9, index as u64, unit as u64),
             Mutation::OverlapFragment { index } => (10, index as u64, 0),
             Mutation::Decoy { id, segments } => (11, id as u64, segments as u64),
+            Mutation::CollisionFlood { flows } => (12, flows as u64, 0),
+            Mutation::HeavyTailNoise { flows } => (13, flows as u64, 0),
         };
         mix(mix(tag, x), y)
     }
@@ -337,6 +371,8 @@ impl TraceProgram {
 
         // Phase 2 — structural mutations, in program order.
         let mut decoys: Vec<(usize, usize, u64)> = Vec::new();
+        let mut floods: Vec<(usize, u64)> = Vec::new();
+        let mut noise: Vec<(usize, u64)> = Vec::new();
         for m in &self.mutations {
             let salt = mix(self.seed, m.salt());
             match *m {
@@ -412,6 +448,12 @@ impl TraceProgram {
                 Mutation::Decoy { id, segments } => {
                     decoys.push((id, segments.clamp(1, 4), salt));
                 }
+                Mutation::CollisionFlood { flows } => {
+                    floods.push((flows.clamp(1, 32), salt));
+                }
+                Mutation::HeavyTailNoise { flows } => {
+                    noise.push((flows.clamp(4, 32), salt));
+                }
             }
         }
 
@@ -424,7 +466,8 @@ impl TraceProgram {
         b.fin(payload.len());
         let mut packets = b.packets;
 
-        // Phase 4 — interleave decoy flows at evenly spaced positions.
+        // Phase 4 — interleave decoy flows (and heavy-tail background
+        // churn) at evenly spaced positions.
         for (id, segments, salt) in decoys {
             let decoy = decoy_packets(id, segments, salt);
             let stride = packets.len() / (decoy.len() + 1);
@@ -432,6 +475,29 @@ impl TraceProgram {
                 let at = ((k + 1) * stride.max(1) + k).min(packets.len());
                 packets.insert(at, pkt);
             }
+        }
+        for (flows, salt) in noise {
+            let bg = heavytail_packets(flows, salt);
+            let stride = packets.len() / (bg.len() + 1);
+            for (k, pkt) in bg.into_iter().enumerate() {
+                let at = ((k + 1) * stride.max(1) + k).min(packets.len());
+                packets.insert(at, pkt);
+            }
+        }
+
+        // Phase 5 — collision floods run *before* the attack connection:
+        // they pre-fill the attack flow's probe window so the attack SYN
+        // inserts into a full window (CLOCK eviction on arrival). Keeping
+        // them ahead of the connection makes the campaign's detection
+        // judgment independent of mid-stream table eviction; the
+        // sticky-divert regression test drives mid-stream floods directly.
+        if !floods.is_empty() {
+            let mut front: Vec<Vec<u8>> = Vec::new();
+            for (flows, salt) in floods {
+                front.extend(collision_flood_packets(flows, salt));
+            }
+            front.extend(packets);
+            packets = front;
         }
 
         CompiledTrace {
@@ -445,8 +511,93 @@ impl TraceProgram {
     }
 }
 
+/// Brute-force `flows` distinct client endpoints whose canonical flow keys
+/// hash (under [`ORACLE_FLOW_HASH_SEED`]) into the attack flow's probe
+/// window, and emit each as a short victim-invisible connection (SYN, one
+/// filler segment, FIN). Deterministic and total: the candidate scan is
+/// bounded, so a pathological request degrades to fewer flood flows
+/// instead of looping.
+pub fn collision_flood_packets(flows: usize, salt: u64) -> Vec<Vec<u8>> {
+    let flows = flows.clamp(1, 32);
+    let (client, server) = TraceProgram::endpoints();
+    let (attack_key, _) = sd_flow::FlowKey::from_endpoints(6, client, server);
+    let target = sd_flow::hash::hash_key_seeded(ORACLE_FLOW_HASH_SEED, &attack_key) & FLOOD_MASK;
+    // Flood flows talk to their own server, outside the victim model's
+    // filter and every other generator's address space.
+    let flood_server = std::net::SocketAddrV4::new(Ipv4Addr::new(10, 0, 8, 1), 80);
+
+    let mut packets = Vec::with_capacity(flows * 3);
+    let mut found = 0usize;
+    // ~2^16 candidates expected per hit; the cap leaves a ~30× margin.
+    let mut candidate = 0u64;
+    let cap = flows as u64 * 2_000_000;
+    while found < flows && candidate < cap {
+        let c = candidate;
+        candidate += 1;
+        let port = 1024 + (c % 60_000) as u16;
+        let ip = Ipv4Addr::from(0xAC18_0000u32.wrapping_add((c / 60_000) as u32));
+        let flood_client = std::net::SocketAddrV4::new(ip, port);
+        let (key, _) = sd_flow::FlowKey::from_endpoints(
+            6,
+            (*flood_client.ip(), flood_client.port()),
+            (*flood_server.ip(), flood_server.port()),
+        );
+        if sd_flow::hash::hash_key_seeded(ORACLE_FLOW_HASH_SEED, &key) & FLOOD_MASK != target {
+            continue;
+        }
+        found += 1;
+        let isn = 0xC011_0000u32.wrapping_add(found as u32);
+        let body = filler(mix(salt, c), 120);
+        let mut ident = port ^ (isn as u16);
+        let tcp = |seq: u32, flags: TcpFlags, payload: &[u8], ident: u16| {
+            let frame = TcpPacketSpec::between(flood_client, flood_server)
+                .seq(seq)
+                .flags(flags)
+                .ttl(64)
+                .ident(ident)
+                .payload(payload)
+                .build();
+            ip_of_frame(&frame).to_vec()
+        };
+        packets.push(tcp(isn, TcpFlags::SYN, b"", ident));
+        ident = ident.wrapping_add(1);
+        packets.push(tcp(
+            isn.wrapping_add(1),
+            TcpFlags::ACK.union(TcpFlags::PSH),
+            &body,
+            ident,
+        ));
+        ident = ident.wrapping_add(1);
+        packets.push(tcp(
+            isn.wrapping_add(1).wrapping_add(body.len() as u32),
+            TcpFlags::FIN.union(TcpFlags::ACK),
+            b"",
+            ident,
+        ));
+    }
+    packets
+}
+
+/// Seeded heavy-tail background packets: Zipf flow sizes with churn, kept
+/// small enough (4 KiB flow cap) that interleaving stays cheap. Servers
+/// live in `192.168.1.0/24` — victim-invisible — and payloads are the
+/// generator's lowercase filler, which cannot contain the signature.
+fn heavytail_packets(flows: usize, salt: u64) -> Vec<Vec<u8>> {
+    let flows = flows.clamp(4, 32);
+    let mut gen = sd_traffic::HeavyTailGenerator::new(sd_traffic::HeavyTailConfig {
+        seed: salt,
+        concurrency: (flows / 4).max(1),
+        total_flows: flows,
+        min_flow_bytes: 64,
+        max_flow_bytes: 4096,
+        churn: 0.2,
+        ..Default::default()
+    });
+    gen.generate().packets.into_iter().map(|p| p.data).collect()
+}
+
 fn random_mutation(rng: &mut StdRng) -> Mutation {
-    match rng.gen_range(0..11u32) {
+    match rng.gen_range(0..13u32) {
         0 => Mutation::SplitAt { offset: rng.gen() },
         1 => Mutation::SplitInSignature { delta: rng.gen() },
         2 => Mutation::Swap {
@@ -466,9 +617,15 @@ fn random_mutation(rng: &mut StdRng) -> Mutation {
             unit: rng.gen_range(8..64),
         },
         9 => Mutation::OverlapFragment { index: rng.gen() },
-        _ => Mutation::Decoy {
+        10 => Mutation::Decoy {
             id: rng.gen_range(0..1000),
             segments: rng.gen_range(1..=4),
+        },
+        11 => Mutation::CollisionFlood {
+            flows: rng.gen_range(8..=24),
+        },
+        _ => Mutation::HeavyTailNoise {
+            flows: rng.gen_range(8..=32),
         },
     }
 }
@@ -774,6 +931,8 @@ impl TraceProgram {
                 Mutation::Fragment { index, unit } => format!("{index} {unit}"),
                 Mutation::OverlapFragment { index } => format!("{index}"),
                 Mutation::Decoy { id, segments } => format!("{id} {segments}"),
+                Mutation::CollisionFlood { flows } => format!("{flows}"),
+                Mutation::HeavyTailNoise { flows } => format!("{flows}"),
             };
             s.push_str(&format!("mutate {} {}\n", m.name(), args));
         }
@@ -873,6 +1032,12 @@ impl TraceProgram {
                         "decoy" => Mutation::Decoy {
                             id: num("id", &mut at)?,
                             segments: num("segments", &mut at)?,
+                        },
+                        "collide-flood" => Mutation::CollisionFlood {
+                            flows: num("flows", &mut at)?,
+                        },
+                        "heavytail" => Mutation::HeavyTailNoise {
+                            flows: num("flows", &mut at)?,
                         },
                         other => {
                             return Err(format!("line {}: unknown mutation {other:?}", lineno + 1))
@@ -1040,5 +1205,62 @@ mod tests {
     fn random_programs_are_deterministic() {
         assert_eq!(TraceProgram::random(42), TraceProgram::random(42));
         assert_ne!(TraceProgram::random(42), TraceProgram::random(43));
+    }
+
+    #[test]
+    fn collision_flood_keys_share_the_attack_window() {
+        use sd_packet::parse::parse_ipv4;
+        let packets = collision_flood_packets(12, 99);
+        assert_eq!(packets.len(), 12 * 3, "SYN + data + FIN per flood flow");
+        let (client, server) = TraceProgram::endpoints();
+        let (attack_key, _) = sd_flow::FlowKey::from_endpoints(6, client, server);
+        let target =
+            sd_flow::hash::hash_key_seeded(ORACLE_FLOW_HASH_SEED, &attack_key) & FLOOD_MASK;
+        let mut keys = std::collections::HashSet::new();
+        for pkt in &packets {
+            let parsed = parse_ipv4(pkt).expect("flood packet parses");
+            let (key, _) = sd_flow::FlowKey::from_parsed(&parsed).expect("flood packet is tcp");
+            assert_ne!(key, attack_key, "flood flows are distinct from the attack");
+            assert_eq!(
+                sd_flow::hash::hash_key_seeded(ORACLE_FLOW_HASH_SEED, &key) & FLOOD_MASK,
+                target,
+                "every flood key must collide with the attack window"
+            );
+            keys.insert(key);
+        }
+        assert_eq!(keys.len(), 12, "flood flows are pairwise distinct");
+    }
+
+    #[test]
+    fn flood_and_heavytail_programs_deliver_and_stay_signature_free() {
+        for policy in OverlapPolicy::ALL {
+            let p = TraceProgram {
+                seed: 21,
+                policy,
+                prefix_len: 100,
+                suffix_len: 60,
+                mutations: vec![
+                    Mutation::SplitInSignature { delta: 5 },
+                    Mutation::CollisionFlood { flows: 10 },
+                    Mutation::HeavyTailNoise { flows: 12 },
+                ],
+            };
+            assert!(delivered(&p), "flooded program must deliver under {policy}");
+            // Background packets carry no signature bytes: the only packets
+            // that may contain signature fragments come from the attack
+            // client.
+            let c = p.compile();
+            for pkt in &c.packets {
+                let src = &pkt[12..16];
+                if src == [10, 66, 0, 1] {
+                    continue;
+                }
+                assert!(
+                    !pkt.windows(6)
+                        .any(|w| ORACLE_SIGNATURE.windows(6).any(|s| s == w)),
+                    "background packet leaks signature bytes"
+                );
+            }
+        }
     }
 }

@@ -18,6 +18,8 @@
 //! * [`victim`] — the victim model used to *verify* every generated evasion
 //!   still delivers its payload to the target stack (an evasion that fails
 //!   to attack is not an evasion),
+//! * [`heavytail`] — Zipf-sized, high-churn flow populations for the
+//!   flow-state-at-occupancy sweeps (E20),
 //! * [`mixer`] — interleaves benign and attack flows into labelled traces,
 //! * [`stats`] — size-mix / flow-structure / payload-entropy statistics of
 //!   any trace, making the generator's calibration claims checkable,
@@ -31,6 +33,7 @@
 
 pub mod benign;
 pub mod evasion;
+pub mod heavytail;
 pub mod mixer;
 pub mod payload;
 pub mod pcap;
@@ -41,6 +44,7 @@ pub mod victim;
 
 pub use benign::{BenignConfig, BenignGenerator};
 pub use evasion::{AttackSpec, EvasionStrategy};
+pub use heavytail::{HeavyTailConfig, HeavyTailGenerator, ZipfSizes};
 pub use mixer::LabeledTrace;
 pub use payload::PayloadModel;
 pub use trace::{Trace, TracePacket};

@@ -2,12 +2,14 @@
 # Record the performance benchmarks as machine-readable JSON.
 #
 # Runs the `fastpath` bench with SD_FASTPATH_JSON pointed at
-# BENCH_fastpath.json and the `slowpath` bench with SD_SLOWPATH_JSON
-# pointed at BENCH_slowpath.json, both in the repo root, so the matcher
-# throughput trajectory and the slow-path dispatch speedup are checked
-# in next to the code that changed them. `scripts/bench_compare.py`
-# diffs a fresh pair of these files against the checked-in baselines in
-# the CI perf-regression gate. Pass SD_FASTPATH_ENFORCE=1 /
+# BENCH_fastpath.json, the `slowpath` bench with SD_SLOWPATH_JSON
+# pointed at BENCH_slowpath.json, and the `flowstate` bench with
+# SD_FLOWSTATE_JSON pointed at BENCH_flowstate.json, all in the repo
+# root, so the matcher throughput trajectory, the slow-path dispatch
+# speedup, and the flow-table occupancy sweep are checked in next to
+# the code that changed them. `scripts/bench_compare.py` diffs fresh
+# copies of these files against the checked-in baselines in the CI
+# perf-regression gate. Pass SD_FASTPATH_ENFORCE=1 /
 # SD_SLOWPATH_ENFORCE=1 to also fail on the benches' own invariants
 # (prefiltered >= dense; pooled ingest >= 2x inline).
 set -euo pipefail
@@ -16,3 +18,5 @@ SD_FASTPATH_JSON="$PWD/BENCH_fastpath.json" cargo bench -p sd-bench --bench fast
 echo "recorded $PWD/BENCH_fastpath.json"
 SD_SLOWPATH_JSON="$PWD/BENCH_slowpath.json" cargo bench -p sd-bench --bench slowpath "$@"
 echo "recorded $PWD/BENCH_slowpath.json"
+SD_FLOWSTATE_JSON="$PWD/BENCH_flowstate.json" cargo bench -p sd-bench --bench flowstate "$@"
+echo "recorded $PWD/BENCH_flowstate.json"
