@@ -1,7 +1,7 @@
 //! Fast-path bench: per-packet classification throughput — the number the
-//! paper's line-rate argument rides on — now across the three scan-engine
-//! builds (`dense`, `classed`, `classed+prefilter`) and three payload
-//! mixes:
+//! paper's line-rate argument rides on — now across the five scan-engine
+//! builds (`dense`, `classed`, `classed+prefilter`, `sparse`,
+//! `sparse+bloom`) and three payload mixes:
 //!
 //! * **benign** — HTTP-like traffic with no signature material; the mix
 //!   the prefilter's skip loop is built for,
@@ -15,11 +15,15 @@
 //!
 //! The criterion groups measure `FastPath::classify` end to end. The
 //! custom `main` then runs a paired-median measurement of the raw
-//! `SplitPlan::scan` loop and the full classify path, prints a table,
-//! writes machine-readable JSON when `SD_FASTPATH_JSON=<path>` is set
-//! (that is how `scripts/bench_json.sh` produces `BENCH_fastpath.json`),
-//! and — when `SD_FASTPATH_ENFORCE=1`, the CI smoke step — fails unless
-//! the prefiltered engine is no slower than dense on the benign mix.
+//! `SplitPlan::scan` loop and the full classify path, plus a
+//! `scan10k/benign` mix where every representation carries a generated
+//! 10k-rule corpus (the scale where dense costs ~170 MB and byte-class
+//! compression saturates), prints a table, writes machine-readable JSON
+//! when `SD_FASTPATH_JSON=<path>` is set (that is how
+//! `scripts/bench_json.sh` produces `BENCH_fastpath.json`), and — when
+//! `SD_FASTPATH_ENFORCE=1`, the CI smoke step — fails unless the
+//! prefiltered engine is no slower than dense on the benign mix and the
+//! sparse tables stay within 10% of dense memory at 10k rules.
 
 use std::time::{Duration, Instant};
 
@@ -223,7 +227,7 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn write_json(path: &str, rows: &[Row], rounds: usize) {
+fn write_json(path: &str, rows: &[Row], rounds: usize, plans10k: &[(MatcherKind, SplitPlan)]) {
     let plans: Vec<SplitPlan> = MatcherKind::ALL.iter().map(|&k| plan_for(k)).collect();
     let mut out = String::from("{\n  \"bench\": \"fastpath\",\n");
     out.push_str(&format!("  \"rounds\": {rounds},\n"));
@@ -238,6 +242,17 @@ fn write_json(path: &str, rows: &[Row], rounds: usize) {
             plan.class_count().unwrap_or(256),
             plan.escape_byte_count().unwrap_or(0),
             if i + 1 < plans.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"automaton_10k\": {\n");
+    for (i, (kind, plan)) in plans10k.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"bytes\": {}, \"states\": {}, \"build_ms\": {:.2}}}{}\n",
+            json_escape_free(&kind.to_string()),
+            plan.memory_bytes(),
+            plan.state_count(),
+            plan.build_time().as_secs_f64() * 1e3,
+            if i + 1 < plans10k.len() { "," } else { "" }
         ));
     }
     out.push_str("  },\n  \"results\": [\n");
@@ -299,6 +314,38 @@ fn main() {
         }
     }
 
+    // 10k-rule corpus: the production-scale mix. Scan-only (the classify
+    // path's flow table is rule-count independent) and fewer rounds — the
+    // point is how each representation's throughput and footprint hold up
+    // as the corpus grows, not another microbenchmark. Benign bytes trip
+    // corpus pieces early and often at this scale, so every build
+    // early-exits at the same byte: the comparison stays paired-fair.
+    let rounds10k = 5;
+    let sigs10k = sd_bench::corpus_signature_set(10_000, 42);
+    let plans10k: Vec<(MatcherKind, SplitPlan)> = MatcherKind::ALL
+        .iter()
+        .map(|&k| {
+            let config = SplitDetectConfig {
+                fastpath_matcher: k,
+                ..Default::default()
+            };
+            (
+                k,
+                SplitPlan::compile(&sigs10k, &config).expect("admissible"),
+            )
+        })
+        .collect();
+    let benign10k = &scan_mixes[0].1;
+    for (_, plan) in &plans10k {
+        scan_once(plan, benign10k);
+    }
+    let mut samples10k: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds10k); plans10k.len()];
+    for _ in 0..rounds10k {
+        for (pi, (_, plan)) in plans10k.iter().enumerate() {
+            samples10k[pi].push(scan_once(plan, benign10k));
+        }
+    }
+
     let mut rows = Vec::new();
     for (pi, (kind, _)) in plans.iter().enumerate() {
         for (mi, (mix, _)) in scan_mixes.iter().enumerate() {
@@ -314,6 +361,14 @@ fn main() {
             kind: *kind,
             median: median(samples[pi * 4 + 3].clone()),
             bytes: trace_bytes,
+        });
+    }
+    for (pi, (kind, _)) in plans10k.iter().enumerate() {
+        rows.push(Row {
+            mix: "scan10k/benign",
+            kind: *kind,
+            median: median(samples10k[pi].clone()),
+            bytes: VOLUME as u64,
         });
     }
     rows.sort_by(|a, b| a.mix.cmp(b.mix));
@@ -337,8 +392,23 @@ fn main() {
         );
     }
 
+    println!("\n10k-rule corpus automaton footprint:");
+    println!(
+        "{:<18} {:>12} {:>9} {:>10}",
+        "matcher", "bytes", "states", "build-ms"
+    );
+    for (kind, plan) in &plans10k {
+        println!(
+            "{:<18} {:>12} {:>9} {:>10.2}",
+            kind.to_string(),
+            plan.memory_bytes(),
+            plan.state_count(),
+            plan.build_time().as_secs_f64() * 1e3
+        );
+    }
+
     if let Ok(path) = std::env::var("SD_FASTPATH_JSON") {
-        write_json(&path, &rows, rounds);
+        write_json(&path, &rows, rounds, &plans10k);
     }
 
     if std::env::var("SD_FASTPATH_ENFORCE").as_deref() == Ok("1") {
@@ -360,5 +430,25 @@ fn main() {
             "prefiltered no slower than dense on benign mix ({:.2}x faster)",
             dense / pre
         );
+
+        // The memory claim the sparse representations exist for: at 10k
+        // rules they must cost at most 10% of the dense table.
+        let dense10k = plans10k
+            .iter()
+            .find(|(k, _)| *k == MatcherKind::Dense)
+            .expect("dense 10k plan present")
+            .1
+            .memory_bytes();
+        for (kind, plan) in &plans10k {
+            if matches!(kind, MatcherKind::Sparse | MatcherKind::SparseBloom) {
+                assert!(
+                    plan.memory_bytes() * 10 <= dense10k,
+                    "{kind} automaton is {} B at 10k rules, over 10% of dense ({} B)",
+                    plan.memory_bytes(),
+                    dense10k
+                );
+            }
+        }
+        println!("sparse automata within 10% of dense memory at 10k rules");
     }
 }

@@ -113,6 +113,17 @@ pub fn generated_signatures(n: usize, seed: u64) -> SignatureSet {
     SignatureSet::generate(seed, n, 16..40)
 }
 
+/// A signature set compiled from a generated Snort-subset rule corpus:
+/// family-shared content prefixes, text/hex alphabet mix, realistic
+/// length distribution — the structure the sparse-automaton work is
+/// sized against (shared prefixes dedup, byte classes saturate).
+pub fn corpus_signature_set(rules: usize, seed: u64) -> SignatureSet {
+    let text = sd_traffic::generate_rule_corpus(&sd_traffic::RuleCorpusConfig::sized(rules, seed));
+    sd_ips::rules::parse_rules(&text)
+        .expect("generated corpus parses cleanly")
+        .to_signatures()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

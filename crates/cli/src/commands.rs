@@ -2,16 +2,22 @@
 
 use std::io::Write;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sd_ips::api::run_trace;
 use sd_ips::conventional::ConventionalConfig;
-use sd_ips::rules::{parse_rules, RuleSet, DEMO_RULES};
+use sd_ips::rules::{parse_rules, parse_rules_lenient, RuleSet, DEMO_RULES};
 use sd_ips::{AlertSource, ConventionalIps, Ips, NaivePacketIps, SignatureSet};
 use sd_traffic::benign::{BenignConfig, BenignGenerator};
 use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
 use sd_traffic::mixer::mix;
+use sd_traffic::payload::PayloadModel;
+use sd_traffic::rulegen::{generate_rule_corpus, RuleCorpusConfig};
 use sd_traffic::victim::{receive_stream, VictimConfig};
 use sd_traffic::{pcap, Trace};
-use splitdetect::{ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats};
+use splitdetect::{
+    MatcherKind, ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats, SplitPlan,
+};
 
 use crate::opts::{Command, EngineKind, OutputFormat, ParsedArgs, SabotageKind};
 
@@ -29,6 +35,8 @@ pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
         Command::Generate(path) => generate_cmd(&args, path, out),
         Command::Replay(path) => replay_cmd(&args, path, out),
         Command::Fuzz => fuzz_cmd(&args, out),
+        Command::GenerateRules(path) => generate_rules_cmd(&args, path, out),
+        Command::AnalyzeRules(path) => analyze_rules_cmd(&args, path, out),
     }
 }
 
@@ -489,7 +497,8 @@ fn fuzz_cmd(args: &ParsedArgs, out: Out) -> Result<(), String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
         let program = sd_oracle::TraceProgram::from_text(&text)?;
-        let outcome = sd_oracle::run_program(&program, tweaks);
+        let sigs = sd_oracle::campaign_signatures(args.rules_seed);
+        let outcome = sd_oracle::run_program_with(&program, tweaks, &sigs);
         let _ = writeln!(
             out,
             "replayed {path}: {} packets, delivered {}, split-detect alerted {}, \
@@ -519,9 +528,16 @@ fn fuzz_cmd(args: &ParsedArgs, out: Out) -> Result<(), String> {
 
     let _ = writeln!(
         out,
-        "fuzzing: {} iterations, seed {}{}{}",
+        "fuzzing: {} iterations, seed {}{}{}{}",
         args.iters,
         args.seed,
+        match args.rules_seed {
+            None => String::new(),
+            Some(s) => format!(
+                ", {}-rule corpus (rules-seed {s})",
+                sd_oracle::CAMPAIGN_CORPUS_RULES
+            ),
+        },
         if args.minimize { ", minimizing" } else { "" },
         match args.sabotage {
             None => String::new(),
@@ -540,6 +556,7 @@ fn fuzz_cmd(args: &ParsedArgs, out: Out) -> Result<(), String> {
         minimize: args.minimize,
         tweaks,
         max_failures: 1,
+        rules_seed: args.rules_seed,
     };
     let result = sd_oracle::run_campaign(config, |_, _| {});
     let s = result.stats;
@@ -622,6 +639,158 @@ fn generate_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
             "  {} via {} carries sid {}",
             a.flow, a.strategy, rule.sid
         );
+    }
+    Ok(())
+}
+
+/// `sd generate-rules`: write a seeded Snort-subset corpus to disk.
+fn generate_rules_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let cfg = RuleCorpusConfig {
+        malformed: args.malformed,
+        ..RuleCorpusConfig::sized(args.count, args.seed)
+    };
+    let text = generate_rule_corpus(&cfg);
+    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "wrote {path}: {} alert rule(s), {} malformed line(s), {} bytes (seed {})",
+        args.count,
+        args.malformed,
+        text.len(),
+        args.seed
+    );
+    Ok(())
+}
+
+/// Benign workload scanned for hit attribution: enough HTTP-like payload
+/// that hot rules separate from cold ones, small enough to stay instant.
+const ANALYZE_CHUNKS: usize = 512;
+const ANALYZE_CHUNK_BYTES: usize = 1460;
+
+/// `sd analyze-rules`: corpus diagnostics, automaton cost attribution
+/// across every matcher representation, piece-dedup savings, and per-rule
+/// fast-path hit counts over a seeded benign workload.
+fn analyze_rules_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (set, errors) = parse_rules_lenient(&text);
+    if !errors.is_empty() {
+        let _ = writeln!(out, "{} parse error(s):", errors.len());
+        for e in &errors {
+            let _ = writeln!(out, "  {e}");
+        }
+    }
+    if set.rules.is_empty() {
+        return Err("rule file contains no usable alert rules".into());
+    }
+    let sigs = set.to_signatures();
+    let config = SplitDetectConfig::default();
+    config.validate(&sigs).map_err(|e| e.to_string())?;
+    let content_bytes: usize = set.rules.iter().map(|r| r.signature_bytes().len()).sum();
+    let _ = writeln!(
+        out,
+        "{path}: {} alert rule(s), {} content bytes, k = {} pieces/signature",
+        set.rules.len(),
+        content_bytes,
+        config.pieces_per_signature
+    );
+
+    // Automaton cost attribution: compile the corpus under every
+    // representation. Dense is the 100% baseline.
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>9} {:>10} {:>9}",
+        "matcher", "bytes", "states", "build-ms", "vs-dense"
+    );
+    let mut dense_bytes = 0usize;
+    let mut default_plan = None;
+    for kind in MatcherKind::ALL {
+        let plan = SplitPlan::compile(
+            &sigs,
+            &SplitDetectConfig {
+                fastpath_matcher: kind,
+                ..config
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        if kind == MatcherKind::Dense {
+            dense_bytes = plan.memory_bytes();
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>9} {:>10.2} {:>8.1}%",
+            kind.name(),
+            plan.memory_bytes(),
+            plan.state_count(),
+            plan.build_time().as_secs_f64() * 1e3,
+            plan.memory_bytes() as f64 * 100.0 / dense_bytes.max(1) as f64
+        );
+        if kind == config.fastpath_matcher {
+            default_plan = Some(plan);
+        }
+    }
+    let plan = default_plan.expect("MatcherKind::ALL contains the default kind");
+
+    // Piece dedup: shared prefixes across rule families collapse into one
+    // automaton pattern each.
+    let raw_pieces = set.rules.len() * config.pieces_per_signature;
+    let _ = writeln!(
+        out,
+        "piece dedup: {} raw pieces -> {} distinct ({:.1}% saved)",
+        raw_pieces,
+        plan.piece_count(),
+        (raw_pieces - plan.piece_count()) as f64 * 100.0 / raw_pieces.max(1) as f64
+    );
+
+    // Per-rule fast-path hits on seeded benign HTTP-like payload: which
+    // rules would divert benign flows, and how often.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xA11A);
+    let mut hits = vec![0u64; set.rules.len()];
+    let mut total_hits = 0u64;
+    let mut chunk = Vec::new();
+    for _ in 0..ANALYZE_CHUNKS {
+        PayloadModel::HttpLike.fill(&mut rng, ANALYZE_CHUNK_BYTES, &mut chunk);
+        for m in plan.scan_all(&chunk) {
+            for origin in plan.origins(m.pattern) {
+                hits[origin.signature] += 1;
+                total_hits += 1;
+            }
+        }
+    }
+    let scanned = ANALYZE_CHUNKS * ANALYZE_CHUNK_BYTES;
+    let _ = writeln!(
+        out,
+        "fast-path hits on benign payload ({} chunks, {} B, seed {}): {} total",
+        ANALYZE_CHUNKS, scanned, args.seed, total_hits
+    );
+    let mut ranked: Vec<(usize, u64)> = hits
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, h)| h > 0)
+        .collect();
+    ranked.sort_by_key(|&(i, h)| (std::cmp::Reverse(h), i));
+    if ranked.is_empty() {
+        let _ = writeln!(out, "no rule's pieces hit benign payload");
+    } else {
+        let _ = writeln!(out, "{:<8} {:>10} {:>12}  rule", "sid", "hits", "hits/MB");
+        for &(i, h) in ranked.iter().take(args.top) {
+            let rule = &set.rules[i];
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10} {:>12.2}  {}",
+                rule.sid,
+                h,
+                h as f64 * 1e6 / scanned as f64,
+                rule.name()
+            );
+        }
+        if ranked.len() > args.top {
+            let _ = writeln!(
+                out,
+                "... and {} more rule(s) with hits",
+                ranked.len() - args.top
+            );
+        }
     }
     Ok(())
 }

@@ -23,7 +23,9 @@ usage:
   sd replay <capture.pcap> [--rules FILE] [--speed X (default 1.0, 0 = unpaced)]
   sd generate <out.pcap> [--flows N] [--attacks N] [--seed S]
   sd fuzz [--iters N] [--seed S] [--minimize] [--sabotage ooo|frag]
-          [--trace-out FILE] [--replay-trace FILE]
+          [--trace-out FILE] [--replay-trace FILE] [--rules-seed S]
+  sd generate-rules <out.rules> [--count N] [--seed S] [--malformed N]
+  sd analyze-rules <FILE> [--top N] [--seed S]
 
 Without --rules, the embedded demo rule set is used.
 run drives Split-Detect over the capture and, with --metrics-out PATH,
@@ -34,8 +36,10 @@ same registry instead of the human workload summary.
 packets the dispatcher accumulates per shard before each channel send
 (default 64; 1 degrades to per-packet dispatch).
 --matcher selects the fast-path scan engine:
-dense|classed|classed+prefilter (default classed+prefilter, the
-fastest; all three make identical divert decisions).
+dense|classed|classed+prefilter|sparse|sparse+bloom (default
+classed+prefilter, the fastest; all kinds make identical divert
+decisions — sparse and sparse+bloom trade scan speed for tables that
+stay small at 10k-rule corpora).
 --flow-hash-seed S pins the flow-table hash key for bit-reproducible
 runs; without it every engine draws a process-random key, so collision
 floods against the table cannot be precomputed.
@@ -50,7 +54,16 @@ against the victim model, Split-Detect (single and sharded) and the
 conventional IPS. --sabotage disables a fast-path rule to prove the
 oracle catches a broken engine; --minimize shrinks failures; the failing
 trace is written to --trace-out (default fuzz-failure.trace);
---replay-trace re-runs one saved .trace file instead of a campaign.";
+--replay-trace re-runs one saved .trace file instead of a campaign;
+--rules-seed S loads the engines under test with a generated rule
+corpus (seed S) on top of the oracle signature, so campaigns exercise
+realistic automaton sizes.
+generate-rules writes a seeded Snort-subset signature corpus
+(--count rules, --malformed appended broken lines for loader tests).
+analyze-rules loads a rule file leniently (line-numbered diagnostics),
+compiles the corpus under every matcher representation, and reports
+automaton cost attribution, piece-dedup savings and per-rule fast-path
+hit counts over a seeded benign workload (--top N rows, --seed S).";
 
 /// Which engine `scan` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +157,15 @@ pub struct ParsedArgs {
     /// `--flow-hash-seed S`: pin the flow-table hash key (reproducible
     /// runs); absent, the engine draws a process-random key.
     pub flow_hash_seed: Option<u64>,
+    /// `--count N` (generate-rules): alert rules to emit.
+    pub count: usize,
+    /// `--malformed N` (generate-rules): broken trailing lines to append.
+    pub malformed: usize,
+    /// `--top N` (analyze-rules): rows in the per-rule hit table.
+    pub top: usize,
+    /// `--rules-seed S` (fuzz): run the campaign against a generated rule
+    /// corpus (plus the oracle signature) instead of the signature alone.
+    pub rules_seed: Option<u64>,
 }
 
 /// The subcommand.
@@ -167,6 +189,11 @@ pub enum Command {
     Replay(String),
     /// Run the differential fuzzing oracle.
     Fuzz,
+    /// Write a seeded Snort-subset rule corpus.
+    GenerateRules(String),
+    /// Analyze a rule corpus: parse diagnostics, automaton cost per
+    /// matcher representation, piece dedup, per-rule fast-path hits.
+    AnalyzeRules(String),
 }
 
 /// Parse `args` (without the program name).
@@ -196,6 +223,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut slow_lane_depth = 512usize;
     let mut shed_policy = splitdetect::ShedPolicy::default();
     let mut flow_hash_seed = None;
+    let mut count = 1000usize;
+    let mut malformed = 0usize;
+    let mut top = 10usize;
+    let mut rules_seed = None;
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -316,6 +347,34 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                         .map_err(|_| "bad --flow-hash-seed value".to_string())?,
                 )
             }
+            "--count" => {
+                count = value_of("--count")?
+                    .parse()
+                    .map_err(|_| "bad --count value".to_string())?;
+                if count == 0 {
+                    return Err("--count must be >= 1".into());
+                }
+            }
+            "--malformed" => {
+                malformed = value_of("--malformed")?
+                    .parse()
+                    .map_err(|_| "bad --malformed value".to_string())?
+            }
+            "--top" => {
+                top = value_of("--top")?
+                    .parse()
+                    .map_err(|_| "bad --top value".to_string())?;
+                if top == 0 {
+                    return Err("--top must be >= 1".into());
+                }
+            }
+            "--rules-seed" => {
+                rules_seed = Some(
+                    value_of("--rules-seed")?
+                        .parse()
+                        .map_err(|_| "bad --rules-seed value".to_string())?,
+                )
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -349,6 +408,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
             }
             Command::Fuzz
         }
+        "generate-rules" => Command::GenerateRules(need_one("output path", &positional)?),
+        "analyze-rules" => Command::AnalyzeRules(need_one("rules path", &positional)?),
         other => return Err(format!("unknown subcommand {other:?}")),
     };
 
@@ -375,6 +436,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         slow_lane_depth,
         shed_policy,
         flow_hash_seed,
+        count,
+        malformed,
+        top,
+        rules_seed,
     })
 }
 
@@ -420,6 +485,34 @@ mod tests {
         assert_eq!(p.matcher, MatcherKind::Classed);
         let p = parse(&args("stats cap.pcap --matcher classed+prefilter")).unwrap();
         assert_eq!(p.matcher, MatcherKind::ClassedPrefilter);
+        let p = parse(&args("scan cap.pcap --matcher sparse")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::Sparse);
+        let p = parse(&args("run cap.pcap --matcher sparse+bloom")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::SparseBloom);
+    }
+
+    #[test]
+    fn rule_corpus_commands_parse() {
+        let p = parse(&args("generate-rules out.rules")).unwrap();
+        assert_eq!(p.command, Command::GenerateRules("out.rules".into()));
+        assert_eq!((p.count, p.malformed, p.seed), (1000, 0, 1));
+
+        let p = parse(&args(
+            "generate-rules out.rules --count 10000 --seed 42 --malformed 5",
+        ))
+        .unwrap();
+        assert_eq!((p.count, p.malformed, p.seed), (10000, 5, 42));
+
+        let p = parse(&args("analyze-rules corpus.rules")).unwrap();
+        assert_eq!(p.command, Command::AnalyzeRules("corpus.rules".into()));
+        assert_eq!(p.top, 10);
+        let p = parse(&args("analyze-rules corpus.rules --top 25")).unwrap();
+        assert_eq!(p.top, 25);
+
+        let p = parse(&args("fuzz --rules-seed 7")).unwrap();
+        assert_eq!(p.rules_seed, Some(7));
+        let p = parse(&args("fuzz")).unwrap();
+        assert_eq!(p.rules_seed, None);
     }
 
     #[test]
@@ -525,6 +618,14 @@ mod tests {
             "scan cap.pcap --slow-lane-depth 0",
             "scan cap.pcap --shed-policy coin-flip",
             "scan cap.pcap --shed-policy",
+            "generate-rules",
+            "generate-rules a b",
+            "generate-rules out.rules --count 0",
+            "generate-rules out.rules --count many",
+            "analyze-rules",
+            "analyze-rules corpus.rules --top 0",
+            "fuzz --rules-seed",
+            "fuzz --rules-seed maybe",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

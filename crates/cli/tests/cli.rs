@@ -305,6 +305,85 @@ fn fuzz_smoke_is_clean_and_deterministic() {
 }
 
 #[test]
+fn generate_rules_then_analyze_reports_every_representation() {
+    let dir = tmpdir("rulegen");
+    let path = dir.join("corpus.rules");
+    let path_s = path.to_str().unwrap();
+
+    let (code, out) = run(&["generate-rules", path_s, "--count", "120", "--seed", "11"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("120 alert rule(s)"), "{out}");
+
+    // The generated corpus lints clean and is Split-Detect admissible.
+    let (code, out) = run(&["rules", path_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("all rules usable"), "{out}");
+
+    let (code, out) = run(&["analyze-rules", path_s, "--top", "3"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("120 alert rule(s)"), "{out}");
+    for kind in ["dense", "classed+prefilter", "sparse+bloom"] {
+        assert!(out.contains(kind), "missing {kind} row: {out}");
+    }
+    assert!(out.contains("piece dedup:"), "{out}");
+    assert!(out.contains("fast-path hits"), "{out}");
+    assert!(!out.contains("parse error"), "{out}");
+
+    // Determinism: same corpus, same seed, same report.
+    let (_, again) = run(&["analyze-rules", path_s, "--top", "3"]);
+    // Build times vary run to run; everything else must not. Compare with
+    // the timing column blanked.
+    let blank = |s: &str| {
+        s.lines()
+            .map(|l| l.split_whitespace().take(3).collect::<Vec<_>>().join(" "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(blank(&out), blank(&again));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rules_reports_lenient_diagnostics() {
+    let dir = tmpdir("rulediag");
+    let path = dir.join("tail.rules");
+    let path_s = path.to_str().unwrap();
+
+    let (code, out) = run(&[
+        "generate-rules",
+        path_s,
+        "--count",
+        "6",
+        "--seed",
+        "2",
+        "--malformed",
+        "4",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("4 malformed line(s)"), "{out}");
+
+    // analyze-rules keeps going past the broken tail, with line numbers.
+    let (code, out) = run(&["analyze-rules", path_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("4 parse error(s):"), "{out}");
+    assert!(out.contains("line "), "{out}");
+    assert!(out.contains("6 alert rule(s)"), "{out}");
+
+    // The strict lint path rejects the same file outright.
+    let (code, out) = run(&["rules", path_s]);
+    assert_eq!(code, 1, "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_rules_seed_campaign_is_clean() {
+    let (code, out) = run(&["fuzz", "--iters", "6", "--seed", "3", "--rules-seed", "3"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("rule corpus (rules-seed 3)"), "{out}");
+    assert!(out.contains("no invariant violations"), "{out}");
+}
+
+#[test]
 fn fuzz_sabotage_finds_minimizes_and_replays() {
     let dir = tmpdir("fuzz");
     let trace = dir.join("repro.trace");

@@ -113,6 +113,7 @@ impl SplitDetect {
         );
         let mut telemetry = PipelineTelemetry::new(config.stage_timing_sample_shift);
         telemetry.set_automaton_bytes(plan.memory_bytes());
+        telemetry.set_automaton_build_ns(plan.build_time().as_nanos() as u64);
         let fast = FastPath::new(
             plan,
             FastPathParams {

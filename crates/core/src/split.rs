@@ -9,10 +9,11 @@
 //! provenance (keeping the automaton minimal).
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use sd_ips::{SignatureId, SignatureSet};
 use sd_match::pattern::PatternSet;
-use sd_match::{AcDfa, ClassedDfa, PatternId, PrefilteredDfa};
+use sd_match::{AcDfa, BloomSparseNfa, ClassedDfa, Match, PatternId, PrefilteredDfa, SparseNfa};
 
 use crate::config::{ConfigError, MatcherKind, SplitDetectConfig};
 
@@ -35,6 +36,8 @@ enum PieceAutomaton {
     Dense(AcDfa),
     Classed(ClassedDfa),
     Prefiltered(PrefilteredDfa),
+    Sparse(SparseNfa),
+    SparseBloom(BloomSparseNfa),
 }
 
 impl PieceAutomaton {
@@ -43,6 +46,8 @@ impl PieceAutomaton {
             MatcherKind::Dense => PieceAutomaton::Dense(AcDfa::new(set)),
             MatcherKind::Classed => PieceAutomaton::Classed(ClassedDfa::new(set)),
             MatcherKind::ClassedPrefilter => PieceAutomaton::Prefiltered(PrefilteredDfa::new(set)),
+            MatcherKind::Sparse => PieceAutomaton::Sparse(SparseNfa::new(set)),
+            MatcherKind::SparseBloom => PieceAutomaton::SparseBloom(BloomSparseNfa::new(set)),
         }
     }
 
@@ -54,6 +59,19 @@ impl PieceAutomaton {
             PieceAutomaton::Dense(d) => d.find_first_id(payload),
             PieceAutomaton::Classed(d) => d.find_first_id(payload),
             PieceAutomaton::Prefiltered(d) => d.find_first_id(payload),
+            PieceAutomaton::Sparse(d) => d.find_first_id(payload),
+            PieceAutomaton::SparseBloom(d) => d.find_first_id(payload),
+        }
+    }
+
+    /// All piece occurrences in `payload` (profiling, not the hot path).
+    fn find_all(&self, payload: &[u8]) -> Vec<Match> {
+        match self {
+            PieceAutomaton::Dense(d) => d.find_all(payload),
+            PieceAutomaton::Classed(d) => d.find_all(payload),
+            PieceAutomaton::Prefiltered(d) => d.find_all(payload),
+            PieceAutomaton::Sparse(d) => d.find_all(payload),
+            PieceAutomaton::SparseBloom(d) => d.find_all(payload),
         }
     }
 
@@ -62,6 +80,18 @@ impl PieceAutomaton {
             PieceAutomaton::Dense(d) => d.memory_bytes(),
             PieceAutomaton::Classed(d) => d.memory_bytes(),
             PieceAutomaton::Prefiltered(d) => d.memory_bytes(),
+            PieceAutomaton::Sparse(d) => d.memory_bytes(),
+            PieceAutomaton::SparseBloom(d) => d.memory_bytes(),
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        match self {
+            PieceAutomaton::Dense(d) => d.state_count(),
+            PieceAutomaton::Classed(d) => d.state_count(),
+            PieceAutomaton::Prefiltered(d) => d.state_count(),
+            PieceAutomaton::Sparse(d) => d.state_count(),
+            PieceAutomaton::SparseBloom(d) => d.state_count(),
         }
     }
 
@@ -70,6 +100,8 @@ impl PieceAutomaton {
             PieceAutomaton::Dense(_) => MatcherKind::Dense,
             PieceAutomaton::Classed(_) => MatcherKind::Classed,
             PieceAutomaton::Prefiltered(_) => MatcherKind::ClassedPrefilter,
+            PieceAutomaton::Sparse(_) => MatcherKind::Sparse,
+            PieceAutomaton::SparseBloom(_) => MatcherKind::SparseBloom,
         }
     }
 }
@@ -85,6 +117,9 @@ pub struct SplitPlan {
     /// Shortest piece length.
     min_piece_len: usize,
     pieces_per_signature: usize,
+    /// Wall time spent compiling the automaton (per-representation build
+    /// cost — the telemetry gauge and `sd analyze-rules` report it).
+    build_time: Duration,
 }
 
 /// Cut `len` into `k` near-equal spans.
@@ -153,12 +188,15 @@ impl SplitPlan {
         }
 
         let set = PatternSet::from_patterns(strings.iter().map(|p| p.as_slice()));
+        let started = Instant::now();
+        let automaton = PieceAutomaton::compile(set, matcher);
         SplitPlan {
-            automaton: PieceAutomaton::compile(set, matcher),
+            automaton,
             origins,
             max_piece_len: max_piece,
             min_piece_len: min_piece.min(max_piece),
             pieces_per_signature: k,
+            build_time: started.elapsed(),
         }
     }
 
@@ -181,9 +219,18 @@ impl SplitPlan {
     /// dense, whose row width is always 256).
     pub fn class_count(&self) -> Option<usize> {
         match &self.automaton {
-            PieceAutomaton::Dense(_) => None,
             PieceAutomaton::Classed(d) => Some(d.class_count()),
             PieceAutomaton::Prefiltered(d) => Some(d.class_count()),
+            _ => None,
+        }
+    }
+
+    /// Bloom prefilter bit count (`None` unless compiled with
+    /// [`MatcherKind::SparseBloom`]).
+    pub fn bloom_bit_count(&self) -> Option<usize> {
+        match &self.automaton {
+            PieceAutomaton::SparseBloom(d) => Some(d.bloom().bit_count()),
+            _ => None,
         }
     }
 
@@ -227,12 +274,29 @@ impl SplitPlan {
         self.automaton.memory_bytes()
     }
 
+    /// Automaton states (trie nodes incl. the root).
+    pub fn state_count(&self) -> usize {
+        self.automaton.state_count()
+    }
+
+    /// Wall time the automaton compilation took.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
     /// Does any piece occur in `payload`? The fast path's per-packet scan.
     /// Early-exits at the first match state without materializing a
     /// `Match` — the caller only ever wants the piece id.
     #[inline]
     pub fn scan(&self, payload: &[u8]) -> Option<PatternId> {
         self.automaton.find_first_id(payload)
+    }
+
+    /// Every piece occurrence in `payload`, including overlaps — the
+    /// profiling scan `sd analyze-rules` uses for per-rule hit attribution.
+    /// Not the hot path: allocates one `Match` per occurrence.
+    pub fn scan_all(&self, payload: &[u8]) -> Vec<Match> {
+        self.automaton.find_all(payload)
     }
 }
 
@@ -361,6 +425,15 @@ mod tests {
         assert_eq!(classed.escape_byte_count(), None);
         // Piece first bytes: A, I, Q, a, i, q → 6 escape bytes.
         assert_eq!(pre.escape_byte_count(), Some(6));
+
+        let sparse = SplitPlan::compile_unchecked_with(&sigs, 3, MatcherKind::Sparse);
+        let bloom = SplitPlan::compile_unchecked_with(&sigs, 3, MatcherKind::SparseBloom);
+        assert!(sparse.memory_bytes() < dense.memory_bytes() / 4);
+        assert!(bloom.memory_bytes() < dense.memory_bytes() / 4);
+        assert_eq!(sparse.class_count(), None);
+        assert_eq!(bloom.class_count(), None);
+        assert_eq!(sparse.escape_byte_count(), None);
+        assert_eq!(sparse.state_count(), dense.state_count());
     }
 
     #[test]

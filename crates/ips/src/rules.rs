@@ -22,6 +22,13 @@
 //! (each `content` of a real rule must independently appear in the stream,
 //! so matching any one of them is a sound over-approximation for
 //! *diversion*; the slow path confirms on the chosen string).
+//!
+//! Two entry points: [`parse_rules`] is strict (first malformed rule
+//! aborts — right for small hand-written files), [`parse_rules_lenient`]
+//! loads every well-formed rule and returns line-numbered diagnostics for
+//! the rest (right for deployment-scale corpora). [`Rule::to_text`] /
+//! [`RuleSet::to_text`] serialize back into the accepted subset, so
+//! parse→serialize→parse is the identity on the parsed form.
 
 use std::fmt;
 
@@ -81,6 +88,83 @@ impl Rule {
             format!("sid-{}:{}", self.sid, self.msg)
         }
     }
+
+    /// Serialize back to one rule line in the subset this parser accepts.
+    /// `parse_rules(rule.to_text())` yields an equal `Rule`: contents are
+    /// re-encoded with `\"`/`\\` character escapes and `|hex|` runs for
+    /// everything non-printable (including `|` itself, which only has a
+    /// hex spelling — a backslash escape would be re-read as a run
+    /// delimiter after unquoting).
+    pub fn to_text(&self) -> String {
+        let proto = match self.proto {
+            RuleProto::Tcp => "tcp",
+            RuleProto::Udp => "udp",
+            RuleProto::Ip => "ip",
+        };
+        let mut opts = format!("msg:\"{}\";", escape_quoted(&self.msg));
+        for content in &self.contents {
+            opts.push_str(&format!(" content:\"{}\";", encode_content(content)));
+        }
+        if self.nocase {
+            opts.push_str(" nocase;");
+        }
+        opts.push_str(&format!(" sid:{}; rev:{};", self.sid, self.rev));
+        format!(
+            "alert {proto} {} {} -> {} {} ({opts})",
+            self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// Escape a string for inclusion inside a quoted option value.
+fn escape_quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        if ch == '"' || ch == '\\' {
+            out.push('\\');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Encode content bytes in Snort content syntax (inverse of
+/// [`decode_content`] ∘ [`unquote`]): printable ASCII stays literal (with
+/// `\"`/`\\` escapes), everything else — including `|` — becomes a
+/// `|hex|` run, with consecutive hex bytes merged into one run.
+fn encode_content(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    let mut hex: Vec<u8> = Vec::new();
+    fn flush(out: &mut String, hex: &mut Vec<u8>) {
+        if hex.is_empty() {
+            return;
+        }
+        out.push('|');
+        for (i, b) in hex.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{b:02X}"));
+        }
+        out.push('|');
+        hex.clear();
+    }
+    for &b in bytes {
+        match b {
+            b'"' | b'\\' => {
+                flush(&mut out, &mut hex);
+                out.push('\\');
+                out.push(b as char);
+            }
+            0x20..=0x7E if b != b'|' => {
+                flush(&mut out, &mut hex);
+                out.push(b as char);
+            }
+            _ => hex.push(b),
+        }
+    }
+    flush(&mut out, &mut hex);
+    out
 }
 
 /// Where and why parsing failed.
@@ -122,6 +206,18 @@ impl RuleSet {
                 .map(|r| Signature::new(r.name(), r.signature_bytes().to_vec())),
         )
     }
+
+    /// Serialize every rule back to text, one line each. Re-parsing the
+    /// result yields an equal `rules` vector (skipped non-alert actions
+    /// are not round-tripped — the set never stored them).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for rule in &self.rules {
+            out.push_str(&rule.to_text());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Parse a whole rule file. `#` comments and blank lines are skipped;
@@ -138,8 +234,50 @@ impl RuleSet {
 /// ```
 pub fn parse_rules(text: &str) -> Result<RuleSet, RuleParseError> {
     let mut set = RuleSet::default();
-    // Join trailing-backslash continuations first (Snort rule files wrap
-    // long rules this way), tracking the line each logical rule starts on.
+    for (line_no, raw) in logical_lines(text) {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_rule_line(line, line_no)? {
+            Some(rule) => {
+                set.nocase_ignored += usize::from(rule.nocase);
+                set.rules.push(rule);
+            }
+            None => set.skipped_actions += 1,
+        }
+    }
+    Ok(set)
+}
+
+/// Parse a rule file leniently: malformed rules are collected as
+/// line-numbered diagnostics instead of aborting, and every well-formed
+/// rule still loads. This is how deployment-scale corpora are ingested —
+/// a 10k-rule file with three typos should load 9 997 rules and report
+/// exactly three errors, stably pointing at the offending lines.
+pub fn parse_rules_lenient(text: &str) -> (RuleSet, Vec<RuleParseError>) {
+    let mut set = RuleSet::default();
+    let mut errors = Vec::new();
+    for (line_no, raw) in logical_lines(text) {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_rule_line(line, line_no) {
+            Ok(Some(rule)) => {
+                set.nocase_ignored += usize::from(rule.nocase);
+                set.rules.push(rule);
+            }
+            Ok(None) => set.skipped_actions += 1,
+            Err(e) => errors.push(e),
+        }
+    }
+    (set, errors)
+}
+
+/// Join trailing-backslash continuations (Snort rule files wrap long rules
+/// this way), tracking the line each logical rule starts on.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
     let mut logical: Vec<(usize, String)> = Vec::new();
     let mut pending: Option<(usize, String)> = None;
     for (idx, raw) in text.lines().enumerate() {
@@ -167,21 +305,7 @@ pub fn parse_rules(text: &str) -> Result<RuleSet, RuleParseError> {
     if let Some((start, acc)) = pending {
         logical.push((start, acc)); // dangling continuation: parse as-is
     }
-
-    for (line_no, raw) in logical {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        match parse_rule_line(line, line_no)? {
-            Some(rule) => {
-                set.nocase_ignored += usize::from(rule.nocase);
-                set.rules.push(rule);
-            }
-            None => set.skipped_actions += 1,
-        }
-    }
-    Ok(set)
+    logical
 }
 
 fn err(line: usize, reason: impl Into<String>) -> RuleParseError {
@@ -520,6 +644,73 @@ mod tests {
         let e = parse_rules("# ok\nalert tcp any any \\\n-> any any (content:\"x\"; sid:zzz;)")
             .unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn lenient_collects_errors_and_keeps_good_rules() {
+        let text = "alert tcp any any -> any any (content:\"first-good-rule\"; sid:1;)\n\
+                    alert icmp any any -> any any (content:\"bad-proto\"; sid:2;)\n\
+                    # comment\n\
+                    alert tcp any any -> any any (msg:\"no content\"; sid:3;)\n\
+                    pass tcp any any -> any any (content:\"skipped\"; sid:4;)\n\
+                    alert tcp any any -> any any (content:\"second-good-rule\"; sid:5;)";
+        let (set, errors) = parse_rules_lenient(text);
+        assert_eq!(set.rules.len(), 2);
+        assert_eq!(set.rules[0].sid, 1);
+        assert_eq!(set.rules[1].sid, 5);
+        assert_eq!(set.skipped_actions, 1);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].line, 2);
+        assert!(errors[0].reason.contains("icmp"));
+        assert_eq!(errors[1].line, 4);
+        // Diagnostics are stable: a second parse reports the same errors.
+        let (_, again) = parse_rules_lenient(text);
+        assert_eq!(errors, again);
+    }
+
+    #[test]
+    fn lenient_agrees_with_strict_on_clean_input() {
+        let (set, errors) = parse_rules_lenient(DEMO_RULES);
+        let strict = parse_rules(DEMO_RULES).unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(set.rules, strict.rules);
+        assert_eq!(set.nocase_ignored, strict.nocase_ignored);
+    }
+
+    #[test]
+    fn serialize_round_trips_demo_rules() {
+        let set = parse_rules(DEMO_RULES).unwrap();
+        let text = set.to_text();
+        let again = parse_rules(&text).unwrap();
+        assert_eq!(set.rules, again.rules);
+        assert_eq!(set.nocase_ignored, again.nocase_ignored);
+    }
+
+    #[test]
+    fn serialize_round_trips_awkward_bytes() {
+        // Pipe, quote, backslash, NUL, high bytes, semicolon, colon — every
+        // byte class the encoder must spell differently.
+        let rule = Rule {
+            proto: RuleProto::Udp,
+            src: "$HOME_NET".into(),
+            src_port: "any".into(),
+            dst: "10.0.0.0/8".into(),
+            dst_port: "53".into(),
+            msg: r#"quote " back \ slash; colon:"#.into(),
+            contents: vec![
+                b"a|b\"c\\d;e:f".to_vec(),
+                vec![0x00, 0xff, 0x7c, 0x90, b'A', 0x01, b'B'],
+            ],
+            sid: 77,
+            rev: 3,
+            nocase: true,
+        };
+        let text = rule.to_text();
+        let set = parse_rules(&text).unwrap();
+        assert_eq!(set.rules.len(), 1);
+        assert_eq!(set.rules[0], rule);
+        // And the serialized form itself is stable.
+        assert_eq!(set.rules[0].to_text(), text);
     }
 
     #[test]

@@ -26,9 +26,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use sd_flow::FlowKey;
 use sd_ips::api::run_trace;
 use sd_ips::conventional::ConventionalConfig;
+use sd_ips::rules::parse_rules;
 use sd_ips::{Alert, ConventionalIps, Signature, SignatureSet};
 use sd_reassembly::OverlapPolicy;
 use sd_traffic::victim::receive_stream;
+use sd_traffic::{generate_rule_corpus, RuleCorpusConfig};
 use splitdetect::{ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats};
 
 use crate::program::{CompiledTrace, TraceProgram, ORACLE_SIGNATURE};
@@ -161,6 +163,33 @@ fn oracle_signatures() -> SignatureSet {
     SignatureSet::from_signatures([Signature::new("oracle-evil", ORACLE_SIGNATURE)])
 }
 
+/// Rules in a `--rules-seed` campaign corpus. Small on purpose: every
+/// iteration rebuilds seven engines from scratch, so the corpus prices in
+/// realistic automaton *structure* (shared prefixes, mixed alphabets)
+/// without making each iteration a compile benchmark.
+pub const CAMPAIGN_CORPUS_RULES: usize = 64;
+
+/// The signature set a campaign runs: the planted oracle signature, plus —
+/// when `rules_seed` is given — a generated rule corpus as ballast. The
+/// ballast signatures never occur in generated traces (filler is lowercase,
+/// corpus contents are ≥ 12 structured bytes), so ground truth and every
+/// invariant are unchanged; what changes is the automaton the fast path
+/// actually scans with.
+pub fn campaign_signatures(rules_seed: Option<u64>) -> SignatureSet {
+    let mut sigs = vec![Signature::new("oracle-evil", ORACLE_SIGNATURE)];
+    if let Some(seed) = rules_seed {
+        let text = generate_rule_corpus(&RuleCorpusConfig::sized(CAMPAIGN_CORPUS_RULES, seed));
+        let set = parse_rules(&text).expect("generated corpus parses cleanly");
+        for (i, rule) in set.rules.iter().enumerate() {
+            sigs.push(Signature::new(
+                format!("corpus-{i}"),
+                rule.signature_bytes().to_vec(),
+            ));
+        }
+    }
+    SignatureSet::from_signatures(sigs)
+}
+
 /// Sort key making alert lists comparable across engines: flow identity,
 /// signature, stream offset and source stage.
 fn alert_key(a: &Alert) -> (FlowKey, usize, u64, u8) {
@@ -191,6 +220,17 @@ fn accounting_excuse(stats: &SplitDetectStats) -> bool {
 
 /// Run one compiled trace through every engine and judge the invariants.
 pub fn run_compiled(compiled: &CompiledTrace, tweaks: EngineTweaks) -> TraceOutcome {
+    run_compiled_with(compiled, tweaks, &oracle_signatures())
+}
+
+/// [`run_compiled`] with an explicit signature set (see
+/// [`campaign_signatures`]): the set must contain the oracle signature,
+/// and any extra signatures must not occur in generated traces.
+pub fn run_compiled_with(
+    compiled: &CompiledTrace,
+    tweaks: EngineTweaks,
+    sigs: &SignatureSet,
+) -> TraceOutcome {
     let mut violations = Vec::new();
 
     // Ground truth: what does the victim's stack deliver?
@@ -204,8 +244,8 @@ pub fn run_compiled(compiled: &CompiledTrace, tweaks: EngineTweaks) -> TraceOutc
 
     // Single engine (also the excuse source for the detection invariant).
     let single = catch_unwind(AssertUnwindSafe(|| {
-        let mut engine = SplitDetect::with_config(oracle_signatures(), config)
-            .expect("oracle config is admissible");
+        let mut engine =
+            SplitDetect::with_config(sigs.clone(), config).expect("oracle config is admissible");
         let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
         (alerts, engine.stats())
     }));
@@ -248,7 +288,7 @@ pub fn run_compiled(compiled: &CompiledTrace, tweaks: EngineTweaks) -> TraceOutc
     let single_keys = sorted_keys(&single_alerts);
     for shards in SHARD_COUNTS {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            let mut engine = ShardedSplitDetect::new(oracle_signatures(), config, shards)
+            let mut engine = ShardedSplitDetect::new(sigs.clone(), config, shards)
                 .expect("oracle config is admissible");
             let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
             let failures: Vec<String> = engine.failures().iter().map(|f| f.to_string()).collect();
@@ -289,7 +329,7 @@ pub fn run_compiled(compiled: &CompiledTrace, tweaks: EngineTweaks) -> TraceOutc
     // Conventional IPS, policy-matched: campaign statistics only.
     let conventional_alerted = catch_unwind(AssertUnwindSafe(|| {
         let mut engine = ConventionalIps::with_config(
-            oracle_signatures(),
+            sigs.clone(),
             ConventionalConfig {
                 policy: compiled.victim.policy,
                 ..Default::default()
@@ -322,6 +362,15 @@ pub fn run_program(program: &TraceProgram, tweaks: EngineTweaks) -> TraceOutcome
     run_compiled(&program.compile(), tweaks)
 }
 
+/// [`run_program`] with an explicit signature set.
+pub fn run_program_with(
+    program: &TraceProgram,
+    tweaks: EngineTweaks,
+    sigs: &SignatureSet,
+) -> TraceOutcome {
+    run_compiled_with(&program.compile(), tweaks, sigs)
+}
+
 /// Campaign configuration for [`run_campaign`].
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
@@ -335,6 +384,9 @@ pub struct CampaignConfig {
     pub tweaks: EngineTweaks,
     /// Stop after this many failures (0 = never stop early).
     pub max_failures: usize,
+    /// Load engines with a generated rule corpus (seeded here) alongside
+    /// the oracle signature; `None` runs the lone-signature classic.
+    pub rules_seed: Option<u64>,
 }
 
 impl Default for CampaignConfig {
@@ -345,6 +397,7 @@ impl Default for CampaignConfig {
             minimize: false,
             tweaks: EngineTweaks::NONE,
             max_failures: 1,
+            rules_seed: None,
         }
     }
 }
@@ -417,9 +470,10 @@ pub fn run_campaign(
 ) -> CampaignResult {
     let mut stats = CampaignStats::default();
     let mut failures = Vec::new();
+    let sigs = campaign_signatures(config.rules_seed);
     for i in 0..config.iters {
         let program = TraceProgram::random(iter_seed(config.seed, i));
-        let outcome = run_program(&program, config.tweaks);
+        let outcome = run_program_with(&program, config.tweaks, &sigs);
         stats.iters += 1;
         stats.packets += outcome.packets as u64;
         if outcome.delivered {
@@ -438,13 +492,14 @@ pub fn run_campaign(
             stats.failing_traces += 1;
             let shrunk = if config.minimize {
                 Some(crate::shrink::shrink(&program, |candidate| {
-                    !run_program(candidate, config.tweaks).ok()
+                    !run_program_with(candidate, config.tweaks, &sigs).ok()
                 }))
             } else {
                 None
             };
             let violations =
-                run_program(shrunk.as_ref().unwrap_or(&program), config.tweaks).violations;
+                run_program_with(shrunk.as_ref().unwrap_or(&program), config.tweaks, &sigs)
+                    .violations;
             failures.push(FailureCase {
                 program,
                 shrunk,

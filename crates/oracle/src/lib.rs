@@ -30,8 +30,9 @@ pub mod program;
 pub mod shrink;
 
 pub use exec::{
-    run_campaign, run_compiled, run_program, CampaignConfig, CampaignResult, CampaignStats,
-    EngineTweaks, FailureCase, TraceOutcome, Violation,
+    campaign_signatures, run_campaign, run_compiled, run_compiled_with, run_program,
+    run_program_with, CampaignConfig, CampaignResult, CampaignStats, EngineTweaks, FailureCase,
+    TraceOutcome, Violation, CAMPAIGN_CORPUS_RULES,
 };
 pub use program::{
     collision_flood_packets, CompiledTrace, Mutation, TraceProgram, ORACLE_FLOW_HASH_SEED,

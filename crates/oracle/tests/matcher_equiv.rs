@@ -1,24 +1,29 @@
 //! Matcher-kind equivalence over adversarial traces.
 //!
-//! The fast-path scan engine comes in three builds — the dense DFA, the
-//! byte-class compressed table, and the compressed table behind the
-//! start-state skip prefilter — and the compression/prefilter work is
-//! only sound if all three are *observationally identical*: same alerts,
-//! same divert decisions, same accounting, on every wire input. The unit
-//! and property tests check the matchers agree on raw byte strings; this
-//! suite checks the full engines agree on the oracle's adversarial
-//! traces, where the payload arrives fragmented, overlapped, chaffed and
-//! out of order.
+//! The fast-path scan engine comes in five builds — the dense DFA, the
+//! byte-class compressed table, the compressed table behind the
+//! start-state skip prefilter, the memory-sparse NFA, and the sparse NFA
+//! behind a Bloom window prefilter — and the compression/prefilter work
+//! is only sound if all five are *observationally identical*: same
+//! alerts, same divert decisions, same accounting, on every wire input.
+//! The unit and property tests check the matchers agree on raw byte
+//! strings; this suite checks the full engines agree on the oracle's
+//! adversarial traces, where the payload arrives fragmented, overlapped,
+//! chaffed and out of order — and does it again at rule-corpus scale,
+//! where the representations actually diverge in structure (dedup'd
+//! shared prefixes, saturated byte classes, loaded Bloom filters).
 //!
 //! Stats are compared whole except for the two fields that *describe* the
 //! matcher (`matcher`, `automaton_bytes`) — everything observable about
 //! the traffic must match bit for bit.
 
 use sd_ips::api::run_trace;
+use sd_ips::rules::parse_rules;
 use sd_ips::{Alert, Signature, SignatureSet};
 use sd_oracle::{CompiledTrace, TraceProgram, ORACLE_SIGNATURE};
+use sd_traffic::{generate_rule_corpus, RuleCorpusConfig};
 use splitdetect::{
-    MatcherKind, ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats,
+    MatcherKind, ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats, SplitPlan,
 };
 
 /// The pinned regression traces from `regression.rs`: shrunk reproducers
@@ -77,20 +82,31 @@ fn normalized(mut stats: SplitDetectStats) -> SplitDetectStats {
     stats
 }
 
-fn run_single(
+fn run_single_with(
+    sigs: &SignatureSet,
     compiled: &CompiledTrace,
     kind: MatcherKind,
 ) -> (Vec<(sd_flow::FlowKey, usize, u64, u8)>, SplitDetectStats) {
-    let mut engine = SplitDetect::with_config(signatures(), config_for(compiled, kind))
+    let mut engine = SplitDetect::with_config(sigs.clone(), config_for(compiled, kind))
         .expect("oracle config is admissible");
     let alerts = run_trace(&mut engine, compiled.packets.iter().map(|p| p.as_slice()));
     (alert_keys(&alerts), engine.stats())
 }
 
-fn assert_kinds_agree(compiled: &CompiledTrace, label: &str) {
-    let (dense_alerts, dense_stats) = run_single(compiled, MatcherKind::Dense);
-    for kind in [MatcherKind::Classed, MatcherKind::ClassedPrefilter] {
-        let (alerts, stats) = run_single(compiled, kind);
+fn run_single(
+    compiled: &CompiledTrace,
+    kind: MatcherKind,
+) -> (Vec<(sd_flow::FlowKey, usize, u64, u8)>, SplitDetectStats) {
+    run_single_with(&signatures(), compiled, kind)
+}
+
+fn assert_kinds_agree_with(sigs: &SignatureSet, compiled: &CompiledTrace, label: &str) {
+    let (dense_alerts, dense_stats) = run_single_with(sigs, compiled, MatcherKind::Dense);
+    for kind in MatcherKind::ALL {
+        if kind == MatcherKind::Dense {
+            continue;
+        }
+        let (alerts, stats) = run_single_with(sigs, compiled, kind);
         assert_eq!(
             alerts, dense_alerts,
             "{label}: {kind} alerts diverge from dense"
@@ -101,6 +117,10 @@ fn assert_kinds_agree(compiled: &CompiledTrace, label: &str) {
             "{label}: {kind} stats diverge from dense"
         );
     }
+}
+
+fn assert_kinds_agree(compiled: &CompiledTrace, label: &str) {
+    assert_kinds_agree_with(&signatures(), compiled, label);
 }
 
 #[test]
@@ -125,6 +145,152 @@ fn random_adversarial_programs_agree_across_matchers() {
     for seed in 0..48u64 {
         let compiled = TraceProgram::random(seed).compile();
         assert_kinds_agree(&compiled, &format!("random program seed {seed}"));
+    }
+}
+
+/// Rules in the scale corpus: trimmed in the debug profile so tier-1
+/// stays quick, the full 1k in release (CI runs this suite in release).
+const CORPUS_RULES: usize = if cfg!(debug_assertions) { 200 } else { 1000 };
+
+/// A generated corpus as the engine's rule set, with the oracle signature
+/// appended so adversarial traces still carry a planted detection.
+fn corpus_signatures(rules: usize, seed: u64) -> SignatureSet {
+    let text = generate_rule_corpus(&RuleCorpusConfig::sized(rules, seed));
+    let set = parse_rules(&text).expect("generated corpus parses cleanly");
+    let mut sigs: Vec<Signature> = set
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Signature::new(format!("corpus-{i}"), r.signature_bytes().to_vec()))
+        .collect();
+    sigs.push(Signature::new("oracle-evil", ORACLE_SIGNATURE));
+    SignatureSet::from_signatures(sigs)
+}
+
+/// One plan per representation over the same signature set.
+fn all_plans(sigs: &SignatureSet) -> Vec<SplitPlan> {
+    MatcherKind::ALL
+        .iter()
+        .map(|&kind| {
+            SplitPlan::compile(
+                sigs,
+                &SplitDetectConfig {
+                    fastpath_matcher: kind,
+                    ..Default::default()
+                },
+            )
+            .expect("corpus is admissible")
+        })
+        .collect()
+}
+
+/// The scale version of the equivalence suite: every engine build loaded
+/// with a seeded 1k-rule corpus, driven over the pinned regressions and
+/// fresh adversarial programs — exactly the traces whose fragments and
+/// splits straddle signatures across packet boundaries. At this scale the
+/// representations genuinely diverge inside (byte classes saturate, piece
+/// dedup kicks in, the Bloom filter carries real load), so agreement here
+/// is the proof the knob is safe to turn on a production-sized rule set.
+#[test]
+fn corpus_scale_engines_agree_across_matchers() {
+    let sigs = corpus_signatures(CORPUS_RULES, 0xC0FFEE);
+    for (i, text) in PINNED.iter().enumerate() {
+        let program = TraceProgram::from_text(text).expect("pinned trace must parse");
+        assert_kinds_agree_with(&sigs, &program.compile(), &format!("corpus pin {i}"));
+    }
+    for seed in 100..104u64 {
+        let compiled = TraceProgram::random(seed).compile();
+        assert_kinds_agree_with(&sigs, &compiled, &format!("corpus random seed {seed}"));
+    }
+}
+
+/// Plan-level agreement on inputs that straddle the sparse engine's scan
+/// chunk alignment: a corpus signature placed at every small offset moves
+/// its pieces across the Bloom window and the prefilter's skip loop; the
+/// match lists must stay byte-identical in every representation.
+#[test]
+fn corpus_scale_plans_agree_on_straddling_offsets() {
+    let sigs = corpus_signatures(CORPUS_RULES, 0xC0FFEE);
+    let probes: Vec<Vec<u8>> = [0usize, CORPUS_RULES / 2, CORPUS_RULES - 1]
+        .iter()
+        .map(|&want| {
+            sigs.iter()
+                .find(|(id, _)| *id == want)
+                .expect("probe signature exists")
+                .1
+                .bytes
+                .clone()
+        })
+        .collect();
+    let plans = all_plans(&sigs);
+    for bytes in &probes {
+        for shift in 0..16usize {
+            let mut payload = vec![b'.'; shift];
+            payload.extend_from_slice(bytes);
+            payload.extend_from_slice(b" trailing benign tail bytes");
+            let base = plans[0].scan_all(&payload);
+            assert!(
+                !base.is_empty(),
+                "a whole signature must trip its own pieces"
+            );
+            for (plan, kind) in plans.iter().zip(MatcherKind::ALL).skip(1) {
+                assert_eq!(
+                    plan.scan_all(&payload),
+                    base,
+                    "{kind} full-scan diverges at shift {shift}"
+                );
+                assert_eq!(
+                    plan.scan(&payload),
+                    plans[0].scan(&payload),
+                    "{kind} first-match diverges at shift {shift}"
+                );
+            }
+        }
+    }
+}
+
+/// The 10k-rule memory ceiling: the sparse representations must cost at
+/// most 10% of the dense table on a full-size corpus, with identical
+/// structure and identical scan results. Compiling the dense baseline
+/// allocates a ~170 MB table, so the check is gated behind
+/// `SD_RULES_SCALE=1`; CI's rules-scale job runs it in release.
+#[test]
+fn sparse_stays_under_ten_percent_of_dense_at_10k_rules() {
+    if std::env::var("SD_RULES_SCALE").as_deref() != Ok("1") {
+        eprintln!("skipping 10k-rule ceiling check (set SD_RULES_SCALE=1 to run)");
+        return;
+    }
+    let sigs = corpus_signatures(10_000, 42);
+    let plans = all_plans(&sigs);
+    let dense = &plans[0];
+    assert_eq!(dense.matcher_kind(), MatcherKind::Dense);
+
+    let mut payload = b"benign preamble ".to_vec();
+    payload.extend_from_slice(&sigs.iter().next().expect("corpus is non-empty").1.bytes);
+    payload.extend_from_slice(b" interstitial filler ");
+    payload.extend_from_slice(ORACLE_SIGNATURE);
+    let base = dense.scan_all(&payload);
+    assert!(!base.is_empty());
+
+    for (plan, kind) in plans.iter().zip(MatcherKind::ALL) {
+        assert_eq!(
+            plan.state_count(),
+            dense.state_count(),
+            "{kind} must encode the same automaton"
+        );
+        assert_eq!(
+            plan.scan_all(&payload),
+            base,
+            "{kind} diverges at 10k rules"
+        );
+        if matches!(kind, MatcherKind::Sparse | MatcherKind::SparseBloom) {
+            assert!(
+                plan.memory_bytes() * 10 <= dense.memory_bytes(),
+                "{kind} is {} B, over 10% of the dense {} B",
+                plan.memory_bytes(),
+                dense.memory_bytes()
+            );
+        }
     }
 }
 

@@ -7,7 +7,10 @@
 //! with a correct engine.
 
 use proptest::prelude::*;
-use sd_oracle::{run_campaign, run_program, CampaignConfig, EngineTweaks, TraceProgram};
+use sd_oracle::{
+    campaign_signatures, run_campaign, run_program, CampaignConfig, EngineTweaks, TraceProgram,
+    CAMPAIGN_CORPUS_RULES,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -45,6 +48,7 @@ fn fixed_campaign_is_clean_and_deterministic() {
         minimize: false,
         tweaks: EngineTweaks::NONE,
         max_failures: 0,
+        rules_seed: None,
     };
     let a = run_campaign(config, |_, _| {});
     let b = run_campaign(config, |_, _| {});
@@ -55,6 +59,56 @@ fn fixed_campaign_is_clean_and_deterministic() {
         a.stats.split_caught, a.stats.delivered,
         "every delivered signature must be caught"
     );
+}
+
+/// Campaigns whose engines carry a generated rule corpus alongside the
+/// oracle signature (`--rules-seed`): the ballast must change the
+/// automaton the fast path scans with — not ground truth, not any
+/// invariant. Pinned after the corpus-parameterized campaigns over
+/// rules-seeds 1..=4 (`sd fuzz --rules-seed S`) came back clean.
+#[test]
+fn corpus_ballast_campaign_is_clean_and_deterministic() {
+    let sigs = campaign_signatures(Some(7));
+    assert_eq!(
+        sigs.len(),
+        1 + CAMPAIGN_CORPUS_RULES,
+        "ballast corpus must actually load"
+    );
+
+    // Each iteration rebuilds seven engines around a 65-signature
+    // automaton; keep the debug-profile run short so tier-1 stays fast.
+    let config = CampaignConfig {
+        iters: if cfg!(debug_assertions) { 6 } else { 24 },
+        seed: 9,
+        minimize: false,
+        tweaks: EngineTweaks::NONE,
+        max_failures: 0,
+        rules_seed: Some(7),
+    };
+    let a = run_campaign(config, |_, _| {});
+    let b = run_campaign(config, |_, _| {});
+    assert!(
+        a.clean(),
+        "corpus ballast broke an invariant: {:?}",
+        a.failures
+    );
+    assert_eq!(a.stats, b.stats, "ballast campaigns must be deterministic");
+    assert!(a.stats.delivered > 0, "campaign never reached the victim");
+    assert_eq!(
+        a.stats.split_caught, a.stats.delivered,
+        "ballast must not erode detection"
+    );
+
+    // Same traces, no ballast: the verdict-level statistics agree — the
+    // corpus changed the automaton, not the outcome.
+    let lone = run_campaign(
+        CampaignConfig {
+            rules_seed: None,
+            ..config
+        },
+        |_, _| {},
+    );
+    assert_eq!(a.stats, lone.stats, "ballast must be invisible in verdicts");
 }
 
 /// The acceptance gate: disable one fast-path rule, and the fuzzer must
@@ -72,6 +126,7 @@ fn sabotaged_engine_is_caught_and_shrunk() {
         minimize: true,
         tweaks,
         max_failures: 1,
+        rules_seed: None,
     };
     let result = run_campaign(config, |_, _| {});
     assert!(

@@ -114,6 +114,21 @@ impl AhoCorasick {
         &self.states[state as usize].out
     }
 
+    /// The sorted trie (goto) transitions out of `state`, failure links
+    /// unresolved — the raw edges a sparse compilation needs, as opposed to
+    /// [`Self::step`] which resolves the failure chain.
+    pub fn transitions(&self, state: u32) -> impl Iterator<Item = (u8, u32)> + '_ {
+        self.states[state as usize]
+            .next
+            .iter()
+            .map(|(&b, &t)| (b, t))
+    }
+
+    /// Failure link of `state` (the root fails to itself).
+    pub fn fail(&self, state: u32) -> u32 {
+        self.states[state as usize].fail
+    }
+
     /// Find all matches in `hay`, reporting end offsets relative to `hay`.
     pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
         let mut out = Vec::new();

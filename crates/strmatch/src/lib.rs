@@ -15,6 +15,10 @@
 //! * [`prefilter`] — a start-state skip prefilter (SWAR `u64` membership
 //!   scan, 8 bytes per step in safe Rust) fronting the classed DFA: the
 //!   accelerated engine the Split-Detect fast path defaults to,
+//! * [`sparse`] — a CSR hybrid NFA-DFA (`O(pattern bytes)` memory instead
+//!   of `O(states × 256)`) with an optional Bloom window prefilter before
+//!   exact confirm: the representations that keep 10k-rule corpora from
+//!   blowing past cache,
 //! * [`bmh`] — Boyer–Moore–Horspool for single patterns (used by tests and
 //!   by the naive per-packet baseline when it has one signature),
 //! * [`shiftor`] — bit-parallel shift-or for short patterns (≤ 64 bytes;
@@ -47,6 +51,7 @@ pub mod naive;
 pub mod pattern;
 pub mod prefilter;
 pub mod shiftor;
+pub mod sparse;
 pub mod stream;
 pub mod stride2;
 pub mod wumanber;
@@ -56,6 +61,7 @@ pub use classed::ClassedDfa;
 pub use dfa::AcDfa;
 pub use pattern::{Match, PatternId, PatternSet};
 pub use prefilter::{PrefilteredDfa, StartSkip};
+pub use sparse::{BloomSparseNfa, SparseNfa, WindowBloom};
 pub use stream::StreamMatcher;
 pub use stride2::Stride2Dfa;
 pub use wumanber::WuManber;

@@ -1,0 +1,643 @@
+//! Memory-sparse hybrid NFA-DFA, with an optional Bloom membership
+//! prefilter — the representations that survive 10k-rule corpora.
+//!
+//! The dense DFA ([`crate::dfa::AcDfa`]) spends `states × 256 × 4` bytes; at
+//! 10k Snort-class rules the piece trie has hundreds of thousands of states
+//! and the table blows past every cache level (~hundreds of MB). The classed
+//! table ([`crate::classed::ClassedDfa`]) compresses columns, but byte
+//! equivalence classes collapse toward the full alphabet as pattern
+//! diversity grows, so it scales the same way — just with a smaller
+//! constant.
+//!
+//! [`SparseNfa`] keeps the automaton in CSR (compressed sparse row) form:
+//! each state stores only its real trie edges (sorted byte keys + next
+//! states) plus a failure link, and the root keeps one dense 256-entry row
+//! so deep failure chains never loop at the bottom. A trie over N pattern
+//! bytes has at most N edges, so memory is `O(pattern bytes)` — a few MB at
+//! 10k rules, two orders of magnitude under the dense table — at the cost
+//! of a failure-chain walk per miss (amortized O(1) per input byte, the
+//! classic Aho–Corasick bound).
+//!
+//! [`BloomSparseNfa`] fronts the sparse walk with a Bloom filter over the
+//! first `w` bytes of every pattern (`w = min(8, shortest pattern)`): the
+//! scan loop slides a `w`-byte window and only enters the automaton at
+//! positions whose window *might* start a pattern. Bloom filters have no
+//! false negatives, so every real match start is a candidate; false
+//! positives only cost a wasted automaton entry. Whenever the walk falls
+//! back to the start state the window scan resumes — identical in structure
+//! (and in its exactness argument) to [`crate::prefilter::PrefilteredDfa`],
+//! which fronts the classed DFA with a start-state byte-set skip. This is
+//! the software form of the Bloom-prefilter-then-exact-confirm design from
+//! the NID signature-matching literature.
+
+use crate::aho::AhoCorasick;
+use crate::pattern::{Match, PatternId, PatternSet};
+
+/// Aho–Corasick automaton in compressed-sparse-row form.
+///
+/// Transitions out of each state are stored as parallel sorted arrays
+/// (`edge_bytes`/`edge_next`) indexed by a per-state offset table, plus a
+/// failure link per state. The root row is kept dense (1 KB) so the common
+/// "no prefix in progress" case is one load, and failure chains terminate in
+/// one step instead of looping byte-map lookups at state 0.
+#[derive(Debug, Clone)]
+pub struct SparseNfa {
+    /// CSR offsets: state `s` owns edges `edge_start[s] .. edge_start[s+1]`.
+    edge_start: Vec<u32>,
+    /// Sorted byte labels, per state.
+    edge_bytes: Vec<u8>,
+    /// Next state per edge, parallel to `edge_bytes`.
+    edge_next: Vec<u32>,
+    /// Failure link per state (root fails to itself).
+    fail: Vec<u32>,
+    /// Dense, failure-resolved transition row for the root state.
+    root: Box<[u32; 256]>,
+    /// Pattern ids ending at each state (failure-chain outputs merged).
+    outputs: Vec<Box<[PatternId]>>,
+    /// Per-state "any output?" flag, checked before touching `outputs`.
+    has_output: Vec<bool>,
+    set: PatternSet,
+}
+
+impl SparseNfa {
+    /// The start state.
+    pub const START: u32 = 0;
+
+    /// Compile from patterns (builds the NFA internally).
+    pub fn new(set: PatternSet) -> Self {
+        Self::from_nfa(&AhoCorasick::new(set))
+    }
+
+    /// Compile from an existing NFA.
+    pub fn from_nfa(nfa: &AhoCorasick) -> Self {
+        let n = nfa.state_count();
+        let mut edge_start = Vec::with_capacity(n + 1);
+        let mut edge_bytes = Vec::new();
+        let mut edge_next = Vec::new();
+        let mut fail = Vec::with_capacity(n);
+        let mut outputs = Vec::with_capacity(n);
+        let mut has_output = Vec::with_capacity(n);
+        for s in 0..n as u32 {
+            edge_start.push(edge_bytes.len() as u32);
+            for (b, t) in nfa.transitions(s) {
+                edge_bytes.push(b);
+                edge_next.push(t);
+            }
+            fail.push(nfa.fail(s));
+            let out = nfa.outputs(s).to_vec().into_boxed_slice();
+            has_output.push(!out.is_empty());
+            outputs.push(out);
+        }
+        edge_start.push(edge_bytes.len() as u32);
+        let mut root = Box::new([0u32; 256]);
+        for b in 0..=255u8 {
+            root[b as usize] = nfa.step(0, b);
+        }
+        SparseNfa {
+            edge_start,
+            edge_bytes,
+            edge_next,
+            fail,
+            root,
+            outputs,
+            has_output,
+            set: nfa.patterns().clone(),
+        }
+    }
+
+    /// The pattern set this automaton recognizes.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.set
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.fail.len()
+    }
+
+    /// Number of stored (trie) edges — at most the total pattern bytes.
+    pub fn edge_count(&self) -> usize {
+        self.edge_bytes.len()
+    }
+
+    /// One input byte from `state`, following failure links as needed.
+    /// Amortized O(1) per scanned byte: the failure chain only descends as
+    /// deep as previous bytes ascended.
+    #[inline]
+    pub fn next_state(&self, mut state: u32, byte: u8) -> u32 {
+        loop {
+            if state == Self::START {
+                return self.root[byte as usize];
+            }
+            let lo = self.edge_start[state as usize] as usize;
+            let hi = self.edge_start[state as usize + 1] as usize;
+            if let Ok(k) = self.edge_bytes[lo..hi].binary_search(&byte) {
+                return self.edge_next[lo + k];
+            }
+            state = self.fail[state as usize];
+        }
+    }
+
+    /// True if `state` reports at least one pattern.
+    #[inline(always)]
+    pub fn is_match_state(&self, state: u32) -> bool {
+        self.has_output[state as usize]
+    }
+
+    /// Pattern ids ending at `state`.
+    #[inline]
+    pub fn outputs(&self, state: u32) -> &[PatternId] {
+        &self.outputs[state as usize]
+    }
+
+    /// Find all matches in `hay` with end offsets relative to `hay`.
+    pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = Self::START;
+        for (i, &b) in hay.iter().enumerate() {
+            state = self.next_state(state, b);
+            if self.is_match_state(state) {
+                for &p in self.outputs(state) {
+                    out.push(Match::new(p, i + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// First match in `hay`.
+    pub fn find_first(&self, hay: &[u8]) -> Option<Match> {
+        let mut state = Self::START;
+        for (i, &b) in hay.iter().enumerate() {
+            state = self.next_state(state, b);
+            if self.is_match_state(state) {
+                return Some(Match::new(self.outputs(state)[0], i + 1));
+            }
+        }
+        None
+    }
+
+    /// Pattern id of the first match, without materializing a [`Match`].
+    #[inline]
+    pub fn find_first_id(&self, hay: &[u8]) -> Option<PatternId> {
+        let mut state = Self::START;
+        for &b in hay {
+            state = self.next_state(state, b);
+            if self.is_match_state(state) {
+                return Some(self.outputs(state)[0]);
+            }
+        }
+        None
+    }
+
+    /// True if any pattern occurs in `hay`.
+    #[inline]
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        self.find_first_id(hay).is_some()
+    }
+
+    /// Heap footprint in bytes: `O(pattern bytes)` — edges at 5 bytes each
+    /// plus 8 bytes of offset/fail per state and the 1 KB root row.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = self.edge_bytes.len() + self.edge_next.len() * 4;
+        total += self.edge_start.len() * 4 + self.fail.len() * 4;
+        total += 256 * 4; // dense root row
+        total += self.has_output.len();
+        for o in &self.outputs {
+            total += o.len() * std::mem::size_of::<PatternId>() + std::mem::size_of::<usize>();
+        }
+        total += self.set.total_bytes();
+        total
+    }
+}
+
+/// Bloom filter over the leading `window` bytes of every pattern.
+///
+/// Membership is two bit probes derived from one 64-bit multiply-mix of the
+/// little-endian window load. No false negatives by construction; false
+/// positives cost one wasted automaton entry each.
+#[derive(Debug, Clone)]
+pub struct WindowBloom {
+    bits: Vec<u64>,
+    /// `bit count − 1`; bit count is a power of two.
+    mask: u64,
+    /// Window width in bytes, `1..=8`.
+    window: usize,
+}
+
+/// Bits budgeted per distinct pattern window (2 probes → ~1.5% FPR).
+const BLOOM_BITS_PER_PATTERN: usize = 16;
+
+impl WindowBloom {
+    /// Build over the first `window` bytes of each pattern in `set`.
+    /// `window` must be in `1..=8` and no longer than the shortest pattern.
+    fn build(set: &PatternSet, window: usize) -> Self {
+        debug_assert!((1..=8).contains(&window));
+        let n = set.iter().count().max(1);
+        let nbits = (n * BLOOM_BITS_PER_PATTERN).next_power_of_two().max(64);
+        let mut bloom = WindowBloom {
+            bits: vec![0u64; nbits / 64],
+            mask: nbits as u64 - 1,
+            window,
+        };
+        for (_, pat) in set.iter() {
+            debug_assert!(pat.len() >= window);
+            bloom.insert(Self::load(&pat[..window]));
+        }
+        bloom
+    }
+
+    /// Little-endian load of exactly `window` bytes into the low bits.
+    #[inline(always)]
+    fn load(win: &[u8]) -> u64 {
+        let mut x = 0u64;
+        for (i, &b) in win.iter().enumerate() {
+            x |= (b as u64) << (8 * i);
+        }
+        x
+    }
+
+    /// Two probe positions from one multiply-mix (splitmix64 finalizer).
+    #[inline(always)]
+    fn probes(&self, x: u64) -> (usize, usize) {
+        let mut h = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        ((h & self.mask) as usize, ((h >> 32) & self.mask) as usize)
+    }
+
+    fn insert(&mut self, x: u64) {
+        let (a, b) = self.probes(x);
+        self.bits[a / 64] |= 1 << (a % 64);
+        self.bits[b / 64] |= 1 << (b % 64);
+    }
+
+    /// True if the window at `win` (exactly `self.window` bytes) may start a
+    /// pattern. Never false for a real pattern start.
+    #[inline(always)]
+    fn maybe_contains(&self, win: &[u8]) -> bool {
+        let (a, b) = self.probes(Self::load(win));
+        self.bits[a / 64] >> (a % 64) & 1 == 1 && self.bits[b / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// Window width in bytes.
+    pub fn window_len(&self) -> usize {
+        self.window
+    }
+
+    /// Filter size in bits.
+    pub fn bit_count(&self) -> usize {
+        self.bits.len() * 64
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// [`SparseNfa`] behind a [`WindowBloom`] membership prefilter.
+///
+/// The scan slides a `w`-byte window (`w = min(8, shortest pattern)`) and
+/// enters the automaton only where the window Bloom-hits; the walk returns
+/// to the window scan as soon as the state falls back to start. Exactness:
+///
+/// * every match start is a Bloom candidate (the filter holds every
+///   pattern's leading window, and patterns are at least `w` long);
+/// * a candidate at `c` before a real start `s` is harmless — the walk from
+///   `c` still crosses `s` and the automaton recognizes suffix-contained
+///   occurrences;
+/// * resuming the window scan at position `j` where the walk state returned
+///   to start cannot skip a match: a pattern in progress at `j` would make
+///   the state a nonzero prefix state, not start;
+/// * no window fits past `len − w`, and no pattern starting there can
+///   complete, so the scan may stop early.
+#[derive(Debug, Clone)]
+pub struct BloomSparseNfa {
+    nfa: SparseNfa,
+    bloom: WindowBloom,
+}
+
+impl BloomSparseNfa {
+    /// Compile from patterns (builds the NFA internally).
+    pub fn new(set: PatternSet) -> Self {
+        Self::from_nfa(&AhoCorasick::new(set))
+    }
+
+    /// Compile from an existing NFA.
+    pub fn from_nfa(nfa: &AhoCorasick) -> Self {
+        let window = nfa.patterns().min_len().unwrap_or(1).clamp(1, 8);
+        let bloom = WindowBloom::build(nfa.patterns(), window);
+        BloomSparseNfa {
+            nfa: SparseNfa::from_nfa(nfa),
+            bloom,
+        }
+    }
+
+    /// The pattern set this automaton recognizes.
+    pub fn patterns(&self) -> &PatternSet {
+        self.nfa.patterns()
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.nfa.state_count()
+    }
+
+    /// The underlying sparse automaton.
+    pub fn automaton(&self) -> &SparseNfa {
+        &self.nfa
+    }
+
+    /// The window prefilter.
+    pub fn bloom(&self) -> &WindowBloom {
+        &self.bloom
+    }
+
+    /// Pattern id of the first match (smallest end offset), or `None`.
+    #[inline]
+    pub fn find_first_id(&self, hay: &[u8]) -> Option<PatternId> {
+        let w = self.bloom.window;
+        if hay.len() < w {
+            // Every pattern is at least w bytes: nothing can match.
+            return None;
+        }
+        let last = hay.len() - w;
+        let mut i = 0usize;
+        'scan: while i <= last {
+            if !self.bloom.maybe_contains(&hay[i..i + w]) {
+                i += 1;
+                continue;
+            }
+            // Candidate: exact walk until a match or a fallback to start.
+            let mut state = SparseNfa::START;
+            let mut j = i;
+            while j < hay.len() {
+                state = self.nfa.next_state(state, hay[j]);
+                j += 1;
+                if self.nfa.is_match_state(state) {
+                    return Some(self.nfa.outputs(state)[0]);
+                }
+                if state == SparseNfa::START {
+                    i = j;
+                    continue 'scan;
+                }
+            }
+            return None;
+        }
+        None
+    }
+
+    /// First match in `hay`.
+    pub fn find_first(&self, hay: &[u8]) -> Option<Match> {
+        let w = self.bloom.window;
+        if hay.len() < w {
+            return None;
+        }
+        let last = hay.len() - w;
+        let mut i = 0usize;
+        'scan: while i <= last {
+            if !self.bloom.maybe_contains(&hay[i..i + w]) {
+                i += 1;
+                continue;
+            }
+            let mut state = SparseNfa::START;
+            let mut j = i;
+            while j < hay.len() {
+                state = self.nfa.next_state(state, hay[j]);
+                j += 1;
+                if self.nfa.is_match_state(state) {
+                    return Some(Match::new(self.nfa.outputs(state)[0], j));
+                }
+                if state == SparseNfa::START {
+                    i = j;
+                    continue 'scan;
+                }
+            }
+            return None;
+        }
+        None
+    }
+
+    /// Find all matches in `hay` (including overlapping), end offsets
+    /// relative to `hay`.
+    pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let w = self.bloom.window;
+        if hay.len() < w {
+            return out;
+        }
+        let last = hay.len() - w;
+        let mut i = 0usize;
+        'scan: while i <= last {
+            if !self.bloom.maybe_contains(&hay[i..i + w]) {
+                i += 1;
+                continue;
+            }
+            let mut state = SparseNfa::START;
+            let mut j = i;
+            while j < hay.len() {
+                state = self.nfa.next_state(state, hay[j]);
+                j += 1;
+                if self.nfa.is_match_state(state) {
+                    for &p in self.nfa.outputs(state) {
+                        out.push(Match::new(p, j));
+                    }
+                }
+                if state == SparseNfa::START {
+                    i = j;
+                    continue 'scan;
+                }
+            }
+            return out;
+        }
+        out
+    }
+
+    /// True if any pattern occurs in `hay`.
+    #[inline]
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        self.find_first_id(hay).is_some()
+    }
+
+    /// Heap footprint: sparse automaton plus the Bloom bit array.
+    pub fn memory_bytes(&self) -> usize {
+        self.nfa.memory_bytes() + self.bloom.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::AcDfa;
+    use crate::naive;
+
+    fn check(patterns: &[&[u8]], hay: &[u8]) {
+        let set = PatternSet::from_patterns(patterns);
+        let dense = AcDfa::new(set.clone());
+        let sparse = SparseNfa::new(set.clone());
+        let bloomed = BloomSparseNfa::new(set.clone());
+
+        let mut want = naive::find_all(&set, hay);
+        want.sort();
+        let mut got_sparse = sparse.find_all(hay);
+        got_sparse.sort();
+        assert_eq!(got_sparse, want, "sparse vs naive on {hay:?}");
+        let mut got_bloom = bloomed.find_all(hay);
+        got_bloom.sort();
+        assert_eq!(got_bloom, want, "bloom vs naive on {hay:?}");
+
+        assert_eq!(sparse.find_first(hay), dense.find_first(hay));
+        assert_eq!(bloomed.find_first(hay), dense.find_first(hay));
+        assert_eq!(sparse.find_first_id(hay), dense.find_first_id(hay));
+        assert_eq!(bloomed.find_first_id(hay), dense.find_first_id(hay));
+        assert_eq!(sparse.is_match(hay), dense.is_match(hay));
+        assert_eq!(bloomed.is_match(hay), dense.is_match(hay));
+    }
+
+    #[test]
+    fn classics_agree_with_dense_and_naive() {
+        check(&[b"he", b"she", b"his", b"hers"], b"ushers use hershey");
+        check(&[b"aa", b"aaa", b"aaaa"], b"aaaaaa");
+        check(
+            &[b"GET ", b"POST", b"HEAD"],
+            b"GET / HTTP/1.1\r\nHost: POSTofficePOST",
+        );
+        check(&[b"needle"], b"");
+        check(&[b"needle"], b"hay");
+        check(&[b"needle"], b"needle");
+    }
+
+    #[test]
+    fn overlapping_and_shared_prefixes() {
+        check(&[b"abcde", b"abcxy", b"bcx"], b"zabcxyabcdez");
+        check(&[b"abab", b"baba"], b"ababababab");
+        check(&[b"aaaa", b"aaab"], b"aaaaaab");
+    }
+
+    #[test]
+    fn all_256_byte_values() {
+        let p: Vec<u8> = vec![0, 127, 255, 1];
+        let set = PatternSet::from_patterns([p.clone()]);
+        let sparse = SparseNfa::new(set.clone());
+        let bloomed = BloomSparseNfa::new(set);
+        let mut hay: Vec<u8> = (0u8..=255).collect();
+        hay.extend_from_slice(&p);
+        assert!(sparse.find_all(&hay).iter().any(|m| m.end == hay.len()));
+        assert!(bloomed.find_all(&hay).iter().any(|m| m.end == hay.len()));
+    }
+
+    #[test]
+    fn window_clamps_to_eight_bytes() {
+        // Shortest pattern longer than 8: the window is 8 and matching is
+        // still exact.
+        let set = PatternSet::from_patterns([b"0123456789AB".as_slice(), b"XYZXYZXYZXYZ"]);
+        let bloomed = BloomSparseNfa::new(set);
+        assert_eq!(bloomed.bloom().window_len(), 8);
+        assert_eq!(bloomed.find_first_id(b"..0123456789AB.."), Some(0));
+        assert_eq!(bloomed.find_first_id(b"..0123456789A"), None);
+    }
+
+    #[test]
+    fn single_byte_window() {
+        let set = PatternSet::from_patterns([b"x".as_slice(), b"yz"]);
+        let bloomed = BloomSparseNfa::new(set);
+        assert_eq!(bloomed.bloom().window_len(), 1);
+        assert_eq!(bloomed.find_first_id(b"aaxaa"), Some(0));
+        assert_eq!(bloomed.find_first_id(b"ayza"), Some(1));
+        assert_eq!(bloomed.find_first_id(b"abc"), None);
+    }
+
+    #[test]
+    fn hay_shorter_than_window() {
+        let set = PatternSet::from_patterns([b"abcdef".as_slice()]);
+        let bloomed = BloomSparseNfa::new(set);
+        assert_eq!(bloomed.find_first_id(b"abc"), None);
+        assert!(bloomed.find_all(b"abc").is_empty());
+        assert!(!bloomed.is_match(b""));
+    }
+
+    #[test]
+    fn resume_after_fallback_catches_straddling_match() {
+        // The walk from the first candidate falls back to start, and the
+        // real match begins inside the region the walk already covered a
+        // prefix of — the resume-at-start logic must still find it.
+        let set = PatternSet::from_patterns([b"abcd".as_slice(), b"cdxy"]);
+        let bloomed = BloomSparseNfa::new(set.clone());
+        let dense = AcDfa::new(set);
+        let hay = b"abcxabcdxy";
+        assert_eq!(bloomed.find_first_id(hay), dense.find_first_id(hay));
+        let mut a = bloomed.find_all(hay);
+        let mut d = dense.find_all(hay);
+        a.sort();
+        d.sort();
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn first_match_is_earliest_end() {
+        let set = PatternSet::from_patterns([b"bcde".as_slice(), b"abcd"]);
+        let bloomed = BloomSparseNfa::new(set);
+        // Both match; "abcd" ends first.
+        assert_eq!(bloomed.find_first(b"zabcdez").unwrap().pattern, 1);
+    }
+
+    #[test]
+    fn sparse_is_much_smaller_than_dense() {
+        let pats: Vec<Vec<u8>> = (0..200)
+            .map(|i| format!("pattern-{i:04}-with-some-tail").into_bytes())
+            .collect();
+        let set = PatternSet::from_patterns(&pats);
+        let dense = AcDfa::new(set.clone());
+        let sparse = SparseNfa::new(set.clone());
+        let bloomed = BloomSparseNfa::new(set);
+        assert!(
+            sparse.memory_bytes() * 10 <= dense.memory_bytes(),
+            "sparse {} vs dense {}",
+            sparse.memory_bytes(),
+            dense.memory_bytes()
+        );
+        assert!(bloomed.memory_bytes() * 10 <= dense.memory_bytes());
+        assert_eq!(sparse.state_count(), dense.state_count());
+    }
+
+    #[test]
+    fn edge_count_bounded_by_pattern_bytes() {
+        let set = PatternSet::from_patterns([b"abcde".as_slice(), b"abcxy", b"zzz"]);
+        let total: usize = set.iter().map(|(_, p)| p.len()).sum();
+        let sparse = SparseNfa::new(set);
+        assert!(sparse.edge_count() <= total);
+        // Shared prefixes dedup edges: abc is stored once.
+        assert_eq!(sparse.edge_count(), 10);
+    }
+
+    #[test]
+    fn chunk_boundary_straddling_first_match() {
+        // Pieces split across arbitrary scan positions must still be found
+        // from a whole-buffer scan wherever they start.
+        let set = PatternSet::from_patterns([b"EVIL_SI".as_slice(), b"GNATURE", b"S_BYTES"]);
+        let dense = AcDfa::new(set.clone());
+        let sparse = SparseNfa::new(set.clone());
+        let bloomed = BloomSparseNfa::new(set);
+        let payload = b"EVIL_SIGNATURE_BYTES";
+        for start in 0..payload.len() {
+            for end in start..=payload.len() {
+                let hay = &payload[start..end];
+                assert_eq!(sparse.find_first_id(hay), dense.find_first_id(hay));
+                assert_eq!(bloomed.find_first_id(hay), dense.find_first_id(hay));
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_reports_sane_geometry() {
+        let set = PatternSet::from_patterns([b"abcd".as_slice(), b"wxyz"]);
+        let bloomed = BloomSparseNfa::new(set);
+        let bloom = bloomed.bloom();
+        assert!(bloom.bit_count().is_power_of_two());
+        assert!(bloom.bit_count() >= 64);
+        assert_eq!(bloom.memory_bytes(), bloom.bit_count() / 8);
+        assert_eq!(bloom.window_len(), 4);
+    }
+}

@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use sd_match::bmh::Horspool;
 use sd_match::shiftor::{ShiftOr, ShiftOrBank};
 use sd_match::stream::{StreamMatch, StreamMatcher};
-use sd_match::{naive, AcDfa, AhoCorasick, ClassedDfa, PatternSet, PrefilteredDfa};
+use sd_match::{
+    naive, AcDfa, AhoCorasick, BloomSparseNfa, ClassedDfa, PatternSet, PrefilteredDfa, SparseNfa,
+};
 
 /// Small alphabet so matches actually happen.
 fn small_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -192,6 +194,71 @@ proptest! {
         prop_assert!(pre.is_match(&hay), "planted pattern must be found");
         let mut a = dense.find_all(&hay);
         let mut b = pre.find_all(&hay);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The CSR sparse automaton is decision-for-decision the dense DFA:
+    /// same matches, same first-match identity, on the full byte alphabet.
+    #[test]
+    fn sparse_agrees_with_naive_and_dense(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..8),
+        hay in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let set = PatternSet::from_patterns(patterns.iter().map(|p| p.as_slice()));
+        let dense = AcDfa::new(set.clone());
+        let sparse = SparseNfa::new(set.clone());
+        let mut a = naive::find_all(&set, &hay);
+        let mut b = sparse.find_all(&hay);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(sparse.is_match(&hay), dense.is_match(&hay));
+        prop_assert_eq!(sparse.find_first(&hay), dense.find_first(&hay));
+        prop_assert_eq!(sparse.find_first_id(&hay), dense.find_first_id(&hay));
+    }
+
+    /// The Bloom-prefiltered sparse scan reports exactly the dense DFA's
+    /// matches — the window prefilter may only add candidate entries, never
+    /// skip a real one — on the full byte alphabet.
+    #[test]
+    fn bloom_sparse_agrees_with_naive_and_dense(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..8),
+        hay in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let set = PatternSet::from_patterns(patterns.iter().map(|p| p.as_slice()));
+        let dense = AcDfa::new(set.clone());
+        let bloomed = BloomSparseNfa::new(set.clone());
+        let mut a = naive::find_all(&set, &hay);
+        let mut b = bloomed.find_all(&hay);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(bloomed.is_match(&hay), dense.is_match(&hay));
+        prop_assert_eq!(bloomed.find_first(&hay), dense.find_first(&hay));
+        prop_assert_eq!(bloomed.find_first_id(&hay), dense.find_first_id(&hay));
+    }
+
+    /// Planted occurrences at arbitrary offsets (sweeping every window
+    /// alignment) in noise: the Bloom window scan must hand over to the
+    /// automaton at exactly the right position, including when the planted
+    /// pattern straddles a resume point.
+    #[test]
+    fn bloom_sparse_finds_planted_matches_at_any_offset(
+        pattern in prop::collection::vec(any::<u8>(), 1..12),
+        noise in prop::collection::vec(any::<u8>(), 0..40),
+        at in 0usize..40,
+    ) {
+        let mut hay = noise.clone();
+        let at = at.min(hay.len());
+        hay.splice(at..at, pattern.iter().copied());
+        let set = PatternSet::from_patterns([pattern.as_slice()]);
+        let dense = AcDfa::new(set.clone());
+        let bloomed = BloomSparseNfa::new(set);
+        prop_assert!(bloomed.is_match(&hay), "planted pattern must be found");
+        let mut a = dense.find_all(&hay);
+        let mut b = bloomed.find_all(&hay);
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);

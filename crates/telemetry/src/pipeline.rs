@@ -112,6 +112,7 @@ pub struct PipelineTelemetry {
     diverted_flows: GaugeId,
     divert_memory: GaugeId,
     automaton_memory: GaugeId,
+    automaton_build_ns: GaugeId,
     slowpath_queue_depth: GaugeId,
     slowpath_shed: CounterId,
     slowpath_shed_bytes: CounterId,
@@ -159,6 +160,10 @@ impl PipelineTelemetry {
             "sd_automaton_bytes",
             "Compiled piece-automaton table bytes (shared, not per-flow)",
         );
+        let automaton_build_ns = r.gauge(
+            "sd_automaton_build_ns",
+            "Wall nanoseconds spent compiling the piece automaton (per-representation build cost)",
+        );
         let slowpath_queue_depth = r.gauge(
             "sd_slowpath_queue_depth",
             "Diverted packets currently queued in slow-path worker lanes",
@@ -189,6 +194,7 @@ impl PipelineTelemetry {
             diverted_flows,
             divert_memory,
             automaton_memory,
+            automaton_build_ns,
             slowpath_queue_depth,
             slowpath_shed,
             slowpath_shed_bytes,
@@ -251,6 +257,14 @@ impl PipelineTelemetry {
     #[inline]
     pub fn set_automaton_bytes(&mut self, bytes: usize) {
         self.registry.set(self.automaton_memory, bytes as i64);
+    }
+
+    /// Record how long the automaton compilation took (set once at engine
+    /// construction; representations differ by orders of magnitude at
+    /// 10k-rule scale).
+    #[inline]
+    pub fn set_automaton_build_ns(&mut self, ns: u64) {
+        self.registry.set(self.automaton_build_ns, ns as i64);
     }
 
     /// Update the slow-path worker-lane occupancy gauge (asynchronous

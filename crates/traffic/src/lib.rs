@@ -23,6 +23,9 @@
 //! * [`mixer`] — interleaves benign and attack flows into labelled traces,
 //! * [`stats`] — size-mix / flow-structure / payload-entropy statistics of
 //!   any trace, making the generator's calibration claims checkable,
+//! * [`rulegen`] — seeded Snort-subset rule-corpus generator (families
+//!   with shared content prefixes, text/hex alphabet mixes, realistic
+//!   length distributions) for the 1k/10k-rule scale work,
 //! * [`replay`] — paced (timestamp-respecting) trace replay, for turning a
 //!   capture back into an offered load,
 //! * [`pcap`] — classic libpcap file I/O so real captures can be swapped in
@@ -38,6 +41,7 @@ pub mod mixer;
 pub mod payload;
 pub mod pcap;
 pub mod replay;
+pub mod rulegen;
 pub mod stats;
 pub mod trace;
 pub mod victim;
@@ -47,5 +51,6 @@ pub use evasion::{AttackSpec, EvasionStrategy};
 pub use heavytail::{HeavyTailConfig, HeavyTailGenerator, ZipfSizes};
 pub use mixer::LabeledTrace;
 pub use payload::PayloadModel;
+pub use rulegen::{generate_rule_corpus, RuleCorpusConfig};
 pub use trace::{Trace, TracePacket};
 pub use victim::VictimConfig;
