@@ -19,7 +19,8 @@ use splitdetect::{
     MatcherKind, ShardedSplitDetect, SplitDetect, SplitDetectConfig, SplitDetectStats, SplitPlan,
 };
 
-use crate::opts::{Command, EngineKind, OutputFormat, ParsedArgs, SabotageKind};
+use crate::opts::{Command, EngineKind, OutputFormat, ParsedArgs, SabotageKind, ServeSource};
+use crate::serve::{self, ServeEngine, ServeOptions};
 
 type Out<'a> = &'a mut dyn Write;
 
@@ -37,6 +38,7 @@ pub fn dispatch(args: ParsedArgs, out: Out) -> Result<(), String> {
         Command::Fuzz => fuzz_cmd(&args, out),
         Command::GenerateRules(path) => generate_rules_cmd(&args, path, out),
         Command::AnalyzeRules(path) => analyze_rules_cmd(&args, path, out),
+        Command::Serve => serve_cmd(&args, out),
     }
 }
 
@@ -789,6 +791,118 @@ fn analyze_rules_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), Stri
                 out,
                 "... and {} more rule(s) with hits",
                 ranked.len() - args.top
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The loopback daemon's offered load: the same seeded labelled
+/// workload `sd generate` writes to disk, kept in memory.
+fn demo_workload(args: &ParsedArgs, rules: &RuleSet) -> Trace {
+    let benign = BenignGenerator::new(BenignConfig {
+        flows: args.flows,
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+    let victim = VictimConfig::default();
+    let catalog = EvasionStrategy::catalog();
+    let attacks: Vec<(Vec<Vec<u8>>, usize, &'static str)> = (0..args.attacks)
+        .map(|i| {
+            let strategy = catalog[i % catalog.len()];
+            let rule = &rules.rules[i % rules.rules.len()];
+            let mut spec = AttackSpec::simple(rule.signature_bytes().to_vec());
+            spec.client.1 = 40_000 + i as u16;
+            (
+                generate(&spec, strategy, victim, args.seed + i as u64),
+                i % rules.rules.len(),
+                strategy.name(),
+            )
+        })
+        .collect();
+    mix(benign, attacks, args.seed ^ 0x5eed).trace
+}
+
+/// `sd serve`: the live capture daemon. See [`crate::serve`].
+fn serve_cmd(args: &ParsedArgs, out: Out) -> Result<(), String> {
+    let rules = load_rules(args, out)?;
+    let sigs = rules.to_signatures();
+    let engine = if args.shards > 1 {
+        ServeEngine::Sharded(Box::new(build_sharded(sigs, args)?))
+    } else {
+        ServeEngine::Single(Box::new(build_split(sigs, args)?))
+    };
+    let scrape = match &args.scrape {
+        Some(addr) => Some(
+            sd_telemetry::ScrapeServer::bind(addr)
+                .map_err(|e| format!("cannot bind scrape endpoint {addr}: {e}"))?,
+        ),
+        None => None,
+    };
+    let opts = ServeOptions {
+        rules_path: args.rules.clone(),
+        scrape,
+        max_duration: args.duration_secs.map(std::time::Duration::from_secs),
+        ..Default::default()
+    };
+    // Signals land on the global control (the binary installs handlers
+    // for `serve` only); everything else just polls these flags.
+    let control = serve::global_control().clone();
+
+    match args.source {
+        ServeSource::Loopback => {
+            let (handle, mut src) = sd_traffic::loopback(1024);
+            let trace = demo_workload(args, &rules);
+            let _ = writeln!(
+                out,
+                "loopback load: {} packets/pass, {} flows, {} labelled attack(s){}",
+                trace.len(),
+                trace.flow_count(),
+                args.attacks,
+                match args.duration_secs {
+                    Some(s) => format!(", looping for {s}s"),
+                    None => ", one pass".to_string(),
+                }
+            );
+            let deadline = args
+                .duration_secs
+                .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s));
+            let producer = std::thread::spawn(move || {
+                let mut base = 0u64;
+                loop {
+                    for (i, p) in trace.iter_bytes().enumerate() {
+                        if !handle.send(base + i as u64, p) {
+                            return;
+                        }
+                    }
+                    base += trace.len() as u64;
+                    // Without a deadline the trace plays once and the
+                    // dropped handle closes the source (drain).
+                    match deadline {
+                        Some(d) if std::time::Instant::now() < d => continue,
+                        _ => return,
+                    }
+                }
+            });
+            let result = serve::serve(engine, &mut src, &control, opts, out);
+            // Unblock a producer stuck on a full channel before joining.
+            drop(src);
+            let _ = producer.join();
+            result?;
+        }
+        ServeSource::AfPacket => {
+            #[cfg(all(feature = "afpacket", target_os = "linux"))]
+            {
+                let iface = args.iface.as_deref().expect("parser enforces --iface");
+                let mut src = sd_traffic::afpacket::AfPacketSource::open(iface, Default::default())
+                    .map_err(|e| format!("cannot open AF_PACKET on {iface}: {e}"))?;
+                serve::serve(engine, &mut src, &control, opts, out)?;
+            }
+            #[cfg(not(all(feature = "afpacket", target_os = "linux")))]
+            return Err(
+                "this build lacks AF_PACKET capture; rebuild with --features afpacket (Linux only)"
+                    .into(),
             );
         }
     }

@@ -21,8 +21,10 @@
 
 pub mod commands;
 pub mod opts;
+pub mod serve;
 
 pub use opts::{Command, EngineKind, ParsedArgs};
+pub use serve::{ServeControl, ServeEngine, ServeOptions, ServeSummary};
 
 /// Run the CLI against `args` (without the program name), writing human
 /// output to `out`. Returns the process exit code.

@@ -1,7 +1,44 @@
 //! The `sd` binary: all logic lives in the library so tests drive it.
+//!
+//! The one thing that must live here is signal wiring for `sd serve`:
+//! SIGHUP requests a rule reload and SIGTERM a graceful drain, by
+//! setting the same [`sd_cli::serve::global_control`] flags the tests
+//! poke directly. Handlers do nothing but an atomic store, so they are
+//! async-signal-safe; they are only installed for the `serve`
+//! subcommand so every other command keeps default signal behaviour.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        install_serve_signal_handlers();
+    }
     let mut stdout = std::io::stdout();
     std::process::exit(sd_cli::run(&args, &mut stdout));
 }
+
+#[cfg(unix)]
+fn install_serve_signal_handlers() {
+    const SIGHUP: i32 = 1;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sighup(_: i32) {
+        sd_cli::serve::global_control().request_reload();
+    }
+    extern "C" fn on_sigterm(_: i32) {
+        sd_cli::serve::global_control().request_drain();
+    }
+
+    // Force the OnceLock to initialize now, so the handler path is a
+    // plain atomic store with no allocation.
+    let _ = sd_cli::serve::global_control();
+    unsafe {
+        signal(SIGHUP, on_sighup as *const () as usize);
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_serve_signal_handlers() {}

@@ -26,6 +26,10 @@ usage:
           [--trace-out FILE] [--replay-trace FILE] [--rules-seed S]
   sd generate-rules <out.rules> [--count N] [--seed S] [--malformed N]
   sd analyze-rules <FILE> [--top N] [--seed S]
+  sd serve [--rules FILE] [--source loopback|afpacket] [--iface IF]
+           [--scrape ADDR] [--duration-secs N] [--shards N]
+           [--flows N] [--attacks N] [--seed S] [--matcher M]
+           [--slow-workers N] [--slow-lane-depth PKTS] [--shed-policy S]
 
 Without --rules, the embedded demo rule set is used.
 run drives Split-Detect over the capture and, with --metrics-out PATH,
@@ -63,7 +67,16 @@ generate-rules writes a seeded Snort-subset signature corpus
 analyze-rules loads a rule file leniently (line-numbered diagnostics),
 compiles the corpus under every matcher representation, and reports
 automaton cost attribution, piece-dedup savings and per-rule fast-path
-hit counts over a seeded benign workload (--top N rows, --seed S).";
+hit counts over a seeded benign workload (--top N rows, --seed S).
+serve runs the engine as a long-lived daemon. --source loopback (the
+default) feeds a seeded labelled workload (--flows/--attacks/--seed)
+through an in-process source, looping it until --duration-secs elapses
+(one pass when omitted); --source afpacket captures from --iface via an
+AF_PACKET ring (requires a build with --features afpacket and
+CAP_NET_RAW). --scrape ADDR serves Prometheus metrics at
+http://ADDR/metrics. SIGHUP re-reads --rules and swaps the automaton
+without dropping flow state; SIGTERM (or end of source) drains and
+prints the final report.";
 
 /// Which engine `scan` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +108,17 @@ pub enum OutputFormat {
     Prom,
     /// JSON snapshot of the engine's telemetry registry.
     Json,
+}
+
+/// Which packet source `serve` captures from (`--source`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// In-process loopback fed with a seeded labelled workload (the
+    /// default; what CI and the soak harness drive).
+    Loopback,
+    /// AF_PACKET mmap-ring capture from `--iface` (Linux; needs a build
+    /// with `--features afpacket`).
+    AfPacket,
 }
 
 /// Which fast-path rule `fuzz --sabotage` disables.
@@ -166,6 +190,14 @@ pub struct ParsedArgs {
     /// `--rules-seed S` (fuzz): run the campaign against a generated rule
     /// corpus (plus the oracle signature) instead of the signature alone.
     pub rules_seed: Option<u64>,
+    /// `--source loopback|afpacket` (serve): the capture source.
+    pub source: ServeSource,
+    /// `--iface IF` (serve --source afpacket): interface to capture from.
+    pub iface: Option<String>,
+    /// `--scrape ADDR` (serve): bind a Prometheus endpoint here.
+    pub scrape: Option<String>,
+    /// `--duration-secs N` (serve): drain after N seconds of wall clock.
+    pub duration_secs: Option<u64>,
 }
 
 /// The subcommand.
@@ -194,6 +226,8 @@ pub enum Command {
     /// Analyze a rule corpus: parse diagnostics, automaton cost per
     /// matcher representation, piece dedup, per-rule fast-path hits.
     AnalyzeRules(String),
+    /// Run the live capture daemon.
+    Serve,
 }
 
 /// Parse `args` (without the program name).
@@ -227,6 +261,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut malformed = 0usize;
     let mut top = 10usize;
     let mut rules_seed = None;
+    let mut source = ServeSource::Loopback;
+    let mut iface = None;
+    let mut scrape = None;
+    let mut duration_secs = None;
 
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<&String, String> {
@@ -375,6 +413,24 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                         .map_err(|_| "bad --rules-seed value".to_string())?,
                 )
             }
+            "--source" => {
+                source = match value_of("--source")?.as_str() {
+                    "loopback" => ServeSource::Loopback,
+                    "afpacket" | "af-packet" => ServeSource::AfPacket,
+                    other => return Err(format!("unknown source {other:?}")),
+                }
+            }
+            "--iface" => iface = Some(value_of("--iface")?.clone()),
+            "--scrape" => scrape = Some(value_of("--scrape")?.clone()),
+            "--duration-secs" => {
+                let v: u64 = value_of("--duration-secs")?
+                    .parse()
+                    .map_err(|_| "bad --duration-secs value".to_string())?;
+                if v == 0 {
+                    return Err("--duration-secs must be >= 1".into());
+                }
+                duration_secs = Some(v);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -410,6 +466,15 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         }
         "generate-rules" => Command::GenerateRules(need_one("output path", &positional)?),
         "analyze-rules" => Command::AnalyzeRules(need_one("rules path", &positional)?),
+        "serve" => {
+            if !positional.is_empty() {
+                return Err("serve takes no positional arguments".into());
+            }
+            if source == ServeSource::AfPacket && iface.is_none() {
+                return Err("--source afpacket needs --iface".into());
+            }
+            Command::Serve
+        }
         other => return Err(format!("unknown subcommand {other:?}")),
     };
 
@@ -440,6 +505,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         malformed,
         top,
         rules_seed,
+        source,
+        iface,
+        scrape,
+        duration_secs,
     })
 }
 
@@ -589,6 +658,25 @@ mod tests {
     }
 
     #[test]
+    fn serve_defaults_and_flags() {
+        let p = parse(&args("serve")).unwrap();
+        assert_eq!(p.command, Command::Serve);
+        assert_eq!(p.source, ServeSource::Loopback);
+        assert_eq!((p.iface, p.scrape, p.duration_secs), (None, None, None));
+
+        let p = parse(&args(
+            "serve --source afpacket --iface eth0 --scrape 127.0.0.1:9100 \
+             --duration-secs 30 --rules r.rules --shards 4",
+        ))
+        .unwrap();
+        assert_eq!(p.source, ServeSource::AfPacket);
+        assert_eq!(p.iface.as_deref(), Some("eth0"));
+        assert_eq!(p.scrape.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(p.duration_secs, Some(30));
+        assert_eq!(p.shards, 4);
+    }
+
+    #[test]
     fn errors_are_helpful() {
         for bad in [
             "",
@@ -626,6 +714,12 @@ mod tests {
             "analyze-rules corpus.rules --top 0",
             "fuzz --rules-seed",
             "fuzz --rules-seed maybe",
+            "serve stray",
+            "serve --source carrier-pigeon",
+            "serve --source afpacket",
+            "serve --duration-secs 0",
+            "serve --duration-secs soon",
+            "serve --scrape",
         ] {
             assert!(parse(&args(bad)).is_err(), "should reject {bad:?}");
         }

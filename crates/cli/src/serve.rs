@@ -1,0 +1,489 @@
+//! `sd serve` — the long-running capture daemon.
+//!
+//! The offline commands (`scan`, `run`) drive an engine over a finite
+//! capture and exit. `serve` keeps a Split-Detect engine alive against a
+//! live [`PacketSource`] and adds the three things a daemon needs:
+//!
+//! * a **scrape endpoint**: the engine's telemetry registry plus the
+//!   daemon's own counters, published to an [`ScrapeServer`] at
+//!   `GET /metrics` at a cadence the packet loop controls (a slow or
+//!   hostile scraper can never stall intake),
+//! * **live rule reload** (SIGHUP): the rule file is re-read and the
+//!   piece automaton recompiled *off the packet path*, then swapped in
+//!   at a packet boundary. Flow, diversion and reassembly state all
+//!   survive the swap — only the rules change,
+//! * **graceful drain** (SIGTERM): intake stops, slow-path lanes flush,
+//!   and the daemon emits the same final [`RunReport`] the offline
+//!   commands print, so a drained daemon is auditable like a batch run.
+//!
+//! All of the logic lives here as a library function driven by a
+//! [`ServeControl`]; real signal delivery is a two-line handler in the
+//! binary that pokes the same flags the tests poke directly.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sd_ips::rules::{parse_rules, DEMO_RULES};
+use sd_ips::{Alert, AlertSource, Ips, SignatureSet};
+use sd_telemetry::{to_prometheus, Registry, ScrapeServer};
+use sd_traffic::{PacketSource, SourceEvent};
+use splitdetect::{RunReport, ShardedSplitDetect, SplitDetect, SplitDetectStats, SplitPlan};
+
+/// Shared run-state flags connecting signal handlers (or tests) to the
+/// serve loop. Cheap to clone; all methods are async-signal-safe (plain
+/// atomic stores, no locks, no allocation).
+#[derive(Clone, Default)]
+pub struct ServeControl {
+    inner: Arc<Flags>,
+}
+
+#[derive(Default)]
+struct Flags {
+    reload: AtomicBool,
+    drain: AtomicBool,
+}
+
+impl ServeControl {
+    /// A fresh control with no requests pending.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the daemon to re-read its rule file and swap the automaton
+    /// (what SIGHUP requests). Coalesces: many requests before the loop
+    /// notices collapse into one reload.
+    pub fn request_reload(&self) {
+        self.inner.reload.store(true, Ordering::SeqCst);
+    }
+
+    /// Ask the daemon to stop intake, flush the slow path, and emit the
+    /// final report (what SIGTERM requests). Irrevocable.
+    pub fn request_drain(&self) {
+        self.inner.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a drain has been requested.
+    pub fn drain_requested(&self) -> bool {
+        self.inner.drain.load(Ordering::SeqCst)
+    }
+
+    fn take_reload(&self) -> bool {
+        self.inner.reload.swap(false, Ordering::SeqCst)
+    }
+}
+
+/// The process-wide control that the binary's signal handlers poke.
+/// Initialized on first call — the binary calls this once *before*
+/// installing handlers so the handler path is a pure atomic store.
+pub fn global_control() -> &'static ServeControl {
+    static GLOBAL: OnceLock<ServeControl> = OnceLock::new();
+    GLOBAL.get_or_init(ServeControl::new)
+}
+
+/// Knobs for one [`serve`] run.
+pub struct ServeOptions {
+    /// Rule file re-read on every reload request; `None` reloads the
+    /// embedded demo rules.
+    pub rules_path: Option<String>,
+    /// Metrics endpoint; the caller binds it (and so knows the address)
+    /// and `serve` owns publishing and shutdown.
+    pub scrape: Option<ScrapeServer>,
+    /// How long one source poll may block. Bounds control-signal latency
+    /// when the wire is quiet.
+    pub poll_timeout: Duration,
+    /// Publish a fresh scrape snapshot every this many packets (idle
+    /// gaps always publish).
+    pub publish_every: u64,
+    /// Optional wall-clock cap: request a drain once elapsed.
+    pub max_duration: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            rules_path: None,
+            scrape: None,
+            poll_timeout: Duration::from_millis(20),
+            publish_every: 1024,
+            max_duration: None,
+        }
+    }
+}
+
+/// What a drained daemon hands back, beyond what it wrote to `out`.
+pub struct ServeSummary {
+    /// Packets accepted from the source.
+    pub packets: u64,
+    /// Rule reloads applied.
+    pub reloads: u64,
+    /// Reload requests rejected (unreadable file, parse error,
+    /// inadmissible rules). The old rules stay in force.
+    pub reload_failures: u64,
+    /// Every alert raised over the daemon's lifetime, in delivery order.
+    pub alerts: Vec<Alert>,
+    /// The final engine statistics (aggregated across shards).
+    pub stats: Option<SplitDetectStats>,
+    /// The final report text, exactly as written to `out`.
+    pub report: String,
+}
+
+/// The engine a daemon serves: the single-threaded engine polls
+/// slow-path alerts and exposes live telemetry mid-run; the sharded
+/// engine buffers per-worker alerts and telemetry until the drain joins
+/// its workers (its scrape mid-run carries the daemon counters only).
+pub enum ServeEngine {
+    /// One [`SplitDetect`] on the serve thread.
+    Single(Box<SplitDetect>),
+    /// A [`ShardedSplitDetect`] dispatcher.
+    Sharded(Box<ShardedSplitDetect>),
+}
+
+/// How one reload request resolved inside the loop.
+enum ReloadStep {
+    /// Single engine: the automaton rebuild is running on this thread.
+    Compiling(JoinHandle<Result<(SplitPlan, SignatureSet), String>>),
+    /// Sharded engine: validated and broadcast; workers rebuild.
+    Applied,
+    /// Rejected before touching the engine; old rules stay in force.
+    Rejected(String),
+}
+
+impl ServeEngine {
+    fn process_packet(&mut self, packet: &[u8], tick: u64, out: &mut Vec<Alert>) {
+        match self {
+            ServeEngine::Single(e) => e.process_packet(packet, tick, out),
+            ServeEngine::Sharded(e) => e.process_packet(packet, tick, out),
+        }
+    }
+
+    /// Drain asynchronous slow-path alerts mid-run (single engine only;
+    /// sharded workers deliver at finish).
+    fn poll(&mut self, out: &mut Vec<Alert>) {
+        if let ServeEngine::Single(e) = self {
+            e.poll(out);
+        }
+    }
+
+    /// The engine telemetry registry, when it is readable right now.
+    fn live_registry(&self) -> Option<&Registry> {
+        match self {
+            ServeEngine::Single(e) => Some(e.telemetry().registry()),
+            ServeEngine::Sharded(e) => e.telemetry().map(|t| t.registry()),
+        }
+    }
+
+    /// Start a reload with already-loaded signatures. The single engine
+    /// compiles the plan off the packet path (on a spawned thread) and
+    /// installs it when [`ReloadStep::Compiling`] finishes; the sharded
+    /// engine validates here and lets each worker rebuild on its own
+    /// thread, off this packet path by construction.
+    fn begin_reload(&mut self, sigs: SignatureSet) -> ReloadStep {
+        match self {
+            ServeEngine::Single(e) => {
+                let config = e.config();
+                ReloadStep::Compiling(std::thread::spawn(move || {
+                    let plan = SplitPlan::compile(&sigs, &config).map_err(|e| e.to_string())?;
+                    Ok((plan, sigs))
+                }))
+            }
+            ServeEngine::Sharded(e) => match e.reload_rules(&sigs) {
+                Ok(()) => ReloadStep::Applied,
+                Err(e) => ReloadStep::Rejected(e.to_string()),
+            },
+        }
+    }
+
+    fn install(&mut self, plan: SplitPlan, sigs: SignatureSet) -> Result<(), String> {
+        match self {
+            ServeEngine::Single(e) => e.install_plan(plan, sigs).map_err(|e| e.to_string()),
+            // Unreachable: sharded reloads never produce a compiled plan
+            // to install here.
+            ServeEngine::Sharded(_) => Err("sharded engines install per worker".into()),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Alert>) {
+        match self {
+            ServeEngine::Single(e) => e.finish(out),
+            ServeEngine::Sharded(e) => e.finish(out),
+        }
+    }
+
+    /// Final stats + report text, mirroring what `scan`/`run` print.
+    /// Valid only after [`ServeEngine::finish`].
+    fn final_report(&self) -> (Option<SplitDetectStats>, String) {
+        match self {
+            ServeEngine::Single(e) => {
+                let stats = e.stats();
+                let mut text = RunReport::new(stats).to_string();
+                for failure in e.slow_failures() {
+                    text.push_str(&format!("WARNING: {failure}\n"));
+                }
+                (Some(stats), text)
+            }
+            ServeEngine::Sharded(e) => match SplitDetectStats::aggregate(&e.stats()) {
+                Some(total) => {
+                    let report = RunReport::with_dispatch(
+                        total,
+                        e.dispatch_stats(),
+                        e.failures().to_vec(),
+                    );
+                    (Some(total), report.to_string())
+                }
+                None => {
+                    let mut text = String::from("no surviving shards; no engine stats\n");
+                    for failure in e.failures() {
+                        text.push_str(&format!("WARNING: {failure}\n"));
+                    }
+                    (None, text)
+                }
+            },
+        }
+    }
+}
+
+/// Re-read and parse the daemon's rule source into signatures.
+fn load_signatures(rules_path: &Option<String>) -> Result<SignatureSet, String> {
+    let text = match rules_path {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read rules {path}: {e}"))?
+        }
+        None => DEMO_RULES.to_string(),
+    };
+    let set = parse_rules(&text).map_err(|e| e.to_string())?;
+    if set.rules.is_empty() {
+        return Err("rule file contains no usable alert rules".into());
+    }
+    Ok(set.to_signatures())
+}
+
+/// Run the daemon until a drain is requested or the source closes.
+///
+/// The loop interleaves packet intake with control work: every idle gap
+/// (and every `publish_every` packets) it drains slow-path alerts,
+/// refreshes the scrape snapshot, and checks the [`ServeControl`] flags.
+/// Reload keeps serving packets under the old rules while the new
+/// automaton compiles; an in-flight compile still pending at drain time
+/// is joined and applied before the final report so the reload counters
+/// are deterministic.
+pub fn serve(
+    mut engine: ServeEngine,
+    source: &mut dyn PacketSource,
+    control: &ServeControl,
+    mut opts: ServeOptions,
+    out: &mut dyn Write,
+) -> Result<ServeSummary, String> {
+    let start = Instant::now();
+    let scrape = opts.scrape.take();
+
+    // The daemon's own registry, rendered alongside the engine's.
+    let mut reg = Registry::new();
+    let c_packets = reg.counter(
+        "sd_serve_packets_total",
+        "Packets accepted from the capture source",
+    );
+    let c_reloads = reg.counter("sd_serve_reloads_total", "Rule reloads applied");
+    let c_reload_failures = reg.counter(
+        "sd_serve_reload_failures_total",
+        "Rule reloads rejected (old rules kept)",
+    );
+    let g_uptime = reg.gauge(
+        "sd_serve_uptime_seconds",
+        "Seconds since the daemon started",
+    );
+    let g_draining = reg.gauge("sd_serve_draining", "1 once a drain has been requested");
+
+    let publish = |reg: &mut Registry, engine: &ServeEngine, scrape: &Option<ScrapeServer>| {
+        let Some(server) = scrape else { return };
+        reg.set(g_uptime, start.elapsed().as_secs() as i64);
+        let mut text = to_prometheus(reg);
+        if let Some(engine_reg) = engine.live_registry() {
+            text.push_str(&to_prometheus(engine_reg));
+        }
+        server.publish(text);
+    };
+
+    let mut alerts: Vec<Alert> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut pending: Option<JoinHandle<Result<(SplitPlan, SignatureSet), String>>> = None;
+    let mut packets = 0u64;
+    let mut since_publish = 0u64;
+
+    let _ = writeln!(
+        out,
+        "serving from {} ({})",
+        source.name(),
+        match &scrape {
+            Some(s) => format!("metrics at http://{}/metrics", s.addr()),
+            None => "no scrape endpoint".to_string(),
+        }
+    );
+    publish(&mut reg, &engine, &scrape);
+
+    'run: loop {
+        if let Some(limit) = opts.max_duration {
+            if start.elapsed() >= limit {
+                control.request_drain();
+            }
+        }
+        if control.drain_requested() {
+            break 'run;
+        }
+
+        // An off-path automaton rebuild that finished gets swapped in
+        // here — a packet boundary by construction.
+        if pending.as_ref().is_some_and(|h| h.is_finished()) {
+            let handle = pending.take().expect("checked is_some");
+            finish_compile(
+                handle,
+                &mut engine,
+                &mut reg,
+                c_reloads,
+                c_reload_failures,
+                out,
+            );
+            publish(&mut reg, &engine, &scrape);
+        }
+
+        if control.take_reload() {
+            if pending.is_some() {
+                // A rebuild is already in flight; re-arm the flag so the
+                // newest file is picked up right after it lands.
+                control.request_reload();
+            } else {
+                match load_signatures(&opts.rules_path) {
+                    Ok(sigs) => match engine.begin_reload(sigs) {
+                        ReloadStep::Compiling(handle) => {
+                            let _ = writeln!(out, "reload: rebuilding automaton off-thread");
+                            pending = Some(handle);
+                        }
+                        ReloadStep::Applied => {
+                            reg.inc(c_reloads, 1);
+                            let _ = writeln!(out, "reload: new rules broadcast to shards");
+                            publish(&mut reg, &engine, &scrape);
+                        }
+                        ReloadStep::Rejected(e) => {
+                            reg.inc(c_reload_failures, 1);
+                            let _ = writeln!(out, "reload rejected ({e}); old rules kept");
+                            publish(&mut reg, &engine, &scrape);
+                        }
+                    },
+                    Err(e) => {
+                        reg.inc(c_reload_failures, 1);
+                        let _ = writeln!(out, "reload rejected ({e}); old rules kept");
+                        publish(&mut reg, &engine, &scrape);
+                    }
+                }
+            }
+        }
+
+        match source.poll(&mut buf, opts.poll_timeout) {
+            SourceEvent::Packet { tick } => {
+                engine.process_packet(&buf, tick, &mut alerts);
+                packets += 1;
+                reg.inc(c_packets, 1);
+                since_publish += 1;
+                if since_publish >= opts.publish_every {
+                    since_publish = 0;
+                    engine.poll(&mut alerts);
+                    publish(&mut reg, &engine, &scrape);
+                }
+            }
+            SourceEvent::Idle => {
+                engine.poll(&mut alerts);
+                publish(&mut reg, &engine, &scrape);
+            }
+            SourceEvent::Closed => {
+                let _ = writeln!(out, "source closed; draining");
+                break 'run;
+            }
+        }
+    }
+
+    // Drain: intake has stopped. Settle any in-flight rebuild first so
+    // reload accounting is deterministic, then flush and report.
+    reg.set(g_draining, 1);
+    if let Some(handle) = pending.take() {
+        finish_compile(
+            handle,
+            &mut engine,
+            &mut reg,
+            c_reloads,
+            c_reload_failures,
+            out,
+        );
+    }
+    engine.finish(&mut alerts);
+    let (stats, report) = engine.final_report();
+
+    let reloads = reg.counter_value(c_reloads);
+    let reload_failures = reg.counter_value(c_reload_failures);
+    let overloads = alerts
+        .iter()
+        .filter(|a| a.source == AlertSource::Overload)
+        .count();
+    let _ = writeln!(
+        out,
+        "drained after {:.1}s: {} packets, {} alert(s) ({} overload), {} reload(s), {} rejected",
+        start.elapsed().as_secs_f64(),
+        packets,
+        alerts.len(),
+        overloads,
+        reloads,
+        reload_failures,
+    );
+    let _ = out.write_all(report.as_bytes());
+
+    // One last snapshot (the sharded registry only exists now), then
+    // take the endpoint down.
+    publish(&mut reg, &engine, &scrape);
+    if let Some(mut server) = scrape {
+        server.shutdown();
+    }
+
+    Ok(ServeSummary {
+        packets,
+        reloads,
+        reload_failures,
+        alerts,
+        stats,
+        report,
+    })
+}
+
+/// Join a finished (or drain-forced) automaton rebuild and install it.
+fn finish_compile(
+    handle: JoinHandle<Result<(SplitPlan, SignatureSet), String>>,
+    engine: &mut ServeEngine,
+    reg: &mut Registry,
+    c_reloads: sd_telemetry::CounterId,
+    c_reload_failures: sd_telemetry::CounterId,
+    out: &mut dyn Write,
+) {
+    match handle.join() {
+        Ok(Ok((plan, sigs))) => match engine.install(plan, sigs) {
+            Ok(()) => {
+                reg.inc(c_reloads, 1);
+                let _ = writeln!(out, "reload: new automaton installed");
+            }
+            Err(e) => {
+                reg.inc(c_reload_failures, 1);
+                let _ = writeln!(out, "reload rejected ({e}); old rules kept");
+            }
+        },
+        Ok(Err(e)) => {
+            reg.inc(c_reload_failures, 1);
+            let _ = writeln!(out, "reload rejected ({e}); old rules kept");
+        }
+        Err(_) => {
+            reg.inc(c_reload_failures, 1);
+            let _ = writeln!(
+                out,
+                "reload rejected (rebuild thread panicked); old rules kept"
+            );
+        }
+    }
+}

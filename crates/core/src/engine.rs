@@ -169,6 +169,36 @@ impl SplitDetect {
         self.fast.plan()
     }
 
+    /// Install a precompiled plan + its signature set (live rule reload).
+    ///
+    /// Validates the new set against the active configuration, swaps the
+    /// fast path's piece plan (flow table, small-segment counters, and
+    /// diversion stickiness all survive — a flow diverted under the old
+    /// rules stays diverted), and forwards the signatures to the slow
+    /// path, whose connection and reassembly state also carries across.
+    /// The plan is taken precompiled so a daemon can build it off-thread
+    /// with [`SplitPlan::compile`] and hand it in without ever stalling
+    /// the packet loop; [`SplitDetect::reload_rules`] is the convenience
+    /// wrapper that compiles inline.
+    pub fn install_plan(&mut self, plan: SplitPlan, sigs: SignatureSet) -> Result<(), ConfigError> {
+        let cutoff = self.config.validate(&sigs)?;
+        self.telemetry.set_automaton_bytes(plan.memory_bytes());
+        self.telemetry
+            .set_automaton_build_ns(plan.build_time().as_nanos() as u64);
+        self.fast.swap_plan(plan, cutoff);
+        match &mut self.slow {
+            SlowPathDispatch::Inline(slow) => slow.reload_signatures(sigs),
+            SlowPathDispatch::Pool(pool) => pool.reload(&sigs),
+        }
+        Ok(())
+    }
+
+    /// Compile and install a new signature set in one (blocking) call.
+    pub fn reload_rules(&mut self, sigs: SignatureSet) -> Result<(), ConfigError> {
+        let plan = SplitPlan::compile(&sigs, &self.config)?;
+        self.install_plan(plan, sigs)
+    }
+
     /// Resource usage of the slow-path engine(s). In asynchronous pool
     /// mode the worker engines own their state until `finish()` joins
     /// them, so live readings are zero mid-run and settle at finish.
@@ -709,6 +739,95 @@ mod tests {
             25,
             "unparsable diverted traffic must count zero payload bytes"
         );
+    }
+
+    fn fpkt(src: &str, seq: u32, payload: &[u8]) -> Vec<u8> {
+        let f = TcpPacketSpec::new(src, "10.0.0.2:80")
+            .seq(seq)
+            .flags(TcpFlags::ACK.union(TcpFlags::PSH))
+            .payload(payload)
+            .build();
+        ip_of_frame(&f).to_vec()
+    }
+
+    fn key_of(packet: &[u8]) -> sd_flow::FlowKey {
+        // Alerts carry the 5-tuple key (the slow path's canonical key).
+        let parsed = sd_packet::parse::parse_ipv4(packet).unwrap();
+        sd_flow::FlowKey::from_parsed(&parsed).unwrap().0
+    }
+
+    #[test]
+    fn reload_swaps_rules_without_dropping_flow_or_divert_state() {
+        const SIG2: &[u8] = b"FRESH_RULE_SIGNATURE_24!"; // 24 bytes, like SIG
+                                                         // Inline and pooled slow paths must both survive the reload.
+        for workers in [0usize, 2] {
+            let sigs = SignatureSet::from_signatures([Signature::new("evil", SIG)]);
+            let mut e = SplitDetect::with_config(sigs, pool_config(workers)).unwrap();
+            let mut out = Vec::new();
+            // Flow A: benign, seeds fast-path sequence state (1000..1064).
+            e.process_packet(&fpkt("10.0.0.1:4000", 1000, &[b'n'; 64]), 0, &mut out);
+            // Flow B: diverts under the old rules (whole piece in-packet).
+            e.process_packet(&fpkt("10.0.0.9:4000", 2000, &SIG[..10]), 1, &mut out);
+            assert_eq!(e.stats().divert.flows_diverted, 1);
+
+            let fresh = SignatureSet::from_signatures([Signature::new("fresh", SIG2)]);
+            e.reload_rules(fresh).unwrap();
+
+            // Divert stickiness survives: flow B's continuation still
+            // reaches the slow path though the rule that diverted it is
+            // gone.
+            let before = e.stats().packets_to_slow;
+            e.process_packet(&fpkt("10.0.0.9:4000", 2010, &[b'x'; 32]), 2, &mut out);
+            assert!(
+                e.stats().packets_to_slow > before,
+                "{workers} workers: diverted flow fell off the slow path"
+            );
+
+            // Fast-path sequence state survives: a non-monotonic packet on
+            // flow A diverts OutOfOrder — a dropped table would have
+            // adopted seq 900 mid-stream as benign.
+            e.process_packet(&fpkt("10.0.0.1:4000", 900, &[b'o'; 32]), 3, &mut out);
+            assert!(
+                e.stats()
+                    .diverts_by(crate::fastpath::DivertReason::OutOfOrder)
+                    >= 1,
+                "{workers} workers: flow table state lost across reload"
+            );
+
+            // Old rules are gone: the retired signature no longer alerts on
+            // a fresh flow; the new one matches end-to-end.
+            let old_sig_pkt = fpkt("10.0.0.7:4000", 3000, SIG);
+            let old_flow = key_of(&old_sig_pkt);
+            e.process_packet(&old_sig_pkt, 4, &mut out);
+            let mut new_payload = b"..".to_vec();
+            new_payload.extend_from_slice(SIG2);
+            let new_sig_pkt = fpkt("10.0.0.5:4000", 5000, &new_payload);
+            let new_flow = key_of(&new_sig_pkt);
+            e.process_packet(&new_sig_pkt, 5, &mut out);
+            e.finish(&mut out);
+            assert!(
+                out.iter()
+                    .any(|a| a.flow == new_flow && a.source == AlertSource::SlowPath),
+                "{workers} workers: new rules must match after reload"
+            );
+            assert!(
+                !out.iter().any(|a| a.flow == old_flow),
+                "{workers} workers: retired rules must stop matching"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_rejects_inadmissible_rules_and_keeps_old_set() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        assert!(e.reload_rules(SignatureSet::default()).is_err());
+        // The old rules are still live after the failed reload.
+        let mut payload = b"..".to_vec();
+        payload.extend_from_slice(SIG);
+        e.process_packet(&pkt(1000, &payload), 0, &mut out);
+        e.finish(&mut out);
+        assert_eq!(out.len(), 1, "failed reload must not disturb the engine");
     }
 
     #[test]

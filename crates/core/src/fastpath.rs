@@ -261,6 +261,18 @@ impl FastPath {
         &self.plan
     }
 
+    /// Swap in a freshly compiled piece plan (live rule reload), keeping
+    /// every piece of per-flow state: the flow table, the small-segment
+    /// counters, and the running stats all survive. The piece scan is
+    /// per-packet stateless, so the swap is safe at any packet boundary.
+    /// `cutoff` is the new signature set's validated small-segment cutoff
+    /// (rule admissibility is per-signature-set, so it moves with the
+    /// plan). Returns the retired plan.
+    pub fn swap_plan(&mut self, plan: SplitPlan, cutoff: usize) -> SplitPlan {
+        self.params.cutoff = cutoff;
+        mem::replace(&mut self.plan, plan)
+    }
+
     /// The effective small-segment cutoff.
     pub fn cutoff(&self) -> usize {
         self.params.cutoff

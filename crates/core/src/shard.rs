@@ -99,6 +99,10 @@ impl PacketBatch {
 
 enum Job {
     Batch(PacketBatch),
+    /// Live rule reload: the worker swaps its engine's signature set in
+    /// lane order, so batches sent before the reload are scanned under
+    /// the old rules and batches after it under the new.
+    Reload(SignatureSet),
     /// Test/chaos hook: make the worker panic with this message.
     Poison(String),
     Flush,
@@ -282,7 +286,14 @@ pub struct ShardedSplitDetect {
     /// Ready-to-fill batch buffers.
     pool: Vec<PacketBatch>,
     batch_packets: usize,
+    /// The per-shard configuration (capacities already divided), kept so
+    /// a live reload can validate the new signature set on the caller's
+    /// thread before broadcasting.
+    per_shard_config: SplitDetectConfig,
     packets: u64,
+    /// Shards whose worker threads never spawned (lane born dead). Folded
+    /// into the finish-time failure report.
+    early_failures: Vec<ShardFailure>,
     finished: Option<Finished>,
 }
 
@@ -311,6 +322,28 @@ impl ShardedSplitDetect {
         config: SplitDetectConfig,
         shards: usize,
     ) -> Result<Self, ConfigError> {
+        Self::new_inner(sigs, config, shards, 0)
+    }
+
+    /// Test hook: like [`ShardedSplitDetect::new`] but shard `i`'s worker
+    /// fails to spawn when bit `i` of `fail_mask` is set, exercising the
+    /// born-dead lane path without depending on OS thread exhaustion.
+    #[doc(hidden)]
+    pub fn new_with_spawn_failures(
+        sigs: SignatureSet,
+        config: SplitDetectConfig,
+        shards: usize,
+        fail_mask: u64,
+    ) -> Result<Self, ConfigError> {
+        Self::new_inner(sigs, config, shards, fail_mask)
+    }
+
+    fn new_inner(
+        sigs: SignatureSet,
+        config: SplitDetectConfig,
+        shards: usize,
+        fail_mask: u64,
+    ) -> Result<Self, ConfigError> {
         let shards = shards.max(1);
         let per_shard = SplitDetectConfig {
             flow_table_capacity: config.flow_table_capacity.div_ceil(shards),
@@ -324,6 +357,7 @@ impl ShardedSplitDetect {
 
         let (recycle_tx, recycle_rx) = channel::<PacketBatch>();
         let mut lanes = Vec::with_capacity(shards);
+        let mut early_failures = Vec::new();
         for i in 0..shards {
             // A pinned seed still gets a distinct per-shard derivation so
             // shard tables do not share collision sets; `None` stays `None`
@@ -337,38 +371,73 @@ impl ShardedSplitDetect {
             let engine = SplitDetect::with_config(sigs.clone(), shard_config)?;
             let (tx, rx) = sync_channel::<Job>(SHARD_QUEUE_BATCHES);
             let recycle = recycle_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("sd-shard-{i}"))
-                .spawn(move || {
-                    let mut engine = engine;
-                    let mut alerts = Vec::new();
-                    while let Ok(job) = rx.recv() {
-                        match job {
-                            Job::Batch(mut batch) => {
-                                for i in 0..batch.spans.len() {
-                                    let (s, e, tick) = batch.spans[i];
-                                    engine.process_packet(&batch.data[s..e], tick, &mut alerts);
+            let spawned = if i < 64 && fail_mask & (1u64 << i) != 0 {
+                Err(std::io::Error::other("injected spawn failure"))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("sd-shard-{i}"))
+                    .spawn(move || {
+                        let mut engine = engine;
+                        let mut alerts = Vec::new();
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                Job::Batch(mut batch) => {
+                                    for i in 0..batch.spans.len() {
+                                        let (s, e, tick) = batch.spans[i];
+                                        engine.process_packet(&batch.data[s..e], tick, &mut alerts);
+                                    }
+                                    batch.clear();
+                                    // The dispatcher may already be gone during
+                                    // teardown; a full pool is not an error.
+                                    let _ = recycle.send(batch);
                                 }
-                                batch.clear();
-                                // The dispatcher may already be gone during
-                                // teardown; a full pool is not an error.
-                                let _ = recycle.send(batch);
+                                Job::Reload(sigs) => {
+                                    // Validated on the dispatcher thread
+                                    // before broadcast; a failure here
+                                    // would mean the config mutated, which
+                                    // it cannot (Copy, never exposed).
+                                    if let Err(e) = engine.reload_rules(sigs) {
+                                        eprintln!("split-detect: shard reload failed: {e}");
+                                    }
+                                }
+                                Job::Poison(msg) => panic!("{msg}"),
+                                Job::Flush => break,
                             }
-                            Job::Poison(msg) => panic!("{msg}"),
-                            Job::Flush => break,
                         }
-                    }
-                    engine.finish(&mut alerts);
-                    (engine, alerts)
-                })
-                .expect("spawn shard worker");
-            lanes.push(Lane {
-                tx: Some(tx),
-                handle: Some(handle),
-                pending: PacketBatch::new(),
-                stats: ShardDispatchStats::default(),
-                in_flight: 0,
-            });
+                        engine.finish(&mut alerts);
+                        (engine, alerts)
+                    })
+            };
+            match spawned {
+                Ok(handle) => lanes.push(Lane {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                    pending: PacketBatch::new(),
+                    stats: ShardDispatchStats::default(),
+                    in_flight: 0,
+                }),
+                Err(e) => {
+                    // Born-dead lane: its packets are counted as dropped
+                    // (same as a mid-run worker death) and the spawn error
+                    // surfaces at finish() — the caller's thread never
+                    // panics.
+                    eprintln!("split-detect: shard {i} worker failed to spawn: {e}");
+                    early_failures.push(ShardFailure {
+                        shard: i,
+                        message: format!("spawn failed: {e}"),
+                    });
+                    lanes.push(Lane {
+                        tx: None,
+                        handle: None,
+                        pending: PacketBatch::new(),
+                        stats: ShardDispatchStats {
+                            dead: true,
+                            ..Default::default()
+                        },
+                        in_flight: 0,
+                    });
+                }
+            }
         }
         Ok(ShardedSplitDetect {
             lanes,
@@ -376,7 +445,9 @@ impl ShardedSplitDetect {
             _recycle_tx: recycle_tx,
             pool: Vec::new(),
             batch_packets: config.shard_batch_packets.max(1),
+            per_shard_config: per_shard,
             packets: 0,
+            early_failures,
             finished: None,
         })
     }
@@ -480,12 +551,12 @@ impl ShardedSplitDetect {
         }
     }
 
-    /// Workers that panicked, with their messages (populated by
-    /// [`Ips::finish`]).
+    /// Workers that failed, with their messages: spawn failures are
+    /// visible immediately, panic failures are added by [`Ips::finish`].
     pub fn failures(&self) -> &[ShardFailure] {
         match &self.finished {
             Some(f) => &f.failures,
-            None => &[],
+            None => &self.early_failures,
         }
     }
 
@@ -510,6 +581,32 @@ impl ShardedSplitDetect {
         self.finished.as_ref().map(|f| &f.telemetry)
     }
 
+    /// Broadcast a new signature set to every live shard (live rule
+    /// reload). The set is validated against the per-shard configuration
+    /// on the caller's thread first, so an inadmissible rule file is
+    /// rejected wholesale and no shard ever runs it. Each lane's pending
+    /// batch is flushed ahead of the reload job, so packets accepted
+    /// before this call are scanned under the old rules and packets after
+    /// it under the new; per-shard flow, diversion, and reassembly state
+    /// all survive the swap. Dead lanes are skipped.
+    pub fn reload_rules(&mut self, sigs: &SignatureSet) -> Result<(), ConfigError> {
+        assert!(self.finished.is_none(), "engine already finished");
+        self.per_shard_config.validate(sigs)?;
+        for shard in 0..self.lanes.len() {
+            self.flush_shard(shard);
+            let lane = &mut self.lanes[shard];
+            if let Some(tx) = &lane.tx {
+                if tx.send(Job::Reload(sigs.clone())).is_err() {
+                    // Worker hung up (panicked): degrade like flush_shard
+                    // does; finish() reports the panic.
+                    lane.tx = None;
+                    lane.stats.dead = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Chaos/test hook: make `shard`'s worker panic on its next job, as a
     /// hardware lane failure would. Hidden from docs; used by the
     /// fault-containment tests.
@@ -532,7 +629,7 @@ impl ShardedSplitDetect {
         }
         let mut engines = Vec::with_capacity(self.lanes.len());
         let mut dispatch = Vec::with_capacity(self.lanes.len());
-        let mut failures = Vec::new();
+        let mut failures = std::mem::take(&mut self.early_failures);
         let mut usage = ResourceUsage::default();
         for (i, mut lane) in self.lanes.drain(..).enumerate() {
             if let Some(tx) = lane.tx.take() {
@@ -541,6 +638,10 @@ impl ShardedSplitDetect {
                 let _ = tx.send(Job::Flush);
             }
             let Some(handle) = lane.handle.take() else {
+                // Born dead (spawn failure, already recorded): keep the
+                // engine/dispatch slots aligned with shard indices.
+                engines.push(None);
+                dispatch.push(lane.stats);
                 continue;
             };
             match handle.join() {
@@ -935,6 +1036,99 @@ mod tests {
         let before = out.len();
         engine.finish(&mut out);
         assert_eq!(out.len(), before);
+    }
+
+    #[test]
+    fn spawn_failure_degrades_to_dead_lane_instead_of_panicking() {
+        // Shard 1's worker never spawns. Construction must not panic (the
+        // documented contract: failures surface at finish(), never as a
+        // propagated panic); its packets drop (counted) while surviving
+        // shards keep detecting.
+        let labeled = mixed_trace(4);
+        let mut engine = ShardedSplitDetect::new_with_spawn_failures(
+            sigs(),
+            SplitDetectConfig::default(),
+            4,
+            0b10,
+        )
+        .unwrap();
+        assert_eq!(engine.failures().len(), 1, "spawn failure visible early");
+        let mut out = Vec::new();
+        for (tick, p) in labeled.trace.iter_bytes().enumerate() {
+            engine.process_packet(p, tick as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        let failures = engine.failures().to_vec();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].shard, 1);
+        assert!(failures[0].message.contains("spawn failed"));
+        assert_eq!(engine.stats().len(), 3, "three survivors");
+        let lanes = engine.dispatch_stats();
+        assert_eq!(lanes.len(), 4, "dispatch slots stay index-aligned");
+        assert!(lanes[1].dead);
+        assert!(
+            lanes[1].packets_dropped > 0,
+            "dead lane's packets counted as dropped"
+        );
+        assert!(!out.is_empty(), "survivors still alert");
+    }
+
+    #[test]
+    fn reload_rules_swaps_detection_across_shards() {
+        use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+        use sd_packet::tcp::TcpFlags;
+        const SIG2: &[u8] = b"FRESH_RULE_SIGNATURE_24!";
+        let mk = |src: &str, payload: &[u8]| -> Vec<u8> {
+            let f = TcpPacketSpec::new(src, "10.0.0.2:80")
+                .seq(1000)
+                .flags(TcpFlags::ACK.union(TcpFlags::PSH))
+                .payload(payload)
+                .build();
+            ip_of_frame(&f).to_vec()
+        };
+        // Alerts carry the 5-tuple key (the slow path's canonical key),
+        // unlike the IP-pair key the dispatcher shards on.
+        let key_of = |packet: &[u8]| -> FlowKey {
+            let parsed = parse_ipv4(packet).unwrap();
+            FlowKey::from_parsed(&parsed).unwrap().0
+        };
+        let mut engine = ShardedSplitDetect::new(sigs(), SplitDetectConfig::default(), 2).unwrap();
+        let mut out = Vec::new();
+        // Old rules live: flow A carries the old signature whole.
+        let a = mk("10.1.0.1:4000", SIG);
+        engine.process_packet(&a, 0, &mut out);
+
+        // An inadmissible set is rejected wholesale (validated before any
+        // shard sees it); the old rules stay live.
+        assert!(engine.reload_rules(&SignatureSet::default()).is_err());
+
+        let fresh = SignatureSet::from_signatures([Signature::new("fresh", SIG2)]);
+        engine.reload_rules(&fresh).unwrap();
+
+        // After the reload: the retired signature stops matching, the new
+        // one matches, on every shard.
+        let b = mk("10.1.0.2:4000", SIG);
+        let c = mk("10.1.0.3:4000", SIG2);
+        let d = mk("10.1.0.4:4000", SIG2);
+        for (tick, p) in [&b, &c, &d].into_iter().enumerate() {
+            engine.process_packet(p, 1 + tick as u64, &mut out);
+        }
+        engine.finish(&mut out);
+        assert!(engine.failures().is_empty());
+        assert!(
+            out.iter().any(|x| x.flow == key_of(&a)),
+            "pre-reload packet must be scanned under the old rules"
+        );
+        assert!(
+            !out.iter().any(|x| x.flow == key_of(&b)),
+            "retired rules must stop matching after reload"
+        );
+        for p in [&c, &d] {
+            assert!(
+                out.iter().any(|x| x.flow == key_of(p)),
+                "new rules must match after reload"
+            );
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@
 //! Worker panics are contained exactly like shard-worker panics: the lane
 //! is marked dead, subsequent packets for it are shed (counted), and the
 //! failure surfaces at `finish()` — never as a propagated panic, so
-//! `Drop` is safe with work in flight.
+//! `Drop` is safe with work in flight. A worker thread that fails to
+//! *spawn* degrades the same way: its lane is born dead, every packet
+//! pinned to it sheds, and the spawn error is reported alongside panic
+//! failures at `finish()`.
 
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::thread::JoinHandle;
@@ -145,6 +148,10 @@ enum Job {
         tick: u64,
         enqueued: Instant,
     },
+    /// Live rule reload: the worker swaps its engine's signature set in
+    /// lane order, so packets enqueued before the reload are scanned
+    /// under the old rules and packets after it under the new.
+    Reload(SignatureSet),
     Flush,
 }
 
@@ -208,6 +215,9 @@ pub struct SlowPathPool {
     pool: Vec<Vec<u8>>,
     policy: ShedPolicy,
     stats: SlowPathPoolStats,
+    /// Workers whose threads never spawned (lane born dead). Folded into
+    /// the finish-time failure report.
+    early_failures: Vec<SlowWorkerFailure>,
     finished: Option<FinishedPool>,
 }
 
@@ -224,6 +234,32 @@ impl SlowPathPool {
         lane_depth: usize,
         policy: ShedPolicy,
     ) -> Self {
+        Self::new_inner(sigs, conv, workers, lane_depth, policy, 0)
+    }
+
+    /// Test hook: like [`SlowPathPool::new`] but worker `i` fails to spawn
+    /// when bit `i` of `fail_mask` is set, exercising the born-dead lane
+    /// path without depending on OS thread exhaustion.
+    #[doc(hidden)]
+    pub fn new_with_spawn_failures(
+        sigs: SignatureSet,
+        conv: ConventionalConfig,
+        workers: usize,
+        lane_depth: usize,
+        policy: ShedPolicy,
+        fail_mask: u64,
+    ) -> Self {
+        Self::new_inner(sigs, conv, workers, lane_depth, policy, fail_mask)
+    }
+
+    fn new_inner(
+        sigs: SignatureSet,
+        conv: ConventionalConfig,
+        workers: usize,
+        lane_depth: usize,
+        policy: ShedPolicy,
+        fail_mask: u64,
+    ) -> Self {
         let workers = workers.max(1);
         let lane_depth = lane_depth.max(1);
         let per_worker = ConventionalConfig {
@@ -233,22 +269,45 @@ impl SlowPathPool {
         let (alert_tx, alert_rx) = channel::<AlertMsg>();
         let (recycle_tx, recycle_rx) = channel::<(usize, Vec<u8>)>();
         let mut lanes = Vec::with_capacity(workers);
+        let mut early_failures = Vec::new();
         for i in 0..workers {
             let engine = ConventionalIps::with_config(sigs.clone(), per_worker);
             let (tx, rx) = sync_channel::<Job>(lane_depth);
             let alerts_out = alert_tx.clone();
             let recycle = recycle_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("sd-slow-{i}"))
-                .spawn(move || worker_loop(i, engine, rx, alerts_out, recycle))
-                .expect("spawn slow-path worker");
-            lanes.push(SlowLane {
-                tx: Some(tx),
-                handle: Some(handle),
-                in_flight: 0,
-                seq: 0,
-                shedding: false,
-            });
+            let spawned = if i < 64 && fail_mask & (1u64 << i) != 0 {
+                Err(std::io::Error::other("injected spawn failure"))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("sd-slow-{i}"))
+                    .spawn(move || worker_loop(i, engine, rx, alerts_out, recycle))
+            };
+            match spawned {
+                Ok(handle) => lanes.push(SlowLane {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                    in_flight: 0,
+                    seq: 0,
+                    shedding: false,
+                }),
+                Err(e) => {
+                    // Born-dead lane: packets pinned here shed (counted),
+                    // and the spawn error surfaces at finish() like a
+                    // worker panic would — the hot thread never crashes.
+                    eprintln!("split-detect: slow-path worker {i} failed to spawn: {e}");
+                    early_failures.push(SlowWorkerFailure {
+                        worker: i,
+                        message: format!("spawn failed: {e}"),
+                    });
+                    lanes.push(SlowLane {
+                        tx: None,
+                        handle: None,
+                        in_flight: 0,
+                        seq: 0,
+                        shedding: false,
+                    });
+                }
+            }
         }
         SlowPathPool {
             lanes,
@@ -257,6 +316,7 @@ impl SlowPathPool {
             pool: Vec::new(),
             policy,
             stats: SlowPathPoolStats::default(),
+            early_failures,
             finished: None,
         }
     }
@@ -271,11 +331,12 @@ impl SlowPathPool {
         self.stats
     }
 
-    /// Workers that panicked (populated by [`SlowPathPool::finish`]).
+    /// Workers that failed: spawn failures are visible immediately, panic
+    /// failures are added by [`SlowPathPool::finish`].
     pub fn failures(&self) -> &[SlowWorkerFailure] {
         match &self.finished {
             Some(f) => &f.failures,
-            None => &[],
+            None => &self.early_failures,
         }
     }
 
@@ -389,6 +450,26 @@ impl SlowPathPool {
         }
     }
 
+    /// Broadcast a new signature set to every live worker (live rule
+    /// reload). The reload job rides each lane in FIFO order behind any
+    /// queued packets, so no lane pauses and no worker's connection or
+    /// reassembly state is dropped. Dead lanes are skipped — their
+    /// failure is already on record. The send blocks when a lane is full:
+    /// reload is a rare control event, and waiting for lane space beats
+    /// shedding data packets to make room.
+    pub fn reload(&mut self, sigs: &SignatureSet) {
+        assert!(self.finished.is_none(), "pool already finished");
+        for lane in &mut self.lanes {
+            if let Some(tx) = &lane.tx {
+                if tx.send(Job::Reload(sigs.clone())).is_err() {
+                    // Worker hung up (panicked): degrade like enqueue does;
+                    // finish() reports the panic.
+                    lane.tx = None;
+                }
+            }
+        }
+    }
+
     /// Sort and append every alert message drained so far. The order is
     /// `(tick, worker, seq)`: deterministic for a finish-only run, and
     /// always per-flow exact (a flow's alerts come from one worker, whose
@@ -431,7 +512,7 @@ impl SlowPathPool {
             return info;
         }
         let mut usage = ResourceUsage::default();
-        let mut failures = Vec::new();
+        let mut failures = std::mem::take(&mut self.early_failures);
         for lane in &mut self.lanes {
             if let Some(tx) = lane.tx.take() {
                 // A send error means the worker already hung up; the join
@@ -519,6 +600,7 @@ fn worker_loop(
                     });
                 }
             }
+            Job::Reload(sigs) => engine.reload_signatures(sigs),
             Job::Flush => break,
         }
     }
@@ -733,6 +815,120 @@ mod tests {
             "pool grew past the lane bound: {}",
             p.pool.len()
         );
+    }
+
+    #[test]
+    fn spawn_failure_degrades_to_dead_lane_instead_of_panicking() {
+        // Worker 0 never spawns. Construction must not panic (the
+        // documented contract: failures surface at finish(), never as a
+        // propagated panic), packets pinned to the dead lane shed, and the
+        // healthy lane keeps detecting.
+        let mut p = SlowPathPool::new_with_spawn_failures(
+            sigs(),
+            ConventionalConfig::default(),
+            2,
+            64,
+            ShedPolicy::ShedFlow,
+            0b01,
+        );
+        assert_eq!(p.failures().len(), 1, "spawn failure visible pre-finish");
+        let mut payload = b"..".to_vec();
+        payload.extend_from_slice(SIG);
+        // Enough distinct flows to hit both lanes.
+        for i in 0..16u16 {
+            let (key, raw) = pkt(&format!("10.0.1.{}:4000", i + 1), 1000, &payload);
+            p.enqueue(key, &raw, payload.len(), i as u64);
+        }
+        let s = p.stats();
+        assert!(s.shed_packets > 0, "dead lane must shed");
+        assert!(s.enqueued_packets > 0, "healthy lane must accept");
+        let mut out = Vec::new();
+        p.finish(&mut out);
+        assert!(!out.is_empty(), "healthy worker still detects");
+        assert_eq!(p.failures().len(), 1);
+        assert_eq!(p.failures()[0].worker, 0);
+        assert!(p.failures()[0].message.contains("spawn failed"));
+    }
+
+    #[test]
+    fn all_workers_failing_to_spawn_is_survivable() {
+        let mut p = SlowPathPool::new_with_spawn_failures(
+            sigs(),
+            ConventionalConfig::default(),
+            2,
+            8,
+            ShedPolicy::AlertOverload,
+            0b11,
+        );
+        let (key, raw) = pkt("10.0.0.1:4000", 1000, b"data");
+        let outcome = p.enqueue(key, &raw, 4, 0);
+        assert!(!outcome.accepted);
+        let mut out = Vec::new();
+        p.finish(&mut out);
+        assert_eq!(p.failures().len(), 2);
+        assert_eq!(p.stats().shed_packets, 1);
+    }
+
+    #[test]
+    fn poll_then_finish_emits_each_alert_exactly_once() {
+        // Mid-run poll() consumes whatever alert messages have arrived;
+        // finish() must emit only the remainder — the union is complete
+        // with no duplicates.
+        let mut p = pool(2, 64, ShedPolicy::Block);
+        let mut payload = b"..".to_vec();
+        payload.extend_from_slice(SIG);
+        let n = 8u16;
+        for i in 0..n {
+            let (key, raw) = pkt(&format!("10.0.2.{}:4000", i + 1), 1000, &payload);
+            p.enqueue(key, &raw, payload.len(), i as u64);
+        }
+        let mut out = Vec::new();
+        // Poll until at least one alert has been drained mid-run.
+        for _ in 0..2000 {
+            p.poll(&mut out);
+            if !out.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(!out.is_empty(), "mid-run poll should observe some alerts");
+        p.finish(&mut out);
+        assert_eq!(out.len(), n as usize, "poll + finish must not lose or dup");
+        let mut flows: Vec<_> = out.iter().map(|a| a.flow).collect();
+        flows.sort();
+        flows.dedup();
+        assert_eq!(flows.len(), n as usize, "one alert per flow, no dups");
+    }
+
+    #[test]
+    fn poll_then_drop_keeps_drained_alerts_and_bounds_buffers() {
+        // Engine teardown without finish(): alerts already drained by
+        // poll() stay with the caller, Drop joins cleanly, and the buffer
+        // pool never exceeds its in-flight bound (no leaked buffers).
+        let mut p = pool(2, 8, ShedPolicy::Block);
+        let mut payload = b"..".to_vec();
+        payload.extend_from_slice(SIG);
+        for i in 0..64u16 {
+            let (key, raw) = pkt(&format!("10.0.3.{}:4000", i % 8 + 1), 1000, &payload);
+            p.enqueue(key, &raw, payload.len(), i as u64);
+        }
+        let mut out = Vec::new();
+        for _ in 0..2000 {
+            p.poll(&mut out);
+            if !out.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(!out.is_empty());
+        let drained = out.clone();
+        assert!(
+            p.pool.len() <= 2 * 8 + 1,
+            "recycled buffers exceed the lane bound: {}",
+            p.pool.len()
+        );
+        drop(p); // finish-into-sink: must join cleanly, not touch `out`
+        assert_eq!(out, drained, "drop must not disturb already-drained alerts");
     }
 
     #[test]

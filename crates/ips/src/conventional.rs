@@ -109,6 +109,21 @@ impl ConventionalIps {
         &self.sigs
     }
 
+    /// Swap in a new signature set (live rule reload). Rebuilds the match
+    /// automaton and resets each connection's stream matchers — their
+    /// state ids index the retired DFA — while keeping all reassembly
+    /// state: buffers, sequence tracking, and connection lifecycle carry
+    /// straight across. The one documented gap: a signature occurrence
+    /// whose bytes straddle the reload instant (some scanned before, some
+    /// after) is missed, because the matcher restarts from its root state.
+    pub fn reload_signatures(&mut self, sigs: SignatureSet) {
+        self.dfa = AcDfa::new(sigs.to_patterns());
+        self.sigs = sigs;
+        for entry in self.conns.values_mut() {
+            entry.matchers = [StreamMatcher::new(), StreamMatcher::new()];
+        }
+    }
+
     /// Connections currently tracked.
     pub fn connection_count(&self) -> usize {
         self.conns.len()
@@ -423,6 +438,58 @@ mod tests {
             "bad-checksum twin must be dropped post-defrag, not delivered"
         );
         assert_eq!(ips.normalizer_stats().bad_l4_checksum, 1);
+    }
+
+    #[test]
+    fn reload_keeps_buffered_reassembly_state() {
+        // SYN pins the origin, then out-of-order data is buffered behind a
+        // gap. Reloading mid-gap must keep the buffered bytes: when the gap
+        // fills, the joined stream is scanned under the *new* DFA and the
+        // (still-present) signature matches. A reload that dropped
+        // connections would lose the buffered half.
+        let mut ips = ConventionalIps::new(sigs());
+        let mut out = Vec::new();
+        let syn = {
+            let f = TcpPacketSpec::new("10.0.0.1:4000", "10.0.0.2:80")
+                .seq(999)
+                .flags(TcpFlags::SYN)
+                .build();
+            ip_of_frame(&f).to_vec()
+        };
+        ips.process_packet(&syn, 0, &mut out);
+        ips.process_packet(&tcp_pkt(1013, b"ATURE_BYTES...."), 1, &mut out);
+        assert_eq!(ips.connection_count(), 1);
+        assert!(out.is_empty(), "second half is buffered behind the gap");
+
+        let fresh = SignatureSet::from_signatures([
+            Signature::new("evil", &b"EVIL_SIGNATURE_BYTES"[..]),
+            Signature::new("new", &b"BRAND_NEW_RULE_BYTES"[..]),
+        ]);
+        ips.reload_signatures(fresh);
+        assert_eq!(ips.connection_count(), 1, "reload must keep connections");
+
+        // Fill the gap: both halves deliver together and scan as one run.
+        ips.process_packet(&tcp_pkt(1000, b"....EVIL_SIGN"), 2, &mut out);
+        assert_eq!(out.len(), 1, "buffered bytes survive the reload");
+        // The newly added rule matches on the same connection too.
+        ips.process_packet(&tcp_pkt(1028, b"..BRAND_NEW_RULE_BYTES.."), 3, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].signature, 1);
+    }
+
+    #[test]
+    fn reload_retires_old_rules() {
+        let mut ips = ConventionalIps::new(sigs());
+        ips.reload_signatures(SignatureSet::from_signatures([Signature::new(
+            "only",
+            &b"SOMETHING_ELSE_ENTIRELY"[..],
+        )]));
+        let alerts = run_trace(
+            &mut ips,
+            [tcp_pkt(1000, b"xxEVIL_SIGNATURE_BYTESxx").as_slice()],
+        );
+        assert!(alerts.is_empty(), "retired signature must stop matching");
+        assert_eq!(ips.signatures().len(), 1);
     }
 
     #[test]

@@ -177,11 +177,21 @@ impl TcpStreamReassembler {
     /// advanced in lock-step with delivery — so the 2³¹ unwrap window is
     /// centered on the live edge and arbitrarily long streams work.
     fn offset_of(&mut self, seq: SeqNumber) -> Option<u64> {
+        let abs = self.signed_offset_of(seq);
+        (abs >= 0).then_some(abs as u64)
+    }
+
+    /// [`offset_of`](Self::offset_of) without the negative cutoff: the
+    /// unwrapped offset as a signed value, negative when `seq` falls before
+    /// the stream origin. `push` needs the signed form because a segment
+    /// that *starts* before offset 0 (e.g. its first byte sits at the ISN
+    /// of a connection whose SYN carried `0xFFFF_FFFF`) can still extend
+    /// into live data and must be clipped, not dropped whole.
+    fn signed_offset_of(&mut self, seq: SeqNumber) -> i64 {
         // Mid-stream pickup: adopt the first segment's seq as offset 0.
         let anchor = *self.anchor_seq.get_or_insert(seq);
         let rel = seq.distance(anchor) as i64;
-        let abs = self.next_offset as i64 + rel;
-        (abs >= 0).then_some(abs as u64)
+        self.next_offset as i64 + rel
     }
 
     /// Push one segment's payload at sequence number `seq`.
@@ -193,19 +203,28 @@ impl TcpStreamReassembler {
             return summary;
         }
 
-        let Some(start) = self.offset_of(seq) else {
-            // Entirely before offset 0 (e.g. seq below ISN); treat as old.
-            summary.old_bytes = data.len();
-            self.stats.old_bytes += data.len() as u64;
-            return summary;
+        let abs = self.signed_offset_of(seq);
+        let (mut start, mut data) = if abs < 0 {
+            // Starts before offset 0 (seq at/below the ISN). The head is
+            // old by definition, but the tail may straddle the stream
+            // origin — clip instead of discarding the whole segment.
+            let behind = abs.unsigned_abs();
+            if behind >= data.len() as u64 {
+                summary.old_bytes = data.len();
+                self.stats.old_bytes += data.len() as u64;
+                return summary;
+            }
+            summary.old_bytes = behind as usize;
+            self.stats.old_bytes += behind;
+            (0u64, &data[behind as usize..])
+        } else {
+            (abs as u64, data)
         };
-        let mut start = start;
-        let mut data = data;
 
         // Clip the part that retransmits delivered bytes.
         if start < self.next_offset {
             let skip = (self.next_offset - start).min(data.len() as u64) as usize;
-            summary.old_bytes = skip;
+            summary.old_bytes += skip;
             self.stats.old_bytes += skip as u64;
             data = &data[skip..];
             start = self.next_offset;
@@ -565,6 +584,80 @@ mod tests {
         assert_eq!(r.drain(), b"");
         push_str(&mut r, u32::MAX - 1, b"ab");
         assert_eq!(r.drain(), b"abcd");
+    }
+
+    #[test]
+    fn syn_at_seq_max_starts_data_at_zero() {
+        // The hardest ISN: SYN consumes 0xFFFF_FFFF, so the first data
+        // byte sits at wrapped seq 0.
+        let mut r = TcpStreamReassembler::new(OverlapPolicy::First);
+        r.on_syn(SeqNumber(u32::MAX));
+        push_str(&mut r, 0, b"hello");
+        assert_eq!(r.drain(), b"hello");
+        assert_eq!(r.next_offset(), 5);
+    }
+
+    #[test]
+    fn segment_straddling_stream_origin_is_clipped_not_dropped() {
+        // Regression: a segment whose start unwraps *before* offset 0 but
+        // whose tail carries live bytes was discarded whole — with an ISN
+        // at the 2^32 boundary, a retransmit that includes the SYN
+        // position lost real data.
+        let mut r = TcpStreamReassembler::new(OverlapPolicy::First);
+        r.on_syn(SeqNumber(u32::MAX)); // data origin at wrapped seq 0
+        let s = push_str(&mut r, u32::MAX - 1, b"..abcd"); // starts 2 before origin
+        assert_eq!(s.old_bytes, 2, "pre-origin head is old");
+        assert_eq!(s.accepted, 4, "live tail must survive");
+        assert_eq!(r.drain(), b"abcd");
+        assert_eq!(r.stats().old_bytes, 2);
+    }
+
+    #[test]
+    fn segment_entirely_before_origin_is_all_old() {
+        let mut r = TcpStreamReassembler::new(OverlapPolicy::First);
+        r.on_syn(SeqNumber(u32::MAX));
+        let s = push_str(&mut r, u32::MAX - 9, b"old"); // ends before seq 0
+        assert_eq!(s.old_bytes, 3);
+        assert_eq!(s.accepted, 0);
+        assert_eq!(r.drain(), b"");
+    }
+
+    #[test]
+    fn straddling_retransmit_after_delivery_accounts_both_clips() {
+        // Head before the origin AND a delivered span: both clip, and the
+        // old-byte accounting must sum them rather than overwrite.
+        let mut r = TcpStreamReassembler::new(OverlapPolicy::First);
+        r.on_syn(SeqNumber(u32::MAX));
+        push_str(&mut r, 0, b"ab");
+        r.drain();
+        // Starts 1 before the origin, re-covers delivered "ab", adds "cd".
+        let s = push_str(&mut r, u32::MAX, b".abcd");
+        assert_eq!(s.old_bytes, 3, "1 pre-origin + 2 delivered");
+        assert_eq!(s.accepted, 2);
+        assert_eq!(r.drain(), b"cd");
+    }
+
+    #[test]
+    fn fin_straddling_the_wrap_finishes() {
+        // Data occupies seqs MAX-1, MAX, 0, 1; the FIN position wraps to 2.
+        let mut r = TcpStreamReassembler::new(OverlapPolicy::First);
+        r.on_syn(SeqNumber(u32::MAX - 2));
+        push_str(&mut r, u32::MAX - 1, b"abcd");
+        r.on_fin(SeqNumber(2));
+        assert!(r.is_finished());
+        assert_eq!(r.drain(), b"abcd");
+    }
+
+    #[test]
+    fn urgent_skip_across_the_wrap() {
+        // Skip the byte at wrapped seq 0 (stream offset 2) before it
+        // arrives; delivery must omit exactly that byte.
+        let mut r = TcpStreamReassembler::new(OverlapPolicy::First);
+        r.on_syn(SeqNumber(u32::MAX - 2)); // data origin at MAX-1
+        r.skip_at(SeqNumber(0));
+        push_str(&mut r, u32::MAX - 1, b"abcd");
+        assert_eq!(r.drain(), b"abd");
+        assert_eq!(r.next_offset(), 4, "skipped byte still consumes seq space");
     }
 
     #[test]

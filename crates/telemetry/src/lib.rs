@@ -18,6 +18,9 @@
 //! - [`promcheck`]: a dependency-free structural validator for the
 //!   Prometheus exposition format, used by tests and CI to pin the
 //!   exporter's output.
+//! - [`scrape`]: a dependency-free blocking HTTP listener serving the
+//!   latest published exposition snapshot at `GET /metrics`, for the
+//!   `sd serve` daemon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +29,7 @@ pub mod export;
 pub mod pipeline;
 pub mod promcheck;
 pub mod registry;
+pub mod scrape;
 
 pub use export::{to_json, to_prometheus};
 pub use pipeline::{PipelineTelemetry, Stage, StageClock};
@@ -33,3 +37,4 @@ pub use registry::{
     Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricMeta, Registry,
     HISTOGRAM_BUCKETS,
 };
+pub use scrape::ScrapeServer;

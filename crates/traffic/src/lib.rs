@@ -29,11 +29,19 @@
 //! * [`replay`] — paced (timestamp-respecting) trace replay, for turning a
 //!   capture back into an offered load,
 //! * [`pcap`] — classic libpcap file I/O so real captures can be swapped in
-//!   for the synthetic workloads.
+//!   for the synthetic workloads,
+//! * [`source`] — pluggable live packet sources for the `sd serve` daemon
+//!   (in-process loopback; AF_PACKET mmap ring behind the `afpacket`
+//!   feature).
 
-#![forbid(unsafe_code)]
+// The afpacket capture backend is the single sanctioned unsafe island in
+// the workspace (raw sockets + a kernel-shared mmap ring have no safe std
+// equivalent); everything else stays forbidden.
+#![cfg_attr(not(feature = "afpacket"), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(all(feature = "afpacket", target_os = "linux"))]
+pub mod afpacket;
 pub mod benign;
 pub mod evasion;
 pub mod heavytail;
@@ -42,6 +50,7 @@ pub mod payload;
 pub mod pcap;
 pub mod replay;
 pub mod rulegen;
+pub mod source;
 pub mod stats;
 pub mod trace;
 pub mod victim;
@@ -52,5 +61,6 @@ pub use heavytail::{HeavyTailConfig, HeavyTailGenerator, ZipfSizes};
 pub use mixer::LabeledTrace;
 pub use payload::PayloadModel;
 pub use rulegen::{generate_rule_corpus, RuleCorpusConfig};
+pub use source::{loopback, LoopbackHandle, LoopbackSource, PacketSource, SourceEvent};
 pub use trace::{Trace, TracePacket};
 pub use victim::VictimConfig;
