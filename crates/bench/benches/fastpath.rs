@@ -1,7 +1,7 @@
 //! Fast-path bench: per-packet classification throughput — the number the
-//! paper's line-rate argument rides on — now across the five scan-engine
+//! paper's line-rate argument rides on — now across the six scan-engine
 //! builds (`dense`, `classed`, `classed+prefilter`, `sparse`,
-//! `sparse+bloom`) and three payload mixes:
+//! `sparse+bloom`, `tiered`) and three payload mixes:
 //!
 //! * **benign** — HTTP-like traffic with no signature material; the mix
 //!   the prefilter's skip loop is built for,
@@ -22,8 +22,10 @@
 //! when `SD_FASTPATH_JSON=<path>` is set (that is how
 //! `scripts/bench_json.sh` produces `BENCH_fastpath.json`), and — when
 //! `SD_FASTPATH_ENFORCE=1`, the CI smoke step — fails unless the
-//! prefiltered engine is no slower than dense on the benign mix and the
-//! sparse tables stay within 10% of dense memory at 10k rules.
+//! prefiltered engine is no slower than dense on the benign mix, the
+//! sparse tables stay within 10% of dense memory at 10k rules, and the
+//! tiered build beats sparse by >= 1.5x on `scan10k/benign` while
+//! spending at most 2x the sparse automaton bytes.
 
 use std::time::{Duration, Instant};
 
@@ -246,10 +248,18 @@ fn write_json(path: &str, rows: &[Row], rounds: usize, plans10k: &[(MatcherKind,
     }
     out.push_str("  },\n  \"automaton_10k\": {\n");
     for (i, (kind, plan)) in plans10k.iter().enumerate() {
+        // Per-tier split for the tiered build; zeros for single-tier
+        // representations so the schema stays uniform across matchers.
+        let (hot_b, cold_b) = plan
+            .tier_stats()
+            .map_or((0, 0), |t| (t.hot_bytes, t.cold_bytes));
         out.push_str(&format!(
-            "    \"{}\": {{\"bytes\": {}, \"states\": {}, \"build_ms\": {:.2}}}{}\n",
+            "    \"{}\": {{\"bytes\": {}, \"hot_bytes\": {}, \"cold_bytes\": {}, \
+             \"states\": {}, \"build_ms\": {:.2}}}{}\n",
             json_escape_free(&kind.to_string()),
             plan.memory_bytes(),
+            hot_b,
+            cold_b,
             plan.state_count(),
             plan.build_time().as_secs_f64() * 1e3,
             if i + 1 < plans10k.len() { "," } else { "" }
@@ -450,5 +460,39 @@ fn main() {
             }
         }
         println!("sparse automata within 10% of dense memory at 10k rules");
+
+        // The gap the tiered build exists to close: at 10k rules it must
+        // recover at least 1.5x of sparse throughput on benign traffic
+        // while spending at most 2x the sparse automaton bytes.
+        let sparse10k = get("scan10k/benign", MatcherKind::Sparse);
+        let tiered10k = get("scan10k/benign", MatcherKind::Tiered);
+        assert!(
+            tiered10k * 1.5 <= sparse10k,
+            "tiered scan under 1.5x sparse throughput on scan10k/benign: \
+             {tiered10k:.6}s vs {sparse10k:.6}s ({:.2}x)",
+            sparse10k / tiered10k
+        );
+        let sparse_bytes = plans10k
+            .iter()
+            .find(|(k, _)| *k == MatcherKind::Sparse)
+            .expect("sparse 10k plan present")
+            .1
+            .memory_bytes();
+        let tiered_bytes = plans10k
+            .iter()
+            .find(|(k, _)| *k == MatcherKind::Tiered)
+            .expect("tiered 10k plan present")
+            .1
+            .memory_bytes();
+        assert!(
+            tiered_bytes <= 2 * sparse_bytes,
+            "tiered automaton is {tiered_bytes} B at 10k rules, \
+             over 2x sparse ({sparse_bytes} B)"
+        );
+        println!(
+            "tiered {:.2}x sparse throughput on scan10k/benign at {:.2}x sparse memory",
+            sparse10k / tiered10k,
+            tiered_bytes as f64 / sparse_bytes as f64
+        );
     }
 }

@@ -75,6 +75,7 @@ fn split_config(args: &ParsedArgs) -> SplitDetectConfig {
         slow_path_policy: args.policy,
         shard_batch_packets: args.shard_batch,
         fastpath_matcher: args.matcher,
+        tiered_hot_states: args.tiered_hot,
         slow_path_workers: args.slow_workers,
         slow_path_lane_depth: args.slow_lane_depth,
         slow_path_shed: args.shed_policy,
@@ -685,7 +686,10 @@ fn analyze_rules_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), Stri
         return Err("rule file contains no usable alert rules".into());
     }
     let sigs = set.to_signatures();
-    let config = SplitDetectConfig::default();
+    let config = SplitDetectConfig {
+        tiered_hot_states: args.tiered_hot,
+        ..Default::default()
+    };
     config.validate(&sigs).map_err(|e| e.to_string())?;
     let content_bytes: usize = set.rules.iter().map(|r| r.signature_bytes().len()).sum();
     let _ = writeln!(
@@ -705,6 +709,7 @@ fn analyze_rules_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), Stri
     );
     let mut dense_bytes = 0usize;
     let mut default_plan = None;
+    let mut tier_report = None;
     for kind in MatcherKind::ALL {
         let plan = SplitPlan::compile(
             &sigs,
@@ -726,11 +731,70 @@ fn analyze_rules_cmd(args: &ParsedArgs, path: &str, out: Out) -> Result<(), Stri
             plan.build_time().as_secs_f64() * 1e3,
             plan.memory_bytes() as f64 * 100.0 / dense_bytes.max(1) as f64
         );
+        if kind == MatcherKind::Tiered {
+            tier_report = plan.tier_stats();
+        }
         if kind == config.fastpath_matcher {
             default_plan = Some(plan);
         }
     }
     let plan = default_plan.expect("MatcherKind::ALL contains the default kind");
+
+    // Trie depth occupancy: distinct piece prefixes per depth = automaton
+    // states per level. The tiered heuristic fronts the shallow, populous
+    // levels (where benign traffic spends its time) with dense rows.
+    let mut levels: Vec<std::collections::HashSet<&[u8]>> = Vec::new();
+    for (_, sig) in sigs.iter() {
+        let k_here = config.pieces_per_signature.min(sig.bytes.len()).max(1);
+        for (s, e) in splitdetect::split::balanced_cuts(sig.bytes.len(), k_here) {
+            let piece = &sig.bytes[s..e];
+            for d in 1..=piece.len() {
+                if levels.len() < d {
+                    levels.push(std::collections::HashSet::new());
+                }
+                levels[d - 1].insert(&piece[..d]);
+            }
+        }
+    }
+    let total_states: usize = 1 + levels.iter().map(|l| l.len()).sum::<usize>();
+    let _ = writeln!(
+        out,
+        "trie depth occupancy (root + {} states):",
+        total_states - 1
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>9} {:>11} {:>7}",
+        "depth", "states", "cum", "cum%"
+    );
+    let mut cum = 1usize; // the root
+    for (d, level) in levels.iter().enumerate() {
+        cum += level.len();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>11} {:>6.1}%",
+            d + 1,
+            level.len(),
+            cum,
+            cum as f64 * 100.0 / total_states as f64
+        );
+    }
+    if let Some(t) = tier_report {
+        let _ = writeln!(
+            out,
+            "tiered split{}: {} hot state(s) as dense rows ({} B, {} classes), \
+             {} cold in CSR ({} B)",
+            match args.tiered_hot {
+                Some(_) => " (--tiered-hot override)",
+                None => " (budget heuristic)",
+            },
+            t.hot_states,
+            t.hot_bytes,
+            t.class_count,
+            t.cold_states,
+            t.cold_bytes
+        );
+    }
 
     // Piece dedup: shared prefixes across rule families collapse into one
     // automaton pattern each.

@@ -8,12 +8,13 @@ usage:
   sd scan <capture.pcap> [--rules FILE] [--engine split|conventional|naive]
                          [--policy first|last|bsd|linux]
                          [--shards N] [--shard-batch PKTS] [--matcher M]
-                         [--slow-workers N] [--slow-lane-depth PKTS]
+                         [--tiered-hot N] [--slow-workers N]
+                         [--slow-lane-depth PKTS]
                          [--shed-policy block|shed-flow|alert-overload]
                          [--flow-hash-seed S]
   sd run <capture.pcap>  [--rules FILE] [--policy P] [--shards N]
                          [--shard-batch PKTS] [--metrics-out PATH]
-                         [--matcher M] [--slow-workers N]
+                         [--matcher M] [--tiered-hot N] [--slow-workers N]
                          [--slow-lane-depth PKTS] [--shed-policy S]
   sd compare <capture.pcap> [--rules FILE] [--policy P]
   sd stats <capture.pcap> [--shards N] [--shard-batch PKTS]
@@ -29,7 +30,8 @@ usage:
   sd serve [--rules FILE] [--source loopback|afpacket] [--iface IF]
            [--scrape ADDR] [--duration-secs N] [--shards N]
            [--flows N] [--attacks N] [--seed S] [--matcher M]
-           [--slow-workers N] [--slow-lane-depth PKTS] [--shed-policy S]
+           [--tiered-hot N] [--slow-workers N] [--slow-lane-depth PKTS]
+           [--shed-policy S]
 
 Without --rules, the embedded demo rule set is used.
 run drives Split-Detect over the capture and, with --metrics-out PATH,
@@ -40,10 +42,14 @@ same registry instead of the human workload summary.
 packets the dispatcher accumulates per shard before each channel send
 (default 64; 1 degrades to per-packet dispatch).
 --matcher selects the fast-path scan engine:
-dense|classed|classed+prefilter|sparse|sparse+bloom (default
-classed+prefilter, the fastest; all kinds make identical divert
-decisions — sparse and sparse+bloom trade scan speed for tables that
-stay small at 10k-rule corpora).
+dense|classed|classed+prefilter|sparse|sparse+bloom|tiered (default
+classed+prefilter, the fastest on small corpora; all kinds make
+identical divert decisions — sparse and sparse+bloom trade scan speed
+for tables that stay small at 10k-rule corpora; tiered lays out the hot
+shallow states as dense byte-classed rows and keeps the cold tail in
+CSR form, recovering most of the dense throughput at sparse-class
+memory). --tiered-hot N overrides the tiered matcher's budget heuristic
+and pins the hot tier to exactly N states (ignored by other matchers).
 --flow-hash-seed S pins the flow-table hash key for bit-reproducible
 runs; without it every engine draws a process-random key, so collision
 floods against the table cannot be precomputed.
@@ -171,6 +177,9 @@ pub struct ParsedArgs {
     /// `--matcher dense|classed|classed+prefilter`: the fast-path scan
     /// engine (perf knob; divert decisions are identical across kinds).
     pub matcher: splitdetect::MatcherKind,
+    /// `--tiered-hot N`: pin the tiered matcher's hot-tier size instead
+    /// of the budget heuristic (ignored by other matchers).
+    pub tiered_hot: Option<usize>,
     /// `--slow-workers N`: asynchronous slow-path worker threads
     /// (0 = inline slow path, the default).
     pub slow_workers: usize,
@@ -253,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut metrics_out = None;
     let mut format = OutputFormat::Human;
     let mut matcher = splitdetect::MatcherKind::default();
+    let mut tiered_hot = None;
     let mut slow_workers = 0usize;
     let mut slow_lane_depth = 512usize;
     let mut shed_policy = splitdetect::ShedPolicy::default();
@@ -359,6 +369,15 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                 let v = value_of("--matcher")?;
                 matcher = splitdetect::MatcherKind::from_name(v)
                     .ok_or_else(|| format!("unknown matcher {v:?}"))?;
+            }
+            "--tiered-hot" => {
+                let v: usize = value_of("--tiered-hot")?
+                    .parse()
+                    .map_err(|_| "bad --tiered-hot value".to_string())?;
+                if v == 0 {
+                    return Err("--tiered-hot must be >= 1".into());
+                }
+                tiered_hot = Some(v);
             }
             "--slow-workers" => {
                 slow_workers = value_of("--slow-workers")?
@@ -497,6 +516,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         metrics_out,
         format,
         matcher,
+        tiered_hot,
         slow_workers,
         slow_lane_depth,
         shed_policy,
@@ -558,6 +578,11 @@ mod tests {
         assert_eq!(p.matcher, MatcherKind::Sparse);
         let p = parse(&args("run cap.pcap --matcher sparse+bloom")).unwrap();
         assert_eq!(p.matcher, MatcherKind::SparseBloom);
+        let p = parse(&args("scan cap.pcap --matcher tiered")).unwrap();
+        assert_eq!(p.matcher, MatcherKind::Tiered);
+        assert_eq!(p.tiered_hot, None);
+        let p = parse(&args("scan cap.pcap --matcher tiered --tiered-hot 4096")).unwrap();
+        assert_eq!(p.tiered_hot, Some(4096));
     }
 
     #[test]
@@ -702,6 +727,9 @@ mod tests {
             "stats cap.pcap --format yaml",
             "scan cap.pcap --matcher warp",
             "scan cap.pcap --matcher",
+            "scan cap.pcap --tiered-hot 0",
+            "scan cap.pcap --tiered-hot lots",
+            "scan cap.pcap --tiered-hot",
             "scan cap.pcap --slow-workers many",
             "scan cap.pcap --slow-lane-depth 0",
             "scan cap.pcap --shed-policy coin-flip",

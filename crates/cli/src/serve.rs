@@ -226,11 +226,8 @@ impl ServeEngine {
             }
             ServeEngine::Sharded(e) => match SplitDetectStats::aggregate(&e.stats()) {
                 Some(total) => {
-                    let report = RunReport::with_dispatch(
-                        total,
-                        e.dispatch_stats(),
-                        e.failures().to_vec(),
-                    );
+                    let report =
+                        RunReport::with_dispatch(total, e.dispatch_stats(), e.failures().to_vec());
                     (Some(total), report.to_string())
                 }
                 None => {

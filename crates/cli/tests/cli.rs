@@ -322,12 +322,22 @@ fn generate_rules_then_analyze_reports_every_representation() {
     let (code, out) = run(&["analyze-rules", path_s, "--top", "3"]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("120 alert rule(s)"), "{out}");
-    for kind in ["dense", "classed+prefilter", "sparse+bloom"] {
+    for kind in ["dense", "classed+prefilter", "sparse+bloom", "tiered"] {
         assert!(out.contains(kind), "missing {kind} row: {out}");
     }
+    assert!(out.contains("trie depth occupancy"), "{out}");
+    assert!(out.contains("tiered split (budget heuristic)"), "{out}");
     assert!(out.contains("piece dedup:"), "{out}");
     assert!(out.contains("fast-path hits"), "{out}");
     assert!(!out.contains("parse error"), "{out}");
+
+    // --tiered-hot pins the split and the report says so.
+    let (code, pinned) = run(&["analyze-rules", path_s, "--top", "3", "--tiered-hot", "7"]);
+    assert_eq!(code, 0, "{pinned}");
+    assert!(
+        pinned.contains("tiered split (--tiered-hot override): 7 hot state(s)"),
+        "{pinned}"
+    );
 
     // Determinism: same corpus, same seed, same report.
     let (_, again) = run(&["analyze-rules", path_s, "--top", "3"]);

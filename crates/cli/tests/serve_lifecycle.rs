@@ -89,6 +89,94 @@ fn await_counter(addr: SocketAddr, name: &str, want: u64) -> String {
 }
 
 #[test]
+fn reload_does_not_drop_a_piece_straddling_the_boundary() {
+    // Regression for the DESIGN §12 gap: a signature whose bytes straddle
+    // a SIGHUP reload (first half scanned under the old automaton, second
+    // half under the new) used to be silently missed because the slow
+    // path's stream matchers were reset to their root state. The reload
+    // now re-anchors them from a retained tail of delivered bytes.
+    let dir = std::env::temp_dir().join(format!("sd-serve-straddle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rules_path: PathBuf = dir.join("live.rules");
+    std::fs::write(&rules_path, rules_for(SIG_B, 9001)).unwrap();
+
+    let config = SplitDetectConfig {
+        // Inline slow path: the first half is guaranteed scanned before
+        // the reload lands, so the occurrence truly straddles the swap.
+        slow_path_workers: 0,
+        flow_hash_seed: Some(7),
+        ..Default::default()
+    };
+    let rules = sd_ips::rules::parse_rules(&std::fs::read_to_string(&rules_path).unwrap()).unwrap();
+    let engine = SplitDetect::with_config(rules.to_signatures(), config).unwrap();
+
+    let scrape = ScrapeServer::bind("127.0.0.1:0").unwrap();
+    let scrape_addr = scrape.addr();
+    let control = ServeControl::new();
+    let (tx, mut src) = loopback(64);
+
+    let serve_control = control.clone();
+    let serve_rules_path = rules_path.clone();
+    let daemon = std::thread::spawn(move || {
+        let mut out: Vec<u8> = Vec::new();
+        let opts = ServeOptions {
+            rules_path: Some(serve_rules_path.to_string_lossy().into_owned()),
+            scrape: Some(scrape),
+            poll_timeout: Duration::from_millis(5),
+            publish_every: 1,
+            max_duration: None,
+        };
+        let summary = serve(
+            ServeEngine::Single(Box::new(engine)),
+            &mut src,
+            &serve_control,
+            opts,
+            &mut out,
+        )
+        .expect("serve runs to a clean drain");
+        (summary, String::from_utf8(out).unwrap())
+    });
+
+    // Phase 1 — the first 10 bytes of SIG_B carry piece 0 whole: the flow
+    // diverts and the slow path scans the half under the old automaton.
+    let sig = SIG_B.as_bytes();
+    let first = pkt("10.0.0.8:4100", 1000, &sig[..10]);
+    assert!(tx.send(0, &first));
+    await_counter(scrape_addr, "sd_serve_packets_total", 1);
+
+    // Phase 2 — reload to a superset (new signature ids, new automaton).
+    std::fs::write(
+        &rules_path,
+        format!("{}{}", rules_for(SIG_A, 9001), rules_for(SIG_B, 9002)),
+    )
+    .unwrap();
+    control.request_reload();
+    await_counter(scrape_addr, "sd_serve_reloads_total", 1);
+
+    // Phase 3 — the remaining 14 bytes complete the straddling occurrence
+    // under the new automaton.
+    let second = pkt("10.0.0.8:4100", 1010, &sig[10..]);
+    assert!(tx.send(1, &second));
+    await_counter(scrape_addr, "sd_serve_packets_total", 2);
+
+    control.request_drain();
+    let (summary, _out): (ServeSummary, String) = daemon.join().unwrap();
+
+    let j = key_of(&first);
+    assert!(
+        summary
+            .alerts
+            .iter()
+            .any(|a| a.flow == j && a.signature == 1),
+        "a piece straddling the reload boundary must still alert \
+         (signature 1 = SIG_B in the reloaded set): {:?}",
+        summary.alerts
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn daemon_survives_reload_and_drains_deterministically() {
     let dir = std::env::temp_dir().join(format!("sd-serve-lifecycle-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

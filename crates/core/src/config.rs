@@ -124,17 +124,26 @@ pub enum MatcherKind {
     Sparse,
     /// Sparse automaton behind a Bloom filter over leading pattern windows:
     /// the automaton runs only where a window membership test passes.
+    /// Self-disables (behaving as plain sparse) when the root's escape
+    /// density predicts the probes are a net loss.
     SparseBloom,
+    /// Two-tier hybrid: dense byte-classed rows for the hot shallow states
+    /// (chosen by a depth/byte-budget heuristic, overridable with
+    /// `tiered_hot_states`), CSR edges + failure links for the cold tail,
+    /// SWAR start-state skip on the root. Near-classed throughput at
+    /// near-sparse memory — the 10k-rule representation of choice.
+    Tiered,
 }
 
 impl MatcherKind {
     /// All kinds, in ablation order.
-    pub const ALL: [MatcherKind; 5] = [
+    pub const ALL: [MatcherKind; 6] = [
         MatcherKind::Dense,
         MatcherKind::Classed,
         MatcherKind::ClassedPrefilter,
         MatcherKind::Sparse,
         MatcherKind::SparseBloom,
+        MatcherKind::Tiered,
     ];
 
     /// Stable name (CLI values and stats snapshots).
@@ -145,6 +154,7 @@ impl MatcherKind {
             MatcherKind::ClassedPrefilter => "classed+prefilter",
             MatcherKind::Sparse => "sparse",
             MatcherKind::SparseBloom => "sparse+bloom",
+            MatcherKind::Tiered => "tiered",
         }
     }
 
@@ -227,6 +237,13 @@ pub struct SplitDetectConfig {
     /// every kind yields identical divert decisions (E18 measures the
     /// throughput and table-size spread).
     pub fastpath_matcher: MatcherKind,
+    /// Hot-tier size for [`MatcherKind::Tiered`], in states. `None` (the
+    /// default) applies the build-time byte-budget heuristic — spend about
+    /// as many bytes on dense hot rows as the CSR arena occupies, keeping
+    /// the total within ~2× sparse; `Some(h)` pins the boundary (the E22
+    /// threshold-sweep knob, `--tiered-hot` on the CLI). Ignored by every
+    /// other matcher kind.
+    pub tiered_hot_states: Option<usize>,
     /// Slow-path worker threads. `0` (the default) runs the slow path
     /// inline on the hot thread — synchronous alerts, the original
     /// behaviour. `≥ 1` moves diverted-flow reassembly to an asynchronous
@@ -265,6 +282,7 @@ impl Default for SplitDetectConfig {
             divert_eviction: EvictionPolicy::EvictOldest,
             stage_timing_sample_shift: Some(6),
             fastpath_matcher: MatcherKind::default(),
+            tiered_hot_states: None,
             slow_path_workers: 0,
             slow_path_lane_depth: 512,
             slow_path_shed: ShedPolicy::default(),

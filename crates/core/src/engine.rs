@@ -106,14 +106,16 @@ impl SplitDetect {
     }
 
     fn build(sigs: SignatureSet, config: SplitDetectConfig, cutoff: usize) -> Self {
-        let plan = SplitPlan::compile_unchecked_with(
+        let plan = SplitPlan::compile_unchecked_full(
             &sigs,
             config.pieces_per_signature,
             config.fastpath_matcher,
+            config.tiered_hot_states,
         );
         let mut telemetry = PipelineTelemetry::new(config.stage_timing_sample_shift);
         telemetry.set_automaton_bytes(plan.memory_bytes());
         telemetry.set_automaton_build_ns(plan.build_time().as_nanos() as u64);
+        set_tier_gauges(&mut telemetry, &plan);
         let fast = FastPath::new(
             plan,
             FastPathParams {
@@ -185,6 +187,7 @@ impl SplitDetect {
         self.telemetry.set_automaton_bytes(plan.memory_bytes());
         self.telemetry
             .set_automaton_build_ns(plan.build_time().as_nanos() as u64);
+        set_tier_gauges(&mut self.telemetry, &plan);
         self.fast.swap_plan(plan, cutoff);
         match &mut self.slow {
             SlowPathDispatch::Inline(slow) => slow.reload_signatures(sigs),
@@ -313,6 +316,17 @@ impl SplitDetect {
                 }
             }
         }
+    }
+}
+
+/// Publish the plan's per-tier layout (zeros for untiered matchers, so a
+/// reload from tiered to another engine clears the gauges).
+fn set_tier_gauges(telemetry: &mut PipelineTelemetry, plan: &SplitPlan) {
+    match plan.tier_stats() {
+        Some(t) => {
+            telemetry.set_automaton_tiers(t.hot_states, t.cold_states, t.hot_bytes, t.cold_bytes)
+        }
+        None => telemetry.set_automaton_tiers(0, 0, 0, 0),
     }
 }
 

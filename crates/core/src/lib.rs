@@ -62,7 +62,7 @@ pub use engine::SplitDetect;
 pub use report::RunReport;
 pub use shard::{ShardDispatchStats, ShardFailure, ShardedSplitDetect};
 pub use slowpath::{ShedPolicy, SlowPathPool, SlowWorkerFailure};
-pub use split::SplitPlan;
+pub use split::{SplitPlan, TierStats};
 pub use stats::SplitDetectStats;
 
 // The telemetry types engines hand out; re-exported so downstream crates

@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 
 use sd_ips::{SignatureId, SignatureSet};
 use sd_match::pattern::PatternSet;
-use sd_match::{AcDfa, BloomSparseNfa, ClassedDfa, Match, PatternId, PrefilteredDfa, SparseNfa};
+use sd_match::{
+    AcDfa, BloomSparseNfa, ClassedDfa, Match, PatternId, PrefilteredDfa, SparseNfa, TieredNfa,
+};
 
 use crate::config::{ConfigError, MatcherKind, SplitDetectConfig};
 
@@ -38,16 +40,21 @@ enum PieceAutomaton {
     Prefiltered(PrefilteredDfa),
     Sparse(SparseNfa),
     SparseBloom(BloomSparseNfa),
+    Tiered(TieredNfa),
 }
 
 impl PieceAutomaton {
-    fn compile(set: PatternSet, matcher: MatcherKind) -> Self {
+    fn compile(set: PatternSet, matcher: MatcherKind, tiered_hot: Option<usize>) -> Self {
         match matcher {
             MatcherKind::Dense => PieceAutomaton::Dense(AcDfa::new(set)),
             MatcherKind::Classed => PieceAutomaton::Classed(ClassedDfa::new(set)),
             MatcherKind::ClassedPrefilter => PieceAutomaton::Prefiltered(PrefilteredDfa::new(set)),
             MatcherKind::Sparse => PieceAutomaton::Sparse(SparseNfa::new(set)),
             MatcherKind::SparseBloom => PieceAutomaton::SparseBloom(BloomSparseNfa::new(set)),
+            MatcherKind::Tiered => match tiered_hot {
+                Some(h) => PieceAutomaton::Tiered(TieredNfa::with_hot_states(set, h)),
+                None => PieceAutomaton::Tiered(TieredNfa::new(set)),
+            },
         }
     }
 
@@ -61,6 +68,7 @@ impl PieceAutomaton {
             PieceAutomaton::Prefiltered(d) => d.find_first_id(payload),
             PieceAutomaton::Sparse(d) => d.find_first_id(payload),
             PieceAutomaton::SparseBloom(d) => d.find_first_id(payload),
+            PieceAutomaton::Tiered(d) => d.find_first_id(payload),
         }
     }
 
@@ -72,6 +80,7 @@ impl PieceAutomaton {
             PieceAutomaton::Prefiltered(d) => d.find_all(payload),
             PieceAutomaton::Sparse(d) => d.find_all(payload),
             PieceAutomaton::SparseBloom(d) => d.find_all(payload),
+            PieceAutomaton::Tiered(d) => d.find_all(payload),
         }
     }
 
@@ -82,6 +91,7 @@ impl PieceAutomaton {
             PieceAutomaton::Prefiltered(d) => d.memory_bytes(),
             PieceAutomaton::Sparse(d) => d.memory_bytes(),
             PieceAutomaton::SparseBloom(d) => d.memory_bytes(),
+            PieceAutomaton::Tiered(d) => d.memory_bytes(),
         }
     }
 
@@ -92,6 +102,7 @@ impl PieceAutomaton {
             PieceAutomaton::Prefiltered(d) => d.state_count(),
             PieceAutomaton::Sparse(d) => d.state_count(),
             PieceAutomaton::SparseBloom(d) => d.state_count(),
+            PieceAutomaton::Tiered(d) => d.state_count(),
         }
     }
 
@@ -102,8 +113,25 @@ impl PieceAutomaton {
             PieceAutomaton::Prefiltered(_) => MatcherKind::ClassedPrefilter,
             PieceAutomaton::Sparse(_) => MatcherKind::Sparse,
             PieceAutomaton::SparseBloom(_) => MatcherKind::SparseBloom,
+            PieceAutomaton::Tiered(_) => MatcherKind::Tiered,
         }
     }
+}
+
+/// Per-tier layout of a [`MatcherKind::Tiered`] plan (telemetry and the
+/// bench JSON report both tiers separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierStats {
+    /// States laid out as dense byte-classed rows.
+    pub hot_states: usize,
+    /// States kept in the CSR cold tail.
+    pub cold_states: usize,
+    /// Hot-tier bytes (class map + dense rows).
+    pub hot_bytes: usize,
+    /// Cold-tier bytes (CSR arrays + failure links).
+    pub cold_bytes: usize,
+    /// Byte equivalence classes over the hot rows.
+    pub class_count: usize,
 }
 
 /// The compiled split: piece automaton plus provenance.
@@ -141,10 +169,11 @@ impl SplitPlan {
     /// Compile a signature set under a configuration. Validates A3.
     pub fn compile(sigs: &SignatureSet, config: &SplitDetectConfig) -> Result<Self, ConfigError> {
         config.validate(sigs)?;
-        Ok(Self::compile_unchecked_with(
+        Ok(Self::compile_unchecked_full(
             sigs,
             config.pieces_per_signature,
             config.fastpath_matcher,
+            config.tiered_hot_states,
         ))
     }
 
@@ -156,6 +185,18 @@ impl SplitPlan {
     /// Compile without admissibility checks (ablation experiments). A
     /// signature shorter than `k` bytes is split into fewer pieces.
     pub fn compile_unchecked_with(sigs: &SignatureSet, k: usize, matcher: MatcherKind) -> Self {
+        Self::compile_unchecked_full(sigs, k, matcher, None)
+    }
+
+    /// [`SplitPlan::compile_unchecked_with`] plus the tiered hot-state
+    /// override (`None` lets the budget heuristic size the hot tier;
+    /// ignored by every other matcher).
+    pub fn compile_unchecked_full(
+        sigs: &SignatureSet,
+        k: usize,
+        matcher: MatcherKind,
+        tiered_hot: Option<usize>,
+    ) -> Self {
         let mut strings: Vec<Vec<u8>> = Vec::new();
         let mut origins: Vec<Vec<PieceOrigin>> = Vec::new();
         let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
@@ -189,7 +230,7 @@ impl SplitPlan {
 
         let set = PatternSet::from_patterns(strings.iter().map(|p| p.as_slice()));
         let started = Instant::now();
-        let automaton = PieceAutomaton::compile(set, matcher);
+        let automaton = PieceAutomaton::compile(set, matcher, tiered_hot);
         SplitPlan {
             automaton,
             origins,
@@ -221,6 +262,22 @@ impl SplitPlan {
         match &self.automaton {
             PieceAutomaton::Classed(d) => Some(d.class_count()),
             PieceAutomaton::Prefiltered(d) => Some(d.class_count()),
+            PieceAutomaton::Tiered(d) => Some(d.class_count()),
+            _ => None,
+        }
+    }
+
+    /// Hot/cold tier layout (`None` unless compiled with
+    /// [`MatcherKind::Tiered`]).
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        match &self.automaton {
+            PieceAutomaton::Tiered(d) => Some(TierStats {
+                hot_states: d.hot_state_count(),
+                cold_states: d.cold_state_count(),
+                hot_bytes: d.hot_tier_bytes(),
+                cold_bytes: d.cold_tier_bytes(),
+                class_count: d.class_count(),
+            }),
             _ => None,
         }
     }
@@ -239,6 +296,7 @@ impl SplitPlan {
     pub fn escape_byte_count(&self) -> Option<usize> {
         match &self.automaton {
             PieceAutomaton::Prefiltered(d) => Some(d.escape_count()),
+            PieceAutomaton::Tiered(d) => Some(d.escape_count()),
             _ => None,
         }
     }
@@ -434,6 +492,37 @@ mod tests {
         assert_eq!(bloom.class_count(), None);
         assert_eq!(sparse.escape_byte_count(), None);
         assert_eq!(sparse.state_count(), dense.state_count());
+
+        let tiered = SplitPlan::compile_unchecked_with(&sigs, 3, MatcherKind::Tiered);
+        assert!(tiered.memory_bytes() < dense.memory_bytes() / 4);
+        assert_eq!(tiered.state_count(), dense.state_count());
+        assert_eq!(tiered.escape_byte_count(), Some(6));
+        let tiers = tiered.tier_stats().expect("tiered plan reports tiers");
+        assert_eq!(
+            tiers.hot_states + tiers.cold_states,
+            tiered.state_count(),
+            "tiers partition the state set"
+        );
+        assert_eq!(Some(tiers.class_count), tiered.class_count());
+        assert!(tiers.hot_bytes + tiers.cold_bytes <= tiered.memory_bytes());
+        assert_eq!(dense.tier_stats(), None);
+        assert_eq!(sparse.tier_stats(), None);
+    }
+
+    #[test]
+    fn tiered_hot_override_threads_through_config() {
+        let sigs = set(&[b"ABCDEFGHIJKLMNOPQRSTUVWX", b"abcdefghijklmnopqrstuvwx"]);
+        let cfg = SplitDetectConfig {
+            fastpath_matcher: MatcherKind::Tiered,
+            tiered_hot_states: Some(2),
+            ..Default::default()
+        };
+        let plan = SplitPlan::compile(&sigs, &cfg).unwrap();
+        let tiers = plan.tier_stats().unwrap();
+        assert_eq!(tiers.hot_states, 2, "override pins the hot tier size");
+        assert!(tiers.cold_states > 0);
+        assert!(plan.scan(b"..ABCDEFGH..").is_some());
+        assert!(plan.scan(b"nothing here").is_none());
     }
 
     #[test]

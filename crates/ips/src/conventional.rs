@@ -33,13 +33,44 @@ pub const CONN_OVERHEAD_BYTES: usize = 48;
 struct ConnEntry {
     conn: Connection,
     matchers: [StreamMatcher; 2],
+    /// Last `longest signature − 1` delivered bytes per direction: the
+    /// context window a rule reload replays into fresh matchers so an
+    /// occurrence straddling the swap is not silently missed.
+    tails: [Vec<u8>; 2],
     last_tick: u64,
     mem: usize,
 }
 
 impl ConnEntry {
     fn memory_bytes(&self) -> usize {
-        CONN_OVERHEAD_BYTES + 2 * StreamMatcher::STATE_BYTES + self.conn.memory_bytes()
+        CONN_OVERHEAD_BYTES
+            + 2 * StreamMatcher::STATE_BYTES
+            + self.conn.memory_bytes()
+            + self.tails[0].len()
+            + self.tails[1].len()
+    }
+}
+
+/// Delivered-byte window needed to re-anchor matchers across a reload: one
+/// byte short of the longest signature (an occurrence straddling the swap
+/// has at least one byte still to come).
+fn tail_window_of(sigs: &SignatureSet) -> usize {
+    sigs.iter()
+        .map(|(_, s)| s.bytes.len())
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(1)
+}
+
+/// Slide `delivered` into `tail`, keeping only the last `window` bytes.
+fn append_tail(tail: &mut Vec<u8>, delivered: &[u8], window: usize) {
+    if delivered.len() >= window {
+        tail.clear();
+        tail.extend_from_slice(&delivered[delivered.len() - window..]);
+    } else {
+        let excess = (tail.len() + delivered.len()).saturating_sub(window);
+        tail.drain(..excess);
+        tail.extend_from_slice(delivered);
     }
 }
 
@@ -71,6 +102,9 @@ impl Default for ConventionalConfig {
 pub struct ConventionalIps {
     sigs: SignatureSet,
     dfa: AcDfa,
+    /// `longest signature − 1`: per-direction tail bytes retained for
+    /// reload re-anchoring.
+    tail_window: usize,
     normalizer: Normalizer,
     defrag: Defragmenter,
     conns: HashMap<FlowKey, ConnEntry>,
@@ -91,9 +125,11 @@ impl ConventionalIps {
     /// Build with an explicit configuration.
     pub fn with_config(sigs: SignatureSet, config: ConventionalConfig) -> Self {
         let dfa = AcDfa::new(sigs.to_patterns());
+        let tail_window = tail_window_of(&sigs);
         ConventionalIps {
             sigs,
             dfa,
+            tail_window,
             normalizer: Normalizer::new(),
             defrag: Defragmenter::new(config.policy),
             conns: HashMap::new(),
@@ -110,17 +146,29 @@ impl ConventionalIps {
     }
 
     /// Swap in a new signature set (live rule reload). Rebuilds the match
-    /// automaton and resets each connection's stream matchers — their
-    /// state ids index the retired DFA — while keeping all reassembly
-    /// state: buffers, sequence tracking, and connection lifecycle carry
-    /// straight across. The one documented gap: a signature occurrence
-    /// whose bytes straddle the reload instant (some scanned before, some
-    /// after) is missed, because the matcher restarts from its root state.
+    /// automaton while keeping all reassembly state — buffers, sequence
+    /// tracking, and connection lifecycle carry straight across. Stream
+    /// matchers cannot carry over directly (their state ids index the
+    /// retired DFA), so each is *re-anchored*: the connection's retained
+    /// tail of recently delivered bytes is replayed into a fresh matcher
+    /// with match reporting suppressed, restoring the absolute offset. A
+    /// signature occurrence whose bytes straddle the reload instant (some
+    /// scanned before, some after) is therefore still detected the moment
+    /// its remaining bytes arrive.
     pub fn reload_signatures(&mut self, sigs: SignatureSet) {
         self.dfa = AcDfa::new(sigs.to_patterns());
         self.sigs = sigs;
+        self.tail_window = tail_window_of(&self.sigs);
         for entry in self.conns.values_mut() {
-            entry.matchers = [StreamMatcher::new(), StreamMatcher::new()];
+            let mem_before = entry.mem;
+            for (m, tail) in entry.matchers.iter_mut().zip(entry.tails.iter_mut()) {
+                if tail.len() > self.tail_window {
+                    tail.drain(..tail.len() - self.tail_window);
+                }
+                *m = StreamMatcher::resume(&self.dfa, tail, m.offset());
+            }
+            entry.mem = entry.memory_bytes();
+            self.conn_state_bytes = self.conn_state_bytes + entry.mem as u64 - mem_before as u64;
         }
     }
 
@@ -242,6 +290,7 @@ impl Ips for ConventionalIps {
                 let entry = self.conns.entry(flow).or_insert_with(|| ConnEntry {
                     conn: Connection::new(policy).with_urgent(urgent),
                     matchers: [StreamMatcher::new(), StreamMatcher::new()],
+                    tails: [Vec::new(), Vec::new()],
                     last_tick: tick,
                     mem: 0,
                 });
@@ -265,6 +314,7 @@ impl Ips for ConventionalIps {
                     &mut self.usage,
                     out,
                 );
+                append_tail(&mut entry.tails[midx], &delivered, self.tail_window);
 
                 let closed = entry.conn.state() == ConnState::Closed;
                 entry.mem = entry.memory_bytes();
@@ -475,6 +525,44 @@ mod tests {
         ips.process_packet(&tcp_pkt(1028, b"..BRAND_NEW_RULE_BYTES.."), 3, &mut out);
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].signature, 1);
+    }
+
+    #[test]
+    fn reload_detects_signature_straddling_the_swap() {
+        // First half delivered and scanned before the reload, second half
+        // after: the re-anchored matcher carries the tail context across,
+        // so the straddling occurrence completes at its true offset. (This
+        // was the documented DESIGN §12 gap — a plain matcher reset here
+        // silently missed the match.)
+        let mut ips = ConventionalIps::new(sigs());
+        let mut out = Vec::new();
+        ips.process_packet(&tcp_pkt(1000, b"....EVIL_SIGN"), 0, &mut out);
+        assert!(out.is_empty(), "half a signature must not alert");
+
+        let fresh = SignatureSet::from_signatures([
+            Signature::new("evil", &b"EVIL_SIGNATURE_BYTES"[..]),
+            Signature::new("new", &b"BRAND_NEW_RULE_BYTES"[..]),
+        ]);
+        ips.reload_signatures(fresh);
+
+        ips.process_packet(&tcp_pkt(1013, b"ATURE_BYTES...."), 1, &mut out);
+        assert_eq!(out.len(), 1, "straddling occurrence must survive reload");
+        assert_eq!(out[0].signature, 0);
+        assert_eq!(out[0].offset, 24, "absolute stream offset re-anchored");
+    }
+
+    #[test]
+    fn reload_does_not_rereport_matches_inside_the_tail() {
+        // A signature wholly delivered (and alerted) before the reload sits
+        // inside the retained tail; replaying it into the fresh matcher
+        // must not produce a duplicate alert.
+        let mut ips = ConventionalIps::new(sigs());
+        let mut out = Vec::new();
+        ips.process_packet(&tcp_pkt(1000, b"EVIL_SIGNATURE_BYTES"), 0, &mut out);
+        assert_eq!(out.len(), 1);
+        ips.reload_signatures(sigs());
+        ips.process_packet(&tcp_pkt(1020, b"benign continuation."), 1, &mut out);
+        assert_eq!(out.len(), 1, "tail replay must stay silent");
     }
 
     #[test]

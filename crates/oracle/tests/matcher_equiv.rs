@@ -1,10 +1,11 @@
 //! Matcher-kind equivalence over adversarial traces.
 //!
-//! The fast-path scan engine comes in five builds — the dense DFA, the
+//! The fast-path scan engine comes in six builds — the dense DFA, the
 //! byte-class compressed table, the compressed table behind the
-//! start-state skip prefilter, the memory-sparse NFA, and the sparse NFA
-//! behind a Bloom window prefilter — and the compression/prefilter work
-//! is only sound if all five are *observationally identical*: same
+//! start-state skip prefilter, the memory-sparse NFA, the sparse NFA
+//! behind a Bloom window prefilter, and the tiered hot/cold hybrid — and
+//! the compression/prefilter work
+//! is only sound if all six are *observationally identical*: same
 //! alerts, same divert decisions, same accounting, on every wire input.
 //! The unit and property tests check the matchers agree on raw byte
 //! strings; this suite checks the full engines agree on the oracle's
@@ -292,6 +293,26 @@ fn sparse_stays_under_ten_percent_of_dense_at_10k_rules() {
             );
         }
     }
+
+    // The tiered hybrid buys its throughput with a dense hot tier; the
+    // budget heuristic must keep the whole table within 2x of plain
+    // sparse even at 10k rules (the ceiling E22 and CI enforce).
+    let by_kind = |want: MatcherKind| {
+        &plans[MatcherKind::ALL
+            .iter()
+            .position(|&k| k == want)
+            .expect("kind is in ALL")]
+    };
+    let tiered = by_kind(MatcherKind::Tiered);
+    let sparse = by_kind(MatcherKind::Sparse);
+    assert!(
+        tiered.memory_bytes() <= 2 * sparse.memory_bytes(),
+        "tiered is {} B, over 2x the sparse {} B at 10k rules",
+        tiered.memory_bytes(),
+        sparse.memory_bytes()
+    );
+    let tiers = tiered.tier_stats().expect("tiered plan reports tiers");
+    assert!(tiers.hot_states > 0 && tiers.cold_states > 0);
 }
 
 #[test]

@@ -19,6 +19,10 @@
 //!   of `O(states × 256)`) with an optional Bloom window prefilter before
 //!   exact confirm: the representations that keep 10k-rule corpora from
 //!   blowing past cache,
+//! * [`tiered`] — a two-tier hybrid: dense byte-classed rows for the hot
+//!   shallow states (where benign traffic lives), CSR edges for the cold
+//!   tail, fronted by the SWAR start-state skip — the engine that closes
+//!   the sparse throughput gap at 10k rules without the dense table,
 //! * [`bmh`] — Boyer–Moore–Horspool for single patterns (used by tests and
 //!   by the naive per-packet baseline when it has one signature),
 //! * [`shiftor`] — bit-parallel shift-or for short patterns (≤ 64 bytes;
@@ -54,6 +58,7 @@ pub mod shiftor;
 pub mod sparse;
 pub mod stream;
 pub mod stride2;
+pub mod tiered;
 pub mod wumanber;
 
 pub use aho::AhoCorasick;
@@ -64,4 +69,5 @@ pub use prefilter::{PrefilteredDfa, StartSkip};
 pub use sparse::{BloomSparseNfa, SparseNfa, WindowBloom};
 pub use stream::StreamMatcher;
 pub use stride2::Stride2Dfa;
+pub use tiered::TieredNfa;
 pub use wumanber::WuManber;

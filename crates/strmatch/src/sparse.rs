@@ -120,6 +120,14 @@ impl SparseNfa {
         self.edge_bytes.len()
     }
 
+    /// Distinct bytes with a transition out of the root — the escape
+    /// density the adaptive Bloom prefilter keys its on/off decision on.
+    pub fn root_escape_count(&self) -> usize {
+        (0..=255u8)
+            .filter(|&b| self.root[b as usize] != Self::START)
+            .count()
+    }
+
     /// One input byte from `state`, following failure links as needed.
     /// Amortized O(1) per scanned byte: the failure chain only descends as
     /// deep as previous bytes ascended.
@@ -297,6 +305,17 @@ impl WindowBloom {
     }
 }
 
+/// Root escape-byte count at which the window Bloom prefilter engages.
+///
+/// A root this saturated means nearly every benign byte enters the
+/// automaton anyway, so paying a window hash per position buys skipped
+/// edge walks; below it, the dense root row already dismisses benign
+/// bytes in one load and the Bloom probes are pure overhead (the measured
+/// small-corpus regression: sparse+bloom ran ~7× slower than plain
+/// sparse). The threshold is build-time and structural — no timing
+/// involved — so the decision is deterministic and testable.
+pub const BLOOM_MIN_ESCAPE_BYTES: usize = 128;
+
 /// [`SparseNfa`] behind a [`WindowBloom`] membership prefilter.
 ///
 /// The scan slides a `w`-byte window (`w = min(8, shortest pattern)`) and
@@ -317,6 +336,14 @@ impl WindowBloom {
 pub struct BloomSparseNfa {
     nfa: SparseNfa,
     bloom: WindowBloom,
+    /// Whether the scan loop consults the Bloom at all. Decided once at
+    /// build from the root's escape density
+    /// ([`BLOOM_MIN_ESCAPE_BYTES`]): when most bytes stay parked at the
+    /// dense root row, the per-window probes are a measured net loss and
+    /// the scan delegates to the plain sparse walk instead. Structurally
+    /// this pins "sparse+bloom is never slower than sparse" on
+    /// narrow-alphabet corpora — the two engines run the same code.
+    active: bool,
 }
 
 impl BloomSparseNfa {
@@ -329,10 +356,16 @@ impl BloomSparseNfa {
     pub fn from_nfa(nfa: &AhoCorasick) -> Self {
         let window = nfa.patterns().min_len().unwrap_or(1).clamp(1, 8);
         let bloom = WindowBloom::build(nfa.patterns(), window);
-        BloomSparseNfa {
-            nfa: SparseNfa::from_nfa(nfa),
-            bloom,
-        }
+        let nfa = SparseNfa::from_nfa(nfa);
+        let active = nfa.root_escape_count() >= BLOOM_MIN_ESCAPE_BYTES;
+        BloomSparseNfa { nfa, bloom, active }
+    }
+
+    /// Whether the Bloom prefilter is consulted during scans (false when
+    /// escape density makes it a predicted loss and the engine behaves as
+    /// plain sparse).
+    pub fn bloom_active(&self) -> bool {
+        self.active
     }
 
     /// The pattern set this automaton recognizes.
@@ -358,6 +391,9 @@ impl BloomSparseNfa {
     /// Pattern id of the first match (smallest end offset), or `None`.
     #[inline]
     pub fn find_first_id(&self, hay: &[u8]) -> Option<PatternId> {
+        if !self.active {
+            return self.nfa.find_first_id(hay);
+        }
         let w = self.bloom.window;
         if hay.len() < w {
             // Every pattern is at least w bytes: nothing can match.
@@ -391,6 +427,9 @@ impl BloomSparseNfa {
 
     /// First match in `hay`.
     pub fn find_first(&self, hay: &[u8]) -> Option<Match> {
+        if !self.active {
+            return self.nfa.find_first(hay);
+        }
         let w = self.bloom.window;
         if hay.len() < w {
             return None;
@@ -423,6 +462,9 @@ impl BloomSparseNfa {
     /// Find all matches in `hay` (including overlapping), end offsets
     /// relative to `hay`.
     pub fn find_all(&self, hay: &[u8]) -> Vec<Match> {
+        if !self.active {
+            return self.nfa.find_all(hay);
+        }
         let mut out = Vec::new();
         let w = self.bloom.window;
         if hay.len() < w {
@@ -628,6 +670,36 @@ mod tests {
                 assert_eq!(bloomed.find_first_id(hay), dense.find_first_id(hay));
             }
         }
+    }
+
+    #[test]
+    fn bloom_self_disables_on_narrow_alphabets() {
+        // A demo-scale corpus: few escape bytes, so the prefilter is a
+        // predicted loss and the engine must behave as plain sparse (the
+        // pinned fix for the measured small-corpus regression).
+        let set = PatternSet::from_patterns([b"ABCDEFGH".as_slice(), b"IJKLMNOP", b"QRSTUVWX"]);
+        let bloomed = BloomSparseNfa::new(set.clone());
+        assert!(bloomed.automaton().root_escape_count() < BLOOM_MIN_ESCAPE_BYTES);
+        assert!(!bloomed.bloom_active());
+        // The filter is still built (geometry reporting keeps working)…
+        assert!(bloomed.bloom().bit_count() >= 64);
+        // …and results are identical to plain sparse on every probe.
+        let sparse = SparseNfa::new(set);
+        for hay in [&b"..ABCDEFGH.."[..], b"IJKLMNO", b"zzzz", b""] {
+            assert_eq!(bloomed.find_first_id(hay), sparse.find_first_id(hay));
+            assert_eq!(bloomed.find_all(hay), sparse.find_all(hay));
+        }
+    }
+
+    #[test]
+    fn bloom_engages_on_saturated_roots() {
+        // 10k-rule-style corpora saturate the root's escape set; the
+        // filter must switch on there (that is where it measured a win).
+        let pats: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b, b'x', b'y', b'z']).collect();
+        let bloomed = BloomSparseNfa::new(PatternSet::from_patterns(&pats));
+        assert_eq!(bloomed.automaton().root_escape_count(), 256);
+        assert!(bloomed.bloom_active());
+        assert_eq!(bloomed.find_first_id(b"..Qxyz.."), Some(b'Q' as u32));
     }
 
     #[test]

@@ -46,6 +46,20 @@ impl StreamMatcher {
         *self = Self::default();
     }
 
+    /// Re-anchor onto a *new* DFA mid-stream: replay the last `tail`
+    /// delivered bytes (a window of `longest pattern − 1` bytes suffices)
+    /// through the fresh automaton with match reporting suppressed — those
+    /// bytes were already scanned under the retired rules — and resume at
+    /// absolute stream offset `offset`. An occurrence straddling the rule
+    /// swap still completes once its remaining bytes are fed.
+    pub fn resume(dfa: &AcDfa, tail: &[u8], offset: u64) -> Self {
+        let mut state = 0u32;
+        for &b in tail {
+            state = dfa.next_state(state, b);
+        }
+        StreamMatcher { state, offset }
+    }
+
     /// Feed one in-order chunk, appending any matches to `out`.
     pub fn feed(&mut self, dfa: &AcDfa, chunk: &[u8], out: &mut Vec<StreamMatch>) {
         let mut state = self.state;
@@ -164,6 +178,24 @@ mod tests {
         assert_eq!(m.offset(), 13);
         // Still matches again later.
         assert!(m.feed_any(&d, b"evil"));
+    }
+
+    #[test]
+    fn resume_carries_tail_context_without_reporting_it() {
+        let d = dfa(&["attack"]);
+        // Pretend "xxatt" was already delivered (offset 5) when the rules
+        // swapped: resume replays the tail silently, then the second half
+        // completes the straddling match at the correct absolute offset.
+        let mut m = StreamMatcher::resume(&d, b"xxatt", 5);
+        assert_eq!(m.offset(), 5);
+        let mut out = Vec::new();
+        m.feed(&d, b"ackyy", &mut out);
+        assert_eq!(out, vec![StreamMatch { end: 8, pattern: 0 }]);
+        // A whole occurrence inside the tail is NOT re-reported.
+        let mut m2 = StreamMatcher::resume(&d, b"attack", 6);
+        let mut out2 = Vec::new();
+        m2.feed(&d, b"benign", &mut out2);
+        assert!(out2.is_empty(), "tail bytes were already scanned");
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct PipelineTelemetry {
     divert_memory: GaugeId,
     automaton_memory: GaugeId,
     automaton_build_ns: GaugeId,
+    automaton_hot_states: GaugeId,
+    automaton_cold_states: GaugeId,
+    automaton_hot_bytes: GaugeId,
+    automaton_cold_bytes: GaugeId,
     slowpath_queue_depth: GaugeId,
     slowpath_shed: CounterId,
     slowpath_shed_bytes: CounterId,
@@ -164,6 +168,22 @@ impl PipelineTelemetry {
             "sd_automaton_build_ns",
             "Wall nanoseconds spent compiling the piece automaton (per-representation build cost)",
         );
+        let automaton_hot_states = r.gauge(
+            "sd_automaton_hot_states",
+            "Tiered matcher: states laid out as dense byte-classed rows (0 for untiered matchers)",
+        );
+        let automaton_cold_states = r.gauge(
+            "sd_automaton_cold_states",
+            "Tiered matcher: states kept in the CSR cold tail (0 for untiered matchers)",
+        );
+        let automaton_hot_bytes = r.gauge(
+            "sd_automaton_hot_bytes",
+            "Tiered matcher: hot-tier table bytes (class map + dense rows)",
+        );
+        let automaton_cold_bytes = r.gauge(
+            "sd_automaton_cold_bytes",
+            "Tiered matcher: cold-tier table bytes (CSR arrays + failure links)",
+        );
         let slowpath_queue_depth = r.gauge(
             "sd_slowpath_queue_depth",
             "Diverted packets currently queued in slow-path worker lanes",
@@ -195,6 +215,10 @@ impl PipelineTelemetry {
             divert_memory,
             automaton_memory,
             automaton_build_ns,
+            automaton_hot_states,
+            automaton_cold_states,
+            automaton_hot_bytes,
+            automaton_cold_bytes,
             slowpath_queue_depth,
             slowpath_shed,
             slowpath_shed_bytes,
@@ -265,6 +289,27 @@ impl PipelineTelemetry {
     #[inline]
     pub fn set_automaton_build_ns(&mut self, ns: u64) {
         self.registry.set(self.automaton_build_ns, ns as i64);
+    }
+
+    /// Record the tiered matcher's per-tier layout (all zeros for
+    /// untiered matchers — the gauges stay in the schema so shard merges
+    /// and dashboards never branch on matcher kind).
+    #[inline]
+    pub fn set_automaton_tiers(
+        &mut self,
+        hot_states: usize,
+        cold_states: usize,
+        hot_bytes: usize,
+        cold_bytes: usize,
+    ) {
+        self.registry
+            .set(self.automaton_hot_states, hot_states as i64);
+        self.registry
+            .set(self.automaton_cold_states, cold_states as i64);
+        self.registry
+            .set(self.automaton_hot_bytes, hot_bytes as i64);
+        self.registry
+            .set(self.automaton_cold_bytes, cold_bytes as i64);
     }
 
     /// Update the slow-path worker-lane occupancy gauge (asynchronous
@@ -406,10 +451,15 @@ mod tests {
         t.stage_packet(Stage::FastPath);
         t.set_divert_occupancy(3, 4096);
         t.set_automaton_bytes(1234);
+        t.set_automaton_tiers(40, 60, 512, 300);
         let text = crate::export::to_prometheus(t.registry());
         crate::promcheck::validate(&text).unwrap();
         assert!(text.contains("sd_diverted_flows 3"), "{text}");
         assert!(text.contains("sd_automaton_bytes 1234"), "{text}");
+        assert!(text.contains("sd_automaton_hot_states 40"), "{text}");
+        assert!(text.contains("sd_automaton_cold_states 60"), "{text}");
+        assert!(text.contains("sd_automaton_hot_bytes 512"), "{text}");
+        assert!(text.contains("sd_automaton_cold_bytes 300"), "{text}");
         assert!(
             text.contains("sd_stage_latency_ns_bucket{stage=\"parse\""),
             "{text}"

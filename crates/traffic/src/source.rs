@@ -13,7 +13,7 @@
 //!   I/O, and dropping every handle gives the daemon a deterministic
 //!   end-of-stream. This is the source CI runs.
 //! * `AfPacketSource` (feature `afpacket`, Linux only) — a real capture
-//!   socket; see [`crate::afpacket`].
+//!   socket; see the `afpacket` module (compiled only with that feature).
 
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::time::Duration;

@@ -11,7 +11,8 @@
 # copies of these files against the checked-in baselines in the CI
 # perf-regression gate. Pass SD_FASTPATH_ENFORCE=1 /
 # SD_SLOWPATH_ENFORCE=1 to also fail on the benches' own invariants
-# (prefiltered >= dense; pooled ingest >= 2x inline).
+# (prefiltered >= dense; tiered >= 1.5x sparse at <= 2x sparse bytes
+# on the 10k-rule corpus; pooled ingest >= 2x inline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 SD_FASTPATH_JSON="$PWD/BENCH_fastpath.json" cargo bench -p sd-bench --bench fastpath "$@"
