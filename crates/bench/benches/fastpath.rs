@@ -1,122 +1,32 @@
 //! Fast-path bench: per-packet classification throughput — the number the
-//! paper's line-rate argument rides on — now across the six scan-engine
+//! paper's line-rate argument rides on — across the six scan-engine
 //! builds (`dense`, `classed`, `classed+prefilter`, `sparse`,
-//! `sparse+bloom`, `tiered`) and three payload mixes:
-//!
-//! * **benign** — HTTP-like traffic with no signature material; the mix
-//!   the prefilter's skip loop is built for,
-//! * **pieces** — benign bytes with a signature piece planted in every
-//!   segment, so every scan ends in a DFA hit (both engines early-exit at
-//!   the same byte),
-//! * **adversarial** — benign bytes salted with ~25 % escape bytes, the
-//!   attacker's best attempt at defeating the skip loop (candidates
-//!   everywhere ⇒ the prefilter degrades toward plain `classed`, which is
-//!   the worst-case-unchanged claim of DESIGN.md §8).
+//! `sparse+bloom`, `tiered`) and three payload mixes (benign, pieces,
+//! adversarial; see [`sd_bench::sweeps::fastpath`] for the mix design).
 //!
 //! The criterion groups measure `FastPath::classify` end to end. The
-//! custom `main` then runs a paired-median measurement of the raw
-//! `SplitPlan::scan` loop and the full classify path, plus a
+//! custom `main` then runs the shared sweep core
+//! ([`sd_bench::sweeps::fastpath::run`]) — a paired-median measurement of
+//! the raw `SplitPlan::scan` loop, the full classify path, and a
 //! `scan10k/benign` mix where every representation carries a generated
-//! 10k-rule corpus (the scale where dense costs ~170 MB and byte-class
-//! compression saturates), prints a table, writes machine-readable JSON
-//! when `SD_FASTPATH_JSON=<path>` is set (that is how
-//! `scripts/bench_json.sh` produces `BENCH_fastpath.json`), and — when
-//! `SD_FASTPATH_ENFORCE=1`, the CI smoke step — fails unless the
-//! prefiltered engine is no slower than dense on the benign mix, the
-//! sparse tables stay within 10% of dense memory at 10k rules, and the
-//! tiered build beats sparse by >= 1.5x on `scan10k/benign` while
-//! spending at most 2x the sparse automaton bytes.
-
-use std::time::{Duration, Instant};
+//! 10k-rule corpus — prints the table, and, when `SD_FASTPATH_ENFORCE=1`
+//! (the CI smoke step), fails unless the prefiltered engine is no slower
+//! than dense on the benign mix, the sparse tables stay within 10% of
+//! dense memory at 10k rules, and the tiered build beats sparse by
+//! ≥ 1.5x on `scan10k/benign` while spending at most 2x the sparse
+//! automaton bytes.
+//!
+//! `BENCH_fastpath.json` is no longer written here: `sd lab run
+//! fastpath-matcher-mix` journals the same sweep with provenance and
+//! `sd lab emit` regenerates the baseline from the journal.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sd_bench::sweeps::fastpath::{
+    adversarial_corpus, benign_corpus, build_fastpath, piece_corpus, plan_for, sigs, Params,
+    SEGMENT, VOLUME,
+};
 use sd_bench::{benign_trace, generated_signatures};
-use sd_ips::{Signature, SignatureSet};
-use sd_traffic::payload::PayloadModel;
-use splitdetect::fastpath::{FastPath, FastPathParams};
-use splitdetect::split::SplitPlan;
-use splitdetect::{MatcherKind, SplitDetectConfig};
-
-/// Scan corpus size (split into segment-sized scans).
-const VOLUME: usize = 1 << 20;
-/// Model MTU-ish payload per scan call.
-const SEGMENT: usize = 1400;
-
-fn sigs() -> SignatureSet {
-    SignatureSet::from_signatures([Signature::new("one", sd_bench::SIG)])
-}
-
-fn plan_for(kind: MatcherKind) -> SplitPlan {
-    let config = SplitDetectConfig {
-        fastpath_matcher: kind,
-        ..Default::default()
-    };
-    SplitPlan::compile(&sigs(), &config).expect("admissible")
-}
-
-fn build_fastpath(sigs: &SignatureSet, kind: MatcherKind) -> FastPath {
-    let config = SplitDetectConfig {
-        fastpath_matcher: kind,
-        ..Default::default()
-    };
-    let cutoff = config.validate(sigs).expect("admissible");
-    let plan = SplitPlan::compile(sigs, &config).expect("admissible");
-    FastPath::new(
-        plan,
-        FastPathParams {
-            cutoff,
-            budget: config.small_segment_budget,
-            table_capacity: 1 << 14,
-            ..Default::default()
-        },
-    )
-}
-
-/// The benched signature's pieces, cut exactly as `SplitPlan` cuts them.
-fn sig_pieces() -> Vec<&'static [u8]> {
-    splitdetect::split::balanced_cuts(sd_bench::SIG.len(), 3)
-        .into_iter()
-        .map(|(a, b)| &sd_bench::SIG[a..b])
-        .collect()
-}
-
-/// Benign mix: HTTP-like bytes, no signature material.
-fn benign_corpus() -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(3);
-    PayloadModel::HttpLike.generate(&mut rng, VOLUME)
-}
-
-/// Piece-bearing mix: one signature piece planted per segment, so every
-/// scan call terminates in a match.
-fn piece_corpus() -> Vec<u8> {
-    let mut corpus = benign_corpus();
-    let mut rng = StdRng::seed_from_u64(11);
-    let pieces = sig_pieces();
-    let mut seg = 0;
-    while seg + SEGMENT <= corpus.len() {
-        let piece = pieces[rng.gen_range(0..pieces.len())];
-        let at = seg + rng.gen_range(0..SEGMENT - piece.len());
-        corpus[at..at + piece.len()].copy_from_slice(piece);
-        seg += SEGMENT;
-    }
-    corpus
-}
-
-/// Adversarial mix: ~25 % of bytes replaced with escape bytes (piece
-/// first-bytes), flooding the prefilter with candidates.
-fn adversarial_corpus() -> Vec<u8> {
-    let mut corpus = benign_corpus();
-    let escapes: Vec<u8> = sig_pieces().iter().map(|p| p[0]).collect();
-    let mut rng = StdRng::seed_from_u64(29);
-    for b in corpus.iter_mut() {
-        if rng.gen_range(0..4u8) == 0 {
-            *b = escapes[rng.gen_range(0..escapes.len())];
-        }
-    }
-    corpus
-}
+use splitdetect::MatcherKind;
 
 fn bench_classify(c: &mut Criterion) {
     let trace = benign_trace(200, 17);
@@ -182,255 +92,15 @@ fn bench_scan_mixes(c: &mut Criterion) {
 
 criterion_group!(benches, bench_classify, bench_scan_mixes);
 
-/// One timed pass of `SplitPlan::scan` over `corpus` in segment chunks.
-fn scan_once(plan: &SplitPlan, corpus: &[u8]) -> Duration {
-    let start = Instant::now();
-    let mut hits = 0u64;
-    for seg in corpus.chunks(SEGMENT) {
-        hits += u64::from(plan.scan(black_box(seg)).is_some());
-    }
-    black_box(hits);
-    start.elapsed()
-}
-
-/// One timed pass of the full classify path over the benign packet trace.
-fn classify_once(kind: MatcherKind, trace: &sd_traffic::trace::Trace) -> Duration {
-    let mut fp = build_fastpath(&sigs(), kind);
-    let start = Instant::now();
-    let mut diverts = 0u64;
-    for pkt in trace.iter_bytes() {
-        let (_, v) = fp.classify(black_box(pkt), |_| false);
-        diverts += u64::from(matches!(v, splitdetect::fastpath::Verdict::Divert(_)));
-    }
-    black_box(diverts);
-    start.elapsed()
-}
-
-fn median(mut xs: Vec<Duration>) -> Duration {
-    xs.sort();
-    xs[xs.len() / 2]
-}
-
-struct Row {
-    mix: &'static str,
-    kind: MatcherKind,
-    median: Duration,
-    bytes: u64,
-}
-
-impl Row {
-    fn mib_per_s(&self) -> f64 {
-        self.bytes as f64 / (1 << 20) as f64 / self.median.as_secs_f64()
-    }
-}
-
-fn json_escape_free(s: &str) -> &str {
-    // Every string we embed is a matcher/mix name: [a-z+_/]+ only.
-    s
-}
-
-fn write_json(path: &str, rows: &[Row], rounds: usize, plans10k: &[(MatcherKind, SplitPlan)]) {
-    let plans: Vec<SplitPlan> = MatcherKind::ALL.iter().map(|&k| plan_for(k)).collect();
-    let mut out = String::from("{\n  \"bench\": \"fastpath\",\n");
-    out.push_str(&format!("  \"rounds\": {rounds},\n"));
-    out.push_str(&format!(
-        "  \"segment_bytes\": {SEGMENT},\n  \"automaton\": {{\n"
-    ));
-    for (i, plan) in plans.iter().enumerate() {
-        out.push_str(&format!(
-            "    \"{}\": {{\"bytes\": {}, \"classes\": {}, \"escape_bytes\": {}}}{}\n",
-            json_escape_free(&plan.matcher_kind().to_string()),
-            plan.memory_bytes(),
-            plan.class_count().unwrap_or(256),
-            plan.escape_byte_count().unwrap_or(0),
-            if i + 1 < plans.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  },\n  \"automaton_10k\": {\n");
-    for (i, (kind, plan)) in plans10k.iter().enumerate() {
-        // Per-tier split for the tiered build; zeros for single-tier
-        // representations so the schema stays uniform across matchers.
-        let (hot_b, cold_b) = plan
-            .tier_stats()
-            .map_or((0, 0), |t| (t.hot_bytes, t.cold_bytes));
-        out.push_str(&format!(
-            "    \"{}\": {{\"bytes\": {}, \"hot_bytes\": {}, \"cold_bytes\": {}, \
-             \"states\": {}, \"build_ms\": {:.2}}}{}\n",
-            json_escape_free(&kind.to_string()),
-            plan.memory_bytes(),
-            hot_b,
-            cold_b,
-            plan.state_count(),
-            plan.build_time().as_secs_f64() * 1e3,
-            if i + 1 < plans10k.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  },\n  \"results\": [\n");
-    // Dense baselines per mix, for the speedup field.
-    let dense_secs = |mix: &str| {
-        rows.iter()
-            .find(|r| r.mix == mix && r.kind == MatcherKind::Dense)
-            .map(|r| r.median.as_secs_f64())
-            .unwrap_or(f64::NAN)
-    };
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"mix\": \"{}\", \"matcher\": \"{}\", \"median_secs\": {:.6}, \
-             \"mib_per_s\": {:.1}, \"speedup_vs_dense\": {:.2}}}{}\n",
-            json_escape_free(r.mix),
-            json_escape_free(&r.kind.to_string()),
-            r.median.as_secs_f64(),
-            r.mib_per_s(),
-            dense_secs(r.mix) / r.median.as_secs_f64(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write SD_FASTPATH_JSON");
-    println!("wrote {path}");
-}
-
 fn main() {
     benches();
 
-    let rounds = 9;
-    let scan_mixes: [(&'static str, Vec<u8>); 3] = [
-        ("scan/benign", benign_corpus()),
-        ("scan/pieces", piece_corpus()),
-        ("scan/adversarial", adversarial_corpus()),
-    ];
-    let trace = benign_trace(200, 17);
-    let trace_bytes = trace.total_bytes();
-    let plans: Vec<(MatcherKind, SplitPlan)> =
-        MatcherKind::ALL.iter().map(|&k| (k, plan_for(k))).collect();
-
-    // Warm every path once before measuring.
-    for (kind, plan) in &plans {
-        for (_, corpus) in &scan_mixes {
-            scan_once(plan, corpus);
-        }
-        classify_once(*kind, &trace);
-    }
-
-    // Paired measurement: alternate engines inside each round so
-    // thermal/scheduler drift cancels, compare medians.
-    let mut samples: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds); plans.len() * 4];
-    for _ in 0..rounds {
-        for (pi, (kind, plan)) in plans.iter().enumerate() {
-            for (mi, (_, corpus)) in scan_mixes.iter().enumerate() {
-                samples[pi * 4 + mi].push(scan_once(plan, corpus));
-            }
-            samples[pi * 4 + 3].push(classify_once(*kind, &trace));
-        }
-    }
-
-    // 10k-rule corpus: the production-scale mix. Scan-only (the classify
-    // path's flow table is rule-count independent) and fewer rounds — the
-    // point is how each representation's throughput and footprint hold up
-    // as the corpus grows, not another microbenchmark. Benign bytes trip
-    // corpus pieces early and often at this scale, so every build
-    // early-exits at the same byte: the comparison stays paired-fair.
-    let rounds10k = 5;
-    let sigs10k = sd_bench::corpus_signature_set(10_000, 42);
-    let plans10k: Vec<(MatcherKind, SplitPlan)> = MatcherKind::ALL
-        .iter()
-        .map(|&k| {
-            let config = SplitDetectConfig {
-                fastpath_matcher: k,
-                ..Default::default()
-            };
-            (
-                k,
-                SplitPlan::compile(&sigs10k, &config).expect("admissible"),
-            )
-        })
-        .collect();
-    let benign10k = &scan_mixes[0].1;
-    for (_, plan) in &plans10k {
-        scan_once(plan, benign10k);
-    }
-    let mut samples10k: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds10k); plans10k.len()];
-    for _ in 0..rounds10k {
-        for (pi, (_, plan)) in plans10k.iter().enumerate() {
-            samples10k[pi].push(scan_once(plan, benign10k));
-        }
-    }
-
-    let mut rows = Vec::new();
-    for (pi, (kind, _)) in plans.iter().enumerate() {
-        for (mi, (mix, _)) in scan_mixes.iter().enumerate() {
-            rows.push(Row {
-                mix,
-                kind: *kind,
-                median: median(samples[pi * 4 + mi].clone()),
-                bytes: VOLUME as u64,
-            });
-        }
-        rows.push(Row {
-            mix: "classify/benign",
-            kind: *kind,
-            median: median(samples[pi * 4 + 3].clone()),
-            bytes: trace_bytes,
-        });
-    }
-    for (pi, (kind, _)) in plans10k.iter().enumerate() {
-        rows.push(Row {
-            mix: "scan10k/benign",
-            kind: *kind,
-            median: median(samples10k[pi].clone()),
-            bytes: VOLUME as u64,
-        });
-    }
-    rows.sort_by(|a, b| a.mix.cmp(b.mix));
-
-    println!("\nfast-path matcher throughput (median of {rounds} paired rounds):");
-    println!(
-        "{:<18} {:<18} {:>10} {:>9}",
-        "mix", "matcher", "MiB/s", "vs dense"
-    );
-    for r in &rows {
-        let dense = rows
-            .iter()
-            .find(|d| d.mix == r.mix && d.kind == MatcherKind::Dense)
-            .expect("dense baseline present");
-        println!(
-            "{:<18} {:<18} {:>10.1} {:>8.2}x",
-            r.mix,
-            r.kind.to_string(),
-            r.mib_per_s(),
-            dense.median.as_secs_f64() / r.median.as_secs_f64()
-        );
-    }
-
-    println!("\n10k-rule corpus automaton footprint:");
-    println!(
-        "{:<18} {:>12} {:>9} {:>10}",
-        "matcher", "bytes", "states", "build-ms"
-    );
-    for (kind, plan) in &plans10k {
-        println!(
-            "{:<18} {:>12} {:>9} {:>10.2}",
-            kind.to_string(),
-            plan.memory_bytes(),
-            plan.state_count(),
-            plan.build_time().as_secs_f64() * 1e3
-        );
-    }
-
-    if let Ok(path) = std::env::var("SD_FASTPATH_JSON") {
-        write_json(&path, &rows, rounds, &plans10k);
-    }
+    let report = sd_bench::sweeps::fastpath::run(&Params::full());
+    report.print();
 
     if std::env::var("SD_FASTPATH_ENFORCE").as_deref() == Ok("1") {
-        let get = |mix: &str, kind: MatcherKind| {
-            rows.iter()
-                .find(|r| r.mix == mix && r.kind == kind)
-                .expect("row present")
-                .median
-                .as_secs_f64()
-        };
-        let dense = get("scan/benign", MatcherKind::Dense);
-        let pre = get("scan/benign", MatcherKind::ClassedPrefilter);
+        let dense = report.secs("scan/benign", MatcherKind::Dense);
+        let pre = report.secs("scan/benign", MatcherKind::ClassedPrefilter);
         assert!(
             pre <= dense,
             "prefiltered scan slower than dense on the benign mix: \
@@ -443,47 +113,29 @@ fn main() {
 
         // The memory claim the sparse representations exist for: at 10k
         // rules they must cost at most 10% of the dense table.
-        let dense10k = plans10k
-            .iter()
-            .find(|(k, _)| *k == MatcherKind::Dense)
-            .expect("dense 10k plan present")
-            .1
-            .memory_bytes();
-        for (kind, plan) in &plans10k {
-            if matches!(kind, MatcherKind::Sparse | MatcherKind::SparseBloom) {
-                assert!(
-                    plan.memory_bytes() * 10 <= dense10k,
-                    "{kind} automaton is {} B at 10k rules, over 10% of dense ({} B)",
-                    plan.memory_bytes(),
-                    dense10k
-                );
-            }
+        let dense10k = report.bytes_10k(MatcherKind::Dense);
+        for kind in [MatcherKind::Sparse, MatcherKind::SparseBloom] {
+            let bytes = report.bytes_10k(kind);
+            assert!(
+                bytes * 10 <= dense10k,
+                "{kind} automaton is {bytes} B at 10k rules, over 10% of dense ({dense10k} B)"
+            );
         }
         println!("sparse automata within 10% of dense memory at 10k rules");
 
         // The gap the tiered build exists to close: at 10k rules it must
         // recover at least 1.5x of sparse throughput on benign traffic
         // while spending at most 2x the sparse automaton bytes.
-        let sparse10k = get("scan10k/benign", MatcherKind::Sparse);
-        let tiered10k = get("scan10k/benign", MatcherKind::Tiered);
+        let sparse10k = report.secs("scan10k/benign", MatcherKind::Sparse);
+        let tiered10k = report.secs("scan10k/benign", MatcherKind::Tiered);
         assert!(
             tiered10k * 1.5 <= sparse10k,
             "tiered scan under 1.5x sparse throughput on scan10k/benign: \
              {tiered10k:.6}s vs {sparse10k:.6}s ({:.2}x)",
             sparse10k / tiered10k
         );
-        let sparse_bytes = plans10k
-            .iter()
-            .find(|(k, _)| *k == MatcherKind::Sparse)
-            .expect("sparse 10k plan present")
-            .1
-            .memory_bytes();
-        let tiered_bytes = plans10k
-            .iter()
-            .find(|(k, _)| *k == MatcherKind::Tiered)
-            .expect("tiered 10k plan present")
-            .1
-            .memory_bytes();
+        let sparse_bytes = report.bytes_10k(MatcherKind::Sparse);
+        let tiered_bytes = report.bytes_10k(MatcherKind::Tiered);
         assert!(
             tiered_bytes <= 2 * sparse_bytes,
             "tiered automaton is {tiered_bytes} B at 10k rules, \

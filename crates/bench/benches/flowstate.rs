@@ -1,236 +1,16 @@
-//! Flow-state-at-scale bench: the ~12 B/flow claim, measured at occupancy.
+//! Flow-state-at-scale bench: the ~12 B/flow claim, measured at
+//! occupancy. The 2^20-slot occupancy sweep (lookup latency, CLOCK
+//! eviction rate, counting-Bloom FPR, exact bytes/flow) lives in the
+//! shared sweep core [`sd_bench::sweeps::flowstate`]; this main runs it
+//! at baseline quality and prints the table.
 //!
-//! The paper's scalability argument is that fast-path per-flow state is a
-//! dozen bytes in a fixed table, so a box can hold 1M+ concurrent flows
-//! where a reassembling IPS holds thousands. This bench sweeps a 2^20-slot
-//! [`sd_flow::FlowTable`] (the engine's 12-byte `FlowState` modeled as a
-//! 12-byte value, so slot accounting matches the engine) at 50/75/90 %
-//! occupancy and measures, per occupancy level:
-//!
-//! * **ns/lookup and lookup throughput** — seeded-hash probe over the
-//!   allocation-free in-place window scan (the hot-path fix this bench
-//!   regression-guards; the throughput metric is what
-//!   `scripts/bench_compare.py` gates),
-//! * **CLOCK eviction rate** — evictions per fresh insert once the table
-//!   is at occupancy, i.e. how often the rotating-hand second-chance sweep
-//!   has to sacrifice a resident flow,
-//! * **counting-Bloom FPR** — a 2^20-cell small-counter Bloom loaded with
-//!   the resident flows, probed with never-inserted keys,
-//! * **bytes/flow** — exact slot and table memory from the crate's own
-//!   accounting.
-//!
-//! The custom `main` prints a table and writes machine-readable JSON when
-//! `SD_FLOWSTATE_JSON=<path>` is set (how `scripts/bench_json.sh` produces
-//! `BENCH_flowstate.json`). Everything is seeded: identical runs measure
-//! identical key populations.
+//! `BENCH_flowstate.json` is no longer written here: `sd lab run
+//! flowstate-occupancy` journals the same sweep with provenance and
+//! `sd lab emit` regenerates the baseline from the journal.
 
-use std::net::Ipv4Addr;
-use std::time::{Duration, Instant};
-
-use sd_flow::table::PROBE_WINDOW;
-use sd_flow::{CountingBloom, FlowKey, FlowTable};
-
-/// Table capacity under test: the 1M-flow regime.
-const CAPACITY: usize = 1 << 20;
-/// Occupancy fractions swept.
-const OCCUPANCY: [(u32, &str); 3] = [(50, "50%"), (75, "75%"), (90, "90%")];
-/// Lookups timed per occupancy level.
-const LOOKUPS: usize = 1 << 21;
-/// Fresh inserts per occupancy level (the churn/eviction phase).
-const CHURN_FRAC: usize = 10; // N / 10 fresh inserts
-/// Bloom sizing: four cells per table slot (a 4 MiB filter — the sizing a
-/// deployment would pick for this capacity), 4 hash functions.
-const BLOOM_CELLS: usize = CAPACITY * 4;
-const BLOOM_HASHES: u32 = 4;
-/// Pinned hash seed: the sweep is a measurement, not an experiment in
-/// randomized keys, so runs must be comparable.
-const SEED: u64 = 0xE20;
-/// Median-of rounds for the timed phases.
-const ROUNDS: usize = 5;
-
-/// The engine's per-flow fast-path state is 12 bytes (pinned by
-/// `state_is_twelve_bytes` in sd-core); the bench stores the same footprint.
-type State = [u8; 12];
-
-/// Distinct synthetic flow keys: client varies by `n` over 20.x.x.x space,
-/// server fixed — disjoint (ip, port) pairs so keys never alias.
-fn key(n: u64) -> FlowKey {
-    let port = 1024 + (n % 60_000) as u16;
-    let ip = Ipv4Addr::from(0x1400_0000u32.wrapping_add((n / 60_000) as u32));
-    FlowKey::from_endpoints(6, (ip, port), (Ipv4Addr::new(10, 0, 0, 1), 80)).0
-}
-
-fn median(mut xs: Vec<Duration>) -> Duration {
-    xs.sort();
-    xs[xs.len() / 2]
-}
-
-struct Row {
-    occupancy: &'static str,
-    resident: usize,
-    lookup_ns: f64,
-    lookup_mops: f64,
-    insert_ns: f64,
-    eviction_rate: f64,
-    bloom_fpr: f64,
-    bloom_fill: f64,
-    fill_evictions: u64,
-}
-
-fn run_level(pct: u32, label: &'static str) -> Row {
-    let target = CAPACITY * pct as usize / 100;
-
-    // Fill to occupancy. Uniform random placement overflows some probe
-    // windows before the table is globally full, so the resident count can
-    // sit slightly under the offered count — that residency loss is itself
-    // a measurement (fill_evictions).
-    let mut table: FlowTable<State> = FlowTable::with_seed(CAPACITY, SEED);
-    let mut bloom = CountingBloom::with_seed(BLOOM_CELLS, BLOOM_HASHES, SEED ^ 1);
-    for n in 0..target as u64 {
-        table.get_or_insert_with(&key(n), || [0u8; 12]);
-        bloom.increment(&key(n));
-    }
-    let fill_evictions = table.stats().evictions;
-    let resident = table.len();
-
-    // Lookup phase: stride through the offered key range so probes mix
-    // hits (resident) and misses (evicted), exactly like live traffic at
-    // occupancy. Medians over ROUNDS passes.
-    let mut lookup_times = Vec::with_capacity(ROUNDS);
-    let mut sink = 0u64;
-    for _ in 0..ROUNDS {
-        let start = Instant::now();
-        for i in 0..LOOKUPS as u64 {
-            let k = key(i % target as u64);
-            if let Some(v) = table.get_mut(&k) {
-                v[0] = v[0].wrapping_add(1);
-                sink = sink.wrapping_add(v[0] as u64);
-            }
-        }
-        lookup_times.push(start.elapsed());
-    }
-    let lookup = median(lookup_times);
-    std::hint::black_box(sink);
-
-    // Churn phase: fresh keys (disjoint range) force inserts into a table
-    // at occupancy; every window overflow is a CLOCK eviction.
-    let churn = (target / CHURN_FRAC).max(1);
-    let evictions_before = table.stats().evictions;
-    let start = Instant::now();
-    for n in 0..churn as u64 {
-        table.get_or_insert_with(&key(1 << 40 | n), || [1u8; 12]);
-    }
-    let insert_time = start.elapsed();
-    let churn_evictions = table.stats().evictions - evictions_before;
-
-    // Bloom FPR: probe keys that were never inserted.
-    let probes = 1 << 16;
-    let mut false_hits = 0usize;
-    for n in 0..probes as u64 {
-        if bloom.estimate(&key(1 << 41 | n)) > 0 {
-            false_hits += 1;
-        }
-    }
-
-    Row {
-        occupancy: label,
-        resident,
-        lookup_ns: lookup.as_nanos() as f64 / LOOKUPS as f64,
-        lookup_mops: LOOKUPS as f64 / lookup.as_secs_f64() / 1e6,
-        insert_ns: insert_time.as_nanos() as f64 / churn as f64,
-        eviction_rate: churn_evictions as f64 / churn as f64,
-        bloom_fpr: false_hits as f64 / probes as f64,
-        bloom_fill: bloom.fill_ratio(),
-        fill_evictions,
-    }
-}
-
-fn write_json(path: &str, rows: &[Row]) {
-    let slot = FlowTable::<State>::slot_bytes();
-    let table_bytes = slot * CAPACITY;
-    let mut out = String::from("{\n  \"bench\": \"flowstate\",\n");
-    out.push_str(&format!(
-        "  \"capacity\": {CAPACITY},\n  \"probe_window\": {PROBE_WINDOW},\n  \
-         \"rounds\": {ROUNDS},\n  \"lookups\": {LOOKUPS},\n  \
-         \"state_bytes_per_flow\": {},\n  \"slot_bytes\": {slot},\n  \
-         \"table_mib\": {:.1},\n  \"bloom_cells\": {BLOOM_CELLS},\n  \
-         \"bloom_hashes\": {BLOOM_HASHES},\n",
-        std::mem::size_of::<State>(),
-        table_bytes as f64 / (1 << 20) as f64,
-    ));
-    out.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"occupancy\": \"{}\", \"resident_flows\": {}, \
-             \"lookup_ns\": {:.1}, \"lookup_throughput_mops\": {:.1}, \
-             \"insert_ns\": {:.1}, \"eviction_rate\": {:.4}, \
-             \"fill_evictions\": {}, \"bloom_fpr\": {:.4}, \
-             \"bloom_fill_ratio\": {:.4}}}{}\n",
-            r.occupancy,
-            r.resident,
-            r.lookup_ns,
-            r.lookup_mops,
-            r.insert_ns,
-            r.eviction_rate,
-            r.fill_evictions,
-            r.bloom_fpr,
-            r.bloom_fill,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write SD_FLOWSTATE_JSON");
-    println!("wrote {path}");
-}
+use sd_bench::sweeps::flowstate::{self, Params};
 
 fn main() {
-    let slot = FlowTable::<State>::slot_bytes();
-    println!(
-        "flow-state occupancy sweep: {CAPACITY} slots x {slot} B/slot \
-         ({:.1} MiB table, {} B state/flow, probe window {PROBE_WINDOW})",
-        (slot * CAPACITY) as f64 / (1 << 20) as f64,
-        std::mem::size_of::<State>(),
-    );
-
-    let rows: Vec<Row> = OCCUPANCY
-        .iter()
-        .map(|&(pct, label)| run_level(pct, label))
-        .collect();
-
-    println!(
-        "\n{:<10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
-        "occupancy",
-        "resident",
-        "ns/lookup",
-        "Mlookups/s",
-        "ns/insert",
-        "evict/ins",
-        "bloom FPR",
-        "fill"
-    );
-    for r in &rows {
-        println!(
-            "{:<10} {:>12} {:>10.1} {:>12.1} {:>10.1} {:>10.4} {:>10.4} {:>10.4}",
-            r.occupancy,
-            r.resident,
-            r.lookup_ns,
-            r.lookup_mops,
-            r.insert_ns,
-            r.eviction_rate,
-            r.bloom_fpr,
-            r.bloom_fill,
-        );
-    }
-
-    // Sanity contract: higher occupancy must not shrink residency, and the
-    // sweep must actually exercise eviction at 90 %.
-    assert!(rows.windows(2).all(|w| w[0].resident <= w[1].resident));
-    assert!(
-        rows.last().expect("three levels").eviction_rate > 0.0,
-        "the 90% churn phase must evict"
-    );
-
-    if let Ok(path) = std::env::var("SD_FLOWSTATE_JSON") {
-        write_json(&path, &rows);
-    }
+    let report = flowstate::run(&Params::full());
+    report.print();
 }

@@ -1,270 +1,24 @@
 //! Slow-path dispatch bench: hot-thread ingest throughput under a divert
-//! flood — the number the asynchronous worker pool exists for.
+//! flood — the number the asynchronous worker pool exists for. The
+//! workload, phase split (ingest vs total) and paired-median measurement
+//! live in the shared sweep core [`sd_bench::sweeps::slowpath`]; this
+//! main prints the mode table and, when `SD_SLOWPATH_ENFORCE=1` (the CI
+//! smoke step), enforces pooled-ingest ≥ 2× inline.
 //!
-//! The workload diverts many flows (each opens with a signature-piece
-//! hit) and then floods them with MTU-sized payload, interleaved
-//! round-robin so the divert pressure is sustained rather than bursty.
-//! With inline dispatch every one of those packets is reassembled and
-//! scanned *on the hot thread*; with the pool the hot thread only
-//! parses, copies and enqueues, and the reassembly runs on worker
-//! threads. The bench times the two phases separately:
-//!
-//! * **ingest** — the `process_packet` + `poll` loop alone: the time the
-//!   hot thread is unavailable for fast-path traffic. This is the
-//!   paper's line-rate budget, and the pool's reason to exist.
-//! * **total** — ingest plus `finish()` (which drains the pool), i.e.
-//!   end-to-end work conservation: the pool must not win by doing less.
-//!
-//! Lanes are provisioned deep enough to absorb the whole burst, and the
-//! run asserts nothing was shed and every mode produced the same
-//! alerts — the speedup is relocation of work, not loss of it. The
-//! custom `main` runs a paired-median measurement across modes
-//! (inline, 1/2/4 workers), prints a table, writes machine-readable
-//! JSON when `SD_SLOWPATH_JSON=<path>` is set (that is how
-//! `scripts/bench_json.sh` produces `BENCH_slowpath.json`), enforces
-//! pooled-ingest ≥ 2× inline when `SD_SLOWPATH_ENFORCE=1` (the CI
-//! smoke step), and — with `SD_SLOWPATH_SWEEP=1` — runs the
-//! lane-depth shed sweep behind EXPERIMENTS.md E19.
+//! `BENCH_slowpath.json` and the E19 lane-depth shed sweep are no longer
+//! produced here: `sd lab run slowpath-lane-shed` journals both the mode
+//! ladder and the lane-depth × shed-policy grid with provenance, and
+//! `sd lab emit` regenerates the baseline from the journal.
 
-use std::time::{Duration, Instant};
-
-use sd_ips::{Alert, Ips, Signature, SignatureSet};
-use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
-use sd_packet::tcp::TcpFlags;
-use splitdetect::{ShedPolicy, SplitDetect, SplitDetectConfig};
-
-/// 24-byte signature → three 8-byte pieces; `SIG[..10]` holds piece 0
-/// whole, so a packet carrying it diverts its flow without matching.
-const SIG: &[u8] = b"EVIL_SIGNATURE_BYTES_24!";
-/// Diverted flows in the flood.
-const FLOWS: usize = 64;
-/// MTU-sized follow packets per flow after the divert trigger.
-const FOLLOW: usize = 30;
-/// Payload bytes per follow packet.
-const SEGMENT: usize = 1400;
-/// Deep enough for the whole burst to queue on one worker: the bench
-/// measures work relocation, so nothing may be shed.
-const DEEP_LANES: usize = 4096;
-
-fn sigs() -> SignatureSet {
-    SignatureSet::from_signatures([Signature::new("evil", SIG)])
-}
-
-fn config_for(workers: usize, lane_depth: usize, shed: ShedPolicy) -> SplitDetectConfig {
-    SplitDetectConfig {
-        slow_path_workers: workers,
-        slow_path_lane_depth: lane_depth,
-        slow_path_shed: shed,
-        ..Default::default()
-    }
-}
-
-fn flow_packet(flow: usize, seq: u32, payload: &[u8]) -> Vec<u8> {
-    let src = format!("10.8.{}.{}:4000", flow / 200, flow % 200 + 1);
-    let f = TcpPacketSpec::new(&src, "10.0.0.2:80")
-        .seq(seq)
-        .flags(TcpFlags::ACK.union(TcpFlags::PSH))
-        .payload(payload)
-        .build();
-    ip_of_frame(&f).to_vec()
-}
-
-/// The divert-flood trace: every flow opens with a piece hit (diverts on
-/// packet one), then the follow packets interleave round-robin across
-/// flows so every worker lane stays hot for the whole run.
-fn flood_trace() -> Vec<Vec<u8>> {
-    let mut pkts = Vec::with_capacity(FLOWS * (FOLLOW + 1));
-    for f in 0..FLOWS {
-        pkts.push(flow_packet(f, 1000, &SIG[..10]));
-    }
-    for j in 0..FOLLOW {
-        for f in 0..FLOWS {
-            pkts.push(flow_packet(
-                f,
-                1010 + (j * SEGMENT) as u32,
-                &[b'm'; SEGMENT],
-            ));
-        }
-    }
-    pkts
-}
-
-fn payload_bytes() -> u64 {
-    (FLOWS * (10 + FOLLOW * SEGMENT)) as u64
-}
-
-struct RunTimes {
-    ingest: Duration,
-    total: Duration,
-    alerts: Vec<Alert>,
-    shed_packets: u64,
-}
-
-/// One timed pass of the flood through an engine in the given mode.
-fn run_once(workers: usize, lane_depth: usize, shed: ShedPolicy, pkts: &[Vec<u8>]) -> RunTimes {
-    let mut engine = SplitDetect::with_config(sigs(), config_for(workers, lane_depth, shed))
-        .expect("admissible");
-    let mut out = Vec::new();
-    let start = Instant::now();
-    for (tick, p) in pkts.iter().enumerate() {
-        engine.process_packet(p, tick as u64, &mut out);
-        engine.poll(&mut out);
-    }
-    let ingest = start.elapsed();
-    engine.finish(&mut out);
-    let total = start.elapsed();
-    assert!(
-        engine.slow_failures().is_empty(),
-        "slow-path worker failed: {:?}",
-        engine.slow_failures()
-    );
-    RunTimes {
-        ingest,
-        total,
-        alerts: out,
-        shed_packets: engine.stats().divert.shed_packets,
-    }
-}
-
-fn median(mut xs: Vec<Duration>) -> Duration {
-    xs.sort();
-    xs[xs.len() / 2]
-}
-
-fn mib_per_s(bytes: u64, d: Duration) -> f64 {
-    bytes as f64 / (1 << 20) as f64 / d.as_secs_f64()
-}
-
-struct Row {
-    mode: String,
-    ingest: Duration,
-    total: Duration,
-}
-
-fn write_json(path: &str, rows: &[Row], rounds: usize) {
-    let bytes = payload_bytes();
-    let inline_ingest = rows[0].ingest.as_secs_f64();
-    let mut out = String::from("{\n  \"bench\": \"slowpath\",\n");
-    out.push_str(&format!("  \"rounds\": {rounds},\n"));
-    out.push_str(&format!(
-        "  \"flows\": {FLOWS},\n  \"follow_packets\": {FOLLOW},\n  \
-         \"segment_bytes\": {SEGMENT},\n  \"payload_bytes\": {bytes},\n"
-    ));
-    out.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"ingest_secs\": {:.6}, \"ingest_mib_per_s\": {:.1}, \
-             \"total_secs\": {:.6}, \"total_mib_per_s\": {:.1}, \
-             \"ingest_speedup_vs_inline\": {:.2}}}{}\n",
-            r.mode,
-            r.ingest.as_secs_f64(),
-            mib_per_s(bytes, r.ingest),
-            r.total.as_secs_f64(),
-            mib_per_s(bytes, r.total),
-            inline_ingest / r.ingest.as_secs_f64(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write SD_SLOWPATH_JSON");
-    println!("wrote {path}");
-}
-
-/// E19: shed fraction and hot-thread throughput vs lane depth, one
-/// worker, default (alert-overload) policy — how much lane memory buys
-/// how much inspection coverage under flood.
-fn sweep(pkts: &[Vec<u8>]) {
-    let offered = (FLOWS * (FOLLOW + 1)) as u64;
-    println!("\nlane-depth shed sweep (1 worker, alert-overload, {offered} diverted packets):");
-    println!(
-        "{:>10} {:>10} {:>10} {:>12}",
-        "lane_depth", "shed_pkts", "shed_frac", "ingest MiB/s"
-    );
-    for depth in [1usize, 4, 16, 64, 256, 1024, 4096] {
-        let r = run_once(1, depth, ShedPolicy::AlertOverload, pkts);
-        println!(
-            "{:>10} {:>10} {:>10.3} {:>12.1}",
-            depth,
-            r.shed_packets,
-            r.shed_packets as f64 / offered as f64,
-            mib_per_s(payload_bytes(), r.ingest)
-        );
-    }
-}
+use sd_bench::sweeps::slowpath::{self, Params};
 
 fn main() {
-    let pkts = flood_trace();
-    let modes: [(usize, String); 4] = [
-        (0, "inline".to_string()),
-        (1, "pool-1".to_string()),
-        (2, "pool-2".to_string()),
-        (4, "pool-4".to_string()),
-    ];
-    let rounds = 9;
-
-    // Warm every mode once, and pin the equivalence contract while at it:
-    // deep lanes shed nothing and every mode reports the same alerts.
-    let baseline = run_once(0, DEEP_LANES, ShedPolicy::AlertOverload, &pkts);
-    assert_eq!(baseline.shed_packets, 0, "inline never sheds");
-    for (workers, mode) in &modes[1..] {
-        let r = run_once(*workers, DEEP_LANES, ShedPolicy::AlertOverload, &pkts);
-        assert_eq!(r.shed_packets, 0, "{mode}: deep lanes must not shed");
-        assert_eq!(
-            r.alerts.len(),
-            baseline.alerts.len(),
-            "{mode}: pooled dispatch must find what inline finds"
-        );
-    }
-
-    // Paired measurement: alternate modes inside each round so
-    // thermal/scheduler drift cancels, compare medians.
-    let mut ingest: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds); modes.len()];
-    let mut total: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds); modes.len()];
-    for _ in 0..rounds {
-        for (mi, (workers, _)) in modes.iter().enumerate() {
-            let r = run_once(*workers, DEEP_LANES, ShedPolicy::AlertOverload, &pkts);
-            ingest[mi].push(r.ingest);
-            total[mi].push(r.total);
-        }
-    }
-
-    let rows: Vec<Row> = modes
-        .iter()
-        .enumerate()
-        .map(|(mi, (_, mode))| Row {
-            mode: mode.clone(),
-            ingest: median(ingest[mi].clone()),
-            total: median(total[mi].clone()),
-        })
-        .collect();
-
-    let bytes = payload_bytes();
-    println!(
-        "\nslow-path dispatch under divert flood ({FLOWS} flows x {FOLLOW} x {SEGMENT} B, \
-         median of {rounds} paired rounds):"
-    );
-    println!(
-        "{:<10} {:>14} {:>14} {:>12} {:>12}",
-        "mode", "ingest MiB/s", "total MiB/s", "ingest secs", "vs inline"
-    );
-    for r in &rows {
-        println!(
-            "{:<10} {:>14.1} {:>14.1} {:>12.6} {:>11.2}x",
-            r.mode,
-            mib_per_s(bytes, r.ingest),
-            mib_per_s(bytes, r.total),
-            r.ingest.as_secs_f64(),
-            rows[0].ingest.as_secs_f64() / r.ingest.as_secs_f64()
-        );
-    }
-
-    if let Ok(path) = std::env::var("SD_SLOWPATH_JSON") {
-        write_json(&path, &rows, rounds);
-    }
+    let report = slowpath::run(&Params::full());
+    report.print();
 
     if std::env::var("SD_SLOWPATH_ENFORCE").as_deref() == Ok("1") {
-        let inline = rows[0].ingest.as_secs_f64();
-        let best = rows[1..]
+        let inline = report.inline_ingest_secs();
+        let best = report.rows[1..]
             .iter()
             .map(|r| r.ingest.as_secs_f64())
             .fold(f64::INFINITY, f64::min);
@@ -277,9 +31,5 @@ fn main() {
             "pooled ingest {:.2}x faster than inline under divert flood",
             inline / best
         );
-    }
-
-    if std::env::var("SD_SLOWPATH_SWEEP").as_deref() == Ok("1") {
-        sweep(&pkts);
     }
 }

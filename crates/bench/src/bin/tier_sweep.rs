@@ -1,112 +1,24 @@
 //! E22 — tier-threshold sweep for the tiered piece automaton.
 //!
-//! Compiles a seeded corpus (1k and 10k rules, seed 42 — the same
-//! corpora as E21) into `MatcherKind::Tiered` at a ladder of
-//! `tiered_hot_states` overrides plus the budget heuristic, and scans
-//! the benign HTTP-like mix, printing footprint and throughput per
-//! threshold next to the sparse and dense anchors. This is the table
-//! EXPERIMENTS.md E22 records:
+//! Thin wrapper over the shared ladder core
+//! [`sd_bench::sweeps::tier_ladder`]: compiles the seeded 1k and 10k
+//! corpora (seed 42, the E21 corpora) into `MatcherKind::Tiered` at a
+//! ladder of `tiered_hot_states` overrides plus the budget heuristic,
+//! scans the benign HTTP-like mix, and prints footprint and throughput
+//! per threshold next to the sparse and dense anchors:
 //!
 //! ```console
 //! cargo run --release -p sd-bench --bin tier_sweep
 //! ```
 //!
-//! Everything is seeded; medians of paired alternating rounds, like
-//! the fastpath bench.
+//! The same ladder journals through `sd lab run tiered-hot-ladder`.
+//! Everything is seeded; medians of paired alternating rounds.
 
-use std::time::{Duration, Instant};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sd_traffic::payload::PayloadModel;
-use splitdetect::split::SplitPlan;
-use splitdetect::{MatcherKind, SplitDetectConfig};
-
-const VOLUME: usize = 1 << 20;
-const SEGMENT: usize = 1400;
-const ROUNDS: usize = 7;
-
-fn scan_once(plan: &SplitPlan, corpus: &[u8]) -> Duration {
-    let start = Instant::now();
-    let mut hits = 0u64;
-    for seg in corpus.chunks(SEGMENT) {
-        hits += u64::from(plan.scan(seg).is_some());
-    }
-    std::hint::black_box(hits);
-    start.elapsed()
-}
-
-fn median(mut xs: Vec<Duration>) -> Duration {
-    xs.sort();
-    xs[xs.len() / 2]
-}
+use sd_bench::sweeps::tier_ladder::{self, Params};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(3);
-    let corpus = PayloadModel::HttpLike.generate(&mut rng, VOLUME);
-
-    for &rules in &[1_000usize, 10_000] {
-        let sigs = sd_bench::corpus_signature_set(rules, 42);
-        let k = SplitDetectConfig::default().pieces_per_signature;
-
-        // Anchors plus the threshold ladder. `None` twice: once meaning
-        // "sparse/dense anchor", once meaning "heuristic" for tiered.
-        let mut plans: Vec<(String, SplitPlan)> = vec![
-            (
-                "sparse".into(),
-                SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Sparse, None),
-            ),
-            (
-                "dense".into(),
-                SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Dense, None),
-            ),
-        ];
-        for &hot in &[1usize, 256, 1024, 4096, 16_384] {
-            plans.push((
-                format!("tiered H={hot}"),
-                SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Tiered, Some(hot)),
-            ));
-        }
-        plans.push((
-            "tiered heuristic".into(),
-            SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Tiered, None),
-        ));
-
-        for (_, plan) in &plans {
-            scan_once(plan, &corpus);
-        }
-        let mut samples: Vec<Vec<Duration>> = vec![Vec::with_capacity(ROUNDS); plans.len()];
-        for _ in 0..ROUNDS {
-            for (pi, (_, plan)) in plans.iter().enumerate() {
-                samples[pi].push(scan_once(plan, &corpus));
-            }
-        }
-
-        let sparse_secs = median(samples[0].clone()).as_secs_f64();
-        println!(
-            "\n{} rules (benign {} MiB mix, median of {ROUNDS} paired rounds):",
-            rules,
-            VOLUME >> 20
-        );
-        println!(
-            "{:<18} {:>7} {:>11} {:>8} {:>9} {:>10}",
-            "build", "hot", "bytes", "classes", "MiB/s", "vs sparse"
-        );
-        for (pi, (name, plan)) in plans.iter().enumerate() {
-            let secs = median(samples[pi].clone()).as_secs_f64();
-            let hot = plan
-                .tier_stats()
-                .map_or("-".into(), |t| t.hot_states.to_string());
-            let classes = plan.class_count().map_or("-".into(), |c| c.to_string());
-            println!(
-                "{:<18} {:>7} {:>11} {:>8} {:>9.1} {:>9.2}x",
-                name,
-                hot,
-                plan.memory_bytes(),
-                classes,
-                VOLUME as f64 / (1 << 20) as f64 / secs,
-                sparse_secs / secs
-            );
-        }
+    let params = Params::full();
+    for report in tier_ladder::run(&params) {
+        tier_ladder::print(&report, params.rounds);
     }
 }

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweeps;
+
 use std::time::Instant;
 
 use sd_ips::api::run_trace;

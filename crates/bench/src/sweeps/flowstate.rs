@@ -1,0 +1,230 @@
+//! Flow-state occupancy sweep core: the ~12 B/flow claim measured at
+//! occupancy. This is the measurement behind the `flowstate` bench main,
+//! the `flowstate-occupancy` lab experiment and `BENCH_flowstate.json`.
+//!
+//! Sweeps a 2^20-slot [`sd_flow::FlowTable`] (the engine's 12-byte
+//! `FlowState` modeled as a 12-byte value, so slot accounting matches the
+//! engine) at 50/75/90 % occupancy and measures, per level: ns/lookup and
+//! lookup throughput over the allocation-free in-place window scan, CLOCK
+//! eviction rate under churn, counting-Bloom FPR, and exact bytes/flow
+//! from the crate's own accounting. Everything is seeded: identical runs
+//! measure identical key populations.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+pub use sd_flow::table::PROBE_WINDOW;
+use sd_flow::{CountingBloom, FlowKey, FlowTable};
+
+use super::median;
+
+/// Table capacity under test: the 1M-flow regime.
+pub const CAPACITY: usize = 1 << 20;
+/// Occupancy fractions swept.
+pub const OCCUPANCY: [(u32, &str); 3] = [(50, "50%"), (75, "75%"), (90, "90%")];
+/// Lookups timed per occupancy level.
+pub const LOOKUPS: usize = 1 << 21;
+/// Fresh inserts per occupancy level (the churn/eviction phase).
+const CHURN_FRAC: usize = 10; // N / 10 fresh inserts
+/// Bloom sizing: four cells per table slot (a 4 MiB filter — the sizing a
+/// deployment would pick for this capacity), 4 hash functions.
+pub const BLOOM_CELLS: usize = CAPACITY * 4;
+/// Bloom hash functions.
+pub const BLOOM_HASHES: u32 = 4;
+/// Pinned hash seed: the sweep is a measurement, not an experiment in
+/// randomized keys, so runs must be comparable.
+const SEED: u64 = 0xE20;
+
+/// The engine's per-flow fast-path state is 12 bytes (pinned by
+/// `state_is_twelve_bytes` in sd-core); the sweep stores the same
+/// footprint.
+pub type State = [u8; 12];
+
+/// Sweep parameters: median-of rounds for the timed phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Rounds per occupancy level (the checked-in baseline uses 5).
+    pub rounds: usize,
+}
+
+impl Params {
+    /// Baseline-quality measurement (the `BENCH_flowstate.json` recipe).
+    pub fn full() -> Self {
+        Params { rounds: 5 }
+    }
+
+    /// CI-smoke profile: fewer rounds, identical rows.
+    pub fn smoke() -> Self {
+        Params { rounds: 3 }
+    }
+}
+
+/// Distinct synthetic flow keys: client varies by `n` over 20.x.x.x space,
+/// server fixed — disjoint (ip, port) pairs so keys never alias.
+fn key(n: u64) -> FlowKey {
+    let port = 1024 + (n % 60_000) as u16;
+    let ip = Ipv4Addr::from(0x1400_0000u32.wrapping_add((n / 60_000) as u32));
+    FlowKey::from_endpoints(6, (ip, port), (Ipv4Addr::new(10, 0, 0, 1), 80)).0
+}
+
+/// One occupancy-level result row.
+pub struct LevelRow {
+    /// Occupancy label ("50%", "75%", "90%").
+    pub occupancy: &'static str,
+    /// Flows resident after the fill phase.
+    pub resident: usize,
+    /// Median ns per lookup.
+    pub lookup_ns: f64,
+    /// Median lookup throughput in Mlookups/s.
+    pub lookup_mops: f64,
+    /// ns per fresh insert during churn.
+    pub insert_ns: f64,
+    /// CLOCK evictions per fresh insert during churn.
+    pub eviction_rate: f64,
+    /// Counting-Bloom false-positive rate on never-inserted keys.
+    pub bloom_fpr: f64,
+    /// Bloom nonzero-cell fill ratio.
+    pub bloom_fill: f64,
+    /// Evictions during the fill phase (probe-window overflow).
+    pub fill_evictions: u64,
+}
+
+/// Everything one sweep run measured.
+pub struct Report {
+    /// Parameters the run used.
+    pub params: Params,
+    /// Exact bytes per table slot.
+    pub slot_bytes: usize,
+    /// One row per occupancy level.
+    pub rows: Vec<LevelRow>,
+}
+
+impl Report {
+    /// Total table bytes at `CAPACITY`.
+    pub fn table_bytes(&self) -> usize {
+        self.slot_bytes * CAPACITY
+    }
+
+    /// Print the human table the bench main has always printed.
+    pub fn print(&self) {
+        println!(
+            "flow-state occupancy sweep: {CAPACITY} slots x {} B/slot \
+             ({:.1} MiB table, {} B state/flow, probe window {PROBE_WINDOW})",
+            self.slot_bytes,
+            self.table_bytes() as f64 / (1 << 20) as f64,
+            std::mem::size_of::<State>(),
+        );
+        println!(
+            "\n{:<10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "occupancy",
+            "resident",
+            "ns/lookup",
+            "Mlookups/s",
+            "ns/insert",
+            "evict/ins",
+            "bloom FPR",
+            "fill"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<10} {:>12} {:>10.1} {:>12.1} {:>10.1} {:>10.4} {:>10.4} {:>10.4}",
+                r.occupancy,
+                r.resident,
+                r.lookup_ns,
+                r.lookup_mops,
+                r.insert_ns,
+                r.eviction_rate,
+                r.bloom_fpr,
+                r.bloom_fill,
+            );
+        }
+    }
+}
+
+fn run_level(pct: u32, label: &'static str, rounds: usize) -> LevelRow {
+    let target = CAPACITY * pct as usize / 100;
+
+    // Fill to occupancy. Uniform random placement overflows some probe
+    // windows before the table is globally full, so the resident count can
+    // sit slightly under the offered count — that residency loss is itself
+    // a measurement (fill_evictions).
+    let mut table: FlowTable<State> = FlowTable::with_seed(CAPACITY, SEED);
+    let mut bloom = CountingBloom::with_seed(BLOOM_CELLS, BLOOM_HASHES, SEED ^ 1);
+    for n in 0..target as u64 {
+        table.get_or_insert_with(&key(n), || [0u8; 12]);
+        bloom.increment(&key(n));
+    }
+    let fill_evictions = table.stats().evictions;
+    let resident = table.len();
+
+    // Lookup phase: stride through the offered key range so probes mix
+    // hits (resident) and misses (evicted), exactly like live traffic at
+    // occupancy. Medians over the rounds.
+    let mut lookup_times = Vec::with_capacity(rounds);
+    let mut sink = 0u64;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for i in 0..LOOKUPS as u64 {
+            let k = key(i % target as u64);
+            if let Some(v) = table.get_mut(&k) {
+                v[0] = v[0].wrapping_add(1);
+                sink = sink.wrapping_add(v[0] as u64);
+            }
+        }
+        lookup_times.push(start.elapsed());
+    }
+    let lookup = median(lookup_times);
+    std::hint::black_box(sink);
+
+    // Churn phase: fresh keys (disjoint range) force inserts into a table
+    // at occupancy; every window overflow is a CLOCK eviction.
+    let churn = (target / CHURN_FRAC).max(1);
+    let evictions_before = table.stats().evictions;
+    let start = Instant::now();
+    for n in 0..churn as u64 {
+        table.get_or_insert_with(&key(1 << 40 | n), || [1u8; 12]);
+    }
+    let insert_time = start.elapsed();
+    let churn_evictions = table.stats().evictions - evictions_before;
+
+    // Bloom FPR: probe keys that were never inserted.
+    let probes = 1 << 16;
+    let mut false_hits = 0usize;
+    for n in 0..probes as u64 {
+        if bloom.estimate(&key(1 << 41 | n)) > 0 {
+            false_hits += 1;
+        }
+    }
+
+    LevelRow {
+        occupancy: label,
+        resident,
+        lookup_ns: lookup.as_nanos() as f64 / LOOKUPS as f64,
+        lookup_mops: LOOKUPS as f64 / lookup.as_secs_f64() / 1e6,
+        insert_ns: insert_time.as_nanos() as f64 / churn as f64,
+        eviction_rate: churn_evictions as f64 / churn as f64,
+        bloom_fpr: false_hits as f64 / probes as f64,
+        bloom_fill: bloom.fill_ratio(),
+        fill_evictions,
+    }
+}
+
+/// Run the occupancy sweep, asserting the sanity contract the bench main
+/// has always asserted: higher occupancy must not shrink residency, and
+/// the 90 % churn phase must actually evict.
+pub fn run(params: &Params) -> Report {
+    let rows: Vec<LevelRow> = OCCUPANCY
+        .iter()
+        .map(|&(pct, label)| run_level(pct, label, params.rounds))
+        .collect();
+    assert!(rows.windows(2).all(|w| w[0].resident <= w[1].resident));
+    assert!(
+        rows.last().expect("three levels").eviction_rate > 0.0,
+        "the 90% churn phase must evict"
+    );
+    Report {
+        params: *params,
+        slot_bytes: FlowTable::<State>::slot_bytes(),
+        rows,
+    }
+}

@@ -1,0 +1,167 @@
+//! Shard × batch dispatch sweep core: end-to-end throughput of the
+//! flow-sharded engine across shard counts and dispatcher batch sizes —
+//! the grid behind E15's batch sweep, now a declared `sd-lab` experiment
+//! (`shard-batch`) instead of a hand-edited bench loop.
+//!
+//! The workload is the standard mixed trace (benign flows plus a handful
+//! of tiny-segment evasion conversations) so dispatch overhead is
+//! measured under realistic divert pressure, and detection work is
+//! identical across the grid: the spread between rows is pure dispatcher
+//! cost (channel sends + pool traffic).
+
+use std::time::{Duration, Instant};
+
+use sd_ips::api::run_trace;
+use sd_ips::{Signature, SignatureSet};
+use sd_traffic::benign::BenignGenerator;
+use sd_traffic::evasion::{generate, AttackSpec, EvasionStrategy};
+use sd_traffic::mixer::mix;
+use sd_traffic::trace::Trace;
+use sd_traffic::victim::VictimConfig;
+use splitdetect::{ShardedSplitDetect, SplitDetectConfig};
+
+use super::{median, mib_per_s};
+use crate::{standard_benign, SIG};
+
+/// Shard counts swept.
+pub const SHARDS: [usize; 3] = [1, 2, 4];
+/// Dispatcher batch sizes swept (1 degrades to per-packet dispatch).
+pub const BATCHES: [usize; 4] = [1, 16, 64, 256];
+
+/// Sweep parameters: paired rounds per grid cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Paired rounds (median taken).
+    pub rounds: usize,
+}
+
+impl Params {
+    /// Default measurement quality.
+    pub fn full() -> Self {
+        Params { rounds: 5 }
+    }
+
+    /// CI-smoke profile.
+    pub fn smoke() -> Self {
+        Params { rounds: 3 }
+    }
+}
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("evil", SIG)])
+}
+
+/// The standard mixed trace: 300 benign flows plus six tiny-segment
+/// evasion conversations (the `shard_dispatch` bench workload).
+pub fn mixed_trace() -> Trace {
+    let benign = BenignGenerator::new(standard_benign(300, 23)).generate();
+    let victim = VictimConfig::default();
+    let attacks = (0..6)
+        .map(|i| {
+            let mut spec = AttackSpec::simple(SIG);
+            spec.client.1 = 42_000 + i as u16;
+            (
+                generate(
+                    &spec,
+                    EvasionStrategy::TinySegments { size: 4 },
+                    victim,
+                    i as u64,
+                ),
+                0usize,
+                "tiny",
+            )
+        })
+        .collect();
+    mix(benign, attacks, 31).trace
+}
+
+/// One (shards, batch) grid cell.
+pub struct Row {
+    /// Engine shard count.
+    pub shards: usize,
+    /// Dispatcher batch size in packets.
+    pub batch: usize,
+    /// Median wall-clock seconds for the full trace (ingest + finish).
+    pub median: Duration,
+    /// Trace bytes (the throughput denominator).
+    pub bytes: u64,
+    /// Trace packets.
+    pub packets: u64,
+}
+
+impl Row {
+    /// Throughput in MiB/s.
+    pub fn mib_per_s(&self) -> f64 {
+        mib_per_s(self.bytes, self.median)
+    }
+
+    /// Throughput in packets/s.
+    pub fn packets_per_s(&self) -> f64 {
+        self.packets as f64 / self.median.as_secs_f64()
+    }
+}
+
+fn run_once(trace: &Trace, shards: usize, batch: usize) -> Duration {
+    let config = SplitDetectConfig {
+        shard_batch_packets: batch,
+        ..Default::default()
+    };
+    let mut engine = ShardedSplitDetect::new(sigs(), config, shards).expect("admissible");
+    let start = Instant::now();
+    let alerts = run_trace(&mut engine, trace.iter_bytes());
+    let elapsed = start.elapsed();
+    std::hint::black_box(alerts);
+    elapsed
+}
+
+/// Run the shard × batch grid, paired (grid alternates inside each
+/// round) so drift cancels.
+pub fn run(params: &Params) -> Vec<Row> {
+    let trace = mixed_trace();
+    let bytes = trace.total_bytes();
+    let packets = trace.len() as u64;
+    let grid: Vec<(usize, usize)> = SHARDS
+        .iter()
+        .flat_map(|&s| BATCHES.iter().map(move |&b| (s, b)))
+        .collect();
+
+    for &(s, b) in &grid {
+        run_once(&trace, s, b);
+    }
+    let mut samples: Vec<Vec<Duration>> = vec![Vec::with_capacity(params.rounds); grid.len()];
+    for _ in 0..params.rounds {
+        for (gi, &(s, b)) in grid.iter().enumerate() {
+            samples[gi].push(run_once(&trace, s, b));
+        }
+    }
+
+    grid.iter()
+        .enumerate()
+        .map(|(gi, &(shards, batch))| Row {
+            shards,
+            batch,
+            median: median(samples[gi].clone()),
+            bytes,
+            packets,
+        })
+        .collect()
+}
+
+/// Print the grid table.
+pub fn print(rows: &[Row], rounds: usize) {
+    println!("\nshard x batch dispatch sweep (median of {rounds} paired rounds):");
+    println!(
+        "{:>7} {:>7} {:>12} {:>12} {:>12}",
+        "shards", "batch", "MiB/s", "kpkts/s", "secs"
+    );
+    for r in rows {
+        println!(
+            "{:>7} {:>7} {:>12.1} {:>12.1} {:>12.6}",
+            r.shards,
+            r.batch,
+            r.mib_per_s(),
+            r.packets_per_s() / 1e3,
+            r.median.as_secs_f64()
+        );
+    }
+}

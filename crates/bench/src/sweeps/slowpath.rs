@@ -1,0 +1,300 @@
+//! Slow-path dispatch sweep core: hot-thread ingest throughput under a
+//! divert flood across pool modes, plus the lane-depth × shed-policy
+//! shed-fraction sweep. This is the measurement behind the `slowpath`
+//! bench main, the `slowpath-lane-shed` lab experiment and
+//! `BENCH_slowpath.json`.
+//!
+//! The workload diverts many flows (each opens with a signature-piece
+//! hit) and then floods them with MTU-sized payload, interleaved
+//! round-robin so the divert pressure is sustained rather than bursty.
+//! Two phases are timed separately:
+//!
+//! * **ingest** — the `process_packet` + `poll` loop alone: the time the
+//!   hot thread is unavailable for fast-path traffic (the paper's
+//!   line-rate budget, and the pool's reason to exist),
+//! * **total** — ingest plus `finish()` (which drains the pool): work
+//!   conservation; the pool must not win by doing less.
+
+use std::time::{Duration, Instant};
+
+use sd_ips::{Alert, Ips, Signature, SignatureSet};
+use sd_packet::builder::{ip_of_frame, TcpPacketSpec};
+use sd_packet::tcp::TcpFlags;
+use splitdetect::{ShedPolicy, SplitDetect, SplitDetectConfig};
+
+use super::{median, mib_per_s};
+
+/// 24-byte signature → three 8-byte pieces; `SIG[..10]` holds piece 0
+/// whole, so a packet carrying it diverts its flow without matching.
+pub const SIG: &[u8] = b"EVIL_SIGNATURE_BYTES_24!";
+/// Diverted flows in the flood.
+pub const FLOWS: usize = 64;
+/// MTU-sized follow packets per flow after the divert trigger.
+pub const FOLLOW: usize = 30;
+/// Payload bytes per follow packet.
+pub const SEGMENT: usize = 1400;
+/// Deep enough for the whole burst to queue on one worker: the mode
+/// sweep measures work relocation, so nothing may be shed.
+pub const DEEP_LANES: usize = 4096;
+/// The lane-depth ladder the shed sweep walks (E19).
+pub const SHED_DEPTHS: [usize; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+
+/// Sweep parameters: paired rounds for the mode ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Paired rounds (the checked-in baseline uses 9).
+    pub rounds: usize,
+}
+
+impl Params {
+    /// Baseline-quality measurement (the `BENCH_slowpath.json` recipe).
+    pub fn full() -> Self {
+        Params { rounds: 9 }
+    }
+
+    /// CI-smoke profile: fewer rounds, identical rows.
+    pub fn smoke() -> Self {
+        Params { rounds: 7 }
+    }
+}
+
+fn sigs() -> SignatureSet {
+    SignatureSet::from_signatures([Signature::new("evil", SIG)])
+}
+
+fn config_for(workers: usize, lane_depth: usize, shed: ShedPolicy) -> SplitDetectConfig {
+    SplitDetectConfig {
+        slow_path_workers: workers,
+        slow_path_lane_depth: lane_depth,
+        slow_path_shed: shed,
+        ..Default::default()
+    }
+}
+
+fn flow_packet(flow: usize, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let src = format!("10.8.{}.{}:4000", flow / 200, flow % 200 + 1);
+    let f = TcpPacketSpec::new(&src, "10.0.0.2:80")
+        .seq(seq)
+        .flags(TcpFlags::ACK.union(TcpFlags::PSH))
+        .payload(payload)
+        .build();
+    ip_of_frame(&f).to_vec()
+}
+
+/// The divert-flood trace: every flow opens with a piece hit (diverts on
+/// packet one), then the follow packets interleave round-robin across
+/// flows so every worker lane stays hot for the whole run.
+pub fn flood_trace() -> Vec<Vec<u8>> {
+    let mut pkts = Vec::with_capacity(FLOWS * (FOLLOW + 1));
+    for f in 0..FLOWS {
+        pkts.push(flow_packet(f, 1000, &SIG[..10]));
+    }
+    for j in 0..FOLLOW {
+        for f in 0..FLOWS {
+            pkts.push(flow_packet(
+                f,
+                1010 + (j * SEGMENT) as u32,
+                &[b'm'; SEGMENT],
+            ));
+        }
+    }
+    pkts
+}
+
+/// Total payload bytes one pass of the flood carries.
+pub fn payload_bytes() -> u64 {
+    (FLOWS * (10 + FOLLOW * SEGMENT)) as u64
+}
+
+/// One pass's timings and outcomes.
+pub struct RunTimes {
+    /// Hot-thread ingest time (`process_packet` + `poll`).
+    pub ingest: Duration,
+    /// Ingest plus the draining `finish()`.
+    pub total: Duration,
+    /// Alerts the pass produced.
+    pub alerts: Vec<Alert>,
+    /// Packets shed at full lanes.
+    pub shed_packets: u64,
+}
+
+/// One timed pass of the flood through an engine in the given mode.
+pub fn run_once(workers: usize, lane_depth: usize, shed: ShedPolicy, pkts: &[Vec<u8>]) -> RunTimes {
+    let mut engine = SplitDetect::with_config(sigs(), config_for(workers, lane_depth, shed))
+        .expect("admissible");
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for (tick, p) in pkts.iter().enumerate() {
+        engine.process_packet(p, tick as u64, &mut out);
+        engine.poll(&mut out);
+    }
+    let ingest = start.elapsed();
+    engine.finish(&mut out);
+    let total = start.elapsed();
+    assert!(
+        engine.slow_failures().is_empty(),
+        "slow-path worker failed: {:?}",
+        engine.slow_failures()
+    );
+    RunTimes {
+        ingest,
+        total,
+        alerts: out,
+        shed_packets: engine.stats().divert.shed_packets,
+    }
+}
+
+/// One pool-mode result row (inline, pool-1, pool-2, pool-4).
+pub struct ModeRow {
+    /// Mode label.
+    pub mode: String,
+    /// Worker count behind the label (0 = inline).
+    pub workers: usize,
+    /// Median ingest time over the paired rounds.
+    pub ingest: Duration,
+    /// Median end-to-end time over the paired rounds.
+    pub total: Duration,
+}
+
+/// Everything one mode-sweep run measured.
+pub struct Report {
+    /// Parameters the run used.
+    pub params: Params,
+    /// Mode rows in measurement order (inline first).
+    pub rows: Vec<ModeRow>,
+}
+
+impl Report {
+    /// Inline-baseline ingest seconds.
+    pub fn inline_ingest_secs(&self) -> f64 {
+        self.rows[0].ingest.as_secs_f64()
+    }
+
+    /// Print the human table the bench main has always printed.
+    pub fn print(&self) {
+        let bytes = payload_bytes();
+        println!(
+            "\nslow-path dispatch under divert flood ({FLOWS} flows x {FOLLOW} x {SEGMENT} B, \
+             median of {} paired rounds):",
+            self.params.rounds
+        );
+        println!(
+            "{:<10} {:>14} {:>14} {:>12} {:>12}",
+            "mode", "ingest MiB/s", "total MiB/s", "ingest secs", "vs inline"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<10} {:>14.1} {:>14.1} {:>12.6} {:>11.2}x",
+                r.mode,
+                mib_per_s(bytes, r.ingest),
+                mib_per_s(bytes, r.total),
+                r.ingest.as_secs_f64(),
+                self.inline_ingest_secs() / r.ingest.as_secs_f64()
+            );
+        }
+    }
+}
+
+/// Run the pool-mode sweep (inline, 1/2/4 workers) with deep lanes.
+///
+/// The warm-up pass doubles as the equivalence contract: deep lanes shed
+/// nothing and every mode reports the same alerts — the speedup is
+/// relocation of work, not loss of it.
+pub fn run(params: &Params) -> Report {
+    let pkts = flood_trace();
+    let modes: [(usize, &str); 4] = [(0, "inline"), (1, "pool-1"), (2, "pool-2"), (4, "pool-4")];
+
+    let baseline = run_once(0, DEEP_LANES, ShedPolicy::AlertOverload, &pkts);
+    assert_eq!(baseline.shed_packets, 0, "inline never sheds");
+    for (workers, mode) in &modes[1..] {
+        let r = run_once(*workers, DEEP_LANES, ShedPolicy::AlertOverload, &pkts);
+        assert_eq!(r.shed_packets, 0, "{mode}: deep lanes must not shed");
+        assert_eq!(
+            r.alerts.len(),
+            baseline.alerts.len(),
+            "{mode}: pooled dispatch must find what inline finds"
+        );
+    }
+
+    let rounds = params.rounds;
+    let mut ingest: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds); modes.len()];
+    let mut total: Vec<Vec<Duration>> = vec![Vec::with_capacity(rounds); modes.len()];
+    for _ in 0..rounds {
+        for (mi, (workers, _)) in modes.iter().enumerate() {
+            let r = run_once(*workers, DEEP_LANES, ShedPolicy::AlertOverload, &pkts);
+            ingest[mi].push(r.ingest);
+            total[mi].push(r.total);
+        }
+    }
+
+    let rows = modes
+        .iter()
+        .enumerate()
+        .map(|(mi, (workers, mode))| ModeRow {
+            mode: mode.to_string(),
+            workers: *workers,
+            ingest: median(ingest[mi].clone()),
+            total: median(total[mi].clone()),
+        })
+        .collect();
+    Report {
+        params: *params,
+        rows,
+    }
+}
+
+/// One lane-depth × shed-policy sweep row.
+pub struct ShedRow {
+    /// Lane depth (packets per worker lane).
+    pub lane_depth: usize,
+    /// Full-lane policy under test.
+    pub policy: ShedPolicy,
+    /// Packets shed at full lanes.
+    pub shed_packets: u64,
+    /// Shed fraction of the offered diverted packets.
+    pub shed_frac: f64,
+    /// Hot-thread ingest throughput.
+    pub ingest_mib_per_s: f64,
+}
+
+/// E19's lane-depth shed sweep, generalized over shed policies: how much
+/// lane memory buys how much inspection coverage under flood, and what
+/// each full-lane policy costs the hot thread. One worker throughout.
+pub fn shed_sweep(depths: &[usize], policies: &[ShedPolicy]) -> Vec<ShedRow> {
+    let pkts = flood_trace();
+    let offered = (FLOWS * (FOLLOW + 1)) as u64;
+    let mut rows = Vec::with_capacity(depths.len() * policies.len());
+    for &policy in policies {
+        for &depth in depths {
+            let r = run_once(1, depth, policy, &pkts);
+            rows.push(ShedRow {
+                lane_depth: depth,
+                policy,
+                shed_packets: r.shed_packets,
+                shed_frac: r.shed_packets as f64 / offered as f64,
+                ingest_mib_per_s: mib_per_s(payload_bytes(), r.ingest),
+            });
+        }
+    }
+    rows
+}
+
+/// Print the shed-sweep table.
+pub fn print_shed_sweep(rows: &[ShedRow]) {
+    let offered = (FLOWS * (FOLLOW + 1)) as u64;
+    println!("\nlane-depth x shed-policy sweep (1 worker, {offered} diverted packets):");
+    println!(
+        "{:>16} {:>10} {:>10} {:>10} {:>12}",
+        "policy", "lane_depth", "shed_pkts", "shed_frac", "ingest MiB/s"
+    );
+    for r in rows {
+        println!(
+            "{:>16} {:>10} {:>10} {:>10.3} {:>12.1}",
+            r.policy.to_string(),
+            r.lane_depth,
+            r.shed_packets,
+            r.shed_frac,
+            r.ingest_mib_per_s
+        );
+    }
+}

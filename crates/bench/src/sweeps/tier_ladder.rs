@@ -1,0 +1,163 @@
+//! Tier-threshold ladder core (E22): the tiered piece automaton compiled
+//! at a ladder of `tiered_hot_states` overrides plus the budget
+//! heuristic, scanned over the benign HTTP-like mix, next to the sparse
+//! and dense anchors. This is the measurement behind the `tier_sweep`
+//! bin and the `tiered-hot-ladder` lab experiment.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_traffic::payload::PayloadModel;
+use splitdetect::split::SplitPlan;
+use splitdetect::{MatcherKind, SplitDetectConfig};
+
+use super::median;
+
+/// Scan corpus size.
+pub const VOLUME: usize = 1 << 20;
+/// Per-scan segment size.
+pub const SEGMENT: usize = 1400;
+/// Rule-corpus sizes walked (the E21/E22 corpora, seed 42).
+pub const RULE_COUNTS: [usize; 2] = [1_000, 10_000];
+/// Hot-state overrides walked between the anchors and the heuristic.
+pub const HOT_LADDER: [usize; 5] = [1, 256, 1024, 4096, 16_384];
+
+/// Ladder parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Paired rounds (median taken; the E22 table used 7).
+    pub rounds: usize,
+    /// Corpus generator seed.
+    pub corpus_seed: u64,
+}
+
+impl Params {
+    /// The E22 recipe.
+    pub fn full() -> Self {
+        Params {
+            rounds: 7,
+            corpus_seed: 42,
+        }
+    }
+}
+
+/// One ladder row: an anchor, a pinned hot-tier size, or the heuristic.
+pub struct Row {
+    /// Build label ("sparse", "dense", "tiered H=256", "tiered heuristic").
+    pub build: String,
+    /// Hot-tier states the build actually chose (None for anchors).
+    pub hot_states: Option<usize>,
+    /// Exact automaton bytes.
+    pub bytes: usize,
+    /// Byte classes (None when unclassed).
+    pub classes: Option<usize>,
+    /// Median scan time over the paired rounds.
+    pub median: Duration,
+    /// Throughput relative to the sparse anchor.
+    pub vs_sparse: f64,
+}
+
+/// One corpus size's ladder.
+pub struct LadderReport {
+    /// Rule-corpus size.
+    pub rules: usize,
+    /// Rows in ladder order (sparse, dense, H ladder, heuristic).
+    pub rows: Vec<Row>,
+}
+
+fn scan_once(plan: &SplitPlan, corpus: &[u8]) -> Duration {
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for seg in corpus.chunks(SEGMENT) {
+        hits += u64::from(plan.scan(seg).is_some());
+    }
+    std::hint::black_box(hits);
+    start.elapsed()
+}
+
+/// Run the ladder for every corpus size in `RULE_COUNTS`.
+pub fn run(params: &Params) -> Vec<LadderReport> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let corpus = PayloadModel::HttpLike.generate(&mut rng, VOLUME);
+    let mut reports = Vec::with_capacity(RULE_COUNTS.len());
+
+    for &rules in &RULE_COUNTS {
+        let sigs = crate::corpus_signature_set(rules, params.corpus_seed);
+        let k = SplitDetectConfig::default().pieces_per_signature;
+
+        let mut plans: Vec<(String, SplitPlan)> = vec![
+            (
+                "sparse".into(),
+                SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Sparse, None),
+            ),
+            (
+                "dense".into(),
+                SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Dense, None),
+            ),
+        ];
+        for &hot in &HOT_LADDER {
+            plans.push((
+                format!("tiered H={hot}"),
+                SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Tiered, Some(hot)),
+            ));
+        }
+        plans.push((
+            "tiered heuristic".into(),
+            SplitPlan::compile_unchecked_full(&sigs, k, MatcherKind::Tiered, None),
+        ));
+
+        for (_, plan) in &plans {
+            scan_once(plan, &corpus);
+        }
+        let mut samples: Vec<Vec<Duration>> = vec![Vec::with_capacity(params.rounds); plans.len()];
+        for _ in 0..params.rounds {
+            for (pi, (_, plan)) in plans.iter().enumerate() {
+                samples[pi].push(scan_once(plan, &corpus));
+            }
+        }
+
+        let sparse_secs = median(samples[0].clone()).as_secs_f64();
+        let rows = plans
+            .iter()
+            .enumerate()
+            .map(|(pi, (name, plan))| {
+                let med = median(samples[pi].clone());
+                Row {
+                    build: name.clone(),
+                    hot_states: plan.tier_stats().map(|t| t.hot_states),
+                    bytes: plan.memory_bytes(),
+                    classes: plan.class_count(),
+                    median: med,
+                    vs_sparse: sparse_secs / med.as_secs_f64(),
+                }
+            })
+            .collect();
+        reports.push(LadderReport { rules, rows });
+    }
+    reports
+}
+
+/// Print one ladder table (the E22 format).
+pub fn print(report: &LadderReport, rounds: usize) {
+    println!(
+        "\n{} rules (benign {} MiB mix, median of {rounds} paired rounds):",
+        report.rules,
+        VOLUME >> 20
+    );
+    println!(
+        "{:<18} {:>7} {:>11} {:>8} {:>9} {:>10}",
+        "build", "hot", "bytes", "classes", "MiB/s", "vs sparse"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<18} {:>7} {:>11} {:>8} {:>9.1} {:>9.2}x",
+            r.build,
+            r.hot_states.map_or("-".into(), |h| h.to_string()),
+            r.bytes,
+            r.classes.map_or("-".into(), |c| c.to_string()),
+            VOLUME as f64 / (1 << 20) as f64 / r.median.as_secs_f64(),
+            r.vs_sparse
+        );
+    }
+}

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod lab;
 pub mod opts;
 pub mod serve;
 

@@ -431,3 +431,69 @@ fn fuzz_sabotage_finds_minimizes_and_replays() {
     assert_eq!(code, 0, "intact engine must pass the reproducer: {out}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn lab_import_emit_compare_round_trip() {
+    // `sd lab import` the checked-in baselines, `sd lab emit` them back
+    // byte-identically, and `sd lab compare` the journal against the
+    // originals — the whole CI lab-provenance recipe through the CLI.
+    let dir = tmpdir("lab");
+    let journal = dir.join("j.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baselines = [
+        "BENCH_fastpath.json",
+        "BENCH_slowpath.json",
+        "BENCH_flowstate.json",
+    ];
+    let paths: Vec<String> = baselines
+        .iter()
+        .map(|f| root.join(f).to_str().unwrap().to_string())
+        .collect();
+
+    let mut import = vec!["lab", "import"];
+    import.extend(paths.iter().map(String::as_str));
+    import.extend(["--journal", journal_s]);
+    let (code, out) = run(&import);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("imported fastpath-matcher-mix"), "{out}");
+
+    let emit_dir = dir.join("emitted");
+    let emit_dir_s = emit_dir.to_str().unwrap();
+    let (code, out) = run(&[
+        "lab",
+        "emit",
+        "--journal",
+        journal_s,
+        "--out-dir",
+        emit_dir_s,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    for f in &baselines {
+        let original = std::fs::read_to_string(root.join(f)).unwrap();
+        let emitted = std::fs::read_to_string(emit_dir.join(f)).unwrap();
+        assert_eq!(emitted, original, "{f} must re-emit byte-for-byte");
+    }
+
+    let mut compare = vec!["lab", "compare", journal_s];
+    compare.extend(paths.iter().map(String::as_str));
+    let (code, out) = run(&compare);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("no regressions beyond tolerance"), "{out}");
+    assert!(out.contains("| bench | row | metric |"), "{out}");
+
+    // The registry listing names every declared experiment.
+    let (code, out) = run(&["lab", "list", "--journal", journal_s]);
+    assert_eq!(code, 0, "{out}");
+    for name in [
+        "fastpath-matcher-mix",
+        "slowpath-lane-shed",
+        "flowstate-occupancy",
+        "shard-batch",
+        "tiered-hot-ladder",
+        "ci-smoke",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,18 @@
+//! Captures the compiling rustc's version string at build time so every
+//! journaled trial can record the toolchain it was measured under —
+//! `rustc` may not be on PATH when the compiled binary later runs.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-env-changed=RUSTC");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=SD_LAB_RUSTC_VERSION={version}");
+}

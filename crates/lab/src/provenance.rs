@@ -1,0 +1,80 @@
+//! Build and tree provenance for journaled trials.
+//!
+//! Every trial row records enough to answer "what exactly produced this
+//! number": the git commit the binary was run against, whether the tree
+//! was dirty, and the rustc that compiled the runner. The rustc version is
+//! baked in at compile time (`build.rs`) because the toolchain that built
+//! the binary is the fact of interest, not whatever `rustc` happens to be
+//! on PATH at run time. Git state is read at run time because that is when
+//! the measurement happens.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The rustc that compiled this crate, e.g. `rustc 1.79.0 (129f3b996 ...)`.
+pub const RUSTC_VERSION: &str = env!("SD_LAB_RUSTC_VERSION");
+
+/// Where a set of measurements came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Full commit hash, or "unknown" outside a git work tree.
+    pub git_commit: String,
+    /// True if the work tree had uncommitted changes (staged or not).
+    pub git_dirty: bool,
+    /// rustc version string of the toolchain that built the runner.
+    pub rustc: String,
+}
+
+impl Provenance {
+    /// Capture provenance for the current directory's work tree.
+    pub fn capture() -> Self {
+        Self::capture_in(Path::new("."))
+    }
+
+    /// Capture provenance for the work tree containing `dir`. Tolerates a
+    /// missing `git` binary or a non-repo directory ("unknown", clean) —
+    /// journaling must not fail because the environment is bare.
+    pub fn capture_in(dir: &Path) -> Self {
+        let git_commit =
+            git_stdout(dir, &["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
+        // `status --porcelain` is empty for a clean tree; any output —
+        // modified, staged, or untracked — marks the measurement dirty.
+        let git_dirty = git_stdout(dir, &["status", "--porcelain"])
+            .map(|s| !s.is_empty())
+            .unwrap_or(false);
+        Provenance {
+            git_commit,
+            git_dirty,
+            rustc: RUSTC_VERSION.to_string(),
+        }
+    }
+}
+
+fn git_stdout(dir: &Path, args: &[&str]) -> Option<String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(args)
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rustc_version_is_baked_in() {
+        assert!(RUSTC_VERSION.starts_with("rustc") || RUSTC_VERSION == "unknown");
+    }
+
+    #[test]
+    fn capture_never_panics_outside_a_repo() {
+        let p = Provenance::capture_in(Path::new("/"));
+        assert!(!p.git_commit.is_empty());
+    }
+}

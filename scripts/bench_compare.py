@@ -2,21 +2,33 @@
 """Compare freshly-measured benchmark JSON against checked-in baselines.
 
 Usage:
-    bench_compare.py [--threshold 0.15] BASELINE CURRENT [BASELINE CURRENT ...]
+    bench_compare.py [--threshold 0.15] [--mem-threshold 0.15] \\
+        BASELINE CURRENT [BASELINE CURRENT ...]
 
-Each file is one of the ``BENCH_*.json`` records written by
-``scripts/bench_json.sh``: an object with a ``results`` array whose rows
-mix identity fields (strings, e.g. ``mix``/``matcher``/``mode``) and
-metric fields (numbers). Throughput metrics — any numeric field whose
-name contains ``mib_per_s``, ``gbps`` or ``throughput`` — are
-higher-is-better medians; a row regresses when the current value drops
-more than ``--threshold`` (default 15%) below the baseline. Rows or
-metrics present on only one side are reported but never fail the gate
-(benches grow new modes; old baselines lag a commit behind).
+Each file is one of the ``BENCH_*.json`` records written by ``sd lab
+emit`` (see ``scripts/bench_json.sh``): an object with a ``results``
+array whose rows mix identity fields (strings, e.g.
+``mix``/``matcher``/``mode``) and metric fields (numbers). Two kinds of
+metric are gated:
+
+* Throughput — any numeric results field whose name contains
+  ``mib_per_s``, ``gbps`` or ``throughput``. Higher-is-better medians; a
+  row regresses when the current value drops more than ``--threshold``
+  (default 15%) below the baseline.
+* Memory — the per-matcher ``automaton_10k`` footprint ``bytes`` and the
+  flow table's top-level ``slot_bytes``, when the file carries them.
+  Lower-is-better; a row regresses when the current value grows more
+  than ``--mem-threshold`` (default 15%) above the baseline.
+
+Rows or metrics present on only one side are reported but never fail
+the gate (benches grow new modes; old baselines lag a commit behind).
 
 Prints a markdown delta table to stdout and, when running under GitHub
 Actions, appends it to ``$GITHUB_STEP_SUMMARY``. Exits non-zero iff any
-metric regressed beyond the threshold. Standard library only.
+metric regressed beyond its tolerance. Standard library only; the same
+comparison is implemented in Rust as ``sd lab compare`` (crates/lab),
+and the two must stay in lockstep — ``scripts/test_bench_compare.py``
+pins this side's behaviour.
 """
 
 import argparse
@@ -25,6 +37,9 @@ import os
 import sys
 
 METRIC_MARKERS = ("mib_per_s", "gbps", "throughput")
+
+THROUGHPUT = "throughput"
+MEMORY = "memory"
 
 
 def is_throughput(name, value):
@@ -45,14 +60,25 @@ def load(path):
         sys.exit(f"{path}: no 'results' array")
     table = {}
     for row in rows:
-        metrics = {k: float(v) for k, v in row.items() if is_throughput(k, v)}
+        metrics = {
+            k: (float(v), THROUGHPUT) for k, v in row.items() if is_throughput(k, v)
+        }
         if not metrics:
             sys.exit(f"{path}: row {row_key(row)!r} has no throughput metric")
         table[row_key(row)] = metrics
+    # Memory gate rows: key shape is row_key over the identity dict, so the
+    # table reads the same whether sd lab compare or this script produced it.
+    for matcher, inner in (doc.get("automaton_10k") or {}).items():
+        if isinstance(inner, dict) and isinstance(inner.get("bytes"), (int, float)):
+            key = row_key({"section": "automaton_10k", "matcher": matcher})
+            table.setdefault(key, {})["bytes"] = (float(inner["bytes"]), MEMORY)
+    if isinstance(doc.get("slot_bytes"), (int, float)):
+        key = row_key({"section": "meta"})
+        table.setdefault(key, {})["slot_bytes"] = (float(doc["slot_bytes"]), MEMORY)
     return doc.get("bench", os.path.basename(path)), table
 
 
-def compare(base_path, cur_path, threshold):
+def compare(base_path, cur_path, threshold, mem_threshold):
     bench, base = load(base_path)
     _, cur = load(cur_path)
     lines = []
@@ -68,20 +94,31 @@ def compare(base_path, cur_path, threshold):
             if metric not in base[key] or metric not in cur[key]:
                 lines.append((bench, key, metric, "absent", "absent", "-", "new metric"))
                 continue
-            b, c = base[key][metric], cur[key][metric]
+            (b, kind) = base[key][metric]
+            (c, _) = cur[key][metric]
             delta = (c - b) / b if b else 0.0
-            regressed = delta < -threshold
+            if kind == MEMORY:
+                regressed = delta > mem_threshold
+                rule = f"(>{mem_threshold:.0%} growth)"
+            else:
+                regressed = delta < -threshold
+                rule = f"(>{threshold:.0%} drop)"
             status = "REGRESSED" if regressed else "ok"
             lines.append(
                 (bench, key, metric, f"{b:.1f}", f"{c:.1f}", f"{delta:+.1%}", status)
             )
             if regressed:
-                failures.append(f"{bench}: {key} {metric} {delta:+.1%} (>{threshold:.0%} drop)")
+                failures.append(f"{bench}: {key} {metric} {delta:+.1%} {rule}")
     return lines, failures
 
 
-def markdown(all_lines, threshold):
-    out = [f"### Bench regression gate (fail below -{threshold:.0%})", ""]
+def markdown(all_lines, threshold, mem_threshold):
+    out = [
+        "### Bench regression gate "
+        f"(throughput fail below -{threshold:.0%}, "
+        f"memory fail above +{mem_threshold:.0%})",
+        "",
+    ]
     out.append("| bench | row | metric | baseline | current | delta | status |")
     out.append("|---|---|---|---:|---:|---:|---|")
     for line in all_lines:
@@ -92,6 +129,7 @@ def markdown(all_lines, threshold):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--mem-threshold", type=float, default=0.15)
     ap.add_argument("files", nargs="+", metavar="BASELINE CURRENT")
     args = ap.parse_args()
     if len(args.files) % 2:
@@ -100,11 +138,13 @@ def main():
     all_lines = []
     failures = []
     for i in range(0, len(args.files), 2):
-        lines, fails = compare(args.files[i], args.files[i + 1], args.threshold)
+        lines, fails = compare(
+            args.files[i], args.files[i + 1], args.threshold, args.mem_threshold
+        )
         all_lines.extend(lines)
         failures.extend(fails)
 
-    table = markdown(all_lines, args.threshold)
+    table = markdown(all_lines, args.threshold, args.mem_threshold)
     print(table)
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:

@@ -1,23 +1,30 @@
 #!/usr/bin/env bash
 # Record the performance benchmarks as machine-readable JSON.
 #
-# Runs the `fastpath` bench with SD_FASTPATH_JSON pointed at
-# BENCH_fastpath.json, the `slowpath` bench with SD_SLOWPATH_JSON
-# pointed at BENCH_slowpath.json, and the `flowstate` bench with
-# SD_FLOWSTATE_JSON pointed at BENCH_flowstate.json, all in the repo
-# root, so the matcher throughput trajectory, the slow-path dispatch
-# speedup, and the flow-table occupancy sweep are checked in next to
-# the code that changed them. `scripts/bench_compare.py` diffs fresh
-# copies of these files against the checked-in baselines in the CI
-# perf-regression gate. Pass SD_FASTPATH_ENFORCE=1 /
-# SD_SLOWPATH_ENFORCE=1 to also fail on the benches' own invariants
-# (prefiltered >= dense; tiered >= 1.5x sparse at <= 2x sparse bytes
-# on the 10k-rule corpus; pooled ingest >= 2x inline).
+# Builds the release `sd` binary, runs the three baseline-feeding
+# experiments through the provenance harness (`sd lab run`), journaling
+# every trial — full config, git commit + dirty flag, rustc version —
+# into lab-journal.jsonl, then regenerates BENCH_fastpath.json,
+# BENCH_slowpath.json and BENCH_flowstate.json from the journal with
+# `sd lab emit`, all in the repo root, so the matcher throughput
+# trajectory, the slow-path dispatch speedup, and the flow-table
+# occupancy sweep are checked in next to the code that changed them.
+# `sd lab compare` (or scripts/bench_compare.py) diffs fresh copies of
+# these files against the checked-in baselines in the CI
+# perf-regression gate.
+#
+# Pass --smoke for the short CI profile, or extra `sd lab run` flags
+# (e.g. --rounds N) through "$@". The journal is append-only: re-runs
+# accumulate history, and emit always reads the latest run per
+# experiment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-SD_FASTPATH_JSON="$PWD/BENCH_fastpath.json" cargo bench -p sd-bench --bench fastpath "$@"
-echo "recorded $PWD/BENCH_fastpath.json"
-SD_SLOWPATH_JSON="$PWD/BENCH_slowpath.json" cargo bench -p sd-bench --bench slowpath "$@"
-echo "recorded $PWD/BENCH_slowpath.json"
-SD_FLOWSTATE_JSON="$PWD/BENCH_flowstate.json" cargo bench -p sd-bench --bench flowstate "$@"
-echo "recorded $PWD/BENCH_flowstate.json"
+
+cargo build --release -p sd-cli
+SD=target/release/sd
+
+for experiment in fastpath-matcher-mix slowpath-lane-shed flowstate-occupancy; do
+  "$SD" lab run "$experiment" --journal lab-journal.jsonl "$@"
+done
+"$SD" lab emit --journal lab-journal.jsonl --out-dir .
+echo "journal: $PWD/lab-journal.jsonl"

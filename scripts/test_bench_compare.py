@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py (standard library only).
+
+Run directly (``python3 scripts/test_bench_compare.py``) or via unittest
+discovery. These pin the gate's behaviour — row keys, tolerance edges,
+memory direction, delta formatting — so the Rust twin (``sd lab
+compare``) has a fixed target to stay in lockstep with.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def write_doc(directory, name, doc):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return path
+
+
+def doc(mib=100.0, slot=26, bytes_10k=1000, bench="t"):
+    return {
+        "bench": bench,
+        "slot_bytes": slot,
+        "automaton_10k": {"sparse": {"bytes": bytes_10k}},
+        "results": [{"mix": "benign", "matcher": "dense", "mib_per_s": mib}],
+    }
+
+
+class RowKeyTest(unittest.TestCase):
+    def test_string_fields_sorted(self):
+        row = {"mix": "scan/benign", "mib_per_s": 1.0, "matcher": "dense"}
+        self.assertEqual(bench_compare.row_key(row), "matcher=dense mix=scan/benign")
+
+    def test_no_string_fields_is_anonymous(self):
+        self.assertEqual(bench_compare.row_key({"mib_per_s": 1.0}), "<anonymous row>")
+
+
+class LoadTest(unittest.TestCase):
+    def test_memory_rows_extracted(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_doc(d, "b.json", doc())
+            bench, table = bench_compare.load(path)
+        self.assertEqual(bench, "t")
+        self.assertEqual(
+            table["matcher=sparse section=automaton_10k"]["bytes"],
+            (1000.0, bench_compare.MEMORY),
+        )
+        self.assertEqual(
+            table["section=meta"]["slot_bytes"], (26.0, bench_compare.MEMORY)
+        )
+        self.assertEqual(
+            table["matcher=dense mix=benign"]["mib_per_s"],
+            (100.0, bench_compare.THROUGHPUT),
+        )
+
+    def test_files_without_memory_sections_still_load(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_doc(
+                d, "b.json", {"results": [{"mode": "inline", "mib_per_s": 10}]}
+            )
+            bench, table = bench_compare.load(path)
+        self.assertEqual(bench, "b.json")
+        self.assertEqual(list(table), ["mode=inline"])
+
+    def test_row_without_throughput_metric_exits(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_doc(d, "b.json", {"results": [{"mode": "inline"}]})
+            with self.assertRaises(SystemExit):
+                bench_compare.load(path)
+
+    def test_missing_results_exits(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_doc(d, "b.json", {"bench": "t"})
+            with self.assertRaises(SystemExit):
+                bench_compare.load(path)
+
+
+class CompareTest(unittest.TestCase):
+    def run_compare(self, base, cur, threshold=0.15, mem_threshold=0.15):
+        with tempfile.TemporaryDirectory() as d:
+            return bench_compare.compare(
+                write_doc(d, "base.json", base),
+                write_doc(d, "cur.json", cur),
+                threshold,
+                mem_threshold,
+            )
+
+    def test_within_tolerance_passes(self):
+        lines, failures = self.run_compare(doc(100.0), doc(90.0, slot=27))
+        self.assertEqual(failures, [])
+        self.assertTrue(all(line[-1] == "ok" for line in lines))
+
+    def test_throughput_drop_fails_with_formatted_message(self):
+        _, failures = self.run_compare(doc(100.0), doc(80.0))
+        self.assertEqual(
+            failures,
+            ["t: matcher=dense mix=benign mib_per_s -20.0% (>15% drop)"],
+        )
+
+    def test_memory_growth_fails_and_shrink_passes(self):
+        _, failures = self.run_compare(
+            doc(100.0, slot=26, bytes_10k=1000),
+            doc(100.0, slot=31, bytes_10k=500),
+        )
+        self.assertEqual(
+            failures, ["t: section=meta slot_bytes +19.2% (>15% growth)"]
+        )
+
+    def test_throughput_gain_and_memory_drop_never_fail(self):
+        _, failures = self.run_compare(doc(100.0), doc(500.0, slot=1, bytes_10k=1))
+        self.assertEqual(failures, [])
+
+    def test_exact_threshold_edge_is_ok(self):
+        # delta == ±threshold is not a failure: strict inequality.
+        lines, failures = self.run_compare(
+            doc(100.0, bytes_10k=1000), doc(85.0, bytes_10k=1150)
+        )
+        self.assertEqual(failures, [])
+        deltas = {line[2]: line[5] for line in lines if line[5] != "-"}
+        self.assertEqual(deltas["mib_per_s"], "-15.0%")
+        self.assertEqual(deltas["bytes"], "+15.0%")
+
+    def test_new_and_dropped_rows_report_without_failing(self):
+        base = {"results": [{"mode": "inline", "mib_per_s": 10}]}
+        cur = {"results": [{"mode": "pool-1", "mib_per_s": 10}]}
+        lines, failures = self.run_compare(base, cur)
+        self.assertEqual(failures, [])
+        self.assertEqual([line[-1] for line in lines], ["row dropped", "new row"])
+
+    def test_new_metric_reports_without_failing(self):
+        base = {"results": [{"mode": "inline", "mib_per_s": 10}]}
+        cur = {"results": [{"mode": "inline", "mib_per_s": 10, "gbps": 1}]}
+        lines, failures = self.run_compare(base, cur)
+        self.assertEqual(failures, [])
+        self.assertIn("new metric", [line[-1] for line in lines])
+
+    def test_zero_baseline_reads_as_no_delta(self):
+        base = {"results": [{"mode": "inline", "mib_per_s": 0}]}
+        cur = {"results": [{"mode": "inline", "mib_per_s": 5}]}
+        _, failures = self.run_compare(base, cur)
+        self.assertEqual(failures, [])
+
+
+class MarkdownTest(unittest.TestCase):
+    def test_header_names_both_tolerances(self):
+        text = bench_compare.markdown([], 0.15, 0.10)
+        self.assertIn(
+            "### Bench regression gate "
+            "(throughput fail below -15%, memory fail above +10%)",
+            text,
+        )
+        self.assertIn("| bench | row | metric | baseline | current | delta | status |", text)
+
+    def test_lines_render_as_table_rows(self):
+        line = ("t", "mode=inline", "mib_per_s", "10.0", "8.0", "-20.0%", "REGRESSED")
+        text = bench_compare.markdown([line], 0.15, 0.15)
+        self.assertIn("| t | mode=inline | mib_per_s | 10.0 | 8.0 | -20.0% | REGRESSED |", text)
+
+
+if __name__ == "__main__":
+    unittest.main()
